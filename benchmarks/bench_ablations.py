@@ -1,0 +1,151 @@
+"""Ablations over the runtime design choices DESIGN.md calls out.
+
+Knobs isolated here, each mapped to a Fig. 3 observation:
+
+* session caching on/off — observation (ii),
+* parallel scan+PREDICT on/off — observation (iii),
+* batch size sweep — observation (v) and §5's "ideal batch size to be
+  investigated".
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import measure, report
+from repro import Database, Table
+from repro.data import hospital
+from repro.ml import Pipeline, RandomForestClassifier, StandardScaler
+from repro.tensor import convert
+
+ROWS = 120_000
+
+
+@pytest.fixture(scope="module")
+def environment():
+    train = hospital.generate(8_000, seed=61)
+    pipeline = Pipeline(
+        [
+            ("scale", StandardScaler()),
+            (
+                "clf",
+                RandomForestClassifier(
+                    n_estimators=8, max_depth=7, random_state=0
+                ),
+            ),
+        ]
+    ).fit(train.features, train.length_of_stay)
+    data = hospital.generate(ROWS, seed=62)
+
+    def build_database(enable_cache: bool) -> Database:
+        db = Database(enable_session_cache=enable_cache)
+        db.store_model(
+            "rf",
+            convert(pipeline),
+            flavor="tensor.graph",
+            metadata={"feature_names": hospital.FEATURE_NAMES},
+        )
+        db.register_table(
+            "rows",
+            Table.from_dict(
+                {
+                    name: data.features[:, i]
+                    for i, name in enumerate(hospital.FEATURE_NAMES)
+                }
+            ),
+        )
+        db.register_table(
+            "rows_small",
+            Table.from_dict(
+                {
+                    name: data.features[:500, i]
+                    for i, name in enumerate(hospital.FEATURE_NAMES)
+                }
+            ),
+        )
+        return db
+
+    return build_database
+
+
+SQL_SMALL = (
+    "DECLARE @m varbinary(max) = (SELECT model FROM scoring_models "
+    "WHERE model_name = 'rf');"
+    "SELECT p.prediction FROM PREDICT(MODEL = @m, DATA = rows_small AS d) "
+    "WITH (prediction float) AS p"
+)
+SQL_LARGE = SQL_SMALL.replace("rows_small", "rows")
+
+
+@pytest.mark.parametrize("cache", ["cached", "uncached"])
+def test_ablation_session_cache(benchmark, environment, cache):
+    db = environment(enable_cache=(cache == "cached"))
+    db.execute(SQL_SMALL)  # first call builds the session either way
+    benchmark.pedantic(lambda: db.execute(SQL_SMALL), rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("parallel", ["parallel", "sequential"])
+def test_ablation_parallel_predict(benchmark, environment, parallel):
+    db = environment(enable_cache=True)
+    db.executor_options.parallel_predict = parallel == "parallel"
+    db.executor_options.parallel_row_threshold = 50_000
+    db.execute(SQL_LARGE)
+    benchmark.pedantic(lambda: db.execute(SQL_LARGE), rounds=3, iterations=1)
+
+
+def test_ablation_shapes(environment):
+    # Caching: repeated small queries should be faster with the cache.
+    cached_db = environment(enable_cache=True)
+    uncached_db = environment(enable_cache=False)
+    cached_db.execute(SQL_SMALL)
+    uncached_db.execute(SQL_SMALL)
+    cached = measure(lambda: cached_db.execute(SQL_SMALL), repeats=5)
+    uncached = measure(lambda: uncached_db.execute(SQL_SMALL), repeats=5)
+
+    # Parallelism: the large scan+PREDICT benefits from the thread pool.
+    db = environment(enable_cache=True)
+    db.executor_options.parallel_row_threshold = 50_000
+    db.executor_options.parallel_predict = True
+    db.execute(SQL_LARGE)
+    parallel = measure(lambda: db.execute(SQL_LARGE), repeats=3)
+    db.executor_options.parallel_predict = False
+    sequential = measure(lambda: db.execute(SQL_LARGE), repeats=3)
+
+    report(
+        "Ablations: caching and parallel PREDICT",
+        [
+            {"knob": "session cache ON (500 rows)", "seconds": cached},
+            {"knob": "session cache OFF (500 rows)", "seconds": uncached},
+            {"knob": f"parallel PREDICT ON ({ROWS} rows)", "seconds": parallel},
+            {"knob": f"parallel PREDICT OFF ({ROWS} rows)", "seconds": sequential},
+        ],
+        "Fig 3 obs (ii): caching wins small; obs (iii): parallelism wins large",
+    )
+    assert cached < uncached, "session cache should win on repeated queries"
+    assert parallel < sequential * 1.1, (
+        "parallel PREDICT should not lose at large sizes"
+    )
+
+
+def test_ablation_batch_size_sweep(environment):
+    """§5(v): find where batching stops helping (the paper's open item)."""
+    db = environment(enable_cache=True)
+    db.executor_options.parallel_predict = False
+    rows = []
+    times = {}
+    for batch in (64, 1024, 16_384, None):
+        db.executor_options.default_batch_size = batch
+        db.execute(SQL_LARGE)
+        seconds = measure(lambda: db.execute(SQL_LARGE), repeats=3)
+        times[batch] = seconds
+        rows.append(
+            {"batch_size": batch if batch else "whole input", "seconds": seconds}
+        )
+    db.executor_options.default_batch_size = None
+    report(
+        "Ablation: PREDICT batch size",
+        rows,
+        "batching beats tuple-at-a-time by ~10x; ideal size to investigate",
+    )
+    # Tiny batches pay per-call overhead: the sweep's best point is not 64.
+    best = min(times, key=times.get)
+    assert best != 64

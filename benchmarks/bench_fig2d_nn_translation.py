@@ -1,0 +1,84 @@
+"""Figure 2(d): NN translation of a random forest (hospital stay).
+
+Paper (1K -> 1M rows): RF-NN on CPU is ~2x faster than scikit-learn RF at
+1K rows, with the gap closing as data grows; RF-NN on GPU starts ~10%
+faster than RF-NN CPU and reaches up to 15x over scikit-learn at 1M rows
+(GPU utilization grows with batch size).
+
+The GPU series uses the calibrated analytical device model (DESIGN.md's
+substitution table); its *time* is simulated, its *results* are computed
+by the same kernels and asserted equal.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import measure, report
+from repro.data import hospital
+from repro.ml import RandomForestClassifier
+from repro.tensor import InferenceSession, SimulatedGPU, convert
+
+SIZES = [1_000, 10_000, 100_000]
+
+
+@pytest.fixture(scope="module")
+def environment():
+    train = hospital.generate(20_000, seed=21)
+    forest = RandomForestClassifier(
+        n_estimators=10, max_depth=8, random_state=0
+    ).fit(train.features, train.length_of_stay)
+    graph = convert(forest)
+    cpu_session = InferenceSession(graph, device="cpu")
+    gpu_session = InferenceSession(graph, device=SimulatedGPU())
+    datasets = {n: hospital.generate(n, seed=22).features for n in SIZES}
+    return forest, cpu_session, gpu_session, datasets
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("variant", ["rf_sklearn", "rf_nn_cpu"])
+def test_fig2d(benchmark, environment, variant, size):
+    forest, cpu_session, _gpu, datasets = environment
+    X = datasets[size]
+    if variant == "rf_sklearn":
+        benchmark.pedantic(lambda: forest.predict(X), rounds=3, iterations=1)
+    else:
+        benchmark.pedantic(
+            lambda: cpu_session.run({"X": X}), rounds=3, iterations=1
+        )
+
+
+def test_fig2d_shape(environment):
+    forest, cpu_session, gpu_session, datasets = environment
+    rows = []
+    ratios_gpu = {}
+    for size in SIZES:
+        X = datasets[size]
+        rf_time = measure(lambda: forest.predict(X), repeats=3)
+        nn_cpu_time = measure(lambda: cpu_session.run({"X": X}), repeats=3)
+        gpu_session.run({"X": X})  # warm
+        gpu_session.run({"X": X})
+        nn_gpu_time = gpu_session.last_run_stats.simulated_seconds
+        ratios_gpu[size] = rf_time / nn_gpu_time
+        rows.append(
+            {
+                "rows": size,
+                "rf_sklearn_s": rf_time,
+                "rf_nn_cpu_s": nn_cpu_time,
+                "rf_nn_gpu_s(simulated)": nn_gpu_time,
+                "gpu_speedup_vs_rf": rf_time / nn_gpu_time,
+            }
+        )
+        # Exactness of the translation on every size.
+        nn_prediction = cpu_session.run({"X": X})[0].ravel()
+        assert np.array_equal(nn_prediction, forest.predict(X))
+        gpu_prediction = gpu_session.run({"X": X})[0].ravel()
+        assert np.array_equal(gpu_prediction, forest.predict(X))
+    report(
+        "Fig 2(d) NN translation of a random forest (hospital stay)",
+        rows,
+        "RF-NN(CPU) ~2x RF at 1K; GPU up to 15x over scikit-learn at 1M",
+    )
+    # Shape: the GPU advantage must grow with batch size (utilization).
+    assert ratios_gpu[SIZES[-1]] > ratios_gpu[SIZES[0]]
+    # And at the largest size the GPU clearly beats scikit-learn scoring.
+    assert ratios_gpu[SIZES[-1]] > 2.0

@@ -1,0 +1,95 @@
+"""Every execution mode Raven supports (paper §5), on one model.
+
+* in-process: the integrated engine scores through the ML library,
+* NN translation: the same pipeline compiled to a tensor graph, run by the
+  mini-ONNX-Runtime session on CPU and on the simulated GPU,
+* out-of-process (Raven Ext): a fresh Python interpreter per call,
+* containerized: a local REST scoring server.
+
+Run with:  python examples/execution_modes.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import RavenSession
+from repro.core.runtime import ContainerRuntime, OutOfProcessRuntime
+from repro.data import hospital
+from repro.ml import model_format
+from repro.tensor import InferenceSession, SimulatedGPU, convert
+
+
+def main() -> None:
+    database, dataset, pipeline = hospital.setup_database(
+        num_rows=20_000, seed=8, max_depth=8
+    )
+    table = database.execute(
+        "WITH data AS (SELECT pi.id AS id, pi.age AS age, pi.pregnant AS "
+        "pregnant, pi.gender AS gender, bt.bp AS bp, pt.heart_rate AS "
+        "heart_rate, bt.glucose AS glucose FROM patient_info AS pi "
+        "JOIN blood_tests AS bt ON pi.id = bt.id "
+        "JOIN prenatal_tests AS pt ON pi.id = pt.id) SELECT * FROM data"
+    )
+    X = table.to_matrix(hospital.QUERY_FEATURE_NAMES)
+    reference = pipeline.predict(X)
+
+    def show(label: str, seconds: float, prediction) -> None:
+        match = np.array_equal(np.asarray(prediction, dtype=float), reference)
+        print(f"  {label:28s} {seconds * 1e3:9.1f} ms   exact={match}")
+
+    print(f"scoring {len(X)} rows with the hospital decision-tree pipeline\n")
+
+    # -- in-process (the integrated engine) ---------------------------------
+    raven = RavenSession(database, options={"enable_inlining": False})
+    graph, _ = raven.optimize(raven.analyze(hospital.INFERENCE_QUERY))
+    start = time.perf_counter()
+    prediction = pipeline.predict(X)
+    show("in-process pipeline", time.perf_counter() - start, prediction)
+
+    # -- inlined SQL ------------------------------------------------------
+    inline_session = RavenSession(database)
+    plan, _ = inline_session.optimize(
+        inline_session.analyze(hospital.INFERENCE_QUERY)
+    )
+    start = time.perf_counter()
+    inline_session.executor.execute(plan)
+    print(f"  {'inlined SQL CASE (full query)':28s} "
+          f"{(time.perf_counter() - start) * 1e3:9.1f} ms   (query incl. joins)")
+
+    # -- NN translation, CPU and simulated GPU -----------------------------
+    tensor_graph = convert(pipeline)
+    cpu = InferenceSession(tensor_graph, device="cpu")
+    start = time.perf_counter()
+    out = cpu.run({"X": X})[0].ravel()
+    show("NN translation (CPU)", time.perf_counter() - start, out)
+
+    gpu = InferenceSession(tensor_graph, device=SimulatedGPU())
+    out = gpu.run({"X": X})[0].ravel()
+    show(
+        "NN translation (sim. GPU)",
+        gpu.last_run_stats.simulated_seconds,
+        out,
+    )
+
+    # -- out-of-process (Raven Ext) ----------------------------------------
+    bundle = model_format.dumps(pipeline)
+    ext = OutOfProcessRuntime()
+    start = time.perf_counter()
+    out = ext.score_model(bundle, table, hospital.QUERY_FEATURE_NAMES)
+    show("out-of-process (Raven Ext)", time.perf_counter() - start, out)
+
+    # -- containerized REST ----------------------------------------------
+    with ContainerRuntime(
+        bundle, simulated_container_start_seconds=0.5
+    ) as container:
+        start = time.perf_counter()
+        out = container.score(table, hospital.QUERY_FEATURE_NAMES)
+        show("containerized REST", time.perf_counter() - start, out)
+
+    print("\n(The out-of-process and container modes pay the constant "
+          "startup/serialization costs Fig. 3 describes.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: train a pipeline, store it in the database, query it in SQL.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Database, RavenSession, Table
+from repro.ml import DecisionTreeClassifier, Pipeline, StandardScaler
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Some tabular data, registered as a table.
+    n = 5_000
+    age = rng.uniform(18, 90, n)
+    income = rng.normal(55.0, 20.0, n)
+    approved = ((income > 50.0) | (age < 30.0)).astype(np.int64)
+    db = Database()
+    db.register_table(
+        "applicants",
+        Table.from_dict(
+            {
+                "id": np.arange(n),
+                "age": age,
+                "income": income,
+                "approved": approved,
+            }
+        ),
+    )
+
+    # 2. A data scientist trains a model pipeline (sklearn-style API).
+    features = np.column_stack([age, income])
+    pipeline = Pipeline(
+        [
+            ("scale", StandardScaler()),
+            ("clf", DecisionTreeClassifier(max_depth=4, random_state=0)),
+        ]
+    ).fit(features, approved.astype(np.float64))
+
+    # 3. The pipeline is stored in the database: versioned, transactional,
+    #    audited — like any other data.
+    db.store_model(
+        "approval_model",
+        pipeline,
+        metadata={"feature_names": ["age", "income"]},
+    )
+
+    # 4. An analyst invokes it from SQL with the PREDICT table function.
+    raven = RavenSession(db)
+    result = raven.execute(
+        """
+        DECLARE @model varbinary(max) = (
+            SELECT model FROM scoring_models
+            WHERE model_name = 'approval_model');
+        SELECT d.id, d.age, d.income, p.approved_pred
+        FROM PREDICT(MODEL = @model, DATA = applicants AS d)
+        WITH (approved_pred float) AS p
+        WHERE d.age < 40 AND p.approved_pred = 1
+        ORDER BY d.id
+        LIMIT 10
+        """
+    )
+    print("First ten young, approved applicants:")
+    print(result.table.pretty())
+
+    # 5. Raven optimized the query before running it.
+    print("\nOptimizations applied:")
+    for entry in result.report.applied:
+        print(f"  - {entry}")
+    print(f"\nEstimated cost: {result.report.cost_before:.0f} -> "
+          f"{result.report.cost_after:.0f}")
+
+    # 6. The regenerated SQL (the runtime code generator's output).
+    print("\nGenerated SQL (first 300 chars):")
+    print((result.sql or "<no SQL form>")[:300])
+
+
+if __name__ == "__main__":
+    main()

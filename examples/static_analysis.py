@@ -1,0 +1,93 @@
+"""Static analysis of imperative Python scripts (paper §3.2).
+
+Raven does not execute user scripts to understand them: the static
+analyzer parses them, tracks dataflow, rebuilds known estimator
+constructions structurally via the API knowledge base, turns
+dataframe-style operations into relational operators, forks one plan per
+conditional path, and wraps anything untranslatable in UDF operators.
+
+Run with:  python examples/static_analysis.py
+"""
+
+from repro.core.analysis import PythonStaticAnalyzer
+
+MODEL_SCRIPT = """
+from sklearn.pipeline import Pipeline, FeatureUnion
+from sklearn.preprocessing import StandardScaler
+from sklearn.tree import DecisionTreeClassifier
+
+model_pipeline = Pipeline([
+    ('union', FeatureUnion([('scaler', StandardScaler())])),
+    ('clf', DecisionTreeClassifier(max_depth=6)),
+])
+"""
+
+DATAFLOW_SCRIPT = """
+patients = table('patient_info')
+labs = table('blood_tests')
+joined = patients.merge(labs, on='id')
+joined = joined[joined.pregnant == 1]
+joined = joined[['id', 'age', 'bp']]
+joined
+"""
+
+CONDITIONAL_SCRIPT = """
+df = table('flights')
+if use_strict_filter:
+    df = df[df.distance > 1000]
+else:
+    df = df[df.distance > 100]
+df
+"""
+
+LOOP_SCRIPT = """
+df = table('flights')
+df = df[df.dest == 3]
+for i in range(3):
+    df = custom_smoothing(df)
+df
+"""
+
+
+def main() -> None:
+    analyzer = PythonStaticAnalyzer()
+
+    print("1. A model-pipeline script is rebuilt structurally (no eval):")
+    pipeline = analyzer.extract_pipeline(MODEL_SCRIPT)
+    print(f"   -> {pipeline}")
+    print(f"      tree max_depth = {pipeline.final_estimator.max_depth}\n")
+
+    print("2. Dataframe code becomes relational algebra in the unified IR:")
+    plan = analyzer.analyze(DATAFLOW_SCRIPT).plan
+    for line in plan.pretty().splitlines():
+        print(f"   {line}")
+    print()
+
+    print("3. Conditionals produce one plan per execution path:")
+    result = analyzer.analyze(CONDITIONAL_SCRIPT)
+    print(f"   -> {len(result.plans)} plans")
+    for i, candidate in enumerate(result.plans):
+        predicate = candidate.find("ra.filter")[0].attrs["predicate"]
+        print(f"      path {i}: filter {predicate!r}")
+    print()
+
+    print("4. Loops and unknown calls fall back to UDF operators:")
+    result = analyzer.analyze(LOOP_SCRIPT)
+    print(f"   -> {result.udf_count} UDF(s); plan:")
+    for line in result.plan.pretty().splitlines():
+        print(f"   {line}")
+    print()
+
+    import time
+
+    analyzer.analyze(DATAFLOW_SCRIPT)
+    start = time.perf_counter()
+    for _ in range(50):
+        analyzer.analyze(DATAFLOW_SCRIPT)
+    per_run = (time.perf_counter() - start) / 50
+    print(f"5. Analysis latency: {per_run * 1e3:.2f} ms per script "
+          f"(paper: < 10 ms typical)")
+
+
+if __name__ == "__main__":
+    main()

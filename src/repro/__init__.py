@@ -1,0 +1,23 @@
+"""repro: a reproduction of Raven (CIDR 2020) — in-RDBMS ML inference.
+
+The package is layered exactly as DESIGN.md describes:
+
+* :mod:`repro.relational` — a columnar mini-RDBMS (the SQL Server stand-in),
+* :mod:`repro.ml` — a mini scikit-learn (pipelines, trees, linear models...),
+* :mod:`repro.tensor` — a mini ONNX Runtime (graphs, kernels, sessions),
+* :mod:`repro.core` — Raven itself: unified IR, static analysis,
+  cross-optimizer, code generation, and execution runtimes,
+* :mod:`repro.data` — seeded synthetic workloads (hospital LOS, flights).
+
+Quickstart::
+
+    from repro import Database, RavenSession
+    session = RavenSession(Database())
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import RavenResult, RavenSession
+from repro.relational import Database, Table
+
+__all__ = ["Database", "RavenResult", "RavenSession", "Table", "__version__"]

@@ -1,0 +1,5 @@
+"""Raven core: unified IR, static analysis, cross-optimizer, runtimes."""
+
+from repro.core.raven import RavenResult, RavenSession
+
+__all__ = ["RavenResult", "RavenSession"]

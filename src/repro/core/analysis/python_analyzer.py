@@ -1,0 +1,468 @@
+"""Static analysis of Python model-pipeline scripts (paper §3.2).
+
+Given a script's source text, the analyzer performs lexing/parsing (via
+:mod:`ast`), variable and scope extraction, simple type inference, and
+dataflow extraction, then compiles the dataflow onto the unified IR using
+the API knowledge base:
+
+* constructor calls of known data-science classes become estimator objects
+  (``Pipeline([...])`` is rebuilt structurally — never ``eval``-ed),
+* pandas-style dataframe operations (``df[df.x > 3]``, ``df.merge``,
+  ``df[['a', 'b']]``) become RA operators,
+* ``model.predict(df)`` becomes an ``mld.pipeline`` node,
+* conditionals fork the analysis — one IR plan per execution path,
+* loops and unknown calls fall back to ``udf.python`` nodes wrapping the
+  original source, exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.errors import StaticAnalysisError
+from repro.core.analysis.knowledge_base import DEFAULT_KNOWLEDGE_BASE, KnowledgeBase
+from repro.core.ir.graph import IRGraph
+from repro.core.ir.nodes import IRNode
+from repro.relational.expressions import BinaryOp, ColumnRef, Expression, Literal
+
+
+@dataclass
+class AnalyzedValue:
+    """Abstract value tracked per variable during analysis."""
+
+    kind: str  # "estimator" | "dataframe" | "literal" | "unknown"
+    payload: object = None  # estimator object / IR node id / literal value
+    inferred_type: str = "unknown"
+
+
+@dataclass
+class AnalysisResult:
+    """Output of analyzing one script."""
+
+    plans: list[IRGraph] = field(default_factory=list)
+    pipelines: dict[str, object] = field(default_factory=dict)
+    udf_count: int = 0
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def plan(self) -> IRGraph:
+        """The single plan (errors if conditionals produced several)."""
+        if len(self.plans) != 1:
+            raise StaticAnalysisError(
+                f"script has {len(self.plans)} execution paths; use .plans"
+            )
+        return self.plans[0]
+
+
+class PythonStaticAnalyzer:
+    """AST-based analyzer for straight-line-plus-conditionals scripts."""
+
+    def __init__(self, knowledge_base: KnowledgeBase | None = None):
+        self._kb = knowledge_base or DEFAULT_KNOWLEDGE_BASE
+
+    # -- public API ----------------------------------------------------------
+
+    def analyze(self, source: str) -> AnalysisResult:
+        """Analyze a script; returns per-execution-path IR plans."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise StaticAnalysisError(f"cannot parse script: {exc}") from exc
+        result = AnalysisResult()
+        state = _AnalysisState(self._kb, result, source)
+        states = state.run_block(tree.body)
+        for final_state in states:
+            graph = final_state.build_plan()
+            if graph is not None:
+                result.plans.append(graph)
+        result.pipelines = {
+            name: value.payload
+            for name, value in states[0].scope.items()
+            if value.kind == "estimator"
+        }
+        if not result.plans and not result.pipelines:
+            result.warnings.append("script produced no plan and no pipeline")
+        return result
+
+    def extract_pipeline(self, source: str):
+        """Convenience: the single estimator a model script constructs."""
+        result = self.analyze(source)
+        if len(result.pipelines) == 1:
+            return next(iter(result.pipelines.values()))
+        for value in result.pipelines.values():
+            from repro.ml.pipeline import Pipeline
+
+            if isinstance(value, Pipeline):
+                return value
+        raise StaticAnalysisError(
+            f"expected one pipeline, found {sorted(result.pipelines)}"
+        )
+
+
+class _AnalysisState:
+    """Mutable per-path analysis state (scope + IR under construction)."""
+
+    def __init__(self, kb: KnowledgeBase, result: AnalysisResult, source: str):
+        self.kb = kb
+        self.result = result
+        self.source = source
+        self.scope: dict[str, AnalyzedValue] = {}
+        self.imports: dict[str, str] = {}  # local name -> qualified path
+        self.graph = IRGraph()
+        self.sink_node: int | None = None
+
+    def fork(self) -> "_AnalysisState":
+        clone = _AnalysisState(self.kb, self.result, self.source)
+        clone.scope = dict(self.scope)
+        clone.imports = dict(self.imports)
+        clone.graph = self.graph.copy()
+        clone.sink_node = self.sink_node
+        return clone
+
+    def build_plan(self) -> IRGraph | None:
+        if self.sink_node is None:
+            return None
+        self.graph.set_output(self.sink_node)
+        self.graph.garbage_collect()
+        return self.graph
+
+    # -- statement walk --------------------------------------------------
+
+    def run_block(self, statements: list[ast.stmt]) -> list["_AnalysisState"]:
+        states = [self]
+        for statement in statements:
+            next_states: list[_AnalysisState] = []
+            for state in states:
+                next_states.extend(state._run_statement(statement))
+            states = next_states
+            if len(states) > 16:
+                raise StaticAnalysisError(
+                    "too many execution paths (deeply nested conditionals)"
+                )
+        return states
+
+    def _run_statement(self, statement: ast.stmt) -> list["_AnalysisState"]:
+        if isinstance(statement, (ast.Import, ast.ImportFrom)):
+            self._handle_import(statement)
+            return [self]
+        if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+            target = statement.targets[0]
+            if isinstance(target, ast.Name):
+                self.scope[target.id] = self._eval(statement.value)
+                return [self]
+        if isinstance(statement, ast.If):
+            # One plan per execution path (paper §3.2, conditionals).
+            then_state = self.fork()
+            else_state = self.fork()
+            then_states = then_state.run_block(statement.body)
+            else_states = (
+                else_state.run_block(statement.orelse)
+                if statement.orelse
+                else [else_state]
+            )
+            return then_states + else_states
+        if isinstance(statement, (ast.For, ast.While)):
+            # Loops are not translatable (paper cites this as hard);
+            # the whole loop body becomes a UDF, and every tracked
+            # dataframe now flows through it (the loop may mutate any).
+            self._add_udf(statement)
+            if self.sink_node is not None:
+                for name, value in self.scope.items():
+                    if value.kind == "dataframe":
+                        self.scope[name] = AnalyzedValue(
+                            "dataframe", self.sink_node
+                        )
+            return [self]
+        if isinstance(statement, ast.Expr):
+            value = self._eval(statement.value)
+            if value.kind == "dataframe":
+                self.sink_node = value.payload
+            return [self]
+        if isinstance(statement, (ast.FunctionDef, ast.ClassDef)):
+            self._add_udf(statement)
+            return [self]
+        if isinstance(statement, ast.Return):
+            if statement.value is not None:
+                value = self._eval(statement.value)
+                if value.kind == "dataframe":
+                    self.sink_node = value.payload
+            return [self]
+        # Anything else (augmented assigns, with, try...) -> UDF.
+        self._add_udf(statement)
+        return [self]
+
+    def _handle_import(self, statement: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(statement, ast.Import):
+            for alias in statement.names:
+                local = alias.asname or alias.name.split(".")[0]
+                self.imports[local] = alias.name
+        else:
+            module = statement.module or ""
+            for alias in statement.names:
+                local = alias.asname or alias.name
+                self.imports[local] = f"{module}.{alias.name}"
+
+    def _add_udf(self, node: ast.stmt) -> None:
+        source = ast.get_source_segment(self.source, node) or ast.dump(node)
+        inputs = [self.sink_node] if self.sink_node is not None else []
+        if not inputs:
+            # A UDF with no dataflow input still needs a place in the DAG;
+            # record it without attaching (tracked via the counter).
+            self.result.udf_count += 1
+            self.result.warnings.append(
+                f"untranslatable statement wrapped as UDF: {source[:60]!r}"
+            )
+            return
+        udf = self.graph.add(
+            "udf.python", inputs, source=source, name=f"udf_{self.result.udf_count}"
+        )
+        self.result.udf_count += 1
+        self.sink_node = udf.id
+
+    # -- expression evaluation ---------------------------------------------
+
+    def _eval(self, node: ast.expr) -> AnalyzedValue:
+        if isinstance(node, ast.Constant):
+            return AnalyzedValue(
+                "literal", node.value, type(node.value).__name__
+            )
+        if isinstance(node, ast.Name):
+            return self.scope.get(node.id, AnalyzedValue("unknown"))
+        if isinstance(node, (ast.List, ast.Tuple)):
+            items = [self._eval(el) for el in node.elts]
+            return AnalyzedValue("literal", items, "list")
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value)
+            if base.kind == "dataframe":
+                # df.column — a column reference wrapped as a literal expr.
+                return AnalyzedValue(
+                    "literal", ColumnRef(node.attr), "column"
+                )
+            return AnalyzedValue("unknown")
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            left = self._eval(node.left)
+            right = self._eval(node.comparators[0])
+            op_map = {
+                ast.Gt: ">",
+                ast.GtE: ">=",
+                ast.Lt: "<",
+                ast.LtE: "<=",
+                ast.Eq: "=",
+                ast.NotEq: "<>",
+            }
+            op = op_map.get(type(node.ops[0]))
+            if op and isinstance(left.payload, Expression):
+                right_expr = (
+                    right.payload
+                    if isinstance(right.payload, Expression)
+                    else Literal(right.payload)
+                )
+                return AnalyzedValue(
+                    "literal", BinaryOp(op, left.payload, right_expr), "predicate"
+                )
+            return AnalyzedValue("unknown")
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left)
+            right = self._eval(node.right)
+            op_map = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/"}
+            op = op_map.get(type(node.op))
+            if (
+                op
+                and isinstance(left.payload, (Expression, int, float))
+                and isinstance(right.payload, (Expression, int, float))
+            ):
+                to_expr = lambda v: v if isinstance(v, Expression) else Literal(v)
+                return AnalyzedValue(
+                    "literal",
+                    BinaryOp(op, to_expr(left.payload), to_expr(right.payload)),
+                    "expression",
+                )
+            return AnalyzedValue("unknown")
+        if isinstance(node, ast.BoolOp):
+            parts = [self._eval(v) for v in node.values]
+            if all(isinstance(p.payload, Expression) for p in parts):
+                op = "AND" if isinstance(node.op, ast.And) else "OR"
+                expr = parts[0].payload
+                for part in parts[1:]:
+                    expr = BinaryOp(op, expr, part.payload)
+                return AnalyzedValue("literal", expr, "predicate")
+            return AnalyzedValue("unknown")
+        return AnalyzedValue("unknown")
+
+    def _eval_call(self, node: ast.Call) -> AnalyzedValue:
+        callee = self._callee_name(node.func)
+        # Known estimator constructor?
+        if callee is not None:
+            qualified = self.imports.get(callee, callee)
+            entry = self.kb.lookup(qualified)
+            if entry is not None:
+                estimator = self._construct(entry, node)
+                if estimator is not None:
+                    return AnalyzedValue("estimator", estimator)
+        # Method calls on tracked values.
+        if isinstance(node.func, ast.Attribute):
+            base = self._eval(node.func.value)
+            method = node.func.attr
+            if base.kind == "dataframe":
+                return self._dataframe_method(base, method, node)
+            if base.kind == "estimator" and method in ("predict", "predict_proba"):
+                data = self._eval(node.args[0]) if node.args else None
+                if data is not None and data.kind == "dataframe":
+                    predict = self.graph.add(
+                        "mld.pipeline",
+                        [data.payload],
+                        pipeline=base.payload,
+                        output_columns=(("prediction", "float"),),
+                        proba=(method == "predict_proba"),
+                    )
+                    self.sink_node = predict.id
+                    return AnalyzedValue("dataframe", predict.id)
+        # table('name') / read_table('name') — the data source hook.
+        if callee in ("table", "read_table", "read_sql") and node.args:
+            first = self._eval(node.args[0])
+            if isinstance(first.payload, str):
+                scan = self.graph.add("ra.scan", [], table=first.payload)
+                self.sink_node = scan.id
+                return AnalyzedValue("dataframe", scan.id)
+        return AnalyzedValue("unknown")
+
+    def _dataframe_method(
+        self, base: AnalyzedValue, method: str, node: ast.Call
+    ) -> AnalyzedValue:
+        if method == "merge" and node.args:
+            other = self._eval(node.args[0])
+            if other.kind == "dataframe":
+                on = None
+                for keyword in node.keywords:
+                    if keyword.arg == "on":
+                        on = self._eval(keyword.value).payload
+                condition = None
+                if isinstance(on, str):
+                    condition = BinaryOp("=", ColumnRef(on), ColumnRef(on))
+                join = self.graph.add(
+                    "ra.join",
+                    [base.payload, other.payload],
+                    kind="INNER",
+                    condition=condition,
+                    on=on,
+                )
+                self.sink_node = join.id
+                return AnalyzedValue("dataframe", join.id)
+        if method in ("head", "limit") and node.args:
+            count = self._eval(node.args[0]).payload
+            if isinstance(count, int):
+                limit = self.graph.add("ra.limit", [base.payload], count=count)
+                self.sink_node = limit.id
+                return AnalyzedValue("dataframe", limit.id)
+        if method == "drop":
+            columns = None
+            for keyword in node.keywords:
+                if keyword.arg == "columns":
+                    columns = self._eval(keyword.value).payload
+            if isinstance(columns, list):
+                names = [
+                    v.payload if isinstance(v, AnalyzedValue) else v
+                    for v in columns
+                ]
+                project = self.graph.add(
+                    "ra.project", [base.payload], drop=[str(n) for n in names]
+                )
+                self.sink_node = project.id
+                return AnalyzedValue("dataframe", project.id)
+        # Unknown dataframe method -> UDF over the frame.
+        udf = self.graph.add(
+            "udf.python",
+            [base.payload],
+            source=f".{method}(...)",
+            name=f"udf_{self.result.udf_count}",
+        )
+        self.result.udf_count += 1
+        self.sink_node = udf.id
+        return AnalyzedValue("dataframe", udf.id)
+
+    def _eval_subscript(self, node: ast.Subscript) -> AnalyzedValue:
+        base = self._eval(node.value)
+        if base.kind != "dataframe":
+            return AnalyzedValue("unknown")
+        index = self._eval(node.slice)
+        payload = index.payload
+        # df[predicate] -> filter
+        if isinstance(payload, Expression) and index.inferred_type == "predicate":
+            filter_node = self.graph.add(
+                "ra.filter", [base.payload], predicate=payload
+            )
+            self.sink_node = filter_node.id
+            return AnalyzedValue("dataframe", filter_node.id)
+        # df[['a', 'b']] -> project
+        if isinstance(payload, list):
+            names = [
+                v.payload if isinstance(v, AnalyzedValue) else v for v in payload
+            ]
+            if all(isinstance(n, str) for n in names):
+                project = self.graph.add(
+                    "ra.project",
+                    [base.payload],
+                    items=[(ColumnRef(n), n) for n in names],
+                )
+                self.sink_node = project.id
+                return AnalyzedValue("dataframe", project.id)
+        # df['a'] -> column reference
+        if isinstance(payload, str):
+            return AnalyzedValue("literal", ColumnRef(payload), "column")
+        return AnalyzedValue("unknown")
+
+    @staticmethod
+    def _callee_name(func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            parts = []
+            current: ast.expr = func
+            while isinstance(current, ast.Attribute):
+                parts.append(current.attr)
+                current = current.value
+            if isinstance(current, ast.Name):
+                parts.append(current.id)
+                return ".".join(reversed(parts))
+        return None
+
+    def _construct(self, entry, node: ast.Call):
+        """Structurally rebuild a known estimator from its literal args."""
+        args = [self._literal(self._eval(a)) for a in node.args]
+        kwargs = {}
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                return None
+            kwargs[keyword.arg] = self._literal(self._eval(keyword.value))
+        if any(a is _UNRESOLVED for a in args) or any(
+            v is _UNRESOLVED for v in kwargs.values()
+        ):
+            return None
+        try:
+            return entry.constructor(*args, **kwargs)
+        except Exception:
+            return None
+
+    def _literal(self, value: AnalyzedValue):
+        if value.kind == "estimator":
+            return value.payload
+        if value.kind == "literal":
+            payload = value.payload
+            if isinstance(payload, list):
+                resolved = [self._literal(v) if isinstance(v, AnalyzedValue) else v for v in payload]
+                if any(v is _UNRESOLVED for v in resolved):
+                    return _UNRESOLVED
+                # Pipeline steps arrive as [ [name, estimator], ... ] lists.
+                if all(isinstance(v, list) and len(v) in (2, 3) for v in resolved):
+                    return [tuple(v) for v in resolved]
+                return resolved
+            return payload
+        return _UNRESOLVED
+
+
+_UNRESOLVED = object()

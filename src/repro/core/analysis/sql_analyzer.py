@@ -1,0 +1,145 @@
+"""SQL -> unified IR (the straightforward half of static analysis, §3.2).
+
+Lowers a bound logical plan onto the IR. ``Predict`` nodes are resolved
+against the model catalog: ``ml.pipeline`` models become ``mld.pipeline``
+IR nodes carrying the fitted pipeline object; ``tensor.graph`` models
+become ``la.tensor_graph`` nodes; ``python.script`` models are sent through
+the Python static analyzer first, and fall back to ``udf.python`` when it
+cannot translate them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StaticAnalysisError
+from repro.core.analysis.python_analyzer import PythonStaticAnalyzer
+from repro.core.ir.graph import IRGraph
+from repro.relational.algebra import logical
+from repro.relational.database import Database
+from repro.relational.table import Table
+
+
+class SQLAnalyzer:
+    """Builds IR graphs from SQL text or bound logical plans."""
+
+    def __init__(self, database: Database):
+        self._database = database
+        self._python = PythonStaticAnalyzer()
+
+    def analyze(self, sql: str, data: dict[str, Table] | None = None) -> IRGraph:
+        """Parse + bind + lower an inference query to the unified IR."""
+        plan = self._database.bind(sql, data)
+        return self.from_logical(plan)
+
+    def from_logical(self, plan: logical.LogicalOp) -> IRGraph:
+        graph = IRGraph()
+        sink = self._lower(plan, graph)
+        graph.set_output(sink)
+        graph.validate()
+        return graph
+
+    # -- lowering -------------------------------------------------------------
+
+    def _lower(self, op: logical.LogicalOp, graph: IRGraph) -> int:
+        if isinstance(op, logical.Scan):
+            node = graph.add(
+                "ra.scan",
+                [],
+                table=op.table_name,
+                alias=op.alias,
+                schema=op.schema,
+            )
+            return node.id
+        if isinstance(op, logical.InlineTable):
+            node = graph.add(
+                "ra.inline_table", [], table_value=op.table, alias=op.alias
+            )
+            return node.id
+        if isinstance(op, logical.Filter):
+            child = self._lower(op.child, graph)
+            return graph.add("ra.filter", [child], predicate=op.predicate).id
+        if isinstance(op, logical.Project):
+            child = self._lower(op.child, graph)
+            return graph.add("ra.project", [child], items=list(op.items)).id
+        if isinstance(op, logical.Join):
+            left = self._lower(op.left, graph)
+            right = self._lower(op.right, graph)
+            return graph.add(
+                "ra.join", [left, right], kind=op.kind, condition=op.condition
+            ).id
+        if isinstance(op, logical.Aggregate):
+            child = self._lower(op.child, graph)
+            return graph.add(
+                "ra.aggregate",
+                [child],
+                group_by=list(op.group_by),
+                aggregates=list(op.aggregates),
+            ).id
+        if isinstance(op, logical.OrderBy):
+            child = self._lower(op.child, graph)
+            return graph.add("ra.order_by", [child], keys=list(op.keys)).id
+        if isinstance(op, logical.Limit):
+            child = self._lower(op.child, graph)
+            return graph.add("ra.limit", [child], count=op.count).id
+        if isinstance(op, logical.Distinct):
+            child = self._lower(op.child, graph)
+            return graph.add("ra.distinct", [child]).id
+        if isinstance(op, logical.UnionAll):
+            branches = [self._lower(b, graph) for b in op.branches]
+            return graph.add("ra.union_all", branches).id
+        if isinstance(op, logical.Predict):
+            return self._lower_predict(op, graph)
+        raise StaticAnalysisError(
+            f"cannot lower logical op {type(op).__name__} to IR"
+        )
+
+    def _lower_predict(self, op: logical.Predict, graph: IRGraph) -> int:
+        child = self._lower(op.child, graph)
+        entry = self._database.get_model(op.model_ref)
+        common = dict(
+            model_ref=entry.qualified_name,
+            output_columns=tuple(op.output_columns),
+            alias=op.alias,
+            feature_names=entry.metadata.get("feature_names"),
+        )
+        if entry.flavor == "ml.pipeline":
+            return graph.add(
+                "mld.pipeline", [child], pipeline=entry.payload, **common
+            ).id
+        if entry.flavor == "tensor.graph":
+            return graph.add(
+                "la.tensor_graph",
+                [child],
+                graph=entry.payload,
+                device="cpu",
+                **common,
+            ).id
+        if entry.flavor == "python.script":
+            source = str(entry.payload)
+            try:
+                pipeline = self._python.extract_pipeline(source)
+            except StaticAnalysisError:
+                pipeline = None
+            if pipeline is not None and _is_fitted(pipeline):
+                return graph.add(
+                    "mld.pipeline", [child], pipeline=pipeline, **common
+                ).id
+            # Untranslatable or unfitted: out-of-process UDF execution.
+            return graph.add(
+                "udf.python",
+                [child],
+                source=source,
+                name=entry.qualified_name,
+                **common,
+            ).id
+        raise StaticAnalysisError(
+            f"unknown model flavor {entry.flavor!r} for {entry.name!r}"
+        )
+
+
+def _is_fitted(pipeline) -> bool:
+    """Best-effort check that a reconstructed pipeline carries weights."""
+    estimator = getattr(pipeline, "final_estimator", pipeline)
+    for attr in ("tree_", "coef_", "coefs_", "estimators_", "cluster_centers_"):
+        if getattr(estimator, attr, None) is not None:
+            return True
+    return False

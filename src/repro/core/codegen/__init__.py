@@ -1,0 +1,5 @@
+"""Runtime code generation: optimized IR back to SQL."""
+
+from repro.core.codegen.sql_codegen import generate_sql
+
+__all__ = ["generate_sql"]

@@ -1,0 +1,14 @@
+"""The unified IR: nodes, DAG, schema inference."""
+
+from repro.core.ir.graph import IRGraph
+from repro.core.ir.nodes import IRNode, OpCategory, category_of
+from repro.core.ir.schema import columns_required_above, infer_schema
+
+__all__ = [
+    "IRGraph",
+    "IRNode",
+    "OpCategory",
+    "category_of",
+    "columns_required_above",
+    "infer_schema",
+]

@@ -1,0 +1,18 @@
+"""The cross-optimizer: rules, engines, cost model, model rewrites."""
+
+from repro.core.optimizer.engine import (
+    CostBasedOptimizer,
+    HeuristicOptimizer,
+    OptimizationReport,
+    default_rules,
+)
+from repro.core.optimizer.rule import Rule, RuleContext
+
+__all__ = [
+    "CostBasedOptimizer",
+    "default_rules",
+    "HeuristicOptimizer",
+    "OptimizationReport",
+    "Rule",
+    "RuleContext",
+]

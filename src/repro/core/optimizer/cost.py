@@ -1,0 +1,129 @@
+"""A simple per-operator cost model (paper §4.3).
+
+The paper's roadmap is a Cascades-style cost-based optimizer where "each
+operator is associated with a cost" and the runtime choice (relational
+engine vs ML runtime) is part of the decision. This model estimates
+cardinalities from catalog statistics and charges per-row work per
+operator, including an engine-switch penalty for crossing between the
+relational engine and the tensor runtime — enough to rank realistic plan
+alternatives (inline vs translate vs in-process pipeline).
+"""
+
+from __future__ import annotations
+
+from repro.core.ir.graph import IRGraph
+from repro.core.ir.nodes import IRNode
+from repro.core.optimizer.ml_rewrites import split_pipeline
+from repro.core.optimizer.rule import RuleContext
+from repro.relational.expressions import CaseWhen, conjuncts
+
+DEFAULT_ROWS = 10_000
+FILTER_SELECTIVITY = 0.33
+ENGINE_SWITCH_COST = 500.0  # flat cost of handing a batch across engines
+
+
+def estimate_rows(graph: IRGraph, node: IRNode, context: RuleContext) -> float:
+    """Estimated output cardinality of an IR node."""
+    op = node.op
+    if op == "ra.scan":
+        rows = context.table_rows(node.attrs["table"])
+        return float(rows) if rows is not None else float(DEFAULT_ROWS)
+    if op == "ra.inline_table":
+        return float(node.attrs["table_value"].num_rows)
+    if op == "ra.filter":
+        child = estimate_rows(graph, graph.node(node.inputs[0]), context)
+        selectivity = FILTER_SELECTIVITY ** len(
+            conjuncts(node.attrs["predicate"])
+        )
+        return max(1.0, child * selectivity)
+    if op == "ra.join":
+        left = estimate_rows(graph, graph.node(node.inputs[0]), context)
+        right = estimate_rows(graph, graph.node(node.inputs[1]), context)
+        if node.attrs.get("condition") is None:
+            return left * right
+        return max(left, right)
+    if op == "ra.union_all":
+        return sum(
+            estimate_rows(graph, graph.node(i), context) for i in node.inputs
+        )
+    if op == "ra.limit":
+        child = estimate_rows(graph, graph.node(node.inputs[0]), context)
+        return min(child, float(node.attrs["count"]))
+    if op == "ra.aggregate":
+        child = estimate_rows(graph, graph.node(node.inputs[0]), context)
+        return max(1.0, child * 0.1)
+    if node.inputs:
+        return estimate_rows(graph, graph.node(node.inputs[0]), context)
+    return float(DEFAULT_ROWS)
+
+
+def _expression_cost(expression) -> float:
+    """Per-row evaluation cost of a scalar expression."""
+    if isinstance(expression, CaseWhen):
+        return 1.0 + sum(
+            _expression_cost(c) + _expression_cost(v)
+            for c, v in expression.branches
+        )
+    children = expression.children()
+    return 1.0 + sum(_expression_cost(c) for c in children)
+
+
+def _pipeline_row_cost(pipeline) -> float:
+    """Per-row scoring cost of an in-process pipeline."""
+    transformers, predictor = split_pipeline(pipeline)
+    cost = 2.0 * len(transformers)
+    tree = getattr(predictor, "tree_", None)
+    if tree is not None:
+        return cost + tree.max_depth() * 1.5
+    estimators = getattr(predictor, "estimators_", None)
+    if estimators:
+        return cost + sum(t.tree_.max_depth() * 1.5 for t in estimators)
+    coef = getattr(predictor, "coef_", None)
+    if coef is not None:
+        return cost + 0.1 * len(coef)
+    coefs = getattr(predictor, "coefs_", None)
+    if coefs:
+        return cost + 0.05 * sum(w.size for w in coefs)
+    return cost + 10.0
+
+
+def node_cost(graph: IRGraph, node: IRNode, context: RuleContext) -> float:
+    """Total (not per-row) cost of executing one node."""
+    rows = estimate_rows(graph, node, context)
+    op = node.op
+    if op in ("ra.scan", "ra.inline_table"):
+        return rows * 0.1
+    if op == "ra.filter":
+        return rows * 0.3 * len(conjuncts(node.attrs["predicate"]))
+    if op == "ra.project":
+        items = node.attrs.get("items", [])
+        return rows * 0.1 * sum(_expression_cost(e) for e, _ in items)
+    if op == "ra.join":
+        left = estimate_rows(graph, graph.node(node.inputs[0]), context)
+        right = estimate_rows(graph, graph.node(node.inputs[1]), context)
+        return (left + right) * 1.0 + rows * 0.5
+    if op in ("ra.order_by", "ra.distinct"):
+        return rows * 2.0
+    if op in ("ra.limit", "ra.union_all", "ra.aggregate"):
+        return rows * 0.2
+    if op == "mld.pipeline":
+        return ENGINE_SWITCH_COST + rows * _pipeline_row_cost(
+            node.attrs["pipeline"]
+        )
+    if op == "mld.clustered_predictor":
+        return ENGINE_SWITCH_COST + rows * 5.0
+    if op == "la.tensor_graph":
+        tensor_graph = node.attrs["graph"]
+        per_row = 0.2 * len(tensor_graph.nodes)
+        return ENGINE_SWITCH_COST + rows * per_row
+    if op == "udf.python":
+        return ENGINE_SWITCH_COST * 4 + rows * 20.0
+    return rows
+
+
+def plan_cost(graph: IRGraph, context: RuleContext | None = None) -> float:
+    """Total estimated cost of an IR plan."""
+    context = context or RuleContext()
+    return sum(
+        node_cost(graph, node, context) for node in graph.topological_order()
+    )

@@ -1,0 +1,178 @@
+"""Cross-optimizer engines (paper §4.3).
+
+``HeuristicOptimizer`` is the paper's "initial version": all transformation
+rules applied in a fixed order, to fixpoint. ``CostBasedOptimizer`` is a
+first cut of the Cascades-style follow-up: it generates plan alternatives
+by running the heuristic pipeline under different execution strategies for
+the model (in-process pipeline / SQL inlining / NN translation), prices
+each with the cost model, and keeps the cheapest.
+
+Both finish with engine assignment: every IR node is tagged with the
+runtime that will execute it (relational engine, tensor runtime, in-process
+Python, external process, container).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ir.graph import IRGraph
+from repro.core.ir.nodes import (
+    ENGINE_EXTERNAL,
+    ENGINE_PYTHON,
+    ENGINE_RELATIONAL,
+    ENGINE_TENSOR,
+    OpCategory,
+)
+from repro.core.optimizer.cost import plan_cost
+from repro.core.optimizer.rule import Rule, RuleContext
+from repro.core.optimizer.rules.inlining import ModelInlining
+from repro.core.optimizer.rules.nn_translation import (
+    NNTranslation,
+    TensorGraphConstantFolding,
+)
+from repro.core.optimizer.rules.predicate_pruning import PredicateBasedModelPruning
+from repro.core.optimizer.rules.projection_pushdown import ModelProjectionPushdown
+from repro.core.optimizer.rules.relational import (
+    JoinElimination,
+    MergeConsecutiveFilters,
+    PruneProjectionItems,
+    PushFilterBelowPredict,
+    PushFilterIntoJoin,
+)
+from repro.core.optimizer.rules.splitting import ModelQuerySplitting
+
+
+def default_rules(
+    enable_splitting: bool = False,
+    enable_inlining: bool = True,
+    enable_nn_translation: bool = False,
+    max_inline_nodes: int = 255,
+) -> list[Rule]:
+    """The paper-ordered rule list.
+
+    Cross-IR information passing first (so models shrink before any
+    execution-strategy choice), then operator transformations, then the
+    standard relational cleanup they enable.
+    """
+    rules: list[Rule] = [
+        MergeConsecutiveFilters(),
+        PushFilterBelowPredict(),
+        PushFilterIntoJoin(),
+        PredicateBasedModelPruning(),
+        ModelProjectionPushdown(),
+    ]
+    if enable_splitting:
+        rules.append(ModelQuerySplitting())
+    if enable_inlining:
+        rules.append(ModelInlining(max_tree_nodes=max_inline_nodes))
+    if enable_nn_translation:
+        rules.append(NNTranslation())
+    rules.extend(
+        [
+            TensorGraphConstantFolding(),
+            PruneProjectionItems(),
+            JoinElimination(),
+            PushFilterIntoJoin(),
+            MergeConsecutiveFilters(),
+        ]
+    )
+    return rules
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimizer did — attached to every optimized plan."""
+
+    applied: list[str] = field(default_factory=list)
+    cost_before: float = 0.0
+    cost_after: float = 0.0
+    alternatives_considered: int = 1
+    strategy: str = "heuristic"
+
+
+class HeuristicOptimizer:
+    """Apply rules in order, repeating until no rule fires (bounded)."""
+
+    def __init__(self, rules: list[Rule] | None = None, max_rounds: int = 5):
+        self.rules = rules if rules is not None else default_rules()
+        self.max_rounds = max_rounds
+
+    def optimize(
+        self, graph: IRGraph, context: RuleContext | None = None
+    ) -> tuple[IRGraph, OptimizationReport]:
+        context = context or RuleContext()
+        graph = graph.copy()
+        report = OptimizationReport(cost_before=plan_cost(graph, context))
+        for _ in range(self.max_rounds):
+            fired = False
+            for rule in self.rules:
+                if rule.apply(graph, context):
+                    fired = True
+            if not fired:
+                break
+        assign_engines(graph)
+        graph.validate()
+        report.applied = list(context.applied)
+        report.cost_after = plan_cost(graph, context)
+        return graph, report
+
+
+class CostBasedOptimizer:
+    """Pick the cheapest of several heuristic plans (execution strategies).
+
+    Alternatives differ in how model pipelines execute: kept in-process,
+    inlined into SQL, or NN-translated to the tensor runtime — with
+    model/query splitting optionally layered on. This mirrors the paper's
+    "several plan alternatives will be considered by applying the rules in
+    different orders and the best will be picked", restricted to the
+    strategy choices that actually change cost class.
+    """
+
+    STRATEGIES = (
+        ("in-process", dict(enable_inlining=False, enable_nn_translation=False)),
+        ("inline", dict(enable_inlining=True, enable_nn_translation=False)),
+        ("nn-translate", dict(enable_inlining=False, enable_nn_translation=True)),
+        (
+            "split+inline",
+            dict(
+                enable_splitting=True,
+                enable_inlining=True,
+                enable_nn_translation=False,
+            ),
+        ),
+    )
+
+    def optimize(
+        self, graph: IRGraph, context: RuleContext | None = None
+    ) -> tuple[IRGraph, OptimizationReport]:
+        context = context or RuleContext()
+        best: tuple[float, IRGraph, OptimizationReport, str] | None = None
+        for strategy_name, flags in self.STRATEGIES:
+            candidate_context = RuleContext(
+                database=context.database, options=dict(context.options)
+            )
+            optimizer = HeuristicOptimizer(default_rules(**flags))
+            candidate, report = optimizer.optimize(graph, candidate_context)
+            cost = report.cost_after
+            if best is None or cost < best[0]:
+                best = (cost, candidate, report, strategy_name)
+        assert best is not None
+        _, chosen, report, strategy_name = best
+        report.alternatives_considered = len(self.STRATEGIES)
+        report.strategy = strategy_name
+        context.applied.extend(report.applied)
+        return chosen, report
+
+
+def assign_engines(graph: IRGraph) -> None:
+    """Tag every node with its execution engine (paper §5)."""
+    for node in graph.nodes():
+        if node.category is OpCategory.RA:
+            node.engine = ENGINE_RELATIONAL
+        elif node.category is OpCategory.LA:
+            node.engine = ENGINE_TENSOR
+        elif node.category is OpCategory.MLD:
+            node.engine = ENGINE_PYTHON
+        else:
+            node.engine = ENGINE_EXTERNAL

@@ -1,0 +1,109 @@
+"""Transformation-rule protocol for the cross-optimizer.
+
+Every §4 optimization is a :class:`Rule`: it inspects an IR graph, decides
+whether it applies, and performs a rewrite. Rules are applied by the
+engines in :mod:`repro.core.optimizer.engine`; each application is recorded
+so tests and EXPERIMENTS.md can assert which optimizations fired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.ir.graph import IRGraph
+from repro.core.ir.nodes import IRNode
+
+
+@dataclass
+class RuleContext:
+    """Shared services rules may consult.
+
+    ``database`` gives access to catalog statistics (the paper's
+    "data properties"); ``options`` carries optimizer knobs.
+    """
+
+    database: object | None = None
+    options: dict = field(default_factory=dict)
+    applied: list[str] = field(default_factory=list)
+
+    def record(self, rule_name: str, detail: str = "") -> None:
+        entry = rule_name if not detail else f"{rule_name}: {detail}"
+        self.applied.append(entry)
+
+    # -- statistics helpers ---------------------------------------------------
+
+    def table_rows(self, table_name: str) -> int | None:
+        if self.database is None:
+            return None
+        try:
+            return self.database.table(table_name).num_rows
+        except Exception:
+            return None
+
+    def is_unique_column(self, table_name: str, column: str) -> bool:
+        """True when every value in ``table.column`` is distinct.
+
+        This is the data-statistics check join elimination relies on:
+        an INNER equi-join against a unique key is row-preserving for
+        the other side.
+        """
+        if self.database is None:
+            return False
+        try:
+            table = self.database.table(table_name)
+            values = table.column(column)
+        except Exception:
+            return False
+        return len(np.unique(values)) == table.num_rows
+
+    def column_constants(self, table_name: str) -> dict[str, float]:
+        """Columns that hold a single distinct value (derived predicates).
+
+        The paper: "using data statistics, we might observe that only
+        specific unique values appear in the data"; those become facts for
+        predicate-based pruning even without a WHERE clause.
+        """
+        if self.database is None:
+            return {}
+        try:
+            table = self.database.table(table_name)
+        except Exception:
+            return {}
+        constants: dict[str, float] = {}
+        for column in table.schema:
+            if not column.dtype.is_numeric:
+                continue
+            values = table.column(column.name)
+            if len(values) > 0 and (values == values[0]).all():
+                constants[column.name.lower()] = float(values[0])
+        return constants
+
+
+class Rule:
+    """Base class: subclasses implement :meth:`apply`."""
+
+    #: Human-readable rule name (defaults to the class name).
+    name: str = ""
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if not cls.name:
+            cls.name = cls.__name__
+
+    def apply(self, graph: IRGraph, context: RuleContext) -> bool:
+        """Try to rewrite ``graph`` in place; True if anything changed."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<rule {self.name}>"
+
+
+def filters_below(graph: IRGraph, node: IRNode) -> list[IRNode]:
+    """All ra.filter nodes in the input subtree of ``node``."""
+    return [
+        candidate
+        for candidate in graph.walk_up(node)
+        if candidate.op == "ra.filter" and candidate.id != node.id
+    ]

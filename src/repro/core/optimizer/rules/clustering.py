@@ -1,0 +1,191 @@
+"""Model clustering (paper §4.1).
+
+Offline, k-means clusters a sample of historical data; for each cluster,
+the features that are constant (or tightly bounded) within it act as
+derived predicates, and a specialized, pruned model is precompiled. At
+inference time rows are routed to their cluster's model; rows that match
+no precompiled cluster fall back to the original model — exactly the
+paper's deployment story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OptimizerError
+from repro.core.optimizer.ml_rewrites import (
+    ColumnFacts,
+    UnsupportedRewrite,
+    apply_predicate_pruning,
+)
+from repro.ml.cluster import KMeans
+
+
+class ClusteredModel:
+    """A dispatcher over per-cluster specialized pipelines.
+
+    Built offline by :func:`compile_clustered_pipeline`; usable anywhere a
+    pipeline is (``predict`` over a feature matrix), and storable in the
+    model catalog under the ``ml.pipeline`` flavor.
+    """
+
+    def __init__(
+        self,
+        original,
+        kmeans: KMeans,
+        cluster_columns: list[int],
+        cluster_pipelines: list,
+        cluster_kept_inputs: list[list[int]],
+        cluster_ranges: list[tuple[np.ndarray, np.ndarray] | None] | None = None,
+        compile_seconds: float = 0.0,
+    ):
+        self.original = original
+        self.kmeans = kmeans
+        self.cluster_columns = cluster_columns
+        self.cluster_pipelines = cluster_pipelines
+        self.cluster_kept_inputs = cluster_kept_inputs
+        self.cluster_ranges = cluster_ranges or [None] * len(cluster_pipelines)
+        self.compile_seconds = compile_seconds
+        self.fallback_rows = 0  # rows scored by the original model
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.cluster_pipelines)
+
+    def assign(self, X: np.ndarray) -> np.ndarray:
+        """Cluster id per row (routing step)."""
+        return self.kmeans.predict(X[:, self.cluster_columns])
+
+    def predict(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        labels = self.assign(X)
+        out: np.ndarray | None = None
+        for cluster_id in range(self.n_clusters):
+            mask = labels == cluster_id
+            if not mask.any():
+                continue
+            pipeline = self.cluster_pipelines[cluster_id]
+            kept = self.cluster_kept_inputs[cluster_id]
+            ranges = self.cluster_ranges[cluster_id]
+            in_range = mask
+            if pipeline is not None and ranges is not None:
+                # The specialized model is only valid inside the ranges it
+                # was pruned under; anything outside falls back (paper:
+                # "if a precompiled model does not exist, we fall back").
+                lows, highs = ranges
+                inside = ((X >= lows) & (X <= highs)).all(axis=1)
+                in_range = mask & inside
+            fallback = mask & ~in_range
+            if pipeline is None:
+                fallback = mask
+                in_range = np.zeros_like(mask)
+            if in_range.any():
+                values = pipeline.predict(X[in_range][:, kept])
+                if out is None:
+                    out = np.empty(len(X), dtype=np.asarray(values).dtype)
+                out[in_range] = values
+            if fallback.any():
+                self.fallback_rows += int(fallback.sum())
+                values = self.original.predict(X[fallback])
+                if out is None:
+                    out = np.empty(len(X), dtype=np.asarray(values).dtype)
+                out[fallback] = values
+        if out is None:
+            return self.original.predict(X)
+        return out
+
+    def average_model_width(self) -> float:
+        """Mean per-cluster *model feature* width.
+
+        This is the quantity clustering shrinks: one-hot categories ruled
+        out by a cluster's value ranges disappear from the per-cluster
+        model even when every original input column is still consumed.
+        """
+        widths = []
+        for pipeline in self.cluster_pipelines:
+            widths.append(_pipeline_feature_width(pipeline or self.original))
+        return float(np.mean(widths)) if widths else 0.0
+
+
+def _pipeline_feature_width(pipeline) -> float:
+    estimator = getattr(pipeline, "final_estimator", pipeline)
+    coef = getattr(estimator, "coef_", None)
+    if coef is not None:
+        return float(len(coef))
+    coefs = getattr(estimator, "coefs_", None)
+    if coefs:
+        return float(coefs[0].shape[0])
+    width = getattr(estimator, "n_features_in_", None)
+    return float(width) if width is not None else 0.0
+
+
+def compile_clustered_pipeline(
+    pipeline,
+    sample: np.ndarray,
+    n_clusters: int,
+    cluster_columns: list[int] | None = None,
+    bound_tolerance: float = 0.0,
+    random_state: int | None = 0,
+) -> ClusteredModel:
+    """Offline model-clustering compilation.
+
+    ``sample`` is historical data in the pipeline's input space;
+    ``cluster_columns`` selects which inputs to cluster on (default: all).
+    Within each cluster, per-feature [min, max] ranges become
+    :class:`ColumnFacts` and the pipeline is pruned under them.
+    """
+    import time
+
+    sample = np.asarray(sample, dtype=np.float64)
+    if sample.ndim != 2:
+        raise OptimizerError("sample must be a 2-D matrix")
+    start = time.perf_counter()
+    columns = (
+        list(cluster_columns)
+        if cluster_columns is not None
+        else list(range(sample.shape[1]))
+    )
+    kmeans = KMeans(n_clusters=n_clusters, random_state=random_state)
+    kmeans.fit(sample[:, columns])
+    labels = kmeans.predict(sample[:, columns])
+    pipelines = []
+    kept_inputs = []
+    ranges: list[tuple[np.ndarray, np.ndarray] | None] = []
+    width = sample.shape[1]
+    for cluster_id in range(n_clusters):
+        members = sample[labels == cluster_id]
+        if len(members) == 0:
+            pipelines.append(None)
+            kept_inputs.append(list(range(width)))
+            ranges.append(None)
+            continue
+        facts = ColumnFacts()
+        full_lows = np.full(width, -np.inf)
+        full_highs = np.full(width, np.inf)
+        lows = members.min(axis=0)
+        highs = members.max(axis=0)
+        for j in columns:
+            full_lows[j], full_highs[j] = lows[j], highs[j]
+            if highs[j] - lows[j] <= bound_tolerance:
+                facts.constants[j] = float(lows[j])
+            else:
+                facts.bounds[j] = (float(lows[j]), float(highs[j]))
+        try:
+            result = apply_predicate_pruning(pipeline, facts)
+            pipelines.append(result.pipeline)
+            kept_inputs.append(result.kept_inputs)
+            ranges.append((full_lows, full_highs))
+        except UnsupportedRewrite:
+            pipelines.append(None)
+            kept_inputs.append(list(range(width)))
+            ranges.append(None)
+    compile_seconds = time.perf_counter() - start
+    return ClusteredModel(
+        pipeline,
+        kmeans,
+        columns,
+        pipelines,
+        kept_inputs,
+        ranges,
+        compile_seconds,
+    )

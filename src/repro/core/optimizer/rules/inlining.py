@@ -1,0 +1,99 @@
+"""Model inlining (paper §4.2, MLD -> RA).
+
+Small trees and linear models become scalar SQL expressions (``CASE
+WHEN`` chains / weighted sums) inside a projection, so the relational
+engine executes them natively with no featurization, no matrix hand-off,
+and no ML runtime call — the Froid-style "UDF inlining" the paper builds
+on. The data featurizers (scalers, one-hot encodings) are inlined too.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir.graph import IRGraph
+from repro.core.ir.schema import infer_schema
+from repro.core.optimizer.ml_rewrites import (
+    UnsupportedRewrite,
+    pipeline_to_expression,
+    split_pipeline,
+)
+from repro.core.optimizer.rule import Rule, RuleContext
+from repro.ml.ensemble import (
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.ml.linear import Lasso, LinearRegression, LogisticRegression, Ridge
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.relational.expressions import ColumnRef
+
+_INLINABLE = (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    LinearRegression,
+    LogisticRegression,
+    Ridge,
+    Lasso,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    GradientBoostingRegressor,
+)
+
+
+def _total_tree_nodes(predictor) -> int | None:
+    """Combined node count across the predictor's trees (None = no trees)."""
+    tree = getattr(predictor, "tree_", None)
+    if tree is not None:
+        return tree.node_count
+    estimators = getattr(predictor, "estimators_", None)
+    if estimators:
+        return sum(t.tree_.node_count for t in estimators)
+    return None
+
+
+class ModelInlining(Rule):
+    """Replace small tree/linear pipelines with inline SQL expressions."""
+
+    def __init__(self, max_tree_nodes: int = 255):
+        self.max_tree_nodes = max_tree_nodes
+
+    def apply(self, graph: IRGraph, context: RuleContext) -> bool:
+        changed = False
+        for node in list(graph.find("mld.pipeline")):
+            feature_names = node.attrs.get("feature_names")
+            if not feature_names:
+                continue
+            pipeline = node.attrs["pipeline"]
+            _, predictor = split_pipeline(pipeline)
+            if not isinstance(predictor, _INLINABLE):
+                continue
+            total_nodes = _total_tree_nodes(predictor)
+            if total_nodes is not None and total_nodes > self.max_tree_nodes:
+                continue  # CASE expression would explode; leave to NN path
+            try:
+                expression = pipeline_to_expression(pipeline, feature_names)
+            except UnsupportedRewrite:
+                continue
+            child = graph.node(node.inputs[0])
+            child_schema = infer_schema(graph, child)
+            alias = node.attrs.get("alias")
+            items = [
+                (ColumnRef(column.name), column.name) for column in child_schema
+            ]
+            for out_name, _dtype in node.attrs.get("output_columns", ()):  # type: ignore[assignment]
+                qualified = f"{alias}.{out_name}" if alias else out_name
+                items.append((expression, qualified))
+            project = graph.add(
+                "ra.project",
+                list(node.inputs),
+                items=items,
+                inlined_model=node.attrs.get("model_ref"),
+            )
+            graph.replace(node, project)
+            graph.garbage_collect()
+            context.record(
+                self.name,
+                f"inlined {type(predictor).__name__} "
+                f"({total_nodes if total_nodes is not None else 'linear'} nodes)",
+            )
+            changed = True
+        return changed

@@ -1,0 +1,99 @@
+"""Predicate-based model pruning (paper §4.1, data-to-model).
+
+Collects ``column = value`` and interval facts from every filter below a
+scoring node (plus, optionally, facts *derived from data statistics* —
+columns that are constant in the actual stored table), translates them into
+the model's feature space, and prunes the model: tree branches removed,
+one-hot categories dropped, constant features folded into
+intercepts/biases.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.ir.graph import IRGraph
+from repro.core.optimizer.ml_rewrites import (
+    ColumnFacts,
+    UnsupportedRewrite,
+    apply_predicate_pruning,
+)
+from repro.core.optimizer.rule import Rule, RuleContext, filters_below
+from repro.relational.expressions import equality_constants, range_bounds
+
+
+def facts_for_node(graph: IRGraph, node, context: RuleContext) -> dict:
+    """Column-name-keyed facts visible at a scoring node's input."""
+    constants: dict[str, float] = {}
+    bounds: dict[str, tuple[float, float]] = {}
+    for filter_node in filters_below(graph, node):
+        predicate = filter_node.attrs["predicate"]
+        for name, value in equality_constants(predicate).items():
+            if isinstance(value, (int, float)):
+                constants[name.lower()] = float(value)
+        for name, interval in range_bounds(predicate).items():
+            low, high = bounds.get(name.lower(), (-math.inf, math.inf))
+            bounds[name.lower()] = (
+                max(low, interval[0]),
+                min(high, interval[1]),
+            )
+    if context.options.get("derive_statistics_predicates"):
+        for scan in (n for n in graph.walk_up(node) if n.op == "ra.scan"):
+            for name, value in context.column_constants(
+                scan.attrs["table"]
+            ).items():
+                constants.setdefault(name, value)
+    return {"constants": constants, "bounds": bounds}
+
+
+class PredicateBasedModelPruning(Rule):
+    """Prune model pipelines using predicate (and statistics) facts."""
+
+    def apply(self, graph: IRGraph, context: RuleContext) -> bool:
+        changed = False
+        for node in list(graph.find("mld.pipeline")):
+            if node.attrs.get("pruned"):
+                continue
+            feature_names = node.attrs.get("feature_names")
+            if not feature_names:
+                continue
+            named = facts_for_node(graph, node, context)
+            index_of = {
+                name.lower(): i for i, name in enumerate(feature_names)
+            }
+            facts = ColumnFacts()
+            for name, value in named["constants"].items():
+                if name in index_of:
+                    facts.constants[index_of[name]] = value
+            for name, interval in named["bounds"].items():
+                if name in index_of and index_of[name] not in facts.constants:
+                    facts.bounds[index_of[name]] = interval
+            if facts.empty:
+                continue
+            try:
+                result = apply_predicate_pruning(
+                    node.attrs["pipeline"], facts
+                )
+            except UnsupportedRewrite:
+                node.attrs["pruned"] = True
+                continue
+            node.attrs["pruned"] = True
+            before = result.detail.get("nodes_before")
+            after = result.detail.get("nodes_after")
+            shrank_tree = before is not None and after is not None and after < before
+            folded = result.detail.get("features_folded", 0) > 0
+            narrowed = len(result.kept_inputs) < len(feature_names)
+            if not (shrank_tree or folded or narrowed):
+                continue
+            node.attrs["pipeline"] = result.pipeline
+            node.attrs["feature_names"] = [
+                feature_names[i] for i in result.kept_inputs
+            ]
+            node.attrs["pruning_detail"] = result.detail
+            context.record(
+                self.name,
+                f"{result.detail} kept {len(result.kept_inputs)}/"
+                f"{len(feature_names)} inputs",
+            )
+            changed = True
+        return changed

@@ -1,0 +1,83 @@
+"""Model-projection pushdown (paper §4.1, model-to-data).
+
+Features the model provably ignores (zero L1 weights, untested tree
+features — often a consequence of predicate-based pruning) are removed
+from the model *and* projected out of the data early, which in turn can
+enable join elimination.
+"""
+
+from __future__ import annotations
+
+from repro.core.ir.graph import IRGraph
+from repro.core.ir.schema import columns_required_above, infer_schema
+from repro.core.optimizer.ml_rewrites import (
+    UnsupportedRewrite,
+    apply_projection_pushdown,
+)
+from repro.core.optimizer.rule import Rule, RuleContext
+from repro.relational.expressions import ColumnRef
+
+
+class ModelProjectionPushdown(Rule):
+    """Narrow the model to its useful features and project the data."""
+
+    def apply(self, graph: IRGraph, context: RuleContext) -> bool:
+        changed = False
+        tolerance = float(context.options.get("lossy_pushdown_tolerance", 0.0))
+        for node in list(graph.find("mld.pipeline")):
+            if node.attrs.get("projected"):
+                continue
+            feature_names = node.attrs.get("feature_names")
+            if not feature_names:
+                continue
+            try:
+                result = apply_projection_pushdown(
+                    node.attrs["pipeline"], tolerance
+                )
+            except UnsupportedRewrite:
+                node.attrs["projected"] = True
+                continue
+            node.attrs["projected"] = True
+            narrowed_inputs = len(result.kept_inputs) < len(feature_names)
+            dropped_features = result.detail.get("features_dropped", 0) > 0
+            if not (narrowed_inputs or dropped_features):
+                continue
+            # Even when every original column survives (e.g. only some
+            # one-hot categories died), the narrower model is worth it:
+            # Fig. 2(a)'s gain is the smaller feature matrix.
+            new_features = [feature_names[i] for i in result.kept_inputs]
+            node.attrs["pipeline"] = result.pipeline
+            node.attrs["feature_names"] = new_features
+            node.attrs["projection_detail"] = result.detail
+            if narrowed_inputs:
+                self._insert_data_projection(graph, node, new_features)
+            context.record(
+                self.name,
+                f"kept {len(new_features)}/{len(feature_names)} inputs "
+                f"({result.detail})",
+            )
+            changed = True
+        return changed
+
+    @staticmethod
+    def _insert_data_projection(graph: IRGraph, node, features: list[str]) -> None:
+        """Project the scoring input down to needed columns.
+
+        Needed = the model's (reduced) features plus any column the rest
+        of the query references. Skipped when an opaque ancestor exists
+        or nothing would be dropped.
+        """
+        required = columns_required_above(graph, node)
+        if required is None:
+            return
+        keep = set(required) | {f.lower() for f in features}
+        child = graph.node(node.inputs[0])
+        child_schema = infer_schema(graph, child)
+        items = [
+            (ColumnRef(column.name), column.name)
+            for column in child_schema
+            if column.name.split(".")[-1].lower() in keep
+        ]
+        if not items or len(items) >= len(child_schema):
+            return
+        graph.insert_below(node, 0, "ra.project", items=items)

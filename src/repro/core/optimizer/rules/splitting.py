@@ -1,0 +1,123 @@
+"""Model/query splitting (paper §2).
+
+A decision-tree pipeline is partitioned on its root test: the query becomes
+a UNION ALL of two branches, each filtering on the root predicate and
+scoring with the correspondingly pruned (cheaper) model. Each branch is
+then optimized separately — the paper notes the kinship with model
+cascades.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.ir.graph import IRGraph
+from repro.core.optimizer.ml_rewrites import (
+    ColumnFacts,
+    UnsupportedRewrite,
+    apply_predicate_pruning,
+    split_pipeline,
+)
+from repro.core.optimizer.rule import Rule, RuleContext
+from repro.ml.preprocessing import MinMaxScaler, StandardScaler
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.relational.expressions import BinaryOp, col, lit
+
+
+class ModelQuerySplitting(Rule):
+    """Split one tree-pipeline scoring node into two pruned branches."""
+
+    def __init__(self, min_tree_nodes: int = 5):
+        self.min_tree_nodes = min_tree_nodes
+
+    def apply(self, graph: IRGraph, context: RuleContext) -> bool:
+        changed = False
+        for node in list(graph.find("mld.pipeline")):
+            if node.attrs.get("split"):
+                continue
+            feature_names = node.attrs.get("feature_names")
+            pipeline = node.attrs["pipeline"]
+            transformers, predictor = split_pipeline(pipeline)
+            if not isinstance(
+                predictor, (DecisionTreeClassifier, DecisionTreeRegressor)
+            ):
+                continue
+            if not feature_names:
+                continue
+            tree = predictor.tree_
+            if tree.node_count < self.min_tree_nodes or tree.is_leaf(0):
+                continue
+            # The root feature must trace back to one input column through
+            # width-preserving scalers only (so the raw-space threshold is
+            # recoverable).
+            if not all(
+                isinstance(t, (StandardScaler, MinMaxScaler))
+                for t in transformers
+            ):
+                continue
+            feature = int(tree.feature[0])
+            threshold = float(tree.threshold[0])
+            for transformer in reversed(transformers):
+                if isinstance(transformer, StandardScaler):
+                    threshold = (
+                        threshold * transformer.scale_[feature]
+                        + transformer.mean_[feature]
+                    )
+                else:
+                    threshold = (
+                        threshold * transformer.range_[feature]
+                        + transformer.min_[feature]
+                    )
+            column_name = feature_names[feature]
+            try:
+                left = apply_predicate_pruning(
+                    pipeline,
+                    ColumnFacts(bounds={feature: (-math.inf, threshold)}),
+                )
+                right = apply_predicate_pruning(
+                    pipeline,
+                    ColumnFacts(
+                        bounds={
+                            feature: (
+                                float(math.nextafter(threshold, math.inf)),
+                                math.inf,
+                            )
+                        }
+                    ),
+                )
+            except UnsupportedRewrite:
+                node.attrs["split"] = True
+                continue
+            child_id = node.inputs[0]
+            common = {
+                key: node.attrs[key]
+                for key in ("output_columns", "alias", "model_ref")
+                if key in node.attrs
+            }
+            branches = []
+            for rewrite, predicate in (
+                (left, BinaryOp("<=", col(column_name), lit(threshold))),
+                (right, BinaryOp(">", col(column_name), lit(threshold))),
+            ):
+                branch_filter = graph.add(
+                    "ra.filter", [child_id], predicate=predicate
+                )
+                branch_predict = graph.add(
+                    "mld.pipeline",
+                    [branch_filter.id],
+                    pipeline=rewrite.pipeline,
+                    feature_names=[feature_names[i] for i in rewrite.kept_inputs],
+                    split=True,
+                    pruned=True,
+                    **common,
+                )
+                branches.append(branch_predict.id)
+            union = graph.add("ra.union_all", branches)
+            graph.replace(node, union)
+            graph.garbage_collect()
+            context.record(
+                self.name,
+                f"split on {column_name} <= {threshold:.4g}",
+            )
+            changed = True
+        return changed

@@ -1,0 +1,183 @@
+"""The Raven public API.
+
+:class:`RavenSession` wires the pieces of §2's architecture together:
+Static Analyzer -> unified IR -> Cross Optimizer -> Runtime Code Generator
+-> integrated SQL+ML runtime. A typical interaction::
+
+    from repro import Database, RavenSession
+    from repro.ml import Pipeline, StandardScaler, DecisionTreeClassifier
+
+    db = Database()
+    db.register_table("patients", patients_table)
+    db.store_model("duration_of_stay", fitted_pipeline,
+                   metadata={"feature_names": ["age", "pregnant", "bp"]})
+
+    raven = RavenSession(db)
+    result = raven.execute(INFERENCE_QUERY)
+    print(result.table.pretty())
+    print(result.report.applied)      # which optimizations fired
+    print(result.sql)                 # regenerated SQL
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CodegenError
+from repro.core.analysis.sql_analyzer import SQLAnalyzer
+from repro.core.codegen.sql_codegen import generate_sql
+from repro.core.ir.graph import IRGraph
+from repro.core.optimizer.engine import (
+    CostBasedOptimizer,
+    HeuristicOptimizer,
+    OptimizationReport,
+    default_rules,
+)
+from repro.core.optimizer.rule import RuleContext
+from repro.core.runtime.executor import RavenExecutor
+from repro.core.runtime.outofprocess import OutOfProcessRuntime
+from repro.relational.database import Database
+from repro.relational.table import Table
+
+
+@dataclass
+class RavenResult:
+    """Everything produced by one inference-query execution."""
+
+    table: Table
+    plan: IRGraph
+    report: OptimizationReport
+    sql: str | None = None
+    timings: dict = field(default_factory=dict)
+
+
+class RavenSession:
+    """An inference-query session over a database.
+
+    Parameters
+    ----------
+    database:
+        The relational database holding tables and models.
+    optimizer:
+        ``"heuristic"`` (the paper's initial rule-ordered optimizer),
+        ``"cost"`` (the Cascades-style follow-up), or ``"none"``.
+    options:
+        Optimizer knobs: ``device`` (``"cpu"``/``"gpu"``),
+        ``enable_nn_translation``, ``enable_inlining``,
+        ``enable_splitting``, ``derive_statistics_predicates``,
+        ``lossy_pushdown_tolerance``, ``max_inline_nodes``.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        optimizer: str = "heuristic",
+        options: dict | None = None,
+    ):
+        self.database = database
+        self.options = dict(options or {})
+        self.optimizer_kind = optimizer
+        self.analyzer = SQLAnalyzer(database)
+        external = OutOfProcessRuntime()
+        self.executor = RavenExecutor(
+            database, external_runtime=external.run_script
+        )
+        self.out_of_process = external
+        self.last_analysis_seconds: float | None = None
+
+    # -- pipeline stages ----------------------------------------------------
+
+    def analyze(self, sql: str, data: dict[str, Table] | None = None) -> IRGraph:
+        """Static analysis: inference query -> unified IR."""
+        import time
+
+        start = time.perf_counter()
+        graph = self.analyzer.analyze(sql, data)
+        self.last_analysis_seconds = time.perf_counter() - start
+        return graph
+
+    def optimize(self, graph: IRGraph) -> tuple[IRGraph, OptimizationReport]:
+        """Cross-optimization under the session's options."""
+        context = RuleContext(database=self.database, options=dict(self.options))
+        if self.optimizer_kind == "none":
+            from repro.core.optimizer.engine import assign_engines
+
+            optimized = graph.copy()
+            assign_engines(optimized)
+            return optimized, OptimizationReport(strategy="none")
+        if self.optimizer_kind == "cost":
+            return CostBasedOptimizer().optimize(graph, context)
+        rules = default_rules(
+            enable_splitting=bool(self.options.get("enable_splitting", False)),
+            enable_inlining=bool(self.options.get("enable_inlining", True)),
+            enable_nn_translation=bool(
+                self.options.get("enable_nn_translation", False)
+            ),
+            max_inline_nodes=int(self.options.get("max_inline_nodes", 255)),
+        )
+        return HeuristicOptimizer(rules).optimize(graph, context)
+
+    def generate_sql(self, graph: IRGraph) -> str | None:
+        """Runtime code generation (None when the plan has no SQL form)."""
+        try:
+            return generate_sql(graph)
+        except CodegenError:
+            return None
+
+    # -- one-call execution ----------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        data: dict[str, Table] | None = None,
+        optimize: bool = True,
+    ) -> RavenResult:
+        """Analyze, optimize, codegen, and run an inference query."""
+        import time
+
+        timings: dict[str, float] = {}
+        start = time.perf_counter()
+        graph = self.analyze(sql, data)
+        timings["analyze"] = time.perf_counter() - start
+
+        if optimize:
+            start = time.perf_counter()
+            graph, report = self.optimize(graph)
+            timings["optimize"] = time.perf_counter() - start
+        else:
+            from repro.core.optimizer.engine import assign_engines
+
+            assign_engines(graph)
+            report = OptimizationReport(strategy="disabled")
+
+        generated = self.generate_sql(graph)
+
+        start = time.perf_counter()
+        table = self.executor.execute(graph)
+        timings["execute"] = time.perf_counter() - start
+        return RavenResult(
+            table=table, plan=graph, report=report, sql=generated, timings=timings
+        )
+
+    def explain(self, sql: str, data: dict[str, Table] | None = None) -> str:
+        """Optimized plan + applied rules, as a printable report."""
+        graph = self.analyze(sql, data)
+        optimized, report = self.optimize(graph)
+        lines = [
+            "== unoptimized IR ==",
+            graph.pretty(),
+            "",
+            f"== optimized IR (strategy: {report.strategy}) ==",
+            optimized.pretty(),
+            "",
+            f"estimated cost: {report.cost_before:.0f} -> {report.cost_after:.0f}",
+        ]
+        if report.applied:
+            lines.append("applied rules:")
+            lines.extend(f"  - {entry}" for entry in report.applied)
+        else:
+            lines.append("applied rules: (none)")
+        generated = self.generate_sql(optimized)
+        if generated:
+            lines.extend(["", "== generated SQL ==", generated])
+        return "\n".join(lines)

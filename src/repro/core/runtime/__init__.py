@@ -1,0 +1,12 @@
+"""Execution runtimes: integrated, out-of-process, containerized."""
+
+from repro.core.runtime.container import ContainerRuntime, ModelServer
+from repro.core.runtime.executor import RavenExecutor
+from repro.core.runtime.outofprocess import OutOfProcessRuntime
+
+__all__ = [
+    "ContainerRuntime",
+    "ModelServer",
+    "OutOfProcessRuntime",
+    "RavenExecutor",
+]

@@ -1,0 +1,157 @@
+"""Containerized execution — the REST-scoring fallback (paper §5).
+
+The paper spins up a Docker container exposing a prediction REST endpoint
+for pipelines nothing else can run. Offline, the container runtime is a
+local HTTP server in a background thread serving the same JSON
+``POST /predict`` protocol; the Docker daemon's cold-start is modelled as
+a configurable constant (documented in DESIGN.md's substitution table) so
+Fig. 3-style comparisons retain the startup-cost structure.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import numpy as np
+
+from repro.errors import RuntimeDispatchError
+from repro.ml import model_format
+from repro.relational.table import Table
+
+
+class ModelServer:
+    """A minimal scoring server: ``POST /predict`` with a columns payload."""
+
+    def __init__(self, model, host: str = "127.0.0.1", port: int = 0):
+        self._model = model
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):  # noqa: N802 (http.server API)
+                if self.path != "/predict":
+                    self.send_error(404)
+                    return
+                length = int(self.headers.get("Content-Length", "0"))
+                try:
+                    payload = json.loads(self.rfile.read(length))
+                    matrix = np.asarray(payload["matrix"], dtype=np.float64)
+                    prediction = np.asarray(
+                        outer._model.predict(matrix), dtype=np.float64
+                    )
+                    body = json.dumps(
+                        {"prediction": prediction.tolist()}
+                    ).encode()
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                except Exception as exc:  # report scoring errors as 500s
+                    message = json.dumps({"error": str(exc)}).encode()
+                    self.send_response(500)
+                    self.send_header("Content-Length", str(len(message)))
+                    self.end_headers()
+                    self.wfile.write(message)
+
+            def log_message(self, *args):  # silence request logging
+                pass
+
+        self._server = HTTPServer((host, port), Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def start(self) -> "ModelServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class ContainerRuntime:
+    """Client side of containerized scoring.
+
+    ``simulated_container_start_seconds`` models ``docker run`` latency
+    (charged once, on the first request) since no Docker daemon exists in
+    this environment.
+    """
+
+    def __init__(
+        self,
+        model_bundle_json: str,
+        simulated_container_start_seconds: float = 1.0,
+    ):
+        self._bundle = model_bundle_json
+        self.simulated_container_start_seconds = simulated_container_start_seconds
+        self._server: ModelServer | None = None
+        self._started = False
+        self.last_request_seconds: float | None = None
+
+    def start(self) -> None:
+        if self._started:
+            return
+        model = model_format.loads(self._bundle)
+        self._server = ModelServer(model).start()
+        # Model the docker-pull/start cost the first time only.
+        time.sleep(self.simulated_container_start_seconds)
+        self._started = True
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+        self._started = False
+
+    def score(
+        self, table: Table, feature_names: list[str] | None = None
+    ) -> np.ndarray:
+        self.start()
+        assert self._server is not None
+        host, port = self._server.address
+        start = time.perf_counter()
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            body = json.dumps(
+                {"matrix": table.to_matrix(feature_names).tolist()}
+            )
+            connection.request(
+                "POST",
+                "/predict",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            if response.status != 200:
+                raise RuntimeDispatchError(
+                    f"container scoring failed: {payload.get('error')}"
+                )
+            return np.asarray(payload["prediction"], dtype=np.float64)
+        finally:
+            connection.close()
+            self.last_request_seconds = time.perf_counter() - start
+
+    def __enter__(self) -> "ContainerRuntime":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,5 @@
+"""Seeded synthetic workloads: hospital length-of-stay and flight delays."""
+
+from repro.data import flights, hospital
+
+__all__ = ["flights", "hospital"]

@@ -1,0 +1,52 @@
+"""The ML substrate: a mini scikit-learn.
+
+Estimators follow the sklearn API (``fit``/``predict``/``transform``) and
+expose their learned structure (tree arrays, weight vectors, category maps)
+for Raven's cross-optimizer.
+"""
+
+from repro.ml.base import BaseEstimator, TransformerMixin
+from repro.ml.cluster import KMeans
+from repro.ml.ensemble import (
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.ml.linear import Lasso, LinearRegression, LogisticRegression, Ridge
+from repro.ml.neural import MLPClassifier, MLPRegressor
+from repro.ml.pipeline import ColumnTransformer, FeatureUnion, Pipeline
+from repro.ml.preprocessing import (
+    Binarizer,
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BaseEstimator",
+    "Binarizer",
+    "ColumnTransformer",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "FeatureUnion",
+    "GradientBoostingRegressor",
+    "KMeans",
+    "LabelEncoder",
+    "Lasso",
+    "LinearRegression",
+    "LogisticRegression",
+    "MinMaxScaler",
+    "MLPClassifier",
+    "MLPRegressor",
+    "OneHotEncoder",
+    "Pipeline",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "Ridge",
+    "SimpleImputer",
+    "StandardScaler",
+    "TransformerMixin",
+]

@@ -1,0 +1,126 @@
+"""Estimator protocol for the ML substrate.
+
+The API deliberately mirrors scikit-learn (``fit`` / ``predict`` /
+``transform`` / ``get_params``) because Raven's static analyzer recognizes
+pipelines by these call patterns, and the knowledge base maps both
+``sklearn.*`` and ``repro.ml.*`` qualified names onto the same IR operators.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+
+from repro.errors import MLError, NotFittedError
+
+
+def as_matrix(X) -> np.ndarray:
+    """Coerce input data to a 2-D float64 matrix.
+
+    Accepts NumPy arrays, nested lists, or a
+    :class:`repro.relational.table.Table` (all numeric columns, in schema
+    order).
+    """
+    if hasattr(X, "to_matrix"):  # Table duck-type
+        return X.to_matrix()
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise MLError(f"expected 2-D input, got shape {arr.shape}")
+    return arr
+
+
+def as_vector(y) -> np.ndarray:
+    """Coerce labels/targets to a 1-D float64 vector."""
+    arr = np.asarray(y, dtype=np.float64).ravel()
+    return arr
+
+
+class BaseEstimator:
+    """Parameter handling shared by every estimator.
+
+    Constructor arguments are hyperparameters; learned state uses the
+    sklearn trailing-underscore convention (``coef_``, ``tree_`` ...).
+    """
+
+    def get_params(self) -> dict:
+        """Hyperparameters as a dict (from the constructor signature)."""
+        signature = inspect.signature(type(self).__init__)
+        names = [
+            p.name
+            for p in signature.parameters.values()
+            if p.name != "self" and p.kind is not inspect.Parameter.VAR_KEYWORD
+        ]
+        return {name: getattr(self, name) for name in names}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        valid = set(self.get_params())
+        for key, value in params.items():
+            if key not in valid:
+                raise MLError(f"invalid parameter {key!r} for {type(self).__name__}")
+            setattr(self, key, value)
+        return self
+
+    def clone(self) -> "BaseEstimator":
+        """A fresh, unfitted copy with the same hyperparameters."""
+        params = {}
+        for key, value in self.get_params().items():
+            if isinstance(value, BaseEstimator):
+                params[key] = value.clone()
+            elif isinstance(value, list) and all(
+                isinstance(v, tuple) and len(v) >= 2 for v in value
+            ):
+                params[key] = [
+                    tuple(
+                        item.clone() if isinstance(item, BaseEstimator) else item
+                        for item in entry
+                    )
+                    for entry in value
+                ]
+            else:
+                params[key] = value
+        return type(self)(**params)
+
+    def check_fitted(self, *attributes: str) -> None:
+        """Raise :class:`NotFittedError` unless learned state exists."""
+        for attr in attributes:
+            if getattr(self, attr, None) is None:
+                raise NotFittedError(
+                    f"{type(self).__name__} is not fitted (missing {attr!r}); "
+                    "call fit() first"
+                )
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{k}={v!r}"
+            for k, v in self.get_params().items()
+            if not isinstance(v, (list, BaseEstimator))
+        )
+        return f"{type(self).__name__}({params})"
+
+
+class TransformerMixin:
+    """Adds ``fit_transform`` to transformers."""
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+
+class ClassifierMixin:
+    """Adds ``score`` (accuracy) to classifiers."""
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import accuracy_score
+
+        return accuracy_score(as_vector(y), self.predict(X))
+
+
+class RegressorMixin:
+    """Adds ``score`` (R^2) to regressors."""
+
+    def score(self, X, y) -> float:
+        from repro.ml.metrics import r2_score
+
+        return r2_score(as_vector(y), self.predict(X))

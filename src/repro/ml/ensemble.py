@@ -1,0 +1,206 @@
+"""Tree ensembles: random forests and gradient boosting.
+
+Random forests are the workload for Fig. 2(d) and Fig. 3 (RF translated to
+a neural network and scored in the tensor runtime). The fitted estimators
+expose their member trees (``estimators_``) so the converters and the
+cross-optimizer can operate per-tree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    as_matrix,
+    as_vector,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class _ForestMixin:
+    """Bootstrap + feature-subsampling fit loop shared by both forests."""
+
+    def _fit_forest(self, X: np.ndarray, y: np.ndarray, make_tree) -> list:
+        rng = np.random.default_rng(self.random_state)
+        n = X.shape[0]
+        estimators = []
+        for _ in range(self.n_estimators):
+            tree = make_tree(rng)
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                tree.fit(X[idx], y[idx])
+            else:
+                tree.fit(X, y)
+            estimators.append(tree)
+        return estimators
+
+    def _resolve_max_features(self, n_features: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        return int(self.max_features)
+
+
+class RandomForestClassifier(BaseEstimator, ClassifierMixin, _ForestMixin):
+    """Bagged CART classifiers with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 10,
+        criterion: str = "gini",
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: object = "sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeClassifier] | None = None
+        self.classes_: np.ndarray | None = None
+        self.n_features_in_: int | None = None
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X, y = as_matrix(X), as_vector(y)
+        self.classes_ = np.unique(y)
+        self.n_features_in_ = X.shape[1]
+        max_features = self._resolve_max_features(X.shape[1])
+
+        def make_tree(rng: np.random.Generator) -> DecisionTreeClassifier:
+            return DecisionTreeClassifier(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(0, 2**31)),
+            )
+
+        self.estimators_ = self._fit_forest(X, y, make_tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self.check_fitted("estimators_", "classes_")
+        X = as_matrix(X)
+        total = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            proba = tree.predict_proba(X)
+            # Align tree-local classes onto the forest's class set.
+            cols = np.searchsorted(self.classes_, tree.classes_)
+            total[:, cols] += proba
+        return total / len(self.estimators_)
+
+    def predict(self, X) -> np.ndarray:
+        self.check_fitted("classes_")
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+
+class RandomForestRegressor(BaseEstimator, RegressorMixin, _ForestMixin):
+    """Bagged CART regressors."""
+
+    def __init__(
+        self,
+        n_estimators: int = 10,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: object = None,
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeRegressor] | None = None
+        self.n_features_in_: int | None = None
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X, y = as_matrix(X), as_vector(y)
+        self.n_features_in_ = X.shape[1]
+        max_features = self._resolve_max_features(X.shape[1])
+
+        def make_tree(rng: np.random.Generator) -> DecisionTreeRegressor:
+            return DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=int(rng.integers(0, 2**31)),
+            )
+
+        self.estimators_ = self._fit_forest(X, y, make_tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self.check_fitted("estimators_")
+        X = as_matrix(X)
+        total = np.zeros(X.shape[0])
+        for tree in self.estimators_:
+            total += tree.predict(X)
+        return total / len(self.estimators_)
+
+
+class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
+    """Least-squares gradient boosting over shallow CART trees.
+
+    An "extension" model beyond the paper's evaluation set — included
+    because tree-ensemble inlining and NN translation apply to it unchanged
+    (the paper notes "the same technique would work for tree ensembles").
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        random_state: int | None = None,
+    ):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeRegressor] | None = None
+        self.init_: float = 0.0
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        X, y = as_matrix(X), as_vector(y)
+        self.init_ = float(y.mean())
+        prediction = np.full(len(y), self.init_)
+        rng = np.random.default_rng(self.random_state)
+        estimators = []
+        for _ in range(self.n_estimators):
+            residual = y - prediction
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                random_state=int(rng.integers(0, 2**31)),
+            )
+            tree.fit(X, residual)
+            prediction = prediction + self.learning_rate * tree.predict(X)
+            estimators.append(tree)
+        self.estimators_ = estimators
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self.check_fitted("estimators_")
+        X = as_matrix(X)
+        prediction = np.full(X.shape[0], self.init_)
+        for tree in self.estimators_:
+            prediction = prediction + self.learning_rate * tree.predict(X)
+        return prediction

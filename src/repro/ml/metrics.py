@@ -1,0 +1,101 @@
+"""Evaluation metrics used by the examples, tests, and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+def _check_lengths(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+    if len(y_true) != len(y_pred):
+        raise MLError(
+            f"length mismatch: {len(y_true)} true vs {len(y_pred)} predicted"
+        )
+    if len(y_true) == 0:
+        raise MLError("metrics need at least one sample")
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact matches."""
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    _check_lengths(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    _check_lengths(y_true, y_pred)
+    return float(((y_true - y_pred) ** 2).mean())
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    _check_lengths(y_true, y_pred)
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    _check_lengths(y_true, y_pred)
+    ss_res = ((y_true - y_pred) ** 2).sum()
+    ss_tot = ((y_true - y_true.mean()) ** 2).sum()
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+def log_loss(y_true, y_proba, eps: float = 1e-12) -> float:
+    """Binary cross-entropy; ``y_proba`` is P(class 1)."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    p = np.clip(np.asarray(y_proba, dtype=np.float64), eps, 1.0 - eps)
+    _check_lengths(y_true, p)
+    return float(-(y_true * np.log(p) + (1 - y_true) * np.log(1 - p)).mean())
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    Equivalent to the Mann-Whitney U estimator; ties get average rank.
+    This is the AUC the paper uses to pick its two flight-delay models.
+    """
+    y_true = np.asarray(y_true).astype(bool)
+    y_score = np.asarray(y_score, dtype=np.float64)
+    _check_lengths(y_true, y_score)
+    n_pos = int(y_true.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise MLError("roc_auc_score needs both classes present")
+    order = np.argsort(y_score, kind="stable")
+    ranks = np.empty(len(y_score), dtype=np.float64)
+    ranks[order] = np.arange(1, len(y_score) + 1)
+    # Average ranks over tied scores.
+    sorted_scores = y_score[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            avg = (i + j) / 2.0 + 1.0
+            ranks[order[i : j + 1]] = avg
+        i = j + 1
+    rank_sum = ranks[y_true].sum()
+    u = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """Counts[i, j] = samples with true class i predicted as class j."""
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    _check_lengths(y_true, y_pred)
+    classes = np.unique(np.concatenate([y_true, y_pred]))
+    index = {c: i for i, c in enumerate(classes.tolist())}
+    matrix = np.zeros((len(classes), len(classes)), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        matrix[index[t], index[p]] += 1
+    return matrix

@@ -1,0 +1,238 @@
+"""MLflow-style portable model bundles.
+
+The paper stores model pipelines "in a generic and portable model format
+compatible with MLflow". This module provides that format: a JSON document
+(the ``MLmodel`` descriptor plus all learned state) that round-trips every
+estimator in :mod:`repro.ml` without pickle. Reconstruction goes through an
+explicit class registry, so loading a bundle can never execute arbitrary
+code — the property that lets the database treat stored models as data.
+
+Layout of a saved bundle directory::
+
+    <path>/MLmodel        # JSON descriptor: flavor, schema, version
+    <path>/model.json     # encoded estimator tree
+
+``dumps``/``loads`` provide the same encoding in-memory (used by the model
+catalog).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelFormatError
+from repro.ml.base import BaseEstimator
+from repro.ml.tree import TreeStructure
+
+FORMAT_VERSION = 1
+
+_CLASS_REGISTRY: dict[str, type] = {}
+
+
+def register_model_class(cls: type) -> type:
+    """Register an estimator class for bundle reconstruction."""
+    _CLASS_REGISTRY[f"{cls.__module__}.{cls.__qualname__}"] = cls
+    # Also register under the short name for compact bundles.
+    _CLASS_REGISTRY[cls.__qualname__] = cls
+    return cls
+
+
+def _register_builtins() -> None:
+    from repro.ml import (
+        cluster,
+        ensemble,
+        linear,
+        neural,
+        pipeline,
+        preprocessing,
+        tree,
+    )
+
+    for module in (pipeline, preprocessing, tree, ensemble, linear, neural, cluster):
+        for name in dir(module):
+            obj = getattr(module, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, BaseEstimator)
+                and obj is not BaseEstimator
+            ):
+                register_model_class(obj)
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def _encode(value):
+    if isinstance(value, np.ndarray):
+        return {
+            "__kind__": "ndarray",
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            "data": value.ravel().tolist(),
+        }
+    if isinstance(value, TreeStructure):
+        return {
+            "__kind__": "tree_structure",
+            "children_left": _encode(value.children_left),
+            "children_right": _encode(value.children_right),
+            "feature": _encode(value.feature),
+            "threshold": _encode(value.threshold),
+            "value": _encode(value.value),
+            "n_node_samples": (
+                None
+                if value.n_node_samples is None
+                else _encode(value.n_node_samples)
+            ),
+        }
+    if isinstance(value, BaseEstimator):
+        return _encode_estimator(value)
+    if isinstance(value, (list, tuple)):
+        return {
+            "__kind__": "tuple" if isinstance(value, tuple) else "list",
+            "items": [_encode(v) for v in value],
+        }
+    if isinstance(value, dict):
+        return {
+            "__kind__": "dict",
+            "items": [[_encode(k), _encode(v)] for k, v in value.items()],
+        }
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ModelFormatError(
+        f"cannot serialize value of type {type(value).__name__}"
+    )
+
+
+def _encode_estimator(estimator: BaseEstimator) -> dict:
+    class_name = type(estimator).__qualname__
+    if class_name not in _CLASS_REGISTRY:
+        _register_builtins()
+    if class_name not in _CLASS_REGISTRY:
+        raise ModelFormatError(
+            f"{class_name} is not registered; call register_model_class()"
+        )
+    params = {k: _encode(v) for k, v in estimator.get_params().items()}
+    state = {}
+    for attr, value in vars(estimator).items():
+        if attr.endswith("_") and not attr.startswith("_"):
+            state[attr] = _encode(value)
+    return {
+        "__kind__": "estimator",
+        "class": class_name,
+        "params": params,
+        "state": state,
+    }
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+def _decode(value):
+    if not isinstance(value, dict) or "__kind__" not in value:
+        return value
+    kind = value["__kind__"]
+    if kind == "ndarray":
+        arr = np.asarray(value["data"], dtype=value["dtype"])
+        return arr.reshape(value["shape"])
+    if kind == "tree_structure":
+        return TreeStructure(
+            _decode(value["children_left"]),
+            _decode(value["children_right"]),
+            _decode(value["feature"]),
+            _decode(value["threshold"]),
+            _decode(value["value"]),
+            None
+            if value["n_node_samples"] is None
+            else _decode(value["n_node_samples"]),
+        )
+    if kind == "list":
+        return [_decode(v) for v in value["items"]]
+    if kind == "tuple":
+        return tuple(_decode(v) for v in value["items"])
+    if kind == "dict":
+        return {_decode(k): _decode(v) for k, v in value["items"]}
+    if kind == "estimator":
+        return _decode_estimator(value)
+    raise ModelFormatError(f"unknown encoded kind {kind!r}")
+
+
+def _decode_estimator(payload: dict) -> BaseEstimator:
+    class_name = payload["class"]
+    if class_name not in _CLASS_REGISTRY:
+        _register_builtins()
+    cls = _CLASS_REGISTRY.get(class_name)
+    if cls is None:
+        raise ModelFormatError(f"unknown estimator class {class_name!r}")
+    params = {k: _decode(v) for k, v in payload["params"].items()}
+    estimator = cls(**params)
+    for attr, encoded in payload["state"].items():
+        setattr(estimator, attr, _decode(encoded))
+    return estimator
+
+
+# -- public API ----------------------------------------------------------------
+
+
+def dumps(model: BaseEstimator, metadata: dict | None = None) -> str:
+    """Serialize a fitted estimator (or pipeline) to a JSON string."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "flavor": "repro.ml",
+        "metadata": metadata or {},
+        "model": _encode(model),
+    }
+    return json.dumps(document)
+
+
+def loads(text: str) -> BaseEstimator:
+    """Reconstruct an estimator from :func:`dumps` output."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ModelFormatError(f"bundle is not valid JSON: {exc}") from exc
+    if document.get("format_version") != FORMAT_VERSION:
+        raise ModelFormatError(
+            f"unsupported format_version {document.get('format_version')!r}"
+        )
+    return _decode(document["model"])
+
+
+def save_model(model: BaseEstimator, path: str | Path, metadata: dict | None = None) -> Path:
+    """Write an MLflow-style bundle directory; returns its path."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    descriptor = {
+        "format_version": FORMAT_VERSION,
+        "flavor": "repro.ml",
+        "model_class": type(model).__qualname__,
+        "metadata": metadata or {},
+    }
+    (path / "MLmodel").write_text(json.dumps(descriptor, indent=2))
+    (path / "model.json").write_text(dumps(model, metadata))
+    return path
+
+
+def load_model(path: str | Path) -> BaseEstimator:
+    """Load a bundle written by :func:`save_model`."""
+    path = Path(path)
+    model_file = path / "model.json"
+    if not model_file.exists():
+        raise ModelFormatError(f"no model.json under {path}")
+    return loads(model_file.read_text())
+
+
+def load_metadata(path: str | Path) -> dict:
+    """Read the MLmodel descriptor of a saved bundle."""
+    descriptor = Path(path) / "MLmodel"
+    if not descriptor.exists():
+        raise ModelFormatError(f"no MLmodel descriptor under {path}")
+    return json.loads(descriptor.read_text())

@@ -1,0 +1,209 @@
+"""Multi-layer perceptrons (the paper's MLP workload in Fig. 3).
+
+A small but complete implementation: configurable hidden layers, ReLU or
+tanh activations, softmax/identity heads, Adam optimization with
+mini-batches. The fitted weights (``coefs_``, ``intercepts_``) are exactly
+what :mod:`repro.tensor.converters` compiles to a Gemm/Relu tensor graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import (
+    BaseEstimator,
+    ClassifierMixin,
+    RegressorMixin,
+    as_matrix,
+    as_vector,
+)
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _relu_grad(z: np.ndarray) -> np.ndarray:
+    return (z > 0.0).astype(z.dtype)
+
+
+def _tanh_grad(z: np.ndarray) -> np.ndarray:
+    return 1.0 - np.tanh(z) ** 2
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class _AdamState:
+    """Per-parameter Adam moments."""
+
+    def __init__(self, shapes, learning_rate: float):
+        self.learning_rate = learning_rate
+        self.m = [np.zeros(s) for s in shapes]
+        self.v = [np.zeros(s) for s in shapes]
+        self.t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        self.t += 1
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            self.m[i] = beta1 * self.m[i] + (1 - beta1) * grad
+            self.v[i] = beta2 * self.v[i] + (1 - beta2) * grad**2
+            m_hat = self.m[i] / (1 - beta1**self.t)
+            v_hat = self.v[i] / (1 - beta2**self.t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+
+class _BaseMLP(BaseEstimator):
+    """Shared forward/backward machinery for classifier and regressor."""
+
+    def __init__(
+        self,
+        hidden_layer_sizes: tuple[int, ...] = (32,),
+        activation: str = "relu",
+        learning_rate: float = 1e-3,
+        max_iter: int = 200,
+        batch_size: int = 128,
+        alpha: float = 1e-4,
+        tol: float = 1e-5,
+        random_state: int | None = None,
+    ):
+        if activation not in ("relu", "tanh"):
+            raise MLError(f"unknown activation {activation!r}")
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.activation = activation
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.alpha = alpha
+        self.tol = tol
+        self.random_state = random_state
+        self.coefs_: list[np.ndarray] | None = None
+        self.intercepts_: list[np.ndarray] | None = None
+        self.loss_curve_: list[float] = []
+        self.n_iter_: int = 0
+
+    # subclasses define: _output_units(y), _prepare_targets(y),
+    # _head(z) -> activation at output, _loss(output, target)
+
+    def _init_weights(self, n_in: int, n_out: int, rng) -> None:
+        sizes = [n_in, *self.hidden_layer_sizes, n_out]
+        self.coefs_ = []
+        self.intercepts_ = []
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            bound = np.sqrt(6.0 / (a + b))
+            self.coefs_.append(rng.uniform(-bound, bound, size=(a, b)))
+            self.intercepts_.append(np.zeros(b))
+
+    def _forward(self, X: np.ndarray):
+        """All pre-activations and activations, input to output."""
+        activations = [X]
+        pre_activations = []
+        hidden_act = np.tanh if self.activation == "tanh" else _relu
+        last = len(self.coefs_) - 1
+        for i, (W, b) in enumerate(zip(self.coefs_, self.intercepts_)):
+            z = activations[-1] @ W + b
+            pre_activations.append(z)
+            if i < last:
+                activations.append(hidden_act(z))
+            else:
+                activations.append(self._head(z))
+        return pre_activations, activations
+
+    def _fit_loop(self, X: np.ndarray, targets: np.ndarray) -> None:
+        rng = np.random.default_rng(self.random_state)
+        self._init_weights(X.shape[1], targets.shape[1], rng)
+        params = self.coefs_ + self.intercepts_
+        adam = _AdamState([p.shape for p in params], self.learning_rate)
+        n = X.shape[0]
+        batch = min(self.batch_size, n)
+        hidden_grad = _tanh_grad if self.activation == "tanh" else _relu_grad
+        previous_loss = np.inf
+        for epoch in range(self.max_iter):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                xb, tb = X[idx], targets[idx]
+                pre, act = self._forward(xb)
+                epoch_loss += self._loss(act[-1], tb) * len(idx)
+                # Output delta is (prediction - target) for both softmax
+                # cross-entropy and identity MSE heads.
+                delta = (act[-1] - tb) / len(idx)
+                coef_grads = [None] * len(self.coefs_)
+                intercept_grads = [None] * len(self.coefs_)
+                for layer in range(len(self.coefs_) - 1, -1, -1):
+                    coef_grads[layer] = (
+                        act[layer].T @ delta + self.alpha * self.coefs_[layer]
+                    )
+                    intercept_grads[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.coefs_[layer].T) * hidden_grad(
+                            pre[layer - 1]
+                        )
+                adam.step(params, coef_grads + intercept_grads)
+            epoch_loss /= n
+            self.loss_curve_.append(epoch_loss)
+            self.n_iter_ = epoch + 1
+            if abs(previous_loss - epoch_loss) < self.tol:
+                break
+            previous_loss = epoch_loss
+
+
+class MLPClassifier(_BaseMLP, ClassifierMixin):
+    """Feed-forward classifier with a softmax head."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.classes_: np.ndarray | None = None
+
+    def _head(self, z: np.ndarray) -> np.ndarray:
+        return _softmax(z)
+
+    @staticmethod
+    def _loss(output: np.ndarray, target: np.ndarray) -> float:
+        eps = 1e-12
+        return float(-(target * np.log(output + eps)).sum(axis=1).mean())
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X, y = as_matrix(X), as_vector(y)
+        self.classes_ = np.unique(y)
+        codes = np.searchsorted(self.classes_, y)
+        onehot = np.zeros((len(y), len(self.classes_)))
+        onehot[np.arange(len(y)), codes] = 1.0
+        self._fit_loop(X, onehot)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self.check_fitted("coefs_")
+        _, activations = self._forward(as_matrix(X))
+        return activations[-1]
+
+    def predict(self, X) -> np.ndarray:
+        self.check_fitted("classes_")
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]
+
+
+class MLPRegressor(_BaseMLP, RegressorMixin):
+    """Feed-forward regressor with an identity head and MSE loss."""
+
+    def _head(self, z: np.ndarray) -> np.ndarray:
+        return z
+
+    @staticmethod
+    def _loss(output: np.ndarray, target: np.ndarray) -> float:
+        return float(((output - target) ** 2).mean() / 2.0)
+
+    def fit(self, X, y) -> "MLPRegressor":
+        X, y = as_matrix(X), as_vector(y)
+        self._fit_loop(X, y.reshape(-1, 1))
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self.check_fitted("coefs_")
+        _, activations = self._forward(as_matrix(X))
+        return activations[-1][:, 0]

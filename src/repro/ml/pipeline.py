@@ -1,0 +1,187 @@
+"""Pipelines, feature unions, and column transformers.
+
+A fitted :class:`Pipeline` is the paper's "model pipeline" M: featurizers
+followed by a predictor. Raven's static analyzer decomposes these objects
+step by step into MLD operators in the unified IR, so the classes keep
+their structure fully introspectable (``steps``, ``transformer_list``,
+``transformers``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import BaseEstimator, TransformerMixin, as_matrix
+
+
+class Pipeline(BaseEstimator):
+    """A linear chain of transformers ending in an estimator.
+
+    ``steps`` is a list of ``(name, estimator)`` pairs; every step except
+    the last must be a transformer. Mirrors ``sklearn.pipeline.Pipeline``.
+    """
+
+    def __init__(self, steps: list[tuple[str, BaseEstimator]]):
+        if not steps:
+            raise MLError("Pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise MLError(f"duplicate step names in {names}")
+        self.steps = list(steps)
+        self.feature_names_: list[str] | None = None
+
+    # -- structure accessors -----------------------------------------------
+
+    @property
+    def named_steps(self) -> dict[str, BaseEstimator]:
+        return dict(self.steps)
+
+    @property
+    def final_estimator(self) -> BaseEstimator:
+        return self.steps[-1][1]
+
+    @property
+    def transformers(self) -> list[tuple[str, BaseEstimator]]:
+        return self.steps[:-1]
+
+    def __getitem__(self, key: str) -> BaseEstimator:
+        return self.named_steps[key]
+
+    # -- fit/predict ---------------------------------------------------------
+
+    def fit(self, X, y=None) -> "Pipeline":
+        if hasattr(X, "schema"):  # Table: remember feature column names
+            self.feature_names_ = list(X.schema.names)
+        data = as_matrix(X)
+        for _, step in self.steps[:-1]:
+            data = step.fit_transform(data, y)
+        last = self.steps[-1][1]
+        last.fit(data, y)
+        return self
+
+    def _transform_features(self, X) -> np.ndarray:
+        data = as_matrix(X)
+        for _, step in self.steps[:-1]:
+            data = step.transform(data)
+        return data
+
+    def transform(self, X) -> np.ndarray:
+        data = self._transform_features(X)
+        last = self.steps[-1][1]
+        if isinstance(last, TransformerMixin) or hasattr(last, "transform"):
+            return last.transform(data)
+        return data
+
+    def predict(self, X) -> np.ndarray:
+        return self.final_estimator.predict(self._transform_features(X))
+
+    def predict_proba(self, X) -> np.ndarray:
+        estimator = self.final_estimator
+        if not hasattr(estimator, "predict_proba"):
+            raise MLError(
+                f"{type(estimator).__name__} does not support predict_proba"
+            )
+        return estimator.predict_proba(self._transform_features(X))
+
+    def score(self, X, y) -> float:
+        return self.final_estimator.score(self._transform_features(X), y)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"('{name}', {type(step).__name__})" for name, step in self.steps
+        )
+        return f"Pipeline([{inner}])"
+
+
+class FeatureUnion(BaseEstimator, TransformerMixin):
+    """Apply several transformers to the same input, concatenating outputs.
+
+    Matches ``sklearn.pipeline.FeatureUnion`` — the ``Concat`` node in the
+    paper's Fig. 1 IR.
+    """
+
+    def __init__(self, transformer_list: list[tuple[str, BaseEstimator]]):
+        if not transformer_list:
+            raise MLError("FeatureUnion needs at least one transformer")
+        self.transformer_list = list(transformer_list)
+
+    def fit(self, X, y=None) -> "FeatureUnion":
+        data = as_matrix(X)
+        for _, transformer in self.transformer_list:
+            transformer.fit(data, y)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        data = as_matrix(X)
+        blocks = [t.transform(data) for _, t in self.transformer_list]
+        return np.hstack(blocks)
+
+    @property
+    def n_features_out_(self) -> int:
+        return int(
+            sum(t.n_features_out_ for _, t in self.transformer_list)
+        )
+
+
+class ColumnTransformer(BaseEstimator, TransformerMixin):
+    """Apply different transformers to disjoint column subsets.
+
+    ``transformers`` entries are ``(name, transformer, column_indices)``;
+    ``remainder`` is ``'drop'`` or ``'passthrough'``. Output blocks appear
+    in the order listed, then the passthrough remainder. The per-block
+    column maps (:meth:`output_blocks`) drive model-projection pushdown
+    through featurizers.
+    """
+
+    def __init__(
+        self,
+        transformers: list[tuple[str, BaseEstimator, list[int]]],
+        remainder: str = "drop",
+    ):
+        if remainder not in ("drop", "passthrough"):
+            raise MLError("remainder must be 'drop' or 'passthrough'")
+        self.transformers = list(transformers)
+        self.remainder = remainder
+        self.n_features_in_: int | None = None
+
+    def _remainder_columns(self) -> list[int]:
+        used = {c for _, _, cols in self.transformers for c in cols}
+        return [j for j in range(self.n_features_in_ or 0) if j not in used]
+
+    def fit(self, X, y=None) -> "ColumnTransformer":
+        data = as_matrix(X)
+        self.n_features_in_ = data.shape[1]
+        for _, transformer, columns in self.transformers:
+            transformer.fit(data[:, columns], y)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self.check_fitted("n_features_in_")
+        data = as_matrix(X)
+        blocks = [
+            transformer.transform(data[:, columns])
+            for _, transformer, columns in self.transformers
+        ]
+        if self.remainder == "passthrough":
+            rest = self._remainder_columns()
+            if rest:
+                blocks.append(data[:, rest])
+        return np.hstack(blocks) if blocks else np.empty((data.shape[0], 0))
+
+    def output_blocks(self) -> list[tuple[str, list[int], int]]:
+        """Layout of the output: ``(name, input columns, output width)``."""
+        self.check_fitted("n_features_in_")
+        blocks = []
+        for name, transformer, columns in self.transformers:
+            width = getattr(transformer, "n_features_out_", len(columns))
+            blocks.append((name, list(columns), int(width)))
+        if self.remainder == "passthrough":
+            rest = self._remainder_columns()
+            if rest:
+                blocks.append(("remainder", rest, len(rest)))
+        return blocks
+
+    @property
+    def n_features_out_(self) -> int:
+        return int(sum(width for _, _, width in self.output_blocks()))

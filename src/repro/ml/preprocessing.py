@@ -1,0 +1,218 @@
+"""Data featurizers: scaling, one-hot encoding, binning.
+
+These are the paper's "MLD" featurizer operators (§3.1). Each transformer
+exposes its learned parameters as plain arrays so that the cross-optimizer
+can reason about them (e.g. one-hot category lists drive predicate-based
+pruning of categorical features) and so that NN translation
+(:mod:`repro.tensor.converters`) can compile them to tensor ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.base import BaseEstimator, TransformerMixin, as_matrix
+
+
+class StandardScaler(BaseEstimator, TransformerMixin):
+    """Standardize features to zero mean and unit variance.
+
+    Compiles to ``(x - mean) / scale`` — a Sub/Div pair in the tensor IR.
+    """
+
+    def __init__(self, with_mean: bool = True, with_std: bool = True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X, y=None) -> "StandardScaler":
+        X = as_matrix(X)
+        self.mean_ = (
+            X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        )
+        if self.with_std:
+            scale = X.std(axis=0)
+            scale[scale == 0.0] = 1.0
+            self.scale_ = scale
+        else:
+            self.scale_ = np.ones(X.shape[1])
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self.check_fitted("mean_", "scale_")
+        return (as_matrix(X) - self.mean_) / self.scale_
+
+    def inverse_transform(self, X) -> np.ndarray:
+        self.check_fitted("mean_", "scale_")
+        return as_matrix(X) * self.scale_ + self.mean_
+
+    @property
+    def n_features_out_(self) -> int:
+        self.check_fitted("mean_")
+        return len(self.mean_)
+
+
+class MinMaxScaler(BaseEstimator, TransformerMixin):
+    """Rescale features to ``[0, 1]`` (``(x - min) / (max - min)``)."""
+
+    def __init__(self):
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X, y=None) -> "MinMaxScaler":
+        X = as_matrix(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.range_ = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self.check_fitted("min_", "range_")
+        return (as_matrix(X) - self.min_) / self.range_
+
+    @property
+    def n_features_out_(self) -> int:
+        self.check_fitted("min_")
+        return len(self.min_)
+
+
+class OneHotEncoder(BaseEstimator, TransformerMixin):
+    """One-hot encode integer-coded categorical columns.
+
+    ``categories_[j]`` holds the sorted distinct values of input column
+    ``j``; output columns are laid out column-major
+    (all categories of column 0, then column 1, ...). The layout is part of
+    the public contract: predicate-based pruning computes which output
+    positions survive a ``col = value`` filter from it.
+    """
+
+    def __init__(self, handle_unknown: str = "ignore"):
+        if handle_unknown not in ("ignore", "error"):
+            raise MLError("handle_unknown must be 'ignore' or 'error'")
+        self.handle_unknown = handle_unknown
+        self.categories_: list[np.ndarray] | None = None
+
+    def fit(self, X, y=None) -> "OneHotEncoder":
+        X = as_matrix(X)
+        self.categories_ = [np.unique(X[:, j]) for j in range(X.shape[1])]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self.check_fitted("categories_")
+        X = as_matrix(X)
+        if X.shape[1] != len(self.categories_):
+            raise MLError(
+                f"expected {len(self.categories_)} columns, got {X.shape[1]}"
+            )
+        blocks = []
+        for j, categories in enumerate(self.categories_):
+            block = (X[:, j : j + 1] == categories.reshape(1, -1)).astype(
+                np.float64
+            )
+            if self.handle_unknown == "error":
+                known = np.isin(X[:, j], categories)
+                if not known.all():
+                    bad = X[~known, j][0]
+                    raise MLError(f"unknown category {bad!r} in column {j}")
+            blocks.append(block)
+        return np.hstack(blocks)
+
+    @property
+    def n_features_out_(self) -> int:
+        self.check_fitted("categories_")
+        return int(sum(len(c) for c in self.categories_))
+
+    def output_slices(self) -> list[slice]:
+        """The output column range produced by each input column."""
+        self.check_fitted("categories_")
+        slices = []
+        start = 0
+        for categories in self.categories_:
+            stop = start + len(categories)
+            slices.append(slice(start, stop))
+            start = stop
+        return slices
+
+
+class Binarizer(BaseEstimator, TransformerMixin):
+    """Threshold features to {0, 1} (``x > threshold``)."""
+
+    def __init__(self, threshold: float = 0.0):
+        self.threshold = threshold
+        self.n_features_: int | None = None
+
+    def fit(self, X, y=None) -> "Binarizer":
+        self.n_features_ = as_matrix(X).shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        return (as_matrix(X) > self.threshold).astype(np.float64)
+
+    @property
+    def n_features_out_(self) -> int:
+        self.check_fitted("n_features_")
+        return int(self.n_features_)
+
+
+class SimpleImputer(BaseEstimator, TransformerMixin):
+    """Replace NaNs by a per-column statistic (mean/median/constant)."""
+
+    def __init__(self, strategy: str = "mean", fill_value: float = 0.0):
+        if strategy not in ("mean", "median", "constant"):
+            raise MLError(f"unknown imputation strategy {strategy!r}")
+        self.strategy = strategy
+        self.fill_value = fill_value
+        self.statistics_: np.ndarray | None = None
+
+    def fit(self, X, y=None) -> "SimpleImputer":
+        X = as_matrix(X)
+        if self.strategy == "mean":
+            self.statistics_ = np.nanmean(X, axis=0)
+        elif self.strategy == "median":
+            self.statistics_ = np.nanmedian(X, axis=0)
+        else:
+            self.statistics_ = np.full(X.shape[1], self.fill_value)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self.check_fitted("statistics_")
+        X = as_matrix(X).copy()
+        for j in range(X.shape[1]):
+            mask = np.isnan(X[:, j])
+            X[mask, j] = self.statistics_[j]
+        return X
+
+    @property
+    def n_features_out_(self) -> int:
+        self.check_fitted("statistics_")
+        return len(self.statistics_)
+
+
+class LabelEncoder(BaseEstimator):
+    """Map arbitrary labels to contiguous integer codes (and back)."""
+
+    def __init__(self):
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        self.check_fitted("classes_")
+        y = np.asarray(y)
+        codes = np.searchsorted(self.classes_, y)
+        codes = np.clip(codes, 0, len(self.classes_) - 1)
+        if not np.array_equal(self.classes_[codes], y):
+            raise MLError("transform() saw labels unseen during fit()")
+        return codes
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes) -> np.ndarray:
+        self.check_fitted("classes_")
+        return self.classes_[np.asarray(codes, dtype=np.int64)]

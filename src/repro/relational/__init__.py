@@ -1,0 +1,15 @@
+"""The relational substrate: a columnar mini-RDBMS with native scoring.
+
+Public surface:
+
+* :class:`~repro.relational.database.Database` — SQL in, tables out.
+* :class:`~repro.relational.table.Table` — the columnar batch format.
+* :class:`~repro.relational.types.Schema` / :class:`DataType`.
+* :mod:`repro.relational.expressions` — scalar expression trees.
+"""
+
+from repro.relational.database import Database, SessionCache
+from repro.relational.table import Table
+from repro.relational.types import Column, DataType, Schema
+
+__all__ = ["Database", "SessionCache", "Table", "Column", "DataType", "Schema"]

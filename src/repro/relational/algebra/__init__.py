@@ -1,0 +1,6 @@
+"""Logical algebra and the vectorized physical executor."""
+
+from repro.relational.algebra.binder import BindContext, Binder
+from repro.relational.algebra.executor import ExecutionOptions, Executor
+
+__all__ = ["BindContext", "Binder", "ExecutionOptions", "Executor"]

@@ -1,0 +1,383 @@
+"""Vectorized physical executor for logical plans.
+
+One physical implementation per logical operator, all column-at-a-time over
+NumPy arrays: hash joins, sort-based ORDER BY, ``np.unique``-based grouping.
+``Predict`` dispatches to a model scorer resolved from the model catalog —
+this is the integration point where the "database" calls the "ML runtime",
+and where chunked parallel scoring happens (the paper's Fig. 3 observation
+that SQL Server parallelizes scan + PREDICT).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.relational.algebra import logical
+from repro.relational.table import Table
+from repro.relational.types import DataType, Schema
+
+
+class ModelResolver(Protocol):
+    """Resolves a model reference to a batch scorer.
+
+    The scorer takes the input :class:`Table` and returns a mapping from
+    output column name to a 1-D array (one entry per declared output).
+    """
+
+    def resolve_scorer(
+        self, model_ref: str, output_columns: tuple[tuple[str, DataType], ...]
+    ) -> Callable[[Table], dict[str, np.ndarray]]: ...
+
+
+class ExecutionOptions:
+    """Tuning knobs for the executor (used by ablation benchmarks)."""
+
+    def __init__(
+        self,
+        parallel_predict: bool = True,
+        parallel_row_threshold: int = 50_000,
+        max_workers: int = 8,
+        default_batch_size: int | None = None,
+    ):
+        self.parallel_predict = parallel_predict
+        self.parallel_row_threshold = parallel_row_threshold
+        self.max_workers = max_workers
+        self.default_batch_size = default_batch_size
+
+
+class Executor:
+    """Interprets logical plans against a table provider + model resolver."""
+
+    def __init__(
+        self,
+        table_provider: Callable[[str], Table],
+        model_resolver: ModelResolver | None = None,
+        options: ExecutionOptions | None = None,
+    ):
+        self._table_provider = table_provider
+        self._model_resolver = model_resolver
+        self.options = options or ExecutionOptions()
+
+    def execute(self, plan: logical.LogicalOp) -> Table:
+        method = getattr(self, f"_execute_{type(plan).__name__.lower()}", None)
+        if method is None:
+            raise ExecutionError(f"no physical operator for {type(plan).__name__}")
+        return method(plan)
+
+    # -- leaf operators -------------------------------------------------------
+
+    def _execute_scan(self, op: logical.Scan) -> Table:
+        table = self._table_provider(op.table_name)
+        if op.alias:
+            return table.prefixed(op.alias)
+        return table
+
+    def _execute_inlinetable(self, op: logical.InlineTable) -> Table:
+        if op.alias:
+            return op.table.prefixed(op.alias)
+        return op.table
+
+    # -- unary operators ------------------------------------------------------
+
+    def _execute_filter(self, op: logical.Filter) -> Table:
+        table = self.execute(op.child)
+        mask = op.predicate.evaluate(table)
+        mask = np.asarray(mask)
+        if mask.ndim == 0:
+            mask = np.full(table.num_rows, bool(mask))
+        return table.filter(mask.astype(bool))
+
+    def _execute_project(self, op: logical.Project) -> Table:
+        table = self.execute(op.child)
+        columns = {}
+        for expr, name in op.items:
+            values = np.asarray(expr.evaluate(table))
+            if values.ndim == 0:
+                values = np.full(table.num_rows, values[()])
+            columns[name] = values
+        schema_cols = []
+        from repro.relational.types import Column
+
+        for expr, name in op.items:
+            schema_cols.append(
+                Column(name, DataType.from_numpy(columns[name].dtype))
+            )
+        return Table(Schema(tuple(schema_cols)), columns)
+
+    def _execute_orderby(self, op: logical.OrderBy) -> Table:
+        table = self.execute(op.child)
+        if table.num_rows == 0:
+            return table
+        # np.lexsort sorts by the last key first: feed keys in reverse.
+        keys = []
+        for expr, ascending in reversed(op.keys):
+            values = expr.evaluate(table)
+            if not ascending:
+                if values.dtype.kind in ("U", "S"):
+                    # Rank-invert strings (no stable negation exists).
+                    order = np.argsort(values, kind="stable")
+                    ranks = np.empty(len(values), dtype=np.int64)
+                    ranks[order] = np.arange(len(values))
+                    values = -ranks
+                else:
+                    values = -values
+            keys.append(values)
+        indices = np.lexsort(keys)
+        return table.take(indices)
+
+    def _execute_limit(self, op: logical.Limit) -> Table:
+        return self.execute(op.child).head(op.count)
+
+    def _execute_distinct(self, op: logical.Distinct) -> Table:
+        table = self.execute(op.child)
+        if table.num_rows == 0:
+            return table
+        seen: set[tuple] = set()
+        keep = np.zeros(table.num_rows, dtype=bool)
+        for i, row in enumerate(table.rows()):
+            key = tuple(row)
+            if key not in seen:
+                seen.add(key)
+                keep[i] = True
+        return table.filter(keep)
+
+    # -- joins ----------------------------------------------------------------
+
+    def _execute_join(self, op: logical.Join) -> Table:
+        left = self.execute(op.left)
+        right = self.execute(op.right)
+        if op.kind == "CROSS" or op.condition is None:
+            return self._cross_join(left, right)
+        equi, residual = self._split_join_condition(op.condition, left, right)
+        if equi is None:
+            combined = self._cross_join(left, right)
+            mask = op.condition.evaluate(combined).astype(bool)
+            return combined.filter(mask)
+        left_key, right_key = equi
+        result = self._hash_join(left, right, left_key, right_key, op.kind)
+        if residual is not None:
+            mask = residual.evaluate(result).astype(bool)
+            result = result.filter(mask)
+        return result
+
+    @staticmethod
+    def _split_join_condition(condition, left: Table, right: Table):
+        """Find one ``l.col = r.col`` equi-conjunct; the rest is residual."""
+        from repro.relational.expressions import (
+            BinaryOp,
+            ColumnRef,
+            conjoin,
+            conjuncts,
+        )
+
+        def side_of(ref: ColumnRef) -> str | None:
+            try:
+                left.resolve_name(ref.name)
+                return "left"
+            except Exception:
+                pass
+            try:
+                right.resolve_name(ref.name)
+                return "right"
+            except Exception:
+                return None
+
+        equi = None
+        residual = []
+        for conjunct in conjuncts(condition):
+            if (
+                equi is None
+                and isinstance(conjunct, BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                left_side = side_of(conjunct.left)
+                right_side = side_of(conjunct.right)
+                if left_side == "left" and right_side == "right":
+                    equi = (conjunct.left, conjunct.right)
+                    continue
+                if left_side == "right" and right_side == "left":
+                    equi = (conjunct.right, conjunct.left)
+                    continue
+            residual.append(conjunct)
+        return equi, (conjoin(residual) if residual else None)
+
+    @staticmethod
+    def _cross_join(left: Table, right: Table) -> Table:
+        left_idx = np.repeat(np.arange(left.num_rows), right.num_rows)
+        right_idx = np.tile(np.arange(right.num_rows), left.num_rows)
+        return left.take(left_idx).concat_columns(right.take(right_idx))
+
+    @staticmethod
+    def _hash_join(
+        left: Table, right: Table, left_key, right_key, kind: str
+    ) -> Table:
+        left_values = left_key.evaluate(left)
+        right_values = right_key.evaluate(right)
+        buckets: dict = {}
+        for i, value in enumerate(right_values.tolist()):
+            buckets.setdefault(value, []).append(i)
+        left_indices: list[int] = []
+        right_indices: list[int] = []
+        unmatched_left: list[int] = []
+        for i, value in enumerate(left_values.tolist()):
+            matches = buckets.get(value)
+            if matches:
+                left_indices.extend([i] * len(matches))
+                right_indices.extend(matches)
+            elif kind in ("LEFT", "FULL"):
+                unmatched_left.append(i)
+        left_idx = np.asarray(left_indices, dtype=np.int64)
+        right_idx = np.asarray(right_indices, dtype=np.int64)
+        matched = left.take(left_idx).concat_columns(right.take(right_idx))
+        if kind == "INNER" or not unmatched_left:
+            return matched
+        # LEFT/FULL: pad unmatched left rows with type-default right values.
+        pad_left = left.take(np.asarray(unmatched_left, dtype=np.int64))
+        pad_columns = {}
+        for col in right.schema:
+            dtype = col.dtype.numpy_dtype
+            if dtype.kind == "f":
+                fill = np.full(len(unmatched_left), np.nan)
+            elif dtype.kind in ("i", "u", "b"):
+                fill = np.zeros(len(unmatched_left), dtype=dtype)
+            else:
+                fill = np.full(len(unmatched_left), "", dtype=dtype)
+            pad_columns[col.name] = fill
+        pad_right = Table(right.schema, pad_columns)
+        padded = pad_left.concat_columns(pad_right)
+        return Table.concat_rows([matched, padded])
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _execute_aggregate(self, op: logical.Aggregate) -> Table:
+        table = self.execute(op.child)
+        if not op.group_by:
+            return self._global_aggregate(op, table)
+        key_arrays = [expr.evaluate(table) for expr, _ in op.group_by]
+        # Build group ids from the composite key.
+        composite = np.empty(table.num_rows, dtype=object)
+        rows = list(zip(*(arr.tolist() for arr in key_arrays)))
+        for i, key in enumerate(rows):
+            composite[i] = key
+        uniques, group_ids = np.unique(composite, return_inverse=True)
+        num_groups = len(uniques)
+        columns: dict[str, np.ndarray] = {}
+        for (expr, name), arr in zip(op.group_by, key_arrays):
+            firsts = np.zeros(num_groups, dtype=np.int64)
+            seen = np.zeros(num_groups, dtype=bool)
+            for i, gid in enumerate(group_ids):
+                if not seen[gid]:
+                    seen[gid] = True
+                    firsts[gid] = i
+            columns[name] = arr[firsts]
+        for func, arg, alias in op.aggregates:
+            columns[alias] = self._grouped_aggregate(
+                func, arg, table, group_ids, num_groups
+            )
+        schema = op.schema
+        return Table(schema, {c.name: columns[c.name] for c in schema})
+
+    def _global_aggregate(self, op: logical.Aggregate, table: Table) -> Table:
+        columns = {}
+        for func, arg, alias in op.aggregates:
+            group_ids = np.zeros(table.num_rows, dtype=np.int64)
+            columns[alias] = self._grouped_aggregate(func, arg, table, group_ids, 1)
+        schema = op.schema
+        return Table(schema, {c.name: columns[c.name] for c in schema})
+
+    @staticmethod
+    def _grouped_aggregate(
+        func: str,
+        arg,
+        table: Table,
+        group_ids: np.ndarray,
+        num_groups: int,
+    ) -> np.ndarray:
+        if func == "COUNT" and arg is None:
+            return np.bincount(group_ids, minlength=num_groups).astype(np.int64)
+        if arg is None:
+            raise ExecutionError(f"{func} requires an argument")
+        values = arg.evaluate(table).astype(np.float64)
+        if func == "COUNT":
+            return np.bincount(group_ids, minlength=num_groups).astype(np.int64)
+        if func == "SUM":
+            return np.bincount(group_ids, weights=values, minlength=num_groups)
+        if func == "AVG":
+            sums = np.bincount(group_ids, weights=values, minlength=num_groups)
+            counts = np.bincount(group_ids, minlength=num_groups)
+            return sums / np.maximum(counts, 1)
+        if func in ("MIN", "MAX"):
+            fill = np.inf if func == "MIN" else -np.inf
+            out = np.full(num_groups, fill)
+            np_func = np.minimum if func == "MIN" else np.maximum
+            np_func.at(out, group_ids, values)
+            return out
+        raise ExecutionError(f"unknown aggregate {func!r}")
+
+    # -- set operations ---------------------------------------------------
+
+    def _execute_unionall(self, op: logical.UnionAll) -> Table:
+        tables = [self.execute(branch) for branch in op.branches]
+        first = tables[0]
+        aligned = [first]
+        for table in tables[1:]:
+            if table.schema.names != first.schema.names:
+                mapping = dict(zip(table.schema.names, first.schema.names))
+                table = table.rename(mapping)
+            aligned.append(table)
+        return Table.concat_rows(aligned)
+
+    # -- model scoring ----------------------------------------------------
+
+    def _execute_predict(self, op: logical.Predict) -> Table:
+        table = self.execute(op.child)
+        if self._model_resolver is None:
+            raise ExecutionError("no model resolver configured for PREDICT")
+        scorer = self._model_resolver.resolve_scorer(
+            op.model_ref, op.output_columns
+        )
+        outputs = self._score(scorer, table, op.batch_size)
+        result = table
+        for name, dtype in op.output_columns:
+            out_name = f"{op.alias}.{name}" if op.alias else name
+            values = outputs[name].astype(dtype.numpy_dtype)
+            result = result.with_column(out_name, values)
+        return result
+
+    def _score(
+        self,
+        scorer: Callable[[Table], dict[str, np.ndarray]],
+        table: Table,
+        batch_size: int | None,
+    ) -> dict[str, np.ndarray]:
+        options = self.options
+        batch_size = batch_size or options.default_batch_size
+        use_parallel = (
+            options.parallel_predict
+            and table.num_rows >= options.parallel_row_threshold
+        )
+        if not use_parallel and batch_size is None:
+            return scorer(table)
+        if batch_size is None:
+            batch_size = max(
+                1, table.num_rows // (options.max_workers * 2)
+            )
+        chunks = [
+            table.slice(start, min(start + batch_size, table.num_rows))
+            for start in range(0, max(table.num_rows, 1), batch_size)
+        ]
+        if use_parallel and len(chunks) > 1:
+            with ThreadPoolExecutor(max_workers=options.max_workers) as pool:
+                results = list(pool.map(scorer, chunks))
+        else:
+            results = [scorer(chunk) for chunk in chunks]
+        merged: dict[str, np.ndarray] = {}
+        for key in results[0]:
+            merged[key] = np.concatenate([r[key] for r in results])
+        return merged

@@ -1,0 +1,300 @@
+"""Logical plan operators for the relational engine.
+
+A logical plan is a tree of :class:`LogicalOp` nodes, each of which knows its
+output schema. The binder produces these from SQL ASTs; the physical
+executor interprets them; the Raven analyzer lifts them into the unified IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import BindError, SchemaError
+from repro.relational.expressions import Expression
+from repro.relational.table import Table
+from repro.relational.types import Column, DataType, Schema
+
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass(frozen=True)
+class LogicalOp:
+    """Base class for logical operators."""
+
+    @property
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    @property
+    def children(self) -> tuple["LogicalOp", ...]:
+        return ()
+
+    def with_children(self, children: Sequence["LogicalOp"]) -> "LogicalOp":
+        """Rebuild this node with new children (rewrites use this)."""
+        if children:
+            raise BindError(f"{type(self).__name__} takes no children")
+        return self
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Scan(LogicalOp):
+    """Read a base table (optionally aliased, which prefixes columns)."""
+
+    table_name: str
+    base_schema: Schema
+    alias: str | None = None
+
+    @property
+    def schema(self) -> Schema:
+        if self.alias:
+            return self.base_schema.prefixed(self.alias)
+        return self.base_schema
+
+
+@dataclass(frozen=True)
+class InlineTable(LogicalOp):
+    """A literal table (VALUES rows, or data injected by the runtime)."""
+
+    table: Table
+    alias: str | None = None
+
+    @property
+    def schema(self) -> Schema:
+        if self.alias:
+            return self.table.schema.prefixed(self.alias)
+        return self.table.schema
+
+
+@dataclass(frozen=True)
+class Filter(LogicalOp):
+    child: LogicalOp
+    predicate: Expression
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Filter":
+        (child,) = children
+        return Filter(child, self.predicate)
+
+
+@dataclass(frozen=True)
+class Project(LogicalOp):
+    """Compute named expressions (the SELECT list)."""
+
+    child: LogicalOp
+    items: tuple[tuple[Expression, str], ...]  # (expression, output name)
+
+    @property
+    def schema(self) -> Schema:
+        in_schema = self.child.schema
+        cols = []
+        for expr, name in self.items:
+            try:
+                dtype = expr.output_type(in_schema)
+            except SchemaError:
+                dtype = DataType.FLOAT
+            cols.append(Column(name, dtype))
+        return Schema(tuple(cols))
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Project":
+        (child,) = children
+        return Project(child, self.items)
+
+
+@dataclass(frozen=True)
+class Join(LogicalOp):
+    left: LogicalOp
+    right: LogicalOp
+    kind: str  # INNER, LEFT, CROSS (RIGHT/FULL are normalized by the binder)
+    condition: Expression | None
+
+    @property
+    def schema(self) -> Schema:
+        return self.left.schema.concat(self.right.schema)
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Join":
+        left, right = children
+        return Join(left, right, self.kind, self.condition)
+
+
+@dataclass(frozen=True)
+class Aggregate(LogicalOp):
+    """GROUP BY with aggregate functions."""
+
+    child: LogicalOp
+    group_by: tuple[tuple[Expression, str], ...]
+    aggregates: tuple[tuple[str, Expression | None, str], ...]
+    # each aggregate: (function name, argument or None for COUNT(*), alias)
+
+    @property
+    def schema(self) -> Schema:
+        in_schema = self.child.schema
+        cols = [
+            Column(name, expr.output_type(in_schema))
+            for expr, name in self.group_by
+        ]
+        for func, arg, alias in self.aggregates:
+            if func in ("COUNT",):
+                cols.append(Column(alias, DataType.INT))
+            elif func in ("AVG",):
+                cols.append(Column(alias, DataType.FLOAT))
+            elif arg is not None:
+                cols.append(Column(alias, arg.output_type(in_schema)))
+            else:
+                cols.append(Column(alias, DataType.FLOAT))
+        return Schema(tuple(cols))
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Aggregate":
+        (child,) = children
+        return Aggregate(child, self.group_by, self.aggregates)
+
+
+@dataclass(frozen=True)
+class OrderBy(LogicalOp):
+    child: LogicalOp
+    keys: tuple[tuple[Expression, bool], ...]  # (expr, ascending)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "OrderBy":
+        (child,) = children
+        return OrderBy(child, self.keys)
+
+
+@dataclass(frozen=True)
+class Limit(LogicalOp):
+    child: LogicalOp
+    count: int
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Limit":
+        (child,) = children
+        return Limit(child, self.count)
+
+
+@dataclass(frozen=True)
+class Distinct(LogicalOp):
+    child: LogicalOp
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Distinct":
+        (child,) = children
+        return Distinct(child)
+
+
+@dataclass(frozen=True)
+class UnionAll(LogicalOp):
+    branches: tuple[LogicalOp, ...]
+
+    @property
+    def schema(self) -> Schema:
+        return self.branches[0].schema
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return self.branches
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "UnionAll":
+        return UnionAll(tuple(children))
+
+
+@dataclass(frozen=True)
+class Predict(LogicalOp):
+    """The ``PREDICT(MODEL=..., DATA=...)`` table-valued function.
+
+    Appends the model's output columns to the input relation, exactly like
+    SQL Server native scoring. ``model_ref`` names a model in the catalog
+    (resolved from the ``@variable`` in the query); the physical executor
+    resolves it to a scorer at run time.
+    """
+
+    child: LogicalOp
+    model_ref: str
+    output_columns: tuple[tuple[str, DataType], ...]
+    alias: str | None = None
+    batch_size: int | None = field(default=None, compare=False)
+
+    @property
+    def schema(self) -> Schema:
+        out_cols = tuple(
+            Column(f"{self.alias}.{name}" if self.alias else name, dtype)
+            for name, dtype in self.output_columns
+        )
+        return Schema(self.child.schema.columns + out_cols)
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Predict":
+        (child,) = children
+        return Predict(
+            child, self.model_ref, self.output_columns, self.alias, self.batch_size
+        )
+
+
+def plan_to_string(op: LogicalOp, indent: int = 0) -> str:
+    """Pretty-print a logical plan tree (tests assert against this)."""
+    pad = "  " * indent
+    label = type(op).__name__
+    detail = ""
+    if isinstance(op, Scan):
+        detail = f" {op.table_name}" + (f" AS {op.alias}" if op.alias else "")
+    elif isinstance(op, Filter):
+        detail = f" [{op.predicate!r}]"
+    elif isinstance(op, Project):
+        detail = " [" + ", ".join(name for _, name in op.items) + "]"
+    elif isinstance(op, Join):
+        detail = f" {op.kind}" + (f" [{op.condition!r}]" if op.condition else "")
+    elif isinstance(op, Predict):
+        detail = f" model={op.model_ref}"
+    elif isinstance(op, Limit):
+        detail = f" {op.count}"
+    lines = [f"{pad}{label}{detail}"]
+    for child in op.children:
+        lines.append(plan_to_string(child, indent + 1))
+    return "\n".join(lines)

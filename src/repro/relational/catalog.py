@@ -1,0 +1,203 @@
+"""System catalog: tables, models, versions, and an audit log.
+
+The paper's motivation for in-DB inference is that the RDBMS extends its
+enterprise guarantees — transactions, versioning, auditing — to models.
+This catalog delivers scaled-down but real versions of those guarantees:
+
+* models are first-class catalog objects with monotonically increasing
+  versions,
+* every mutation is recorded in an append-only audit log,
+* mutations go through an undo log so transactions can roll them back
+  (:mod:`repro.relational.transactions`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import CatalogError
+from repro.relational.table import Table
+from repro.relational.types import Schema
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One version of a stored model pipeline.
+
+    ``payload`` is the model object itself (an ``repro.ml`` pipeline, a
+    tensor graph, or a raw Python script for the static analyzer) —
+    the catalog treats it as an opaque varbinary, as SQL Server does.
+    """
+
+    name: str
+    version: int
+    payload: object
+    flavor: str  # "ml.pipeline" | "tensor.graph" | "python.script" | ...
+    created_at: float
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.name}:v{self.version}"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One entry in the append-only audit log."""
+
+    timestamp: float
+    action: str  # create_table/drop_table/insert/delete/update/store_model/...
+    object_name: str
+    detail: str = ""
+
+
+class Catalog:
+    """In-memory catalog of tables and models with auditing."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._models: dict[str, list[ModelEntry]] = {}
+        self._audit: list[AuditRecord] = []
+
+    # -- tables ---------------------------------------------------------------
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def get_table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def table_schema(self, name: str) -> Schema:
+        return self.get_table(name).schema
+
+    def create_table(self, name: str, table: Table, replace: bool = False) -> None:
+        key = name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[key] = table
+        self._log("create_table", name, f"{table.num_rows} rows")
+
+    def set_table(self, name: str, table: Table) -> None:
+        """Replace table contents (INSERT/DELETE/UPDATE go through here)."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        self._tables[key] = table
+        self._log("set_table", name, f"{table.num_rows} rows")
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[key]
+        self._log("drop_table", name)
+
+    # -- models ---------------------------------------------------------------
+
+    def has_model(self, name: str) -> bool:
+        return name.lower() in self._models
+
+    def model_names(self) -> list[str]:
+        return sorted(self._models)
+
+    def store_model(
+        self,
+        name: str,
+        payload: object,
+        flavor: str,
+        metadata: dict | None = None,
+    ) -> ModelEntry:
+        """Store a new version of a model; returns the created entry."""
+        key = name.lower()
+        versions = self._models.setdefault(key, [])
+        entry = ModelEntry(
+            name=name,
+            version=len(versions) + 1,
+            payload=payload,
+            flavor=flavor,
+            created_at=time.time(),
+            metadata=dict(metadata or {}),
+        )
+        versions.append(entry)
+        self._log("store_model", name, f"v{entry.version} flavor={flavor}")
+        return entry
+
+    def get_model(self, name: str, version: int | None = None) -> ModelEntry:
+        """Fetch a model by name, defaulting to the latest version.
+
+        Accepts ``name``, ``name:v3``, or an explicit ``version``.
+        """
+        if version is None and ":v" in name:
+            name, _, suffix = name.rpartition(":v")
+            version = int(suffix)
+        versions = self._models.get(name.lower())
+        if not versions:
+            raise CatalogError(f"unknown model {name!r}")
+        if version is None:
+            return versions[-1]
+        for entry in versions:
+            if entry.version == version:
+                return entry
+        raise CatalogError(f"model {name!r} has no version {version}")
+
+    def model_versions(self, name: str) -> list[ModelEntry]:
+        versions = self._models.get(name.lower())
+        if not versions:
+            raise CatalogError(f"unknown model {name!r}")
+        return list(versions)
+
+    def drop_model(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._models:
+            raise CatalogError(f"unknown model {name!r}")
+        del self._models[key]
+        self._log("drop_model", name)
+
+    # -- audit ---------------------------------------------------------------
+
+    def audit_log(self, actions: Iterable[str] | None = None) -> list[AuditRecord]:
+        """The audit trail, optionally filtered to specific actions."""
+        if actions is None:
+            return list(self._audit)
+        wanted = set(actions)
+        return [record for record in self._audit if record.action in wanted]
+
+    def _log(self, action: str, object_name: str, detail: str = "") -> None:
+        self._audit.append(
+            AuditRecord(time.time(), action, object_name, detail)
+        )
+
+    # -- snapshot support for transactions ------------------------------------
+
+    def snapshot_table(self, name: str) -> Table | None:
+        return self._tables.get(name.lower())
+
+    def restore_table(self, name: str, table: Table | None) -> None:
+        key = name.lower()
+        if table is None:
+            self._tables.pop(key, None)
+        else:
+            self._tables[key] = table
+        self._log("restore_table", name, "rollback")
+
+    def snapshot_model_versions(self, name: str) -> list[ModelEntry] | None:
+        versions = self._models.get(name.lower())
+        return list(versions) if versions is not None else None
+
+    def restore_model_versions(
+        self, name: str, versions: list[ModelEntry] | None
+    ) -> None:
+        key = name.lower()
+        if versions is None:
+            self._models.pop(key, None)
+        else:
+            self._models[key] = list(versions)
+        self._log("restore_model", name, "rollback")

@@ -1,0 +1,441 @@
+"""The database facade: SQL in, tables out.
+
+This is the stand-in for SQL Server in the reproduction. It owns the
+catalog, binds and executes SQL batches, implements the ``PREDICT``
+table-valued function by dispatching to the ML/tensor runtimes, caches
+models and inference sessions across queries (the reason Raven beats
+standalone ONNX Runtime on small inputs, Fig. 3), and exposes the model
+store through a virtual ``scoring_models`` table so that Fig. 1's
+``DECLARE @model = (SELECT model FROM scoring_models WHERE ...)`` works
+verbatim.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import BindError, CatalogError, ExecutionError
+from repro.relational.algebra.binder import BindContext, Binder
+from repro.relational.algebra.executor import ExecutionOptions, Executor
+from repro.relational.catalog import Catalog, ModelEntry
+from repro.relational.sql import ast_nodes as ast
+from repro.relational.sql.parser import parse
+from repro.relational.table import Table
+from repro.relational.types import Column, DataType, Schema
+
+_MODELS_VIEW_NAMES = ("scoring_models", "models")
+
+_MODELS_VIEW_SCHEMA = Schema.of(
+    ("model_name", DataType.STRING),
+    ("version", DataType.INT),
+    ("flavor", DataType.STRING),
+    ("model", DataType.BINARY),
+)
+
+
+class SessionCache:
+    """A small LRU cache for loaded models / inference sessions.
+
+    Keyed by the model's qualified name (``name:vN``) so a model update
+    (new version) naturally invalidates cached state.
+    """
+
+    def __init__(self, capacity: int = 32):
+        self.capacity = capacity
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_create(self, key: str, factory: Callable[[], object]) -> object:
+        if key in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.misses += 1
+        value = factory()
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return value
+
+    def invalidate(self, key: str) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Database:
+    """An in-memory relational database with native model scoring."""
+
+    def __init__(
+        self,
+        options: ExecutionOptions | None = None,
+        enable_session_cache: bool = True,
+    ):
+        from repro.relational.transactions import TransactionManager
+
+        self.catalog = Catalog()
+        self.transactions = TransactionManager(self.catalog)
+        self.session_cache = SessionCache() if enable_session_cache else None
+        self._binder = Binder(_CatalogView(self))
+        self._executor = Executor(
+            table_provider=self._provide_table,
+            model_resolver=self,
+            options=options,
+        )
+        self._external_runtimes: dict[str, Callable] = {}
+
+    # -- data management -------------------------------------------------
+
+    def register_table(self, name: str, table: Table, replace: bool = True) -> None:
+        """Register (or replace) a base table."""
+        self.transactions.note_table_write(name)
+        if self.catalog.has_table(name):
+            if not replace:
+                raise CatalogError(f"table {name!r} already exists")
+            self.catalog.set_table(name, table)
+        else:
+            self.catalog.create_table(name, table)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.get_table(name)
+
+    def store_model(
+        self,
+        name: str,
+        payload: object,
+        flavor: str = "ml.pipeline",
+        metadata: dict | None = None,
+    ) -> ModelEntry:
+        """Store a model pipeline in the database (versioned, audited)."""
+        self.transactions.note_model_write(name)
+        return self.catalog.store_model(name, payload, flavor, metadata)
+
+    def get_model(self, name: str, version: int | None = None) -> ModelEntry:
+        return self.catalog.get_model(name, version)
+
+    def register_external_runtime(self, language: str, runner: Callable) -> None:
+        """Register a handler for ``EXEC sp_execute_external_script``."""
+        self._external_runtimes[language.lower()] = runner
+
+    # -- SQL entry point ---------------------------------------------------
+
+    def execute(self, sql: str, data: dict[str, Table] | None = None):
+        """Execute a SQL batch; returns the last statement's result table.
+
+        ``data`` optionally supplies fresh (non-stored) tables visible to
+        this batch only — the paper's "fresh data coming from an
+        application" path.
+        """
+        script = parse(sql)
+        context = BindContext()
+        if data:
+            for name, table in data.items():
+                context.ctes[name.lower()] = _inline(table)
+        result = None
+        for statement in script.statements:
+            result = self._execute_statement(statement, context)
+        return result
+
+    def execute_plan(self, plan) -> Table:
+        """Execute an already-bound logical plan."""
+        return self._executor.execute(plan)
+
+    def bind(self, sql: str, data: dict[str, Table] | None = None):
+        """Parse + bind an inference query, returning the logical plan.
+
+        Accepts either a single SELECT or a batch of ``DECLARE``
+        statements followed by one SELECT (the Fig. 1 shape). DECLAREd
+        variables are evaluated eagerly (model lookups hit the catalog)
+        so the resulting plan is self-contained.
+        """
+        script = parse(sql)
+        context = BindContext()
+        if data:
+            for name, table in data.items():
+                context.ctes[name.lower()] = _inline(table)
+        select: ast.SelectStatement | None = None
+        for statement in script.statements:
+            if isinstance(statement, ast.DeclareStatement):
+                self._execute_declare(statement, context)
+            elif isinstance(statement, ast.SelectStatement):
+                if select is not None:
+                    raise BindError("bind() accepts at most one SELECT")
+                select = statement
+            else:
+                raise BindError(
+                    f"bind() cannot handle {type(statement).__name__}; "
+                    "use execute()"
+                )
+        if select is None:
+            raise BindError("bind() needs a SELECT statement")
+        return self._binder.bind_select(select, context)
+
+    @property
+    def executor_options(self) -> ExecutionOptions:
+        return self._executor.options
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _execute_statement(self, statement, context: BindContext):
+        if isinstance(statement, ast.SelectStatement):
+            plan = self._binder.bind_select(statement, context)
+            return self._executor.execute(plan)
+        if isinstance(statement, ast.DeclareStatement):
+            return self._execute_declare(statement, context)
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement, context)
+        if isinstance(statement, ast.CreateTableStatement):
+            schema = Schema(tuple(Column(n, t) for n, t in statement.columns))
+            self.register_table(statement.name, Table.empty(schema), replace=False)
+            return None
+        if isinstance(statement, ast.DropTableStatement):
+            self.transactions.note_table_write(statement.name)
+            self.catalog.drop_table(statement.name)
+            return None
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.TransactionStatement):
+            action = statement.action
+            if action == "begin":
+                self.transactions.begin()
+            elif action == "commit":
+                self.transactions.commit()
+            else:
+                self.transactions.rollback()
+            return None
+        if isinstance(statement, ast.ExecStatement):
+            return self._execute_exec(statement, context)
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_declare(self, statement: ast.DeclareStatement, context: BindContext):
+        value: object = None
+        if statement.subquery is not None:
+            plan = self._binder.bind_select(statement.subquery, context)
+            table = self._executor.execute(plan)
+            if table.num_rows < 1 or table.num_columns < 1:
+                raise ExecutionError(
+                    f"DECLARE @{statement.name}: subquery returned no value"
+                )
+            value = table.column(table.schema.names[0])[0]
+        elif statement.value is not None:
+            dummy = Table.from_dict({"one": np.array([1])})
+            value = statement.value.evaluate(dummy)[0]
+        if isinstance(value, ModelEntry):
+            value = value.qualified_name
+        context.variables[statement.name] = value
+        return None
+
+    def _execute_insert(self, statement: ast.InsertStatement, context: BindContext):
+        name = statement.name
+        # INSERT into the virtual model store registers a model pipeline.
+        if name.lower() in _MODELS_VIEW_NAMES and not self.catalog.has_table(name):
+            return self._insert_model(statement)
+        self.transactions.note_table_write(name)
+        existing = self.catalog.get_table(name)
+        if statement.select is not None:
+            plan = self._binder.bind_select(statement.select, context)
+            new_rows = self._executor.execute(plan)
+            if statement.columns:
+                new_rows = new_rows.rename(
+                    dict(zip(new_rows.schema.names, statement.columns))
+                )
+            else:
+                new_rows = new_rows.rename(
+                    dict(zip(new_rows.schema.names, existing.schema.names))
+                )
+        else:
+            columns = statement.columns or existing.schema.names
+            dummy = Table.from_dict({"one": np.array([1])})
+            data: dict[str, list] = {c: [] for c in columns}
+            for row in statement.rows:
+                for col_name, expr in zip(columns, row):
+                    data[col_name].append(expr.evaluate(dummy)[0])
+            new_rows = Table(
+                existing.schema.select(columns),
+                {c: np.array(v) for c, v in data.items()},
+            )
+        merged = Table.concat_rows(
+            [existing, new_rows.select(existing.schema.names)]
+        )
+        self.catalog.set_table(name, merged)
+        return None
+
+    def _insert_model(self, statement: ast.InsertStatement):
+        dummy = Table.from_dict({"one": np.array([1])})
+        columns = statement.columns or ("model_name", "model")
+        for row in statement.rows:
+            values = {
+                col: expr.evaluate(dummy)[0] for col, expr in zip(columns, row)
+            }
+            name = str(values.get("model_name") or values.get("name"))
+            payload = values.get("model")
+            flavor = "python.script" if isinstance(payload, str) else "ml.pipeline"
+            self.store_model(name, payload, flavor=str(values.get("flavor", flavor)))
+        return None
+
+    def _execute_delete(self, statement: ast.DeleteStatement):
+        self.transactions.note_table_write(statement.name)
+        table = self.catalog.get_table(statement.name)
+        if statement.where is None:
+            remaining = Table.empty(table.schema)
+        else:
+            mask = statement.where.evaluate(table).astype(bool)
+            remaining = table.filter(~mask)
+        self.catalog.set_table(statement.name, remaining)
+        return None
+
+    def _execute_update(self, statement: ast.UpdateStatement):
+        self.transactions.note_table_write(statement.name)
+        table = self.catalog.get_table(statement.name)
+        if statement.where is None:
+            mask = np.ones(table.num_rows, dtype=bool)
+        else:
+            mask = statement.where.evaluate(table).astype(bool)
+        for column_name, expr in statement.assignments:
+            stored = table.resolve_name(column_name)
+            values = table.column(stored).copy()
+            new_values = expr.evaluate(table)
+            values[mask] = new_values[mask] if new_values.ndim else new_values
+            table = table.with_column(stored, values)
+        self.catalog.set_table(statement.name, table)
+        return None
+
+    def _execute_exec(self, statement: ast.ExecStatement, context: BindContext):
+        if statement.procedure.lower() != "sp_execute_external_script":
+            raise ExecutionError(f"unknown procedure {statement.procedure!r}")
+        dummy = Table.from_dict({"one": np.array([1])})
+        params = {
+            name.lower(): expr.evaluate(dummy)[0]
+            for name, expr in statement.parameters
+        }
+        language = str(params.get("language", "python")).lower()
+        runner = self._external_runtimes.get(language)
+        if runner is None:
+            raise ExecutionError(
+                f"no external runtime registered for language {language!r}"
+            )
+        input_table = None
+        if "input_data_1" in params:
+            input_table = self.execute(str(params["input_data_1"]))
+        return runner(str(params.get("script", "")), input_table)
+
+    # -- table provider (executor callback) ---------------------------------
+
+    def _provide_table(self, name: str) -> Table:
+        if self.catalog.has_table(name):
+            return self.catalog.get_table(name)
+        if name.lower() in _MODELS_VIEW_NAMES:
+            return self._models_view()
+        raise CatalogError(f"unknown table {name!r}")
+
+    def _models_view(self) -> Table:
+        rows = []
+        for model_name in self.catalog.model_names():
+            for entry in self.catalog.model_versions(model_name):
+                rows.append((entry.name, entry.version, entry.flavor, entry))
+        return Table.from_rows(_MODELS_VIEW_SCHEMA, rows)
+
+    # -- model resolver (executor callback) ----------------------------------
+
+    def resolve_scorer(
+        self,
+        model_ref: str,
+        output_columns: tuple[tuple[str, DataType], ...],
+    ) -> Callable[[Table], dict[str, np.ndarray]]:
+        """Build (with caching) a batch scorer for a stored model."""
+        if model_ref.startswith("@"):
+            raise ExecutionError(
+                f"model variable {model_ref} was never assigned a model"
+            )
+        entry = self.catalog.get_model(model_ref)
+        if self.session_cache is not None:
+            scorer = self.session_cache.get_or_create(
+                entry.qualified_name, lambda: self._build_scorer(entry)
+            )
+        else:
+            scorer = self._build_scorer(entry)
+        output_names = [name for name, _ in output_columns]
+        return _bind_output_names(scorer, output_names)
+
+    @staticmethod
+    def _build_scorer(entry: ModelEntry) -> Callable[[Table], np.ndarray]:
+        """Create the raw scorer for a model entry (cache-miss path)."""
+        if entry.flavor == "ml.pipeline":
+            pipeline = entry.payload
+            feature_names = entry.metadata.get("feature_names") or getattr(
+                pipeline, "feature_names_", None
+            )
+
+            def score_pipeline(table: Table) -> np.ndarray:
+                features = table.to_matrix(feature_names)
+                return np.asarray(pipeline.predict(features), dtype=np.float64)
+
+            return score_pipeline
+        if entry.flavor == "tensor.graph":
+            from repro.tensor.session import InferenceSession
+
+            session = InferenceSession(entry.payload)
+            feature_names = entry.metadata.get("feature_names")
+
+            def score_graph(table: Table) -> np.ndarray:
+                features = table.to_matrix(feature_names)
+                outputs = session.run({session.input_names[0]: features})
+                return np.asarray(outputs[0]).reshape(len(table), -1)[:, 0]
+
+            return score_graph
+        raise ExecutionError(
+            f"model flavor {entry.flavor!r} has no in-process scorer; "
+            "use the out-of-process or containerized runtime"
+        )
+
+
+def _bind_output_names(
+    scorer: Callable[[Table], np.ndarray], output_names: Sequence[str]
+) -> Callable[[Table], dict[str, np.ndarray]]:
+    def run(table: Table) -> dict[str, np.ndarray]:
+        raw = np.asarray(scorer(table))
+        if raw.ndim == 1:
+            raw = raw.reshape(-1, 1)
+        if raw.shape[1] < len(output_names):
+            raise ExecutionError(
+                f"model produced {raw.shape[1]} outputs, query declared "
+                f"{len(output_names)}"
+            )
+        return {name: raw[:, i] for i, name in enumerate(output_names)}
+
+    return run
+
+
+def _inline(table: Table):
+    from repro.relational.algebra.logical import InlineTable
+
+    return InlineTable(table)
+
+
+class _CatalogView:
+    """Binder-facing catalog adapter that also exposes the models view."""
+
+    def __init__(self, database: Database):
+        self._database = database
+
+    def has_table(self, name: str) -> bool:
+        if self._database.catalog.has_table(name):
+            return True
+        return name.lower() in _MODELS_VIEW_NAMES
+
+    def table_schema(self, name: str) -> Schema:
+        if self._database.catalog.has_table(name):
+            return self._database.catalog.table_schema(name)
+        if name.lower() in _MODELS_VIEW_NAMES:
+            return _MODELS_VIEW_SCHEMA
+        raise CatalogError(f"unknown table {name!r}")

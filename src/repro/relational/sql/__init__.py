@@ -1,0 +1,5 @@
+"""SQL front end: lexer, AST, and parser."""
+
+from repro.relational.sql.parser import parse, parse_expression, parse_statement
+
+__all__ = ["parse", "parse_expression", "parse_statement"]

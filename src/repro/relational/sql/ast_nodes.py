@@ -1,0 +1,166 @@
+"""Abstract syntax tree for the SQL dialect.
+
+The parser produces these nodes; the binder lowers them onto the logical
+algebra. Expressions reuse :mod:`repro.relational.expressions` directly —
+SQL expression syntax maps 1:1 onto that tree, which keeps the binder thin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.expressions import Expression
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item in a SELECT list: expression + optional alias; ``*`` when
+    ``star`` is set (optionally qualified, ``t.*``)."""
+
+    expression: Expression | None = None
+    alias: str | None = None
+    star: bool = False
+    star_qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """Base class for anything that can appear in FROM."""
+
+    alias: str | None
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    """A base table or CTE reference."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class SubqueryTable(TableRef):
+    """A parenthesized subquery in FROM."""
+
+    query: "SelectStatement" = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class PredictTable(TableRef):
+    """``PREDICT(MODEL = @m, DATA = source AS d) WITH (col type, ...)``.
+
+    The SQL Server 2017 native-scoring table-valued function the paper
+    builds on. ``output_columns`` is the WITH clause declaring prediction
+    output names/types; ``data`` is the input relation.
+    """
+
+    model_variable: str = ""
+    data: TableRef = None  # type: ignore[assignment]
+    data_alias: str | None = None
+    output_columns: tuple[tuple[str, DataType], ...] = ()
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join clause attached to the previous FROM item."""
+
+    kind: str  # INNER, LEFT, RIGHT, FULL, CROSS
+    table: TableRef
+    condition: Expression | None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A full SELECT, possibly with CTEs, joins, grouping and set ops."""
+
+    items: tuple[SelectItem, ...]
+    source: TableRef | None = None
+    joins: tuple[Join, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+    ctes: tuple[tuple[str, "SelectStatement"], ...] = ()
+    union: tuple["SelectStatement", ...] = ()  # UNION ALL branches
+
+
+@dataclass(frozen=True)
+class DeclareStatement:
+    """``DECLARE @name type = <scalar subquery or literal>``."""
+
+    name: str
+    type_name: str
+    value: Expression | None = None
+    subquery: SelectStatement | None = None
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    name: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expression, ...], ...] = ()
+    select: SelectStatement | None = None
+
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    name: str
+    columns: tuple[tuple[str, DataType], ...]
+
+
+@dataclass(frozen=True)
+class DropTableStatement:
+    name: str
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    name: str
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    name: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class TransactionStatement:
+    """BEGIN TRANSACTION / COMMIT / ROLLBACK."""
+
+    action: str  # "begin" | "commit" | "rollback"
+
+
+@dataclass(frozen=True)
+class ExecStatement:
+    """``EXEC sp_execute_external_script @language=..., @script=...``.
+
+    The out-of-process escape hatch (§5 of the paper). Parameters are kept
+    as raw name/expression pairs for the runtime to interpret.
+    """
+
+    procedure: str
+    parameters: tuple[tuple[str, Expression], ...] = ()
+
+
+@dataclass(frozen=True)
+class Script:
+    """A batch of statements separated by ``;``."""
+
+    statements: tuple = field(default_factory=tuple)
+
+    def single(self):
+        """The only statement in the batch (errors otherwise)."""
+        if len(self.statements) != 1:
+            raise ValueError(f"expected one statement, got {len(self.statements)}")
+        return self.statements[0]

@@ -1,0 +1,188 @@
+"""SQL tokenizer.
+
+Supports the T-SQL-flavoured subset Raven queries use: ``DECLARE @var``,
+``WITH`` CTEs, ``SELECT``/``JOIN``/``WHERE``, the ``PREDICT(MODEL=...,
+DATA=...)`` table-valued function, ``CASE`` expressions, string/number
+literals, and comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "JOIN", "INNER", "LEFT", "RIGHT", "FULL",
+    "OUTER", "CROSS", "ON", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL",
+    "WITH", "DECLARE", "INSERT", "INTO", "VALUES", "CREATE", "TABLE",
+    "DROP", "DELETE", "UPDATE", "SET", "GROUP", "BY", "ORDER", "ASC",
+    "DESC", "LIMIT", "TOP", "UNION", "ALL", "DISTINCT", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "PREDICT", "MODEL", "DATA", "EXEC", "BETWEEN",
+    "HAVING", "CAST", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "LIKE",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    VARIABLE = "variable"  # @name
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"  # ( ) , ; .
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value.upper() == value.upper()
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+_OPERATORS = ("<>", "!=", ">=", "<=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = "(),;."
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize SQL text, raising :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(sql)
+
+    def column() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = sql[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        # Comments
+        if sql.startswith("--", i):
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise SQLSyntaxError("unterminated block comment", line, column())
+            line += sql.count("\n", i, end)
+            i = end + 2
+            continue
+        # String literal (single quotes, '' escapes)
+        if ch == "'":
+            start_line, start_col = line, column()
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError(
+                        "unterminated string literal", start_line, start_col
+                    )
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                if sql[j] == "\n":
+                    line += 1
+                parts.append(sql[j])
+                j += 1
+            tokens.append(
+                Token(TokenType.STRING, "".join(parts), start_line, start_col)
+            )
+            i = j + 1
+            continue
+        # Bracketed identifier [name]
+        if ch == "[":
+            end = sql.find("]", i)
+            if end == -1:
+                raise SQLSyntaxError("unterminated [identifier]", line, column())
+            tokens.append(
+                Token(TokenType.IDENTIFIER, sql[i + 1 : end], line, column())
+            )
+            i = end + 1
+            continue
+        # Variable @name
+        if ch == "@":
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            if j == i + 1:
+                raise SQLSyntaxError("bare '@'", line, column())
+            tokens.append(Token(TokenType.VARIABLE, sql[i + 1 : j], line, column()))
+            i = j
+            continue
+        # Number
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and sql[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], line, column()))
+            i = j
+            continue
+        # Identifier / keyword
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            token_type = (
+                TokenType.KEYWORD if word.upper() in KEYWORDS else TokenType.IDENTIFIER
+            )
+            tokens.append(Token(token_type, word, line, column()))
+            i = j
+            continue
+        # Operators
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                value = "<>" if op == "!=" else op
+                tokens.append(Token(TokenType.OPERATOR, value, line, column()))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, line, column()))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", line, column())
+
+    tokens.append(Token(TokenType.EOF, "", line, column()))
+    return tokens

@@ -1,0 +1,612 @@
+"""Recursive-descent parser for the SQL dialect.
+
+The grammar covers what Raven inference queries need (Fig. 1 of the paper):
+``DECLARE`` of model variables, ``WITH`` CTEs, joins, ``PREDICT(MODEL=...,
+DATA=...) WITH (...)``, ``CASE`` expressions, plus the DML/DDL used by the
+examples and tests (CREATE/INSERT/UPDATE/DELETE, transactions, EXEC).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.relational.expressions import (
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+)
+from repro.relational.sql import ast_nodes as ast
+from repro.relational.sql.lexer import Token, TokenType, tokenize
+from repro.relational.types import DataType
+
+
+class Parser:
+    """A single-use parser over a token stream."""
+
+    def __init__(self, sql: str):
+        self._tokens = tokenize(sql)
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, value: str | None = None) -> bool:
+        return self._peek().matches(token_type, value)
+
+    def _match(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self._check(token_type, value):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self._peek()
+        if not token.matches(token_type, value):
+            expected = value or token_type.value
+            raise SQLSyntaxError(
+                f"expected {expected!r}, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _keyword(self, word: str) -> bool:
+        return self._match(TokenType.KEYWORD, word)
+
+    def _expect_keyword(self, word: str) -> Token:
+        return self._expect(TokenType.KEYWORD, word)
+
+    def _identifier(self) -> str:
+        token = self._peek()
+        # Allow non-reserved keywords (MODEL, DATA...) as identifiers.
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            self._advance()
+            return token.value
+        raise SQLSyntaxError(
+            f"expected identifier, found {token.value!r}", token.line, token.column
+        )
+
+    # -- entry points --------------------------------------------------------
+
+    def parse_script(self) -> ast.Script:
+        statements = []
+        while not self._check(TokenType.EOF):
+            if self._match(TokenType.PUNCT, ";"):
+                continue
+            statements.append(self._statement())
+        return ast.Script(tuple(statements))
+
+    # -- statements ----------------------------------------------------------
+
+    def _statement(self):
+        token = self._peek()
+        if token.matches(TokenType.KEYWORD, "DECLARE"):
+            return self._declare()
+        if token.matches(TokenType.KEYWORD, "WITH") or token.matches(
+            TokenType.KEYWORD, "SELECT"
+        ):
+            return self._select_statement()
+        if token.matches(TokenType.KEYWORD, "INSERT"):
+            return self._insert()
+        if token.matches(TokenType.KEYWORD, "CREATE"):
+            return self._create_table()
+        if token.matches(TokenType.KEYWORD, "DROP"):
+            return self._drop_table()
+        if token.matches(TokenType.KEYWORD, "DELETE"):
+            return self._delete()
+        if token.matches(TokenType.KEYWORD, "UPDATE"):
+            return self._update()
+        if token.matches(TokenType.KEYWORD, "BEGIN"):
+            self._advance()
+            self._expect_keyword("TRANSACTION")
+            return ast.TransactionStatement("begin")
+        if token.matches(TokenType.KEYWORD, "COMMIT"):
+            self._advance()
+            self._keyword("TRANSACTION")
+            return ast.TransactionStatement("commit")
+        if token.matches(TokenType.KEYWORD, "ROLLBACK"):
+            self._advance()
+            self._keyword("TRANSACTION")
+            return ast.TransactionStatement("rollback")
+        if token.matches(TokenType.KEYWORD, "EXEC"):
+            return self._exec()
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r} at statement start",
+            token.line,
+            token.column,
+        )
+
+    def _declare(self) -> ast.DeclareStatement:
+        self._expect_keyword("DECLARE")
+        name = self._expect(TokenType.VARIABLE).value
+        type_name = self._identifier()
+        if self._match(TokenType.PUNCT, "("):
+            # varbinary(max) and friends: swallow the size spec
+            while not self._match(TokenType.PUNCT, ")"):
+                self._advance()
+        value: Expression | None = None
+        subquery: ast.SelectStatement | None = None
+        if self._match(TokenType.OPERATOR, "="):
+            if self._check(TokenType.PUNCT, "(") and self._peek(1).matches(
+                TokenType.KEYWORD, "SELECT"
+            ):
+                self._expect(TokenType.PUNCT, "(")
+                subquery = self._select_statement()
+                self._expect(TokenType.PUNCT, ")")
+            else:
+                value = self._expression()
+        return ast.DeclareStatement(name, type_name, value, subquery)
+
+    def _insert(self) -> ast.InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        name = self._identifier()
+        columns: tuple[str, ...] = ()
+        if self._match(TokenType.PUNCT, "("):
+            names = [self._identifier()]
+            while self._match(TokenType.PUNCT, ","):
+                names.append(self._identifier())
+            self._expect(TokenType.PUNCT, ")")
+            columns = tuple(names)
+        if self._keyword("VALUES"):
+            rows = [self._value_row()]
+            while self._match(TokenType.PUNCT, ","):
+                rows.append(self._value_row())
+            return ast.InsertStatement(name, columns, tuple(rows))
+        # INSERT INTO t AS (SELECT ...) / INSERT INTO t SELECT ...
+        self._keyword("AS")
+        had_paren = self._match(TokenType.PUNCT, "(")
+        select = self._select_statement()
+        if had_paren:
+            self._expect(TokenType.PUNCT, ")")
+        return ast.InsertStatement(name, columns, (), select)
+
+    def _value_row(self) -> tuple[Expression, ...]:
+        self._expect(TokenType.PUNCT, "(")
+        values = [self._expression()]
+        while self._match(TokenType.PUNCT, ","):
+            values.append(self._expression())
+        self._expect(TokenType.PUNCT, ")")
+        return tuple(values)
+
+    def _create_table(self) -> ast.CreateTableStatement:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        name = self._identifier()
+        self._expect(TokenType.PUNCT, "(")
+        columns = [self._column_def()]
+        while self._match(TokenType.PUNCT, ","):
+            columns.append(self._column_def())
+        self._expect(TokenType.PUNCT, ")")
+        return ast.CreateTableStatement(name, tuple(columns))
+
+    def _column_def(self) -> tuple[str, DataType]:
+        name = self._identifier()
+        type_name = self._identifier()
+        if self._match(TokenType.PUNCT, "("):
+            while not self._match(TokenType.PUNCT, ")"):
+                self._advance()
+        return name, DataType.from_sql_name(type_name)
+
+    def _drop_table(self) -> ast.DropTableStatement:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        return ast.DropTableStatement(self._identifier())
+
+    def _delete(self) -> ast.DeleteStatement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        name = self._identifier()
+        where = self._expression() if self._keyword("WHERE") else None
+        return ast.DeleteStatement(name, where)
+
+    def _update(self) -> ast.UpdateStatement:
+        self._expect_keyword("UPDATE")
+        name = self._identifier()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._match(TokenType.PUNCT, ","):
+            assignments.append(self._assignment())
+        where = self._expression() if self._keyword("WHERE") else None
+        return ast.UpdateStatement(name, tuple(assignments), where)
+
+    def _assignment(self) -> tuple[str, Expression]:
+        name = self._identifier()
+        self._expect(TokenType.OPERATOR, "=")
+        return name, self._expression()
+
+    def _exec(self) -> ast.ExecStatement:
+        self._expect_keyword("EXEC")
+        procedure = self._identifier()
+        parameters: list[tuple[str, Expression]] = []
+        while self._check(TokenType.VARIABLE):
+            pname = self._advance().value
+            self._expect(TokenType.OPERATOR, "=")
+            parameters.append((pname, self._expression()))
+            if not self._match(TokenType.PUNCT, ","):
+                break
+        return ast.ExecStatement(procedure, tuple(parameters))
+
+    # -- SELECT --------------------------------------------------------------
+
+    def _select_statement(self) -> ast.SelectStatement:
+        ctes: list[tuple[str, ast.SelectStatement]] = []
+        if self._keyword("WITH"):
+            while True:
+                name = self._identifier()
+                self._expect_keyword("AS")
+                self._expect(TokenType.PUNCT, "(")
+                ctes.append((name, self._select_statement()))
+                self._expect(TokenType.PUNCT, ")")
+                if not self._match(TokenType.PUNCT, ","):
+                    break
+        select = self._select_core()
+        unions: list[ast.SelectStatement] = []
+        while self._keyword("UNION"):
+            self._expect_keyword("ALL")
+            unions.append(self._select_core())
+        return ast.SelectStatement(
+            items=select.items,
+            source=select.source,
+            joins=select.joins,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            order_by=select.order_by,
+            limit=select.limit,
+            distinct=select.distinct,
+            ctes=tuple(ctes),
+            union=tuple(unions),
+        )
+
+    def _select_core(self) -> ast.SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = bool(self._keyword("DISTINCT"))
+        limit: int | None = None
+        if self._keyword("TOP"):
+            limit = int(self._expect(TokenType.NUMBER).value)
+        items = [self._select_item()]
+        while self._match(TokenType.PUNCT, ","):
+            items.append(self._select_item())
+        source: ast.TableRef | None = None
+        joins: list[ast.Join] = []
+        if self._keyword("FROM"):
+            source = self._table_ref()
+            while True:
+                join = self._maybe_join()
+                if join is None:
+                    break
+                joins.append(join)
+        where = self._expression() if self._keyword("WHERE") else None
+        group_by: list[Expression] = []
+        if self._keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._expression())
+            while self._match(TokenType.PUNCT, ","):
+                group_by.append(self._expression())
+        having = self._expression() if self._keyword("HAVING") else None
+        order_by: list[ast.OrderItem] = []
+        if self._keyword("ORDER"):
+            self._expect_keyword("BY")
+            while True:
+                expr = self._expression()
+                ascending = True
+                if self._keyword("DESC"):
+                    ascending = False
+                else:
+                    self._keyword("ASC")
+                order_by.append(ast.OrderItem(expr, ascending))
+                if not self._match(TokenType.PUNCT, ","):
+                    break
+        if self._keyword("LIMIT"):
+            limit = int(self._expect(TokenType.NUMBER).value)
+        return ast.SelectStatement(
+            items=tuple(items),
+            source=source,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_item(self) -> ast.SelectItem:
+        if self._match(TokenType.OPERATOR, "*"):
+            return ast.SelectItem(star=True)
+        # t.* — identifier '.' '*'
+        if (
+            self._check(TokenType.IDENTIFIER)
+            and self._peek(1).matches(TokenType.PUNCT, ".")
+            and self._peek(2).matches(TokenType.OPERATOR, "*")
+        ):
+            qualifier = self._advance().value
+            self._advance()
+            self._advance()
+            return ast.SelectItem(star=True, star_qualifier=qualifier)
+        expr = self._expression()
+        alias: str | None = None
+        if self._keyword("AS"):
+            alias = self._identifier()
+        elif self._check(TokenType.IDENTIFIER):
+            alias = self._advance().value
+        return ast.SelectItem(expression=expr, alias=alias)
+
+    def _maybe_join(self) -> ast.Join | None:
+        kind: str | None = None
+        if self._keyword("JOIN"):
+            kind = "INNER"
+        elif self._keyword("INNER"):
+            self._expect_keyword("JOIN")
+            kind = "INNER"
+        elif self._keyword("LEFT"):
+            self._keyword("OUTER")
+            self._expect_keyword("JOIN")
+            kind = "LEFT"
+        elif self._keyword("RIGHT"):
+            self._keyword("OUTER")
+            self._expect_keyword("JOIN")
+            kind = "RIGHT"
+        elif self._keyword("FULL"):
+            self._keyword("OUTER")
+            self._expect_keyword("JOIN")
+            kind = "FULL"
+        elif self._keyword("CROSS"):
+            self._expect_keyword("JOIN")
+            kind = "CROSS"
+        if kind is None:
+            return None
+        table = self._table_ref()
+        condition: Expression | None = None
+        if kind != "CROSS":
+            self._expect_keyword("ON")
+            condition = self._expression()
+        return ast.Join(kind, table, condition)
+
+    def _table_ref(self) -> ast.TableRef:
+        if self._keyword("PREDICT"):
+            return self._predict_table()
+        if self._match(TokenType.PUNCT, "("):
+            query = self._select_statement()
+            self._expect(TokenType.PUNCT, ")")
+            alias = self._table_alias()
+            return ast.SubqueryTable(alias=alias, query=query)
+        name = self._identifier()
+        alias = self._table_alias()
+        return ast.NamedTable(alias=alias, name=name)
+
+    def _table_alias(self) -> str | None:
+        if self._keyword("AS"):
+            return self._identifier()
+        if self._check(TokenType.IDENTIFIER) and not self._peek(1).matches(
+            TokenType.PUNCT, "."
+        ):
+            return self._advance().value
+        return None
+
+    def _predict_table(self) -> ast.PredictTable:
+        """PREDICT(MODEL = @m, DATA = <ref> AS d) WITH (name type, ...) AS p"""
+        self._expect(TokenType.PUNCT, "(")
+        self._expect_keyword("MODEL")
+        self._expect(TokenType.OPERATOR, "=")
+        model_variable = self._expect(TokenType.VARIABLE).value
+        self._expect(TokenType.PUNCT, ",")
+        self._expect_keyword("DATA")
+        self._expect(TokenType.OPERATOR, "=")
+        data = self._table_ref()
+        data_alias = data.alias
+        self._expect(TokenType.PUNCT, ")")
+        self._expect_keyword("WITH")
+        self._expect(TokenType.PUNCT, "(")
+        outputs = []
+        while True:
+            col_name = self._identifier()
+            type_name = self._identifier()
+            if self._match(TokenType.PUNCT, "("):
+                while not self._match(TokenType.PUNCT, ")"):
+                    self._advance()
+            outputs.append((col_name, DataType.from_sql_name(type_name)))
+            if not self._match(TokenType.PUNCT, ","):
+                break
+        self._expect(TokenType.PUNCT, ")")
+        alias = self._table_alias()
+        return ast.PredictTable(
+            alias=alias,
+            model_variable=model_variable,
+            data=data,
+            data_alias=data_alias,
+            output_columns=tuple(outputs),
+        )
+
+    # -- expressions ---------------------------------------------------------
+    # Precedence: OR < AND < NOT < comparison/IN/BETWEEN < add < mul < unary.
+
+    def _expression(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self._keyword("OR"):
+            left = BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self._keyword("AND"):
+            left = BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self._keyword("NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in (
+            "=", "<>", "<", "<=", ">", ">=",
+        ):
+            self._advance()
+            return BinaryOp(token.value, left, self._additive())
+        if self._keyword("IN"):
+            self._expect(TokenType.PUNCT, "(")
+            values = [self._literal_value()]
+            while self._match(TokenType.PUNCT, ","):
+                values.append(self._literal_value())
+            self._expect(TokenType.PUNCT, ")")
+            return InList(left, tuple(values))
+        if self._keyword("BETWEEN"):
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return BinaryOp("AND", BinaryOp(">=", left, low), BinaryOp("<=", left, high))
+        if self._keyword("IS"):
+            negate = bool(self._keyword("NOT"))
+            self._expect_keyword("NULL")
+            # No NULLs in the storage model: IS NULL is constant-folded.
+            return Literal(bool(negate))
+        return left
+
+    def _literal_value(self):
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            return float(text) if ("." in text or "e" in text.lower()) else int(text)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return token.value
+        raise SQLSyntaxError(
+            f"expected literal, found {token.value!r}", token.line, token.column
+        )
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                self._advance()
+                left = BinaryOp(token.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expression:
+        if self._match(TokenType.OPERATOR, "-"):
+            return UnaryOp("-", self._unary())
+        if self._match(TokenType.OPERATOR, "+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text.lower()) else int(text)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return Literal(token.value)
+        if token.type is TokenType.VARIABLE:
+            self._advance()
+            return ColumnRef(f"@{token.value}")
+        if token.matches(TokenType.KEYWORD, "CASE"):
+            return self._case()
+        if token.matches(TokenType.KEYWORD, "CAST"):
+            self._advance()
+            self._expect(TokenType.PUNCT, "(")
+            inner = self._expression()
+            self._expect_keyword("AS")
+            self._identifier()  # target type: storage handles coercion
+            if self._match(TokenType.PUNCT, "("):
+                while not self._match(TokenType.PUNCT, ")"):
+                    self._advance()
+            self._expect(TokenType.PUNCT, ")")
+            return inner
+        if token.matches(TokenType.KEYWORD, "NULL"):
+            self._advance()
+            return Literal(0.0)
+        if self._match(TokenType.PUNCT, "("):
+            expr = self._expression()
+            self._expect(TokenType.PUNCT, ")")
+            return expr
+        if token.type in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            name = self._identifier()
+            # function call
+            if self._check(TokenType.PUNCT, "("):
+                self._advance()
+                args: list[Expression] = []
+                if self._match(TokenType.OPERATOR, "*"):
+                    # COUNT(*) — the star stands for "any column".
+                    args.append(ColumnRef("*"))
+                elif not self._check(TokenType.PUNCT, ")"):
+                    args.append(self._expression())
+                    while self._match(TokenType.PUNCT, ","):
+                        args.append(self._expression())
+                self._expect(TokenType.PUNCT, ")")
+                return FunctionCall(name, tuple(args))
+            # dotted column reference
+            parts = [name]
+            while self._match(TokenType.PUNCT, "."):
+                parts.append(self._identifier())
+            return ColumnRef(".".join(parts))
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r} in expression",
+            token.line,
+            token.column,
+        )
+
+    def _case(self) -> Expression:
+        self._expect_keyword("CASE")
+        branches: list[tuple[Expression, Expression]] = []
+        while self._keyword("WHEN"):
+            cond = self._expression()
+            self._expect_keyword("THEN")
+            branches.append((cond, self._expression()))
+        default: Expression = Literal(0.0)
+        if self._keyword("ELSE"):
+            default = self._expression()
+        self._expect_keyword("END")
+        return CaseWhen(tuple(branches), default)
+
+
+def parse(sql: str) -> ast.Script:
+    """Parse a SQL batch into a :class:`~ast_nodes.Script`."""
+    return Parser(sql).parse_script()
+
+
+def parse_statement(sql: str):
+    """Parse SQL expected to contain exactly one statement."""
+    return parse(sql).single()
+
+
+def parse_expression(sql: str) -> Expression:
+    """Parse a standalone scalar expression (used in tests and codegen)."""
+    parser = Parser(sql)
+    expr = parser._expression()
+    parser._expect(TokenType.EOF)
+    return expr

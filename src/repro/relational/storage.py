@@ -1,0 +1,138 @@
+"""Database persistence: save/load a database directory.
+
+Tables are stored as ``.npz`` column archives, models as
+:mod:`repro.ml.model_format` JSON bundles (or serialized tensor graphs /
+raw scripts), and a JSON manifest ties them together with schema and
+version metadata. Loading never unpickles anything — the same
+data-not-code property as the model bundles.
+
+Layout::
+
+    <dir>/manifest.json
+    <dir>/tables/<name>.npz
+    <dir>/models/<name>_v<version>.json|.txt
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.ml import model_format
+from repro.ml.base import BaseEstimator
+from repro.relational.database import Database
+from repro.relational.table import Table
+from repro.relational.types import Column, DataType, Schema
+from repro.tensor import serialize as tensor_serialize
+from repro.tensor.graph import Graph
+
+MANIFEST_VERSION = 1
+
+
+def save_database(database: Database, path: str | Path) -> Path:
+    """Persist all tables and models of ``database`` under ``path``."""
+    path = Path(path)
+    (path / "tables").mkdir(parents=True, exist_ok=True)
+    (path / "models").mkdir(parents=True, exist_ok=True)
+    manifest: dict = {
+        "manifest_version": MANIFEST_VERSION,
+        "tables": {},
+        "models": [],
+    }
+    for name in database.catalog.table_names():
+        table = database.table(name)
+        file_name = f"{name}.npz"
+        np.savez(path / "tables" / file_name, **table.to_dict())
+        manifest["tables"][name] = {
+            "file": file_name,
+            "schema": [
+                [column.name, column.dtype.value] for column in table.schema
+            ],
+        }
+    for model_name in database.catalog.model_names():
+        for entry in database.catalog.model_versions(model_name):
+            stem = f"{model_name}_v{entry.version}"
+            payload = entry.payload
+            if isinstance(payload, BaseEstimator):
+                file_name = f"{stem}.json"
+                (path / "models" / file_name).write_text(
+                    model_format.dumps(payload)
+                )
+                payload_kind = "ml.bundle"
+            elif isinstance(payload, Graph):
+                file_name = f"{stem}.json"
+                (path / "models" / file_name).write_text(
+                    tensor_serialize.dumps(payload)
+                )
+                payload_kind = "tensor.graph"
+            elif isinstance(payload, str):
+                file_name = f"{stem}.txt"
+                (path / "models" / file_name).write_text(payload)
+                payload_kind = "text"
+            else:
+                raise CatalogError(
+                    f"model {entry.qualified_name}: payload of type "
+                    f"{type(payload).__name__} is not persistable"
+                )
+            manifest["models"].append(
+                {
+                    "name": entry.name,
+                    "version": entry.version,
+                    "flavor": entry.flavor,
+                    "file": file_name,
+                    "payload_kind": payload_kind,
+                    "metadata": entry.metadata,
+                }
+            )
+    (path / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def load_database(path: str | Path) -> Database:
+    """Reconstruct a database saved by :func:`save_database`."""
+    path = Path(path)
+    manifest_file = path / "manifest.json"
+    if not manifest_file.exists():
+        raise CatalogError(f"no manifest.json under {path}")
+    manifest = json.loads(manifest_file.read_text())
+    if manifest.get("manifest_version") != MANIFEST_VERSION:
+        raise CatalogError(
+            f"unsupported manifest_version {manifest.get('manifest_version')!r}"
+        )
+    database = Database()
+    for name, spec in manifest["tables"].items():
+        schema = Schema(
+            tuple(
+                Column(col_name, DataType(type_name))
+                for col_name, type_name in spec["schema"]
+            )
+        )
+        with np.load(path / "tables" / spec["file"], allow_pickle=False) as data:
+            columns = {key: data[key] for key in data.files}
+        database.register_table(name, Table(schema, columns))
+    # Versions were appended in order; re-storing in order recreates them.
+    for spec in sorted(
+        manifest["models"], key=lambda m: (m["name"], m["version"])
+    ):
+        text = (path / "models" / spec["file"]).read_text()
+        if spec["payload_kind"] == "ml.bundle":
+            payload: object = model_format.loads(text)
+        elif spec["payload_kind"] == "tensor.graph":
+            payload = tensor_serialize.loads(text)
+        else:
+            payload = text
+        entry = database.store_model(
+            spec["name"],
+            payload,
+            flavor=spec["flavor"],
+            metadata=spec.get("metadata") or {},
+        )
+        if entry.version != spec["version"]:
+            raise CatalogError(
+                f"model {spec['name']}: version gap in manifest "
+                f"(expected {spec['version']}, created {entry.version})"
+            )
+    return database

@@ -1,0 +1,313 @@
+"""Columnar in-memory tables backed by NumPy arrays.
+
+A :class:`Table` is the unit of data exchanged by every physical operator in
+the engine and by the Raven runtime when it hands batches to the tensor
+runtime. All operations are vectorized and copy-on-write: methods return new
+``Table`` objects sharing column arrays where possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.relational.types import Column, DataType, Schema
+
+
+class Table:
+    """An immutable, columnar table.
+
+    Parameters
+    ----------
+    schema:
+        Column names and logical types.
+    columns:
+        Mapping from column name to a 1-D NumPy array. All arrays must have
+        equal length; dtypes are coerced to the schema's storage dtypes.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        self._schema = schema
+        data: dict[str, np.ndarray] = {}
+        num_rows: int | None = None
+        for col in schema:
+            if col.name not in columns:
+                raise SchemaError(f"missing data for column {col.name!r}")
+            arr = np.asarray(columns[col.name])
+            if arr.ndim != 1:
+                raise SchemaError(
+                    f"column {col.name!r} must be 1-D, got shape {arr.shape}"
+                )
+            if arr.dtype != col.dtype.numpy_dtype:
+                arr = arr.astype(col.dtype.numpy_dtype)
+            if num_rows is None:
+                num_rows = len(arr)
+            elif len(arr) != num_rows:
+                raise SchemaError(
+                    f"column {col.name!r} has {len(arr)} rows, expected {num_rows}"
+                )
+            data[col.name] = arr
+        self._columns = data
+        self._num_rows = num_rows or 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, columns: Mapping[str, Sequence | np.ndarray]) -> "Table":
+        """Infer a schema from arrays/lists and build a table."""
+        arrays = {name: np.asarray(values) for name, values in columns.items()}
+        schema = Schema(
+            tuple(
+                Column(name, DataType.from_numpy(arr.dtype))
+                for name, arr in arrays.items()
+            )
+        )
+        return cls(schema, arrays)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: Iterable[Sequence]) -> "Table":
+        """Build a table from an iterable of row tuples."""
+        rows = list(rows)
+        columns = {}
+        for i, col in enumerate(schema):
+            values = [row[i] for row in rows]
+            columns[col.name] = np.array(values, dtype=col.dtype.numpy_dtype)
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """A zero-row table with the given schema."""
+        columns = {
+            col.name: np.empty(0, dtype=col.dtype.numpy_dtype) for col in schema
+        }
+        return cls(schema, columns)
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._schema)
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """The storage array of a column.
+
+        Resolution order: exact name; case-insensitive name; unique
+        suffix match (``age`` finds ``pi.age``); unqualified fallback
+        (``d.age`` finds ``age``). This mirrors SQL scoping after joins
+        without the binder having to rewrite every expression.
+        """
+        if name in self._columns:
+            return self._columns[name]
+        return self._columns[self.resolve_name(name)]
+
+    def resolve_name(self, name: str) -> str:
+        """Resolve ``name`` to the stored column name (see :meth:`column`)."""
+        lowered = name.lower()
+        for stored in self._columns:
+            if stored.lower() == lowered:
+                return stored
+        suffix_matches = [
+            stored
+            for stored in self._columns
+            if stored.lower().endswith("." + lowered)
+        ]
+        if len(suffix_matches) == 1:
+            return suffix_matches[0]
+        if len(suffix_matches) > 1:
+            raise SchemaError(
+                f"ambiguous column {name!r}: matches {suffix_matches}"
+            )
+        if "." in name:
+            short = lowered.split(".")[-1]
+            for stored in self._columns:
+                if stored.lower() == short:
+                    return stored
+        raise SchemaError(f"no column named {name!r} in {self._schema.names}")
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate rows as tuples (slow path, for tests and display)."""
+        arrays = [self._columns[c.name] for c in self._schema]
+        for i in range(self._num_rows):
+            yield tuple(arr[i] for arr in arrays)
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        """A shallow copy of the column mapping."""
+        return dict(self._columns)
+
+    # -- relational kernels --------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Rows at ``indices`` (gather)."""
+        return Table(
+            self._schema,
+            {name: arr[indices] for name, arr in self._columns.items()},
+        )
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Rows where the boolean ``mask`` is true."""
+        if mask.dtype != np.bool_:
+            mask = mask.astype(np.bool_)
+        return Table(
+            self._schema,
+            {name: arr[mask] for name, arr in self._columns.items()},
+        )
+
+    def select(self, names: Sequence[str]) -> "Table":
+        """Keep only the named columns, in the given order."""
+        schema = self._schema.select(names)
+        return Table(schema, {c.name: self.column(c.name) for c in schema})
+
+    def drop(self, names: Sequence[str]) -> "Table":
+        """Remove the named columns."""
+        schema = self._schema.drop(names)
+        return Table(schema, {c.name: self._columns[c.name] for c in schema})
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        """Rename columns per ``mapping``."""
+        schema = self._schema.rename(mapping)
+        lowered = {k.lower(): v for k, v in mapping.items()}
+        columns = {}
+        for col in self._schema:
+            new_name = lowered.get(col.name.lower(), col.name)
+            columns[new_name] = self._columns[col.name]
+        return Table(schema, columns)
+
+    def with_column(self, name: str, values: np.ndarray) -> "Table":
+        """Add (or replace) a column."""
+        values = np.asarray(values)
+        dtype = DataType.from_numpy(values.dtype)
+        if name in self._schema:
+            schema = Schema(
+                tuple(
+                    Column(c.name, dtype) if c.name.lower() == name.lower() else c
+                    for c in self._schema
+                )
+            )
+            columns = dict(self._columns)
+            columns[self._schema.column(name).name] = values
+            return Table(schema, columns)
+        schema = Schema(self._schema.columns + (Column(name, dtype),))
+        columns = dict(self._columns)
+        columns[name] = values
+        return Table(schema, columns)
+
+    def prefixed(self, prefix: str) -> "Table":
+        """Prefix every column name with ``prefix.`` (for join scoping)."""
+        schema = self._schema.prefixed(prefix)
+        columns = {
+            f"{prefix}.{name}": arr for name, arr in self._columns.items()
+        }
+        return Table(schema, columns)
+
+    def slice(self, start: int, stop: int) -> "Table":
+        """Rows in ``[start, stop)`` — used for chunked parallel execution."""
+        return Table(
+            self._schema,
+            {name: arr[start:stop] for name, arr in self._columns.items()},
+        )
+
+    def head(self, n: int) -> "Table":
+        return self.slice(0, min(n, self._num_rows))
+
+    @staticmethod
+    def concat_rows(tables: Sequence["Table"]) -> "Table":
+        """Stack tables with identical schemas vertically (UNION ALL)."""
+        if not tables:
+            raise SchemaError("concat_rows requires at least one table")
+        first = tables[0]
+        for other in tables[1:]:
+            if other.schema.names != first.schema.names:
+                raise SchemaError(
+                    f"schema mismatch in concat: {other.schema.names} "
+                    f"vs {first.schema.names}"
+                )
+        columns = {
+            col.name: np.concatenate([t.column(col.name) for t in tables])
+            for col in first.schema
+        }
+        return Table(first.schema, columns)
+
+    def concat_columns(self, other: "Table") -> "Table":
+        """Glue two equal-length tables side by side (join output)."""
+        if other.num_rows != self.num_rows:
+            raise SchemaError(
+                f"row count mismatch: {self.num_rows} vs {other.num_rows}"
+            )
+        schema = self._schema.concat(other.schema)
+        columns = dict(self._columns)
+        columns.update(other._columns)
+        return Table(schema, columns)
+
+    # -- ML bridge -----------------------------------------------------------
+
+    def to_matrix(self, names: Sequence[str] | None = None) -> np.ndarray:
+        """Stack numeric columns into a ``(rows, features)`` float matrix.
+
+        This is the batch hand-off format between the relational engine and
+        the ML/tensor runtimes (the paper's "transform data to tensors").
+        """
+        names = list(names) if names is not None else list(self._schema.names)
+        arrays = []
+        for name in names:
+            col = self._schema.column(name)
+            if not col.dtype.is_numeric:
+                raise SchemaError(
+                    f"column {name!r} of type {col.dtype.value} is not numeric"
+                )
+            arrays.append(self.column(name).astype(np.float64))
+        if not arrays:
+            return np.empty((self._num_rows, 0), dtype=np.float64)
+        return np.column_stack(arrays)
+
+    # -- misc ----------------------------------------------------------------
+
+    def equals(self, other: "Table") -> bool:
+        """Exact equality of schema and data (used by tests)."""
+        if self.schema.names != other.schema.names:
+            return False
+        if self.num_rows != other.num_rows:
+            return False
+        for name in self.schema.names:
+            left, right = self.column(name), other.column(name)
+            if left.dtype.kind == "f":
+                if not np.allclose(left, right, equal_nan=True):
+                    return False
+            elif not np.array_equal(left, right):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Table({self._schema!r}, rows={self._num_rows})"
+
+    def pretty(self, limit: int = 10) -> str:
+        """A fixed-width textual rendering for examples and debugging."""
+        names = list(self._schema.names)
+        shown = list(self.head(limit).rows())
+        cells = [[str(v) for v in row] for row in shown]
+        widths = [
+            max(len(names[i]), *(len(r[i]) for r in cells)) if cells else len(names[i])
+            for i in range(len(names))
+        ]
+        def fmt(row: Sequence[str]) -> str:
+            return " | ".join(v.ljust(w) for v, w in zip(row, widths))
+        lines = [fmt(names), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(r) for r in cells)
+        if self._num_rows > limit:
+            lines.append(f"... ({self._num_rows} rows total)")
+        return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Undo-log transactions over the catalog.
+
+Because tables are immutable :class:`~repro.relational.table.Table` values,
+a transaction only needs to remember, per touched object, the reference that
+was current when the transaction first touched it; rollback restores those
+references. This gives atomicity for the catalog operations the paper cares
+about — in particular "a change to the model is handled as part of a
+transaction" (§2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransactionError
+from repro.relational.catalog import Catalog
+
+
+class Transaction:
+    """A single active transaction (no nesting, like a basic T-SQL batch)."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._table_undo: dict[str, object] = {}
+        self._model_undo: dict[str, object] = {}
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def note_table(self, name: str) -> None:
+        """Record the pre-image of a table before the first write to it."""
+        self._require_active()
+        key = name.lower()
+        if key not in self._table_undo:
+            self._table_undo[key] = self._catalog.snapshot_table(name)
+
+    def note_model(self, name: str) -> None:
+        """Record the pre-image of a model's version list."""
+        self._require_active()
+        key = name.lower()
+        if key not in self._model_undo:
+            self._model_undo[key] = self._catalog.snapshot_model_versions(name)
+
+    def commit(self) -> None:
+        self._require_active()
+        self._table_undo.clear()
+        self._model_undo.clear()
+        self._active = False
+
+    def rollback(self) -> None:
+        self._require_active()
+        for name, snapshot in self._table_undo.items():
+            self._catalog.restore_table(name, snapshot)
+        for name, snapshot in self._model_undo.items():
+            self._catalog.restore_model_versions(name, snapshot)
+        self._table_undo.clear()
+        self._model_undo.clear()
+        self._active = False
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise TransactionError("transaction is no longer active")
+
+
+class TransactionManager:
+    """Tracks the (single) active transaction for a database session."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._current: Transaction | None = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._current is not None and self._current.active
+
+    def begin(self) -> Transaction:
+        if self.in_transaction:
+            raise TransactionError("a transaction is already active")
+        self._current = Transaction(self._catalog)
+        return self._current
+
+    def commit(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("COMMIT without an active transaction")
+        assert self._current is not None
+        self._current.commit()
+        self._current = None
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("ROLLBACK without an active transaction")
+        assert self._current is not None
+        self._current.rollback()
+        self._current = None
+
+    def note_table_write(self, name: str) -> None:
+        """Called by the database before any table mutation."""
+        if self.in_transaction:
+            assert self._current is not None
+            self._current.note_table(name)
+
+    def note_model_write(self, name: str) -> None:
+        """Called by the database before any model mutation."""
+        if self.in_transaction:
+            assert self._current is not None
+            self._current.note_model(name)

@@ -1,0 +1,229 @@
+"""Logical data types and schemas for the relational engine.
+
+The engine is columnar: a table is a set of named NumPy arrays. The logical
+type system is deliberately small (the types a SQL Server ``PREDICT`` query
+touches) but carries enough information for binding, type inference in the
+static analyzer, and codegen.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Logical column types supported by the engine."""
+
+    BOOL = "bool"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BINARY = "binary"  # opaque payloads, e.g. serialized models
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy dtype used to store a column of this logical type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.BOOL, DataType.INT, DataType.FLOAT)
+
+    @classmethod
+    def from_numpy(cls, dtype: np.dtype) -> "DataType":
+        """Map a NumPy dtype to the logical type that stores it."""
+        kind = np.dtype(dtype).kind
+        if kind == "b":
+            return cls.BOOL
+        if kind in ("i", "u"):
+            return cls.INT
+        if kind == "f":
+            return cls.FLOAT
+        if kind in ("U", "S"):
+            return cls.STRING
+        if kind == "O":
+            return cls.BINARY
+        raise SchemaError(f"unsupported numpy dtype {dtype!r}")
+
+    @classmethod
+    def from_sql_name(cls, name: str) -> "DataType":
+        """Map a SQL type name (``float``, ``varchar`` ...) to a DataType."""
+        normalized = name.strip().lower().split("(")[0]
+        try:
+            return _SQL_NAMES[normalized]
+        except KeyError:
+            raise SchemaError(f"unknown SQL type name {name!r}") from None
+
+    @classmethod
+    def common(cls, left: "DataType", right: "DataType") -> "DataType":
+        """The implicit-cast result type of combining two types.
+
+        Follows the usual numeric promotion ladder; strings only combine
+        with strings.
+        """
+        if left == right:
+            return left
+        if left.is_numeric and right.is_numeric:
+            order = [DataType.BOOL, DataType.INT, DataType.FLOAT]
+            return max(left, right, key=order.index)
+        raise SchemaError(f"no common type for {left.value} and {right.value}")
+
+
+_NUMPY_DTYPES = {
+    DataType.BOOL: np.dtype(np.bool_),
+    DataType.INT: np.dtype(np.int64),
+    DataType.FLOAT: np.dtype(np.float64),
+    DataType.STRING: np.dtype("U64"),
+    DataType.BINARY: np.dtype(object),
+}
+
+_SQL_NAMES = {
+    "bit": DataType.BOOL,
+    "bool": DataType.BOOL,
+    "boolean": DataType.BOOL,
+    "tinyint": DataType.INT,
+    "smallint": DataType.INT,
+    "int": DataType.INT,
+    "integer": DataType.INT,
+    "bigint": DataType.INT,
+    "float": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "decimal": DataType.FLOAT,
+    "numeric": DataType.FLOAT,
+    "char": DataType.STRING,
+    "varchar": DataType.STRING,
+    "nvarchar": DataType.STRING,
+    "text": DataType.STRING,
+    "string": DataType.STRING,
+    "binary": DataType.BINARY,
+    "varbinary": DataType.BINARY,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column in a schema."""
+
+    name: str
+    dtype: DataType
+
+    def __repr__(self) -> str:
+        return f"{self.name}:{self.dtype.value}"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of columns with unique (case-insensitive) names."""
+
+    columns: tuple[Column, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for col in self.columns:
+            key = col.name.lower()
+            if key in seen:
+                raise SchemaError(f"duplicate column name {col.name!r}")
+            seen.add(key)
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, DataType]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs."""
+        return cls(tuple(Column(name, dtype) for name, dtype in pairs))
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    @property
+    def dtypes(self) -> tuple[DataType, ...]:
+        return tuple(col.dtype for col in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        return any(col.name.lower() == name.lower() for col in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name.
+
+        Resolution mirrors :meth:`repro.relational.table.Table.column`:
+        case-insensitive exact match, then unique suffix match
+        (``age`` finds ``pi.age``), then unqualified fallback.
+        """
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name.lower() == lowered:
+                return col
+        suffix_matches = [
+            col for col in self.columns if col.name.lower().endswith("." + lowered)
+        ]
+        if len(suffix_matches) == 1:
+            return suffix_matches[0]
+        if len(suffix_matches) > 1:
+            raise SchemaError(
+                f"ambiguous column {name!r}: matches "
+                f"{[c.name for c in suffix_matches]}"
+            )
+        if "." in lowered:
+            short = lowered.split(".")[-1]
+            for col in self.columns:
+                if col.name.lower() == short:
+                    return col
+        raise SchemaError(f"no column named {name!r} in {self.names}")
+
+    def index_of(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == name.lower():
+                return i
+        raise SchemaError(f"no column named {name!r} in {self.names}")
+
+    def dtype_of(self, name: str) -> DataType:
+        return self.column(name).dtype
+
+    def select(self, names: Iterable[str]) -> "Schema":
+        """A new schema keeping ``names`` in the order given."""
+        return Schema(tuple(self.column(n) for n in names))
+
+    def drop(self, names: Iterable[str]) -> "Schema":
+        """A new schema without the given columns."""
+        dropped = {n.lower() for n in names}
+        return Schema(
+            tuple(c for c in self.columns if c.name.lower() not in dropped)
+        )
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """A new schema with columns renamed per ``mapping``."""
+        lowered = {k.lower(): v for k, v in mapping.items()}
+        return Schema(
+            tuple(
+                Column(lowered.get(c.name.lower(), c.name), c.dtype)
+                for c in self.columns
+            )
+        )
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a side-by-side concatenation (join output)."""
+        return Schema(self.columns + other.columns)
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """A new schema with every column name prefixed (``t.col``)."""
+        return Schema(
+            tuple(Column(f"{prefix}.{c.name}", c.dtype) for c in self.columns)
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.columns)
+        return f"Schema({inner})"

@@ -1,0 +1,392 @@
+"""NN translation: compile ML models and featurizers to tensor graphs.
+
+This is the paper's §4.2 "NN translation" — classical ML operators (trees,
+linear models) and featurizers (scalers, one-hot encoders) become linear
+algebra so they run on the NN runtime, including the (simulated) GPU.
+
+Trees use the GEMM encoding (the same construction this paper's authors
+later published as Hummingbird): with A the feature-test matrix, B the
+thresholds, C the leaf/ancestor incidence matrix, D the left-turn counts
+and V the leaf payload matrix,
+
+    S = cast(X @ A <= B)        # which internal tests pass
+    T = S @ C                   # per-leaf path agreement score
+    R = cast(T == D)            # exactly one 1 per row: the reached leaf
+    Y = R @ V                   # leaf payloads
+
+Every converter returns the name of the tensor holding its output inside
+the graph being built; :func:`convert` assembles the full model graph with
+a ``prediction`` output (and ``probability`` where applicable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UnsupportedOpError
+from repro.ml.cluster import KMeans
+from repro.ml.ensemble import (
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.ml.linear import Lasso, LinearRegression, LogisticRegression, Ridge
+from repro.ml.neural import MLPClassifier, MLPRegressor
+from repro.ml.pipeline import ColumnTransformer, FeatureUnion, Pipeline
+from repro.ml.preprocessing import (
+    Binarizer,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+)
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeStructure
+from repro.tensor.graph import Graph
+
+
+def convert(model, n_features: int | None = None, input_name: str = "X") -> Graph:
+    """Compile a fitted model/pipeline into a tensor graph.
+
+    The graph takes one 2-D float input named ``input_name`` and produces
+    ``prediction`` with shape ``(n, 1)``; classifiers additionally produce
+    ``probability`` (class scores, one column per class).
+    """
+    graph = Graph(inputs=[input_name], outputs=[], name=type(model).__name__)
+    final = _convert_any(graph, model, input_name)
+    graph.outputs = [final.prediction]
+    if final.probability is not None:
+        graph.outputs.append(final.probability)
+    graph.validate()
+    return graph
+
+
+class _Converted:
+    """Result of converting a predictor: output tensor names."""
+
+    def __init__(self, prediction: str, probability: str | None = None):
+        self.prediction = prediction
+        self.probability = probability
+
+
+# -- dispatcher ----------------------------------------------------------------
+
+
+def _convert_any(graph: Graph, model, data: str) -> _Converted:
+    if isinstance(model, Pipeline):
+        for _, step in model.steps[:-1]:
+            data = _convert_transformer(graph, step, data)
+        return _convert_any(graph, model.final_estimator, data)
+    if isinstance(model, (DecisionTreeClassifier,)):
+        return _convert_tree_classifier(graph, model, data)
+    if isinstance(model, (DecisionTreeRegressor,)):
+        return _convert_tree_regressor(graph, model, data)
+    if isinstance(model, RandomForestClassifier):
+        return _convert_forest_classifier(graph, model, data)
+    if isinstance(model, RandomForestRegressor):
+        return _convert_forest_regressor(graph, model, data)
+    if isinstance(model, GradientBoostingRegressor):
+        return _convert_gbr(graph, model, data)
+    if isinstance(model, LogisticRegression):
+        return _convert_logistic(graph, model, data)
+    if isinstance(model, (LinearRegression, Ridge, Lasso)):
+        return _convert_linear(graph, model, data)
+    if isinstance(model, MLPClassifier):
+        return _convert_mlp_classifier(graph, model, data)
+    if isinstance(model, MLPRegressor):
+        return _convert_mlp_regressor(graph, model, data)
+    if isinstance(model, KMeans):
+        return _convert_kmeans(graph, model, data)
+    raise UnsupportedOpError(
+        f"no NN translation for {type(model).__name__}"
+    )
+
+
+def _convert_transformer(graph: Graph, transformer, data: str) -> str:
+    if isinstance(transformer, StandardScaler):
+        mean = graph.add_initializer(
+            graph.fresh_name("mean"), transformer.mean_.reshape(1, -1)
+        )
+        scale = graph.add_initializer(
+            graph.fresh_name("scale"), transformer.scale_.reshape(1, -1)
+        )
+        centered = graph.add_node("Sub", [data, mean])[0]
+        return graph.add_node("Div", [centered, scale])[0]
+    if isinstance(transformer, MinMaxScaler):
+        low = graph.add_initializer(
+            graph.fresh_name("min"), transformer.min_.reshape(1, -1)
+        )
+        span = graph.add_initializer(
+            graph.fresh_name("range"), transformer.range_.reshape(1, -1)
+        )
+        shifted = graph.add_node("Sub", [data, low])[0]
+        return graph.add_node("Div", [shifted, span])[0]
+    if isinstance(transformer, Binarizer):
+        threshold = graph.add_initializer(
+            graph.fresh_name("threshold"),
+            np.asarray(float(transformer.threshold)),
+        )
+        mask = graph.add_node("Greater", [data, threshold])[0]
+        return graph.add_node("Cast", [mask], to="float64")[0]
+    if isinstance(transformer, OneHotEncoder):
+        blocks = []
+        for j, categories in enumerate(transformer.categories_):
+            column = graph.add_node("Slice", [data], axis=1, start=j, stop=j + 1)[0]
+            cats = graph.add_initializer(
+                graph.fresh_name("categories"), categories.reshape(1, -1)
+            )
+            equal = graph.add_node("Equal", [column, cats])[0]
+            blocks.append(graph.add_node("Cast", [equal], to="float64")[0])
+        if len(blocks) == 1:
+            return blocks[0]
+        return graph.add_node("Concat", blocks, axis=1)[0]
+    if isinstance(transformer, FeatureUnion):
+        outputs = [
+            _convert_transformer(graph, sub, data)
+            for _, sub in transformer.transformer_list
+        ]
+        if len(outputs) == 1:
+            return outputs[0]
+        return graph.add_node("Concat", outputs, axis=1)[0]
+    if isinstance(transformer, ColumnTransformer):
+        blocks = []
+        for name, sub, columns in transformer.transformers:
+            idx = graph.add_initializer(
+                graph.fresh_name("cols"), np.asarray(columns, dtype=np.int64)
+            )
+            sliced = graph.add_node("Gather", [data, idx], axis=1)[0]
+            blocks.append(_convert_transformer(graph, sub, sliced))
+        if transformer.remainder == "passthrough":
+            rest = transformer._remainder_columns()
+            if rest:
+                idx = graph.add_initializer(
+                    graph.fresh_name("cols"), np.asarray(rest, dtype=np.int64)
+                )
+                blocks.append(graph.add_node("Gather", [data, idx], axis=1)[0])
+        if len(blocks) == 1:
+            return blocks[0]
+        return graph.add_node("Concat", blocks, axis=1)[0]
+    raise UnsupportedOpError(
+        f"no NN translation for transformer {type(transformer).__name__}"
+    )
+
+
+# -- trees ---------------------------------------------------------------------
+
+
+def tree_gemm_matrices(
+    tree: TreeStructure, n_features: int, value_matrix: np.ndarray
+):
+    """The (A, B, C, D, V) matrices of the GEMM tree encoding."""
+    internal = np.nonzero(tree.feature != -1)[0]
+    internal_pos = {int(node): i for i, node in enumerate(internal)}
+    leaves = tree.leaves_dfs()
+    leaf_pos = {int(node): i for i, node in enumerate(leaves)}
+    n_internal, n_leaves = len(internal), len(leaves)
+    A = np.zeros((n_features, max(n_internal, 1)))
+    B = np.zeros((1, max(n_internal, 1)))
+    for node, i in internal_pos.items():
+        A[tree.feature[node], i] = 1.0
+        B[0, i] = tree.threshold[node]
+    C = np.zeros((max(n_internal, 1), n_leaves))
+    D = np.zeros((1, n_leaves))
+    paths = tree.paths()
+    # paths() and leaves_dfs() enumerate leaves in the same DFS order.
+    for leaf_node, conditions in zip(leaves, paths):
+        l = leaf_pos[leaf_node]
+        # Recover internal node ids along the path by replaying it.
+        node = 0
+        for feature, threshold, goes_left in conditions:
+            i = internal_pos[node]
+            if goes_left:
+                C[i, l] = 1.0
+                D[0, l] += 1.0
+                node = int(tree.children_left[node])
+            else:
+                C[i, l] = -1.0
+                node = int(tree.children_right[node])
+    V = np.vstack([value_matrix[node] for node in leaves])
+    return A, B, C, D, V
+
+
+def _emit_tree(graph: Graph, data: str, tree: TreeStructure, value_matrix, n_features: int) -> str:
+    """Emit GEMM-tree nodes; returns the (n, n_out) leaf-payload tensor."""
+    A, B, C, D, V = tree_gemm_matrices(tree, n_features, value_matrix)
+    if (tree.feature != -1).sum() == 0:
+        # Degenerate single-leaf tree: broadcast the constant payload.
+        zeros = graph.add_initializer(
+            graph.fresh_name("zeros"), np.zeros((n_features, V.shape[1]))
+        )
+        payload = graph.add_initializer(graph.fresh_name("leaf"), V[:1])
+        return graph.add_node("Gemm", [data, zeros, payload])[0]
+    a = graph.add_initializer(graph.fresh_name("A"), A)
+    b = graph.add_initializer(graph.fresh_name("B"), B)
+    c = graph.add_initializer(graph.fresh_name("C"), C)
+    d = graph.add_initializer(graph.fresh_name("D"), D)
+    v = graph.add_initializer(graph.fresh_name("V"), V)
+    scores = graph.add_node("MatMul", [data, a])[0]
+    passed = graph.add_node("LessOrEqual", [scores, b])[0]
+    s_float = graph.add_node("Cast", [passed], to="float64")[0]
+    agreement = graph.add_node("MatMul", [s_float, c])[0]
+    reached = graph.add_node("Equal", [agreement, d])[0]
+    r_float = graph.add_node("Cast", [reached], to="float64")[0]
+    return graph.add_node("MatMul", [r_float, v])[0]
+
+
+def _classes_prediction(graph: Graph, scores: str, classes: np.ndarray) -> str:
+    """ArgMax over class scores, mapped through the class label array."""
+    codes = graph.add_node("ArgMax", [scores], axis=-1)[0]
+    labels = graph.add_initializer(
+        graph.fresh_name("classes"), classes.astype(np.float64)
+    )
+    picked = graph.add_node("Gather", [labels, codes], axis=0)[0]
+    return graph.add_node("Reshape", [picked], shape=[-1, 1])[0]
+
+
+def _convert_tree_classifier(graph, model: DecisionTreeClassifier, data) -> _Converted:
+    proba = _emit_tree(
+        graph, data, model.tree_, model.tree_.value, model.n_features_in_
+    )
+    prediction = _classes_prediction(graph, proba, model.classes_)
+    return _Converted(prediction, proba)
+
+
+def _convert_tree_regressor(graph, model: DecisionTreeRegressor, data) -> _Converted:
+    out = _emit_tree(
+        graph, data, model.tree_, model.tree_.value, model.n_features_in_
+    )
+    return _Converted(out)
+
+
+def _convert_forest_classifier(graph, model: RandomForestClassifier, data) -> _Converted:
+    per_tree = []
+    for tree in model.estimators_:
+        # Expand each tree's class-local payload to forest class space.
+        local = tree.tree_.value
+        expanded = np.zeros((local.shape[0], len(model.classes_)))
+        cols = np.searchsorted(model.classes_, tree.classes_)
+        expanded[:, cols] = local
+        per_tree.append(
+            _emit_tree(graph, data, tree.tree_, expanded, model.n_features_in_)
+        )
+    total = per_tree[0]
+    for other in per_tree[1:]:
+        total = graph.add_node("Add", [total, other])[0]
+    count = graph.add_initializer(
+        graph.fresh_name("n_trees"), np.asarray(float(len(per_tree)))
+    )
+    proba = graph.add_node("Div", [total, count])[0]
+    prediction = _classes_prediction(graph, proba, model.classes_)
+    return _Converted(prediction, proba)
+
+
+def _convert_forest_regressor(graph, model: RandomForestRegressor, data) -> _Converted:
+    per_tree = [
+        _emit_tree(graph, data, t.tree_, t.tree_.value, model.n_features_in_)
+        for t in model.estimators_
+    ]
+    total = per_tree[0]
+    for other in per_tree[1:]:
+        total = graph.add_node("Add", [total, other])[0]
+    count = graph.add_initializer(
+        graph.fresh_name("n_trees"), np.asarray(float(len(per_tree)))
+    )
+    return _Converted(graph.add_node("Div", [total, count])[0])
+
+
+def _convert_gbr(graph, model: GradientBoostingRegressor, data) -> _Converted:
+    n_features = model.estimators_[0].n_features_in_
+    per_tree = [
+        _emit_tree(graph, data, t.tree_, t.tree_.value, n_features)
+        for t in model.estimators_
+    ]
+    total = per_tree[0]
+    for other in per_tree[1:]:
+        total = graph.add_node("Add", [total, other])[0]
+    rate = graph.add_initializer(
+        graph.fresh_name("lr"), np.asarray(float(model.learning_rate))
+    )
+    scaled = graph.add_node("Mul", [total, rate])[0]
+    base = graph.add_initializer(
+        graph.fresh_name("init"), np.asarray(float(model.init_))
+    )
+    return _Converted(graph.add_node("Add", [scaled, base])[0])
+
+
+# -- linear and neural -------------------------------------------------------
+
+
+def _convert_linear(graph, model, data) -> _Converted:
+    weights = graph.add_initializer(
+        graph.fresh_name("coef"), model.coef_.reshape(-1, 1)
+    )
+    bias = graph.add_initializer(
+        graph.fresh_name("intercept"), np.asarray([[float(model.intercept_)]])
+    )
+    return _Converted(graph.add_node("Gemm", [data, weights, bias])[0])
+
+
+def _convert_logistic(graph, model: LogisticRegression, data) -> _Converted:
+    weights = graph.add_initializer(
+        graph.fresh_name("coef"), model.coef_.reshape(-1, 1)
+    )
+    bias = graph.add_initializer(
+        graph.fresh_name("intercept"), np.asarray([[float(model.intercept_)]])
+    )
+    logits = graph.add_node("Gemm", [data, weights, bias])[0]
+    p1 = graph.add_node("Sigmoid", [logits])[0]
+    half = graph.add_initializer(graph.fresh_name("half"), np.asarray(0.5))
+    hit = graph.add_node("Greater", [p1, half])[0]
+    codes = graph.add_node("Cast", [hit], to="int64")[0]
+    flat = graph.add_node("Reshape", [codes], shape=[-1])[0]
+    labels = graph.add_initializer(
+        graph.fresh_name("classes"), model.classes_.astype(np.float64)
+    )
+    picked = graph.add_node("Gather", [labels, flat], axis=0)[0]
+    prediction = graph.add_node("Reshape", [picked], shape=[-1, 1])[0]
+    return _Converted(prediction, p1)
+
+
+def _emit_mlp_hidden(graph, model, data) -> str:
+    activation = "Tanh" if model.activation == "tanh" else "Relu"
+    current = data
+    for layer in range(len(model.coefs_) - 1):
+        w = graph.add_initializer(
+            graph.fresh_name("W"), model.coefs_[layer]
+        )
+        b = graph.add_initializer(
+            graph.fresh_name("b"), model.intercepts_[layer].reshape(1, -1)
+        )
+        z = graph.add_node("Gemm", [current, w, b])[0]
+        current = graph.add_node(activation, [z])[0]
+    w = graph.add_initializer(graph.fresh_name("W"), model.coefs_[-1])
+    b = graph.add_initializer(
+        graph.fresh_name("b"), model.intercepts_[-1].reshape(1, -1)
+    )
+    return graph.add_node("Gemm", [current, w, b])[0]
+
+
+def _convert_mlp_classifier(graph, model: MLPClassifier, data) -> _Converted:
+    logits = _emit_mlp_hidden(graph, model, data)
+    proba = graph.add_node("Softmax", [logits], axis=-1)[0]
+    prediction = _classes_prediction(graph, proba, model.classes_)
+    return _Converted(prediction, proba)
+
+
+def _convert_mlp_regressor(graph, model: MLPRegressor, data) -> _Converted:
+    return _Converted(_emit_mlp_hidden(graph, model, data))
+
+
+def _convert_kmeans(graph, model: KMeans, data) -> _Converted:
+    """Nearest-center assignment as LA: argmin ||x - c||^2 over centers."""
+    centers = model.cluster_centers_
+    # ||x||^2 is constant across centers, so argmin needs only the
+    # cross and center terms: -2 x @ C^T + ||c||^2.
+    ct = graph.add_initializer(graph.fresh_name("centersT"), -2.0 * centers.T)
+    norms = graph.add_initializer(
+        graph.fresh_name("center_norms"),
+        (centers**2).sum(axis=1).reshape(1, -1),
+    )
+    cross = graph.add_node("Gemm", [data, ct, norms])[0]
+    negated = graph.add_node("Neg", [cross])[0]
+    codes = graph.add_node("ArgMax", [negated], axis=-1)[0]
+    cast = graph.add_node("Cast", [codes], to="float64")[0]
+    return _Converted(graph.add_node("Reshape", [cast], shape=[-1, 1])[0])

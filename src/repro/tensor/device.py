@@ -1,0 +1,137 @@
+"""Execution devices: real CPU, and an analytically simulated GPU.
+
+The paper's Fig. 2(d) and Fig. 3 compare CPU vs GPU scoring of
+NN-translated models on an NVIDIA K80. No GPU exists in this environment,
+so the :class:`SimulatedGPU` runs the same NumPy kernels for *correctness*
+while accounting *time* with a calibrated analytical model:
+
+    time(run)   = pcie_transfer(inputs + outputs) + sum over ops of
+                  max(launch_overhead, flops/throughput, bytes/bandwidth)
+
+This preserves the published shape — launch+transfer bound (slower than
+CPU) at small batch sizes, throughput bound (up to ~15x faster) at large
+batch sizes — which is the claim under reproduction; absolute numbers are
+explicitly out of scope (see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.ops import estimate_cost, kernel_for
+
+
+@dataclass
+class RunStats:
+    """Accumulated execution statistics for one session run."""
+
+    wall_seconds: float = 0.0
+    simulated_seconds: float = 0.0
+    ops_executed: int = 0
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    per_op_seconds: dict = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """The device's authoritative time (simulated if modelled)."""
+        return self.simulated_seconds if self.simulated_seconds > 0 else self.wall_seconds
+
+
+class Device:
+    """Base device: executes kernels and accounts their cost."""
+
+    name = "device"
+    is_simulated = False
+
+    def run_node(self, op_type: str, inputs: Sequence[np.ndarray], attrs: dict, stats: RunStats):
+        raise NotImplementedError
+
+    def account_transfer(self, arrays: Sequence[np.ndarray], stats: RunStats) -> None:
+        """Host<->device transfer cost at run boundaries (no-op on CPU)."""
+
+
+class CPUDevice(Device):
+    """Runs kernels directly; time is measured wall clock."""
+
+    name = "cpu"
+
+    def run_node(self, op_type, inputs, attrs, stats: RunStats):
+        start = time.perf_counter()
+        outputs = kernel_for(op_type)(inputs, attrs)
+        elapsed = time.perf_counter() - start
+        stats.wall_seconds += elapsed
+        stats.ops_executed += 1
+        cost = estimate_cost(op_type, inputs)
+        stats.flops += cost.flops
+        stats.bytes_moved += cost.bytes_moved
+        stats.per_op_seconds[op_type] = (
+            stats.per_op_seconds.get(op_type, 0.0) + elapsed
+        )
+        return outputs
+
+
+class SimulatedGPU(Device):
+    """Analytical GPU model over real NumPy kernels.
+
+    Default constants approximate a K80-class accelerator doing fp32-ish
+    dense work: ~4 Tflop/s effective matmul throughput, ~200 GB/s memory
+    bandwidth, 10 us kernel launch, 6 GB/s effective PCIe.
+    """
+
+    name = "gpu(simulated)"
+    is_simulated = True
+
+    def __init__(
+        self,
+        matmul_throughput_flops: float = 4.0e12,
+        memory_bandwidth_bytes: float = 200.0e9,
+        kernel_launch_seconds: float = 10.0e-6,
+        pcie_bandwidth_bytes: float = 6.0e9,
+        pcie_latency_seconds: float = 30.0e-6,
+    ):
+        self.matmul_throughput_flops = matmul_throughput_flops
+        self.memory_bandwidth_bytes = memory_bandwidth_bytes
+        self.kernel_launch_seconds = kernel_launch_seconds
+        self.pcie_bandwidth_bytes = pcie_bandwidth_bytes
+        self.pcie_latency_seconds = pcie_latency_seconds
+
+    def run_node(self, op_type, inputs, attrs, stats: RunStats):
+        outputs = kernel_for(op_type)(inputs, attrs)
+        cost = estimate_cost(op_type, inputs)
+        compute = cost.flops / self.matmul_throughput_flops
+        memory = cost.bytes_moved / self.memory_bandwidth_bytes
+        kernel_time = max(self.kernel_launch_seconds, compute, memory)
+        stats.simulated_seconds += kernel_time
+        stats.ops_executed += 1
+        stats.flops += cost.flops
+        stats.bytes_moved += cost.bytes_moved
+        stats.per_op_seconds[op_type] = (
+            stats.per_op_seconds.get(op_type, 0.0) + kernel_time
+        )
+        return outputs
+
+    def account_transfer(self, arrays, stats: RunStats) -> None:
+        nbytes = float(sum(a.nbytes for a in arrays))
+        stats.simulated_seconds += (
+            self.pcie_latency_seconds + nbytes / self.pcie_bandwidth_bytes
+        )
+        stats.bytes_moved += nbytes
+
+
+def get_device(name: str | Device) -> Device:
+    """Resolve a device by name (``'cpu'`` or ``'gpu'``)."""
+    if isinstance(name, Device):
+        return name
+    lowered = name.lower()
+    if lowered == "cpu":
+        return CPUDevice()
+    if lowered in ("gpu", "cuda", "gpu-simulated"):
+        return SimulatedGPU()
+    from repro.errors import DeviceError
+
+    raise DeviceError(f"unknown device {name!r}")

@@ -1,0 +1,154 @@
+"""Graph-level optimizations for the tensor runtime.
+
+The compiler-style passes the paper cites (§2, "compiler optimizations
+such as constant-folding within ONNX Runtime"):
+
+* **constant folding** — evaluate nodes whose inputs are all initializers
+  and replace them by constants; this is also how predicate-derived
+  constants get propagated through an NN after the cross-optimizer feeds
+  them in,
+* **identity elimination** — drop ``Identity`` and arithmetic no-ops
+  (``Add 0``, ``Mul 1``),
+* **dead code elimination** — remove nodes whose outputs reach no graph
+  output,
+* **Gemm fusion** — fuse ``MatMul + Add`` into a single ``Gemm``.
+
+Passes are pure: they return a new graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.graph import Graph, Node
+from repro.tensor.ops import kernel_for
+
+
+def constant_fold(graph: Graph) -> Graph:
+    """Evaluate every node whose inputs are all constants."""
+    graph = graph.copy()
+    constants = dict(graph.initializers)
+    remaining: list[Node] = []
+    for node in graph.topological_order():
+        if node.inputs and all(name in constants for name in node.inputs):
+            values = [constants[name] for name in node.inputs]
+            outputs = kernel_for(node.op_type)(values, node.attrs)
+            for name, value in zip(node.outputs, outputs):
+                constants[name] = np.asarray(value)
+        else:
+            remaining.append(node)
+    graph.nodes = remaining
+    graph.initializers = constants
+    return prune_unused_initializers(graph)
+
+
+def eliminate_identities(graph: Graph) -> Graph:
+    """Remove Identity nodes and x+0 / x*1 arithmetic no-ops."""
+    graph = graph.copy()
+    rename: dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        while name in rename:
+            name = rename[name]
+        return name
+
+    kept: list[Node] = []
+    for node in graph.nodes:
+        node.inputs = [resolve(i) for i in node.inputs]
+        passthrough = None
+        if node.op_type == "Identity":
+            passthrough = node.inputs[0]
+        elif node.op_type in ("Add", "Sub") and len(node.inputs) == 2:
+            other = graph.initializers.get(node.inputs[1])
+            if other is not None and np.all(other == 0.0):
+                passthrough = node.inputs[0]
+        elif node.op_type in ("Mul", "Div") and len(node.inputs) == 2:
+            other = graph.initializers.get(node.inputs[1])
+            if other is not None and np.all(other == 1.0):
+                passthrough = node.inputs[0]
+        if passthrough is not None and len(node.outputs) == 1:
+            rename[node.outputs[0]] = passthrough
+        else:
+            kept.append(node)
+    graph.nodes = kept
+    graph.outputs = [resolve(o) for o in graph.outputs]
+    # A graph output may now alias an initializer/input directly; keep as is.
+    return graph
+
+
+def eliminate_dead_code(graph: Graph) -> Graph:
+    """Drop nodes that no graph output (transitively) depends on."""
+    graph = graph.copy()
+    needed: set[str] = set(graph.outputs)
+    kept_reversed: list[Node] = []
+    for node in reversed(graph.topological_order()):
+        if any(out in needed for out in node.outputs):
+            kept_reversed.append(node)
+            needed.update(node.inputs)
+    graph.nodes = list(reversed(kept_reversed))
+    return prune_unused_initializers(graph)
+
+
+def prune_unused_initializers(graph: Graph) -> Graph:
+    """Drop constants nothing references (outputs keep theirs)."""
+    used: set[str] = set(graph.outputs)
+    for node in graph.nodes:
+        used.update(node.inputs)
+    graph.initializers = {
+        name: value for name, value in graph.initializers.items() if name in used
+    }
+    return graph
+
+
+def fuse_matmul_add(graph: Graph) -> Graph:
+    """Fuse ``MatMul(a, w) -> Add(., b)`` chains into ``Gemm``."""
+    graph = graph.copy()
+    producers = graph.producers()
+    consumers = graph.consumers()
+    fused: set[int] = set()
+    new_nodes: list[Node] = []
+    for node in graph.nodes:
+        if id(node) in fused:
+            continue
+        if node.op_type == "MatMul" and len(node.outputs) == 1:
+            out = node.outputs[0]
+            users = consumers.get(out, [])
+            if (
+                len(users) == 1
+                and users[0].op_type == "Add"
+                and users[0].inputs[0] == out
+                and out not in graph.outputs
+            ):
+                add_node = users[0]
+                gemm = Node(
+                    "Gemm",
+                    [node.inputs[0], node.inputs[1], add_node.inputs[1]],
+                    list(add_node.outputs),
+                    {"alpha": 1.0, "beta": 1.0},
+                )
+                fused.add(id(add_node))
+                new_nodes.append(gemm)
+                continue
+        new_nodes.append(node)
+    graph.nodes = [n for n in new_nodes if id(n) not in fused]
+    return graph
+
+
+DEFAULT_PASSES = (
+    eliminate_identities,
+    constant_fold,
+    fuse_matmul_add,
+    eliminate_dead_code,
+)
+
+
+def optimize(graph: Graph, passes=DEFAULT_PASSES, max_rounds: int = 3) -> Graph:
+    """Run passes to fixpoint (bounded), like an ORT optimization level."""
+    for _ in range(max_rounds):
+        before = len(graph.nodes)
+        for pass_fn in passes:
+            graph = pass_fn(graph)
+        if len(graph.nodes) == before:
+            break
+    graph.validate()
+    return graph

@@ -1,0 +1,105 @@
+"""JSON serialization of tensor graphs (the on-disk "ONNX file")."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TensorError
+from repro.tensor.graph import Graph, Node
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """Encode a graph as JSON-ready primitives."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": list(graph.inputs),
+        "outputs": list(graph.outputs),
+        "initializers": {
+            name: {
+                "dtype": str(value.dtype),
+                "shape": list(value.shape),
+                "data": value.ravel().tolist(),
+            }
+            for name, value in graph.initializers.items()
+        },
+        "nodes": [
+            {
+                "op_type": node.op_type,
+                "inputs": list(node.inputs),
+                "outputs": list(node.outputs),
+                "attrs": _encode_attrs(node.attrs),
+                "name": node.name,
+            }
+            for node in graph.nodes
+        ],
+    }
+
+
+def graph_from_dict(payload: dict) -> Graph:
+    """Decode :func:`graph_to_dict` output, validating the result."""
+    if payload.get("format_version") != FORMAT_VERSION:
+        raise TensorError(
+            f"unsupported graph format_version {payload.get('format_version')!r}"
+        )
+    initializers = {
+        name: np.asarray(spec["data"], dtype=spec["dtype"]).reshape(spec["shape"])
+        for name, spec in payload["initializers"].items()
+    }
+    nodes = [
+        Node(
+            spec["op_type"],
+            list(spec["inputs"]),
+            list(spec["outputs"]),
+            dict(spec.get("attrs", {})),
+            spec.get("name", ""),
+        )
+        for spec in payload["nodes"]
+    ]
+    graph = Graph(
+        payload["inputs"],
+        payload["outputs"],
+        nodes,
+        initializers,
+        payload.get("name", "graph"),
+    )
+    graph.validate()
+    return graph
+
+
+def _encode_attrs(attrs: dict) -> dict:
+    encoded = {}
+    for key, value in attrs.items():
+        if isinstance(value, np.ndarray):
+            encoded[key] = value.tolist()
+        elif isinstance(value, (np.integer, np.floating)):
+            encoded[key] = value.item()
+        else:
+            encoded[key] = value
+    return encoded
+
+
+def dumps(graph: Graph) -> str:
+    return json.dumps(graph_to_dict(graph))
+
+
+def loads(text: str) -> Graph:
+    try:
+        return graph_from_dict(json.loads(text))
+    except json.JSONDecodeError as exc:
+        raise TensorError(f"graph payload is not valid JSON: {exc}") from exc
+
+
+def save_graph(graph: Graph, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(dumps(graph))
+    return path
+
+
+def load_graph(path: str | Path) -> Graph:
+    return loads(Path(path).read_text())

@@ -1,0 +1,90 @@
+"""Inference sessions (the mini-ONNX-Runtime API).
+
+An :class:`InferenceSession` owns an optimized copy of a graph, a device,
+and the cached topological order, mirroring ORT's session object. Creating
+a session is the expensive step (graph optimization); running it is cheap —
+which is why the database's session cache (Fig. 3, observation ii) matters.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import TensorError
+from repro.tensor.device import CPUDevice, Device, RunStats, get_device
+from repro.tensor.graph import Graph
+from repro.tensor.optimizer import optimize
+
+
+class InferenceSession:
+    """Executable form of a tensor graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        device: str | Device = "cpu",
+        optimize_graph: bool = True,
+    ):
+        graph.validate()
+        self.device: Device = get_device(device) if not isinstance(device, Device) else device
+        self.graph = optimize(graph.copy()) if optimize_graph else graph.copy()
+        self._order = self.graph.topological_order()
+        self.last_run_stats: RunStats | None = None
+
+    @property
+    def input_names(self) -> list[str]:
+        return list(self.graph.inputs)
+
+    @property
+    def output_names(self) -> list[str]:
+        return list(self.graph.outputs)
+
+    def run(
+        self,
+        feeds: Mapping[str, np.ndarray],
+        outputs: Sequence[str] | None = None,
+    ) -> list[np.ndarray]:
+        """Execute the graph; returns requested outputs in order."""
+        wanted = list(outputs) if outputs is not None else self.output_names
+        stats = RunStats()
+        tensors: dict[str, np.ndarray] = dict(self.graph.initializers)
+        for name in self.graph.inputs:
+            if name not in feeds:
+                raise TensorError(f"missing feed for graph input {name!r}")
+            tensors[name] = np.asarray(feeds[name])
+        self.device.account_transfer(
+            [tensors[name] for name in self.graph.inputs], stats
+        )
+        for node in self._order:
+            values = [tensors[name] for name in node.inputs]
+            results = self.device.run_node(node.op_type, values, node.attrs, stats)
+            for name, value in zip(node.outputs, results):
+                tensors[name] = np.asarray(value)
+        produced = []
+        for name in wanted:
+            if name not in tensors:
+                raise TensorError(f"unknown output {name!r}")
+            produced.append(tensors[name])
+        self.device.account_transfer(produced, stats)
+        self.last_run_stats = stats
+        return produced
+
+    def run_single(self, feed: np.ndarray) -> np.ndarray:
+        """Feed the sole input, return the sole output (convenience)."""
+        if len(self.graph.inputs) != 1:
+            raise TensorError(
+                f"run_single needs exactly one input, graph has "
+                f"{len(self.graph.inputs)}"
+            )
+        return self.run({self.graph.inputs[0]: feed})[0]
+
+    def benchmark(self, feeds: Mapping[str, np.ndarray], repeats: int = 3) -> float:
+        """Median authoritative run time over ``repeats`` runs (seconds)."""
+        times = []
+        for _ in range(repeats):
+            self.run(feeds)
+            assert self.last_run_stats is not None
+            times.append(self.last_run_stats.seconds)
+        return float(np.median(times))

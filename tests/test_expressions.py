@@ -1,0 +1,170 @@
+"""Unit tests for scalar expressions: evaluation, SQL text, fact extraction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational.expressions import (
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    Literal,
+    UnaryOp,
+    col,
+    conjoin,
+    conjuncts,
+    equality_constants,
+    lit,
+    range_bounds,
+)
+from repro.relational.sql.parser import parse_expression
+from repro.relational.table import Table
+from repro.relational.types import DataType, Schema
+
+
+@pytest.fixture()
+def table():
+    return Table.from_dict(
+        {
+            "a": np.array([1.0, 2.0, 3.0, 4.0]),
+            "b": np.array([10.0, 20.0, 30.0, 40.0]),
+            "s": np.array(["x", "y", "x", "z"]),
+        }
+    )
+
+
+class TestEvaluation:
+    def test_arithmetic(self, table):
+        expr = BinaryOp("+", col("a"), BinaryOp("*", col("b"), lit(2)))
+        assert expr.evaluate(table).tolist() == [21.0, 42.0, 63.0, 84.0]
+
+    def test_operator_builders(self, table):
+        combined = BinaryOp(">", col("a"), lit(1.5)) & BinaryOp(
+            "<", col("b"), lit(40.0)
+        )
+        assert combined.op == "AND"
+        assert (~combined).op == "NOT"
+
+    def test_comparison_and_boolean_eval(self, table):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp(">", col("a"), lit(1.5)),
+            BinaryOp("<", col("b"), lit(40.0)),
+        )
+        assert expr.evaluate(table).tolist() == [False, True, True, False]
+
+    def test_unary(self, table):
+        assert UnaryOp("-", col("a")).evaluate(table)[0] == -1.0
+        assert UnaryOp("NOT", BinaryOp(">", col("a"), lit(2))).evaluate(
+            table
+        ).tolist() == [True, True, False, False]
+
+    def test_in_list(self, table):
+        expr = InList(col("s"), ("x", "z"))
+        assert expr.evaluate(table).tolist() == [True, False, True, True]
+
+    def test_case_when_first_match_wins(self, table):
+        expr = CaseWhen(
+            (
+                (BinaryOp(">", col("a"), lit(3.0)), lit(100.0)),
+                (BinaryOp(">", col("a"), lit(1.0)), lit(50.0)),
+            ),
+            lit(0.0),
+        )
+        assert expr.evaluate(table).tolist() == [0.0, 50.0, 50.0, 100.0]
+
+    def test_function_call(self, table):
+        assert FunctionCall("ABS", (UnaryOp("-", col("a")),)).evaluate(table)[
+            -1
+        ] == 4.0
+        sig = FunctionCall("SIGMOID", (lit(0.0),)).evaluate(table)
+        assert np.allclose(sig, 0.5)
+
+    def test_unknown_function_raises(self, table):
+        with pytest.raises(ExecutionError):
+            FunctionCall("NOPE", (col("a"),)).evaluate(table)
+
+    def test_unknown_operator_raises(self, table):
+        with pytest.raises(ExecutionError):
+            BinaryOp("XOR", col("a"), col("b")).evaluate(table)
+
+
+class TestTypesAndSql:
+    def test_output_types(self):
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.FLOAT))
+        assert BinaryOp("+", col("a"), lit(1)).output_type(schema) is DataType.INT
+        assert BinaryOp("/", col("a"), lit(2)).output_type(schema) is DataType.FLOAT
+        assert BinaryOp(">", col("a"), col("b")).output_type(schema) is DataType.BOOL
+
+    def test_sql_text_roundtrip(self, table):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp("<=", col("a"), lit(3.0)),
+            BinaryOp(">", col("b"), lit(15.0)),
+        )
+        reparsed = parse_expression(expr.to_sql())
+        assert np.array_equal(reparsed.evaluate(table), expr.evaluate(table))
+
+    def test_string_literal_escaping(self):
+        assert Literal("it's").to_sql() == "'it''s'"
+
+    def test_case_when_sql_roundtrip(self, table):
+        expr = CaseWhen(
+            ((BinaryOp(">", col("a"), lit(2.0)), lit(9.0)),), lit(1.0)
+        )
+        reparsed = parse_expression(expr.to_sql())
+        assert np.array_equal(reparsed.evaluate(table), expr.evaluate(table))
+
+
+class TestStructuralHelpers:
+    def test_conjuncts_and_conjoin(self):
+        expr = conjoin([lit(True), BinaryOp(">", col("a"), lit(1))])
+        parts = conjuncts(expr)
+        assert len(parts) == 2
+        assert conjoin([]) == lit(True)
+
+    def test_equality_constants_both_orders(self):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp("=", col("t.pregnant"), lit(1)),
+            BinaryOp("=", lit(5.0), col("x")),
+        )
+        assert equality_constants(expr) == {"pregnant": 1, "x": 5.0}
+
+    def test_range_bounds_intersection(self):
+        expr = conjoin(
+            [
+                BinaryOp(">", col("age"), lit(30)),
+                BinaryOp("<=", col("age"), lit(60)),
+                BinaryOp("=", col("bp"), lit(120)),
+            ]
+        )
+        bounds = range_bounds(expr)
+        assert bounds["age"] == (30.0, 60.0)
+        assert bounds["bp"] == (120.0, 120.0)
+
+    def test_range_bounds_swapped_literal(self):
+        expr = BinaryOp("<", lit(10), col("age"))  # 10 < age  =>  age > 10
+        assert range_bounds(expr)["age"] == (10.0, math.inf)
+
+    def test_columns_collects_all_refs(self):
+        expr = CaseWhen(
+            ((BinaryOp(">", col("a"), col("b")), col("c")),), lit(0.0)
+        )
+        assert expr.columns() == {"a", "b", "c"}
+
+    def test_substitute(self, table):
+        expr = BinaryOp("+", col("a"), col("b"))
+        substituted = expr.substitute({"a": lit(100.0)})
+        assert substituted.evaluate(table)[0] == 110.0
+
+    def test_structural_equality_and_hash(self):
+        left = BinaryOp(">", col("a"), lit(1))
+        right = BinaryOp(">", col("a"), lit(1))
+        assert left == right
+        assert hash(left) == hash(right)
+        assert left != BinaryOp(">=", col("a"), lit(1))

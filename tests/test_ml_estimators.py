@@ -1,0 +1,358 @@
+"""Unit tests for the ML substrate: estimators, transformers, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MLError, NotFittedError
+from repro.ml import (
+    Binarizer,
+    ColumnTransformer,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    FeatureUnion,
+    GradientBoostingRegressor,
+    KMeans,
+    LabelEncoder,
+    Lasso,
+    LinearRegression,
+    LogisticRegression,
+    MinMaxScaler,
+    MLPClassifier,
+    MLPRegressor,
+    OneHotEncoder,
+    Pipeline,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    Ridge,
+    SimpleImputer,
+    StandardScaler,
+)
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    r2_score,
+    roc_auc_score,
+)
+
+
+class TestPreprocessing:
+    def test_standard_scaler_roundtrip(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(100, 4))
+        scaler = StandardScaler().fit(X)
+        Z = scaler.transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-12)
+        assert np.allclose(scaler.inverse_transform(Z), X)
+
+    def test_scaler_constant_column(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)  # no division by zero
+
+    def test_minmax_scaler(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.ravel().tolist() == [0.0, 0.5, 1.0]
+
+    def test_one_hot_layout_and_unknowns(self):
+        X = np.array([[0.0, 10.0], [1.0, 20.0], [2.0, 10.0]])
+        encoder = OneHotEncoder().fit(X)
+        assert encoder.n_features_out_ == 5
+        Z = encoder.transform(np.array([[1.0, 30.0]]))
+        assert Z.tolist() == [[0.0, 1.0, 0.0, 0.0, 0.0]]  # unknown -> all zero
+        strict = OneHotEncoder(handle_unknown="error").fit(X)
+        with pytest.raises(MLError):
+            strict.transform(np.array([[9.0, 10.0]]))
+
+    def test_binarizer(self):
+        Z = Binarizer(threshold=0.5).fit_transform(np.array([[0.2], [0.9]]))
+        assert Z.ravel().tolist() == [0.0, 1.0]
+
+    def test_imputer_strategies(self):
+        X = np.array([[1.0, np.nan], [3.0, 4.0], [np.nan, 8.0]])
+        mean = SimpleImputer("mean").fit_transform(X)
+        assert mean[2, 0] == 2.0 and mean[0, 1] == 6.0
+        const = SimpleImputer("constant", fill_value=-1.0).fit_transform(X)
+        assert const[2, 0] == -1.0
+
+    def test_label_encoder(self):
+        encoder = LabelEncoder().fit(["b", "a", "c"])
+        codes = encoder.transform(["a", "c"])
+        assert codes.tolist() == [0, 2]
+        assert encoder.inverse_transform(codes).tolist() == ["a", "c"]
+        with pytest.raises(MLError):
+            encoder.transform(["zz"])
+
+    def test_not_fitted_errors(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+
+class TestTrees:
+    def test_perfect_split(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) == 1.0
+        assert tree.tree_.node_count == 3
+        assert tree.tree_.threshold[0] == 1.5
+
+    def test_max_depth_respected(self, xy_binary):
+        X, y = xy_binary
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.tree_.max_depth() <= 3
+
+    def test_min_samples_leaf(self, xy_binary):
+        X, y = xy_binary
+        tree = DecisionTreeClassifier(min_samples_leaf=50).fit(X, y)
+        leaves = tree.tree_.n_node_samples[tree.tree_.feature == -1]
+        assert (leaves >= 50).all()
+
+    def test_regressor_reduces_mse(self, xy_binary):
+        X, _ = xy_binary
+        y = X[:, 0] * 2.0 + X[:, 2]
+        tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        assert mean_squared_error(y, tree.predict(X)) < np.var(y) * 0.3
+
+    def test_paths_align_with_leaves(self, fitted_tree_pipeline):
+        tree = fitted_tree_pipeline.final_estimator.tree_
+        assert len(tree.paths()) == len(tree.leaves_dfs()) == tree.n_leaves
+
+    def test_decision_path_matches_predict(self, xy_binary):
+        X, y = xy_binary
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        leaves = tree.tree_.decision_path_apply(X)
+        proba = tree.tree_.value[leaves]
+        assert np.allclose(proba, tree.predict_proba(X))
+
+    def test_entropy_criterion(self, xy_binary):
+        X, y = xy_binary
+        tree = DecisionTreeClassifier(criterion="entropy", max_depth=4).fit(X, y)
+        assert accuracy_score(y, tree.predict(X)) > 0.85
+
+    def test_bad_criterion_rejected(self):
+        with pytest.raises(MLError):
+            DecisionTreeClassifier(criterion="chi2")
+
+
+class TestEnsembles:
+    def test_forest_beats_chance(self, xy_binary):
+        X, y = xy_binary
+        forest = RandomForestClassifier(
+            n_estimators=10, max_depth=5, random_state=0
+        ).fit(X, y)
+        assert accuracy_score(y, forest.predict(X)) > 0.9
+        assert len(forest.estimators_) == 10
+
+    def test_forest_deterministic_under_seed(self, xy_binary):
+        X, y = xy_binary
+        a = RandomForestClassifier(n_estimators=4, random_state=5).fit(X, y)
+        b = RandomForestClassifier(n_estimators=4, random_state=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_forest_regressor(self, xy_binary):
+        X, _ = xy_binary
+        y = X[:, 0] - 2.0 * X[:, 4]
+        forest = RandomForestRegressor(
+            n_estimators=8, max_depth=6, random_state=0
+        ).fit(X, y)
+        assert r2_score(y, forest.predict(X)) > 0.8
+
+    def test_gradient_boosting_improves_with_rounds(self, xy_binary):
+        X, _ = xy_binary
+        y = np.sin(X[:, 0]) + X[:, 2]
+        small = GradientBoostingRegressor(n_estimators=5, random_state=0).fit(X, y)
+        big = GradientBoostingRegressor(n_estimators=60, random_state=0).fit(X, y)
+        assert mean_squared_error(y, big.predict(X)) < mean_squared_error(
+            y, small.predict(X)
+        )
+
+
+class TestLinear:
+    def test_ols_recovers_coefficients(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 3.0
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, [1.0, -2.0, 0.5], atol=1e-8)
+        assert np.isclose(model.intercept_, 3.0)
+
+    def test_ridge_shrinks(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 5))
+        y = X @ np.ones(5)
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=100.0).fit(X, y)
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(ols.coef_)
+
+    def test_lasso_produces_exact_zeros(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(300, 8))
+        y = X[:, 0] * 4.0 + X[:, 3] * -2.0 + rng.normal(scale=0.1, size=300)
+        lasso = Lasso(alpha=0.5).fit(X, y)
+        assert lasso.sparsity_ > 0.5
+        assert lasso.coef_[0] != 0.0
+
+    def test_logistic_l1_sparsity_monotone_in_C(self, xy_binary):
+        X, y = xy_binary
+        strong = LogisticRegression(penalty="l1", C=0.01, max_iter=500).fit(X, y)
+        weak = LogisticRegression(penalty="l1", C=5.0, max_iter=500).fit(X, y)
+        assert strong.sparsity_ >= weak.sparsity_
+        assert accuracy_score(y, weak.predict(X)) > 0.9
+
+    def test_logistic_predict_proba_sums_to_one(self, xy_binary):
+        X, y = xy_binary
+        model = LogisticRegression(max_iter=200).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_logistic_multiclass_rejected(self):
+        X = np.zeros((3, 1))
+        with pytest.raises(MLError):
+            LogisticRegression().fit(X, np.array([0.0, 1.0, 2.0]))
+
+
+class TestNeuralAndCluster:
+    def test_mlp_classifier_learns(self, xy_binary):
+        X, y = xy_binary
+        mlp = MLPClassifier(
+            hidden_layer_sizes=(16,), max_iter=80, random_state=0
+        ).fit(X, y)
+        assert accuracy_score(y, mlp.predict(X)) > 0.9
+        assert len(mlp.loss_curve_) == mlp.n_iter_
+        assert mlp.loss_curve_[-1] < mlp.loss_curve_[0]
+
+    def test_mlp_regressor_learns(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = X[:, 0] * 2.0 - X[:, 1]
+        mlp = MLPRegressor(
+            hidden_layer_sizes=(16,), max_iter=150, random_state=0
+        ).fit(X, y)
+        assert r2_score(y, mlp.predict(X)) > 0.9
+
+    def test_kmeans_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        blobs = np.vstack(
+            [rng.normal(c, 0.1, size=(50, 2)) for c in (0.0, 5.0, 10.0)]
+        )
+        km = KMeans(n_clusters=3, random_state=0).fit(blobs)
+        labels = km.predict(blobs)
+        # All points in one blob share a label.
+        for start in range(0, 150, 50):
+            assert len(set(labels[start : start + 50].tolist())) == 1
+
+    def test_kmeans_more_clusters_lower_inertia(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        i2 = KMeans(n_clusters=2, random_state=0).fit(X).inertia_
+        i8 = KMeans(n_clusters=8, random_state=0).fit(X).inertia_
+        assert i8 < i2
+
+    def test_kmeans_constant_feature_detection(self):
+        X = np.column_stack(
+            [
+                np.repeat([0.0, 10.0], 50),
+                np.random.default_rng(0).normal(size=100),
+            ]
+        )
+        km = KMeans(n_clusters=2, random_state=0).fit(X)
+        constants = km.cluster_constant_features(X)
+        assert all(0 in c for c in constants)
+
+
+class TestPipelineCombinators:
+    def test_pipeline_predict_matches_manual(self, xy_binary):
+        X, y = xy_binary
+        pipe = Pipeline(
+            [("sc", StandardScaler()), ("clf", LogisticRegression(max_iter=200))]
+        ).fit(X, y)
+        manual = pipe.final_estimator.predict(
+            pipe.named_steps["sc"].transform(X)
+        )
+        assert np.array_equal(pipe.predict(X), manual)
+
+    def test_duplicate_step_names_rejected(self):
+        with pytest.raises(MLError):
+            Pipeline([("a", StandardScaler()), ("a", StandardScaler())])
+
+    def test_feature_union_width(self, xy_binary):
+        X, _ = xy_binary
+        union = FeatureUnion(
+            [("sc", StandardScaler()), ("bin", Binarizer())]
+        ).fit(X)
+        assert union.transform(X).shape[1] == 2 * X.shape[1]
+        assert union.n_features_out_ == 2 * X.shape[1]
+
+    def test_column_transformer_blocks(self):
+        X = np.column_stack(
+            [np.repeat([0.0, 1.0, 2.0], 10), np.arange(30.0)]
+        )
+        ct = ColumnTransformer(
+            [("oh", OneHotEncoder(), [0]), ("sc", StandardScaler(), [1])]
+        ).fit(X)
+        Z = ct.transform(X)
+        assert Z.shape[1] == 4
+        blocks = ct.output_blocks()
+        assert blocks[0][2] == 3 and blocks[1][2] == 1
+
+    def test_column_transformer_passthrough(self):
+        X = np.random.default_rng(0).normal(size=(20, 3))
+        ct = ColumnTransformer(
+            [("sc", StandardScaler(), [0])], remainder="passthrough"
+        ).fit(X)
+        Z = ct.transform(X)
+        assert Z.shape[1] == 3
+        assert np.allclose(Z[:, 1:], X[:, 1:])
+
+    def test_clone_resets_state(self, fitted_tree_pipeline):
+        clone = fitted_tree_pipeline.clone()
+        assert clone.final_estimator.tree_ is None
+
+    def test_get_set_params(self):
+        tree = DecisionTreeClassifier(max_depth=4)
+        assert tree.get_params()["max_depth"] == 4
+        tree.set_params(max_depth=2)
+        assert tree.max_depth == 2
+        with pytest.raises(MLError):
+            tree.set_params(bogus=1)
+
+
+class TestMetrics:
+    def test_accuracy_and_confusion(self):
+        y, p = np.array([0, 1, 1, 0]), np.array([0, 1, 0, 0])
+        assert accuracy_score(y, p) == 0.75
+        cm = confusion_matrix(y, p)
+        assert cm.tolist() == [[2, 0], [1, 1]]
+
+    def test_roc_auc_perfect_and_random(self):
+        y = np.array([0, 0, 1, 1])
+        assert roc_auc_score(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+        assert roc_auc_score(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+        assert roc_auc_score(y, np.array([0.5, 0.5, 0.5, 0.5])) == 0.5
+
+    def test_roc_auc_requires_both_classes(self):
+        with pytest.raises(MLError):
+            roc_auc_score(np.ones(4), np.ones(4))
+
+    def test_regression_metrics(self):
+        y, p = np.array([1.0, 2.0, 3.0]), np.array([1.0, 2.0, 4.0])
+        assert np.isclose(mean_squared_error(y, p), 1 / 3)
+        assert np.isclose(mean_absolute_error(y, p), 1 / 3)
+        assert r2_score(y, y) == 1.0
+
+    def test_log_loss_bounds(self):
+        y = np.array([1.0, 0.0])
+        good = log_loss(y, np.array([0.99, 0.01]))
+        bad = log_loss(y, np.array([0.01, 0.99]))
+        assert good < 0.05 < bad
+
+    def test_length_mismatch(self):
+        with pytest.raises(MLError):
+            accuracy_score(np.zeros(3), np.zeros(4))

@@ -1,0 +1,111 @@
+"""Tests for the MLflow-style model bundle format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelFormatError
+from repro.ml import (
+    ColumnTransformer,
+    DecisionTreeClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    OneHotEncoder,
+    Pipeline,
+    RandomForestRegressor,
+    StandardScaler,
+)
+from repro.ml import model_format
+
+
+def roundtrip(model):
+    return model_format.loads(model_format.dumps(model))
+
+
+class TestRoundtrip:
+    def test_tree_pipeline(self, fitted_tree_pipeline, xy_binary):
+        X, _ = xy_binary
+        restored = roundtrip(fitted_tree_pipeline)
+        assert np.array_equal(
+            restored.predict(X), fitted_tree_pipeline.predict(X)
+        )
+
+    def test_logistic(self, xy_binary):
+        X, y = xy_binary
+        model = LogisticRegression(max_iter=100).fit(X, y)
+        restored = roundtrip(model)
+        assert np.allclose(restored.coef_, model.coef_)
+        assert np.array_equal(restored.classes_, model.classes_)
+
+    def test_forest(self, xy_binary):
+        X, _ = xy_binary
+        y = X[:, 0] * 2.0
+        model = RandomForestRegressor(
+            n_estimators=4, max_depth=4, random_state=0
+        ).fit(X, y)
+        restored = roundtrip(model)
+        assert np.allclose(restored.predict(X), model.predict(X))
+
+    def test_mlp(self, xy_binary):
+        X, y = xy_binary
+        model = MLPClassifier(
+            hidden_layer_sizes=(8,), max_iter=20, random_state=0
+        ).fit(X, y)
+        restored = roundtrip(model)
+        assert np.array_equal(restored.predict(X), model.predict(X))
+
+    def test_column_transformer_pipeline(self):
+        X = np.column_stack(
+            [np.repeat([0.0, 1.0, 2.0], 20), np.arange(60.0)]
+        )
+        y = (X[:, 0] == 1.0).astype(float)
+        pipe = Pipeline(
+            [
+                (
+                    "ct",
+                    ColumnTransformer(
+                        [
+                            ("oh", OneHotEncoder(), [0]),
+                            ("sc", StandardScaler(), [1]),
+                        ]
+                    ),
+                ),
+                ("clf", DecisionTreeClassifier(max_depth=3)),
+            ]
+        ).fit(X, y)
+        restored = roundtrip(pipe)
+        assert np.array_equal(restored.predict(X), pipe.predict(X))
+
+
+class TestBundleFiles:
+    def test_save_and_load_directory(self, tmp_path, fitted_tree_pipeline, xy_binary):
+        X, _ = xy_binary
+        path = model_format.save_model(
+            fitted_tree_pipeline,
+            tmp_path / "bundle",
+            metadata={"feature_names": ["a", "b", "c", "d", "e", "f"]},
+        )
+        assert (path / "MLmodel").exists()
+        descriptor = model_format.load_metadata(path)
+        assert descriptor["flavor"] == "repro.ml"
+        assert descriptor["metadata"]["feature_names"][0] == "a"
+        restored = model_format.load_model(path)
+        assert np.array_equal(
+            restored.predict(X), fitted_tree_pipeline.predict(X)
+        )
+
+    def test_missing_bundle(self, tmp_path):
+        with pytest.raises(ModelFormatError):
+            model_format.load_model(tmp_path / "nope")
+
+    def test_malformed_json(self):
+        with pytest.raises(ModelFormatError):
+            model_format.loads("{not json")
+
+    def test_wrong_version(self):
+        with pytest.raises(ModelFormatError):
+            model_format.loads('{"format_version": 999, "model": null}')
+
+    def test_no_pickle_in_payload(self, fitted_tree_pipeline):
+        payload = model_format.dumps(fitted_tree_pipeline)
+        assert "pickle" not in payload
+        assert payload.startswith("{")  # plain JSON

@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) on core data structures & invariants.
+
+Each property pins a semantic equivalence the optimizer depends on:
+pruning/pushdown/inlining/NN-translation must be *exact* rewrites on the
+domains where they apply, and the relational kernels must agree with their
+NumPy reference semantics for arbitrary data.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.optimizer.ml_rewrites import (
+    ColumnFacts,
+    apply_predicate_pruning,
+    apply_projection_pushdown,
+    pipeline_to_expression,
+    prune_tree,
+)
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    LogisticRegression,
+    Pipeline,
+    StandardScaler,
+)
+from repro.relational.expressions import BinaryOp, CaseWhen, col, conjoin, lit
+from repro.relational.sql.parser import parse_expression
+from repro.relational.table import Table
+from repro.tensor import InferenceSession, convert
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+def matrix(draw, rows=st.integers(30, 120), cols=st.integers(2, 4)):
+    n = draw(rows)
+    d = draw(cols)
+    return draw(
+        arrays(np.float64, (n, d), elements=finite_floats)
+    )
+
+
+@st.composite
+def classification_problem(draw):
+    X = matrix(draw)
+    weights = draw(
+        arrays(
+            np.float64,
+            (X.shape[1],),
+            elements=st.floats(-3.0, 3.0, allow_nan=False),
+        )
+    )
+    y = (X @ weights > np.median(X @ weights)).astype(np.float64)
+    if len(np.unique(y)) < 2:
+        y[0] = 1.0 - y[0]
+    return X, y
+
+
+@settings(max_examples=25, deadline=None)
+@given(classification_problem(), st.floats(-50.0, 50.0, allow_nan=False))
+def test_tree_pruning_exact_on_restricted_domain(problem, threshold):
+    """prune(tree, x0 <= t) scores identically to tree on {x : x0 <= t}."""
+    X, y = problem
+    tree = DecisionTreeClassifier(max_depth=5, random_state=0).fit(X, y)
+    facts = ColumnFacts(bounds={0: (-math.inf, threshold)})
+    pruned = prune_tree(tree.tree_, facts)
+    mask = X[:, 0] <= threshold
+    if mask.any():
+        assert np.allclose(
+            tree.tree_.leaf_values(X[mask]), pruned.leaf_values(X[mask])
+        )
+    assert pruned.node_count <= tree.tree_.node_count
+
+
+@settings(max_examples=20, deadline=None)
+@given(classification_problem())
+def test_projection_pushdown_is_exact(problem):
+    """Dropping zero-weight features never changes predictions."""
+    X, y = problem
+    pipe = Pipeline(
+        [("clf", LogisticRegression(penalty="l1", C=0.05, max_iter=200))]
+    ).fit(X, y)
+    result = apply_projection_pushdown(pipe)
+    reduced = result.pipeline.predict(X[:, result.kept_inputs])
+    assert np.array_equal(pipe.predict(X), reduced)
+
+
+@settings(max_examples=20, deadline=None)
+@given(classification_problem(), st.floats(-20.0, 20.0, allow_nan=False))
+def test_predicate_pruning_exact_on_matching_rows(problem, pivot):
+    """Pruning under x0 >= pivot is exact for rows satisfying it."""
+    X, y = problem
+    pipe = Pipeline(
+        [
+            ("sc", StandardScaler()),
+            ("clf", DecisionTreeClassifier(max_depth=4, random_state=0)),
+        ]
+    ).fit(X, y)
+    result = apply_predicate_pruning(
+        pipe, ColumnFacts(bounds={0: (pivot, math.inf)})
+    )
+    mask = X[:, 0] >= pivot
+    if mask.any():
+        assert np.array_equal(
+            pipe.predict(X[mask]),
+            result.pipeline.predict(X[mask][:, result.kept_inputs]),
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(classification_problem())
+def test_inlined_expression_matches_pipeline(problem):
+    """tree -> CASE WHEN SQL is an exact rewrite."""
+    X, y = problem
+    pipe = Pipeline(
+        [
+            ("sc", StandardScaler()),
+            ("clf", DecisionTreeClassifier(max_depth=4, random_state=0)),
+        ]
+    ).fit(X, y)
+    names = [f"f{i}" for i in range(X.shape[1])]
+    expression = pipeline_to_expression(pipe, names)
+    table = Table.from_dict({name: X[:, i] for i, name in enumerate(names)})
+    assert np.array_equal(
+        expression.evaluate(table).astype(np.float64), pipe.predict(X)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(classification_problem())
+def test_nn_translation_matches_pipeline(problem):
+    """tree -> tensor graph (GEMM encoding) is an exact rewrite."""
+    X, y = problem
+    model = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+    out = InferenceSession(convert(model)).run({"X": X})[0]
+    assert np.array_equal(out.ravel(), model.predict(X))
+
+
+@settings(max_examples=15, deadline=None)
+@given(classification_problem())
+def test_regressor_nn_translation(problem):
+    X, _ = problem
+    y = X[:, 0] * 2.0 + (X[:, 1] if X.shape[1] > 1 else 0.0)
+    model = DecisionTreeRegressor(max_depth=4, random_state=0).fit(X, y)
+    out = InferenceSession(convert(model)).run({"X": X})[0]
+    assert np.allclose(out.ravel(), model.predict(X))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, st.integers(1, 60), elements=finite_floats),
+    st.floats(-100.0, 100.0, allow_nan=False),
+    st.sampled_from(["<", "<=", ">", ">=", "=", "<>"]),
+)
+def test_filter_agrees_with_numpy(values, threshold, op):
+    """Table.filter(pred) == boolean-mask semantics for every operator."""
+    table = Table.from_dict({"x": values})
+    predicate = BinaryOp(op, col("x"), lit(threshold))
+    filtered = table.filter(predicate.evaluate(table))
+    reference = {
+        "<": values < threshold,
+        "<=": values <= threshold,
+        ">": values > threshold,
+        ">=": values >= threshold,
+        "=": values == threshold,
+        "<>": values != threshold,
+    }[op]
+    assert np.array_equal(filtered["x"], values[reference])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abc"), st.floats(-10, 10, allow_nan=False)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_group_by_sums_match_reference(pairs):
+    """SQL GROUP BY SUM == a dict-based reference aggregation."""
+    from repro import Database
+
+    keys = np.array([k for k, _ in pairs])
+    values = np.array([v for _, v in pairs])
+    db = Database()
+    db.register_table("t", Table.from_dict({"k": keys, "v": values}))
+    out = db.execute("SELECT k, SUM(v) AS s FROM t GROUP BY k ORDER BY k")
+    reference: dict[str, float] = {}
+    for k, v in pairs:
+        reference[k] = reference.get(k, 0.0) + v
+    assert out["k"].tolist() == sorted(reference)
+    assert np.allclose(out["s"], [reference[k] for k in sorted(reference)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=40),
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=40),
+)
+def test_hash_join_matches_nested_loop(left_keys, right_keys):
+    """Hash equi-join output == the quadratic reference join."""
+    from repro import Database
+
+    db = Database()
+    db.register_table(
+        "l",
+        Table.from_dict(
+            {"k": np.array(left_keys), "li": np.arange(len(left_keys))}
+        ),
+    )
+    db.register_table(
+        "r",
+        Table.from_dict(
+            {"k": np.array(right_keys), "ri": np.arange(len(right_keys))}
+        ),
+    )
+    out = db.execute(
+        "SELECT l.li, r.ri FROM l AS l JOIN r AS r ON l.k = r.k"
+    )
+    got = sorted(zip(out["li"].tolist(), out["ri"].tolist()))
+    expected = sorted(
+        (i, j)
+        for i, lk in enumerate(left_keys)
+        for j, rk in enumerate(right_keys)
+        if lk == rk
+    )
+    assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=2, max_size=30),
+    st.booleans(),
+)
+def test_order_by_is_sorted(values, ascending):
+    from repro import Database
+
+    db = Database()
+    db.register_table("t", Table.from_dict({"x": np.array(values)}))
+    direction = "ASC" if ascending else "DESC"
+    out = db.execute(f"SELECT x FROM t ORDER BY x {direction}")
+    expected = np.sort(np.array(values))
+    if not ascending:
+        expected = expected[::-1]
+    assert np.array_equal(out["x"], expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=20))
+def test_expression_sql_text_roundtrip(values):
+    """expr -> SQL text -> parse -> evaluate is the identity."""
+    table = Table.from_dict({"x": np.array(values)})
+    expression = conjoin(
+        [
+            BinaryOp(">", col("x"), lit(float(np.mean(values)))),
+            BinaryOp("<=", col("x"), lit(50.0)),
+        ]
+    )
+    reparsed = parse_expression(expression.to_sql())
+    assert np.array_equal(
+        reparsed.evaluate(table), expression.evaluate(table)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(classification_problem())
+def test_model_bundle_roundtrip_property(problem):
+    """Serialization round-trips arbitrary fitted trees exactly."""
+    from repro.ml import model_format
+
+    X, y = problem
+    pipe = Pipeline(
+        [("clf", DecisionTreeClassifier(max_depth=4, random_state=0))]
+    ).fit(X, y)
+    restored = model_format.loads(model_format.dumps(pipe))
+    assert np.array_equal(restored.predict(X), pipe.predict(X))

@@ -1,0 +1,276 @@
+"""Integration tests for binder + executor through Database.execute."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BindError, CatalogError, TransactionError
+from repro import Database, Table
+from repro.ml import DecisionTreeRegressor, Pipeline
+
+
+class TestSelect:
+    def test_projection_and_alias(self, simple_db):
+        out = simple_db.execute("SELECT age * 2 AS double_age FROM people")
+        assert out["double_age"].tolist() == [50.0, 70.0, 90.0, 110.0]
+
+    def test_where(self, simple_db):
+        out = simple_db.execute("SELECT id FROM people WHERE age >= 40")
+        assert sorted(out["id"].tolist()) == [3, 4]
+
+    def test_string_predicate(self, simple_db):
+        out = simple_db.execute("SELECT id FROM people WHERE city = 'ny'")
+        assert sorted(out["id"].tolist()) == [1, 3]
+
+    def test_order_by_multi_key(self, simple_db):
+        out = simple_db.execute(
+            "SELECT city, age FROM people ORDER BY city ASC, age DESC"
+        )
+        assert out["city"].tolist() == ["la", "ny", "ny", "sf"]
+        assert out["age"].tolist() == [55.0, 45.0, 25.0, 35.0]
+
+    def test_limit_and_top(self, simple_db):
+        assert simple_db.execute("SELECT TOP 2 id FROM people").num_rows == 2
+        assert simple_db.execute("SELECT id FROM people LIMIT 3").num_rows == 3
+
+    def test_distinct(self, simple_db):
+        out = simple_db.execute("SELECT DISTINCT city FROM people")
+        assert sorted(out["city"].tolist()) == ["la", "ny", "sf"]
+
+    def test_case_expression(self, simple_db):
+        out = simple_db.execute(
+            "SELECT CASE WHEN age > 40 THEN 1 ELSE 0 END AS senior "
+            "FROM people ORDER BY id"
+        )
+        assert out["senior"].tolist() == [0.0, 0.0, 1.0, 1.0]
+
+    def test_scalar_functions(self, simple_db):
+        out = simple_db.execute("SELECT SQRT(age) AS r FROM people WHERE id = 1")
+        assert np.isclose(out["r"][0], 5.0)
+
+    def test_unknown_table(self, simple_db):
+        with pytest.raises(BindError):
+            simple_db.execute("SELECT * FROM nope")
+
+
+class TestJoins:
+    def test_inner_join(self, simple_db):
+        out = simple_db.execute(
+            "SELECT p.id, s.salary FROM people AS p "
+            "JOIN salaries AS s ON p.id = s.id ORDER BY p.id"
+        )
+        assert out["id"].tolist() == [1, 2, 3]
+        assert out["salary"].tolist() == [50.0, 60.0, 70.0]
+
+    def test_left_join_pads(self, simple_db):
+        out = simple_db.execute(
+            "SELECT p.id, s.salary FROM people AS p "
+            "LEFT JOIN salaries AS s ON p.id = s.id ORDER BY p.id"
+        )
+        assert out.num_rows == 4
+        assert np.isnan(out["salary"][3])
+
+    def test_right_join_normalized(self, simple_db):
+        out = simple_db.execute(
+            "SELECT s.id FROM people AS p RIGHT JOIN salaries AS s "
+            "ON p.id = s.id ORDER BY s.id"
+        )
+        assert out["id"].tolist() == [1, 2, 3, 5]
+
+    def test_cross_join_cardinality(self, simple_db):
+        out = simple_db.execute(
+            "SELECT p.id FROM people AS p CROSS JOIN salaries AS s"
+        )
+        assert out.num_rows == 16
+
+    def test_non_equi_residual(self, simple_db):
+        out = simple_db.execute(
+            "SELECT p.id FROM people AS p JOIN salaries AS s "
+            "ON p.id = s.id AND s.salary > 55 ORDER BY p.id"
+        )
+        assert out["id"].tolist() == [2, 3]
+
+
+class TestAggregates:
+    def test_group_by(self, simple_db):
+        out = simple_db.execute(
+            "SELECT city, COUNT(*) AS n, AVG(age) AS mean_age "
+            "FROM people GROUP BY city ORDER BY city"
+        )
+        assert out["city"].tolist() == ["la", "ny", "sf"]
+        assert out["n"].tolist() == [1, 2, 1]
+        assert out["mean_age"].tolist() == [55.0, 35.0, 35.0]
+
+    def test_global_aggregates(self, simple_db):
+        out = simple_db.execute(
+            "SELECT COUNT(*) AS n, SUM(age) AS total, MIN(age) AS lo, "
+            "MAX(age) AS hi FROM people"
+        )
+        assert out["n"][0] == 4
+        assert out["total"][0] == 160.0
+        assert out["lo"][0] == 25.0 and out["hi"][0] == 55.0
+
+    def test_non_grouped_column_rejected(self, simple_db):
+        with pytest.raises(BindError):
+            simple_db.execute("SELECT age, COUNT(*) AS n FROM people GROUP BY city")
+
+
+class TestCtesAndUnion:
+    def test_cte(self, simple_db):
+        out = simple_db.execute(
+            "WITH old AS (SELECT * FROM people WHERE age > 30) "
+            "SELECT COUNT(*) AS n FROM old"
+        )
+        assert out["n"][0] == 3
+
+    def test_union_all(self, simple_db):
+        out = simple_db.execute(
+            "SELECT id FROM people WHERE age < 30 "
+            "UNION ALL SELECT id FROM people WHERE age > 50"
+        )
+        assert sorted(out["id"].tolist()) == [1, 4]
+
+
+class TestDml:
+    def test_insert_update_delete(self, simple_db):
+        simple_db.execute("INSERT INTO people (id, age, city) VALUES (9, 99.0, 'ny')")
+        assert simple_db.table("people").num_rows == 5
+        simple_db.execute("UPDATE people SET age = 100.0 WHERE id = 9")
+        out = simple_db.execute("SELECT age FROM people WHERE id = 9")
+        assert out["age"][0] == 100.0
+        simple_db.execute("DELETE FROM people WHERE id = 9")
+        assert simple_db.table("people").num_rows == 4
+
+    def test_create_and_drop(self, simple_db):
+        simple_db.execute("CREATE TABLE fresh (x int, y float)")
+        assert simple_db.table("fresh").num_rows == 0
+        with pytest.raises(CatalogError):
+            simple_db.execute("CREATE TABLE fresh (x int)")
+        simple_db.execute("DROP TABLE fresh")
+        with pytest.raises(BindError):
+            simple_db.execute("SELECT * FROM fresh")
+
+    def test_insert_select(self, simple_db):
+        simple_db.execute("CREATE TABLE ny_people (id int, age float)")
+        simple_db.execute(
+            "INSERT INTO ny_people SELECT id, age FROM people WHERE city = 'ny'"
+        )
+        assert simple_db.table("ny_people").num_rows == 2
+
+
+class TestTransactions:
+    def test_rollback_restores_table_and_models(self, simple_db):
+        simple_db.execute("BEGIN TRANSACTION")
+        simple_db.execute("DELETE FROM people")
+        simple_db.store_model("m", object(), flavor="ml.pipeline")
+        assert simple_db.table("people").num_rows == 0
+        simple_db.execute("ROLLBACK")
+        assert simple_db.table("people").num_rows == 4
+        with pytest.raises(CatalogError):
+            simple_db.get_model("m")
+
+    def test_commit_keeps_changes(self, simple_db):
+        simple_db.execute("BEGIN TRANSACTION")
+        simple_db.execute("DELETE FROM people WHERE id = 1")
+        simple_db.execute("COMMIT")
+        assert simple_db.table("people").num_rows == 3
+
+    def test_double_begin_rejected(self, simple_db):
+        simple_db.execute("BEGIN TRANSACTION")
+        with pytest.raises(TransactionError):
+            simple_db.execute("BEGIN TRANSACTION")
+        simple_db.execute("ROLLBACK")
+
+    def test_commit_without_begin(self, simple_db):
+        with pytest.raises(TransactionError):
+            simple_db.execute("COMMIT")
+
+
+class TestModelStore:
+    def test_versioning_and_audit(self, simple_db):
+        simple_db.store_model("m", "v1-payload", flavor="python.script")
+        simple_db.store_model("m", "v2-payload", flavor="python.script")
+        assert simple_db.get_model("m").version == 2
+        assert simple_db.get_model("m", version=1).payload == "v1-payload"
+        assert simple_db.get_model("m:v1").payload == "v1-payload"
+        log = simple_db.catalog.audit_log(["store_model"])
+        assert len(log) == 2
+
+    def test_models_view_queryable(self, simple_db):
+        simple_db.store_model("a_model", "payload", flavor="python.script")
+        out = simple_db.execute(
+            "SELECT model_name, version FROM scoring_models "
+            "WHERE model_name = 'a_model'"
+        )
+        assert out.num_rows == 1
+        assert out["version"][0] == 1
+
+    def test_insert_into_models_view_registers_script(self, simple_db):
+        simple_db.execute(
+            "INSERT INTO models (model_name, model) VALUES "
+            "('script_model', 'model_pipeline = 1')"
+        )
+        entry = simple_db.get_model("script_model")
+        assert entry.flavor == "python.script"
+
+
+class TestPredictStatement:
+    def test_native_scoring_end_to_end(self, simple_db):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] * 3.0 + 1.0
+        pipe = Pipeline([("m", DecisionTreeRegressor(max_depth=6))]).fit(X, y)
+        simple_db.register_table(
+            "inputs",
+            Table.from_dict({"f1": X[:, 0], "f2": X[:, 1]}),
+        )
+        simple_db.store_model(
+            "reg", pipe, metadata={"feature_names": ["f1", "f2"]}
+        )
+        out = simple_db.execute(
+            "DECLARE @m varbinary(max) = "
+            "(SELECT model FROM scoring_models WHERE model_name = 'reg');"
+            "SELECT d.f1, p.yhat FROM PREDICT(MODEL = @m, DATA = inputs AS d) "
+            "WITH (yhat float) AS p"
+        )
+        assert out.num_rows == 300
+        expected = pipe.predict(X)
+        assert np.allclose(np.asarray(out["yhat"]), expected)
+
+    def test_session_cache_hits(self, simple_db):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 2))
+        pipe = Pipeline([("m", DecisionTreeRegressor(max_depth=3))]).fit(
+            X, X[:, 0]
+        )
+        simple_db.register_table(
+            "inputs", Table.from_dict({"f1": X[:, 0], "f2": X[:, 1]})
+        )
+        simple_db.store_model("reg", pipe, metadata={"feature_names": ["f1", "f2"]})
+        query = (
+            "DECLARE @m varbinary(max) = "
+            "(SELECT model FROM scoring_models WHERE model_name = 'reg');"
+            "SELECT p.yhat FROM PREDICT(MODEL = @m, DATA = inputs AS d) "
+            "WITH (yhat float) AS p"
+        )
+        simple_db.execute(query)
+        misses = simple_db.session_cache.misses
+        simple_db.execute(query)
+        assert simple_db.session_cache.misses == misses  # second run cached
+        assert simple_db.session_cache.hits >= 1
+
+    def test_fresh_data_injection(self, simple_db):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(40, 2))
+        pipe = Pipeline([("m", DecisionTreeRegressor(max_depth=3))]).fit(
+            X, X[:, 1]
+        )
+        simple_db.store_model("reg", pipe, metadata={"feature_names": ["f1", "f2"]})
+        fresh = Table.from_dict({"f1": X[:, 0], "f2": X[:, 1]})
+        out = simple_db.execute(
+            "DECLARE @m varbinary(max) = "
+            "(SELECT model FROM scoring_models WHERE model_name = 'reg');"
+            "SELECT p.yhat FROM PREDICT(MODEL = @m, DATA = fresh AS d) "
+            "WITH (yhat float) AS p",
+            data={"fresh": fresh},
+        )
+        assert out.num_rows == 40

@@ -1,0 +1,135 @@
+"""Unit tests for the columnar Table and the type system."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.table import Table
+from repro.relational.types import Column, DataType, Schema
+
+
+class TestDataType:
+    def test_from_numpy_kinds(self):
+        assert DataType.from_numpy(np.dtype(np.int32)) is DataType.INT
+        assert DataType.from_numpy(np.dtype(np.float32)) is DataType.FLOAT
+        assert DataType.from_numpy(np.dtype(np.bool_)) is DataType.BOOL
+        assert DataType.from_numpy(np.dtype("U8")) is DataType.STRING
+        assert DataType.from_numpy(np.dtype(object)) is DataType.BINARY
+
+    def test_from_sql_name(self):
+        assert DataType.from_sql_name("varbinary(max)") is DataType.BINARY
+        assert DataType.from_sql_name("FLOAT") is DataType.FLOAT
+        assert DataType.from_sql_name("bigint") is DataType.INT
+        with pytest.raises(SchemaError):
+            DataType.from_sql_name("geometry")
+
+    def test_common_promotion(self):
+        assert DataType.common(DataType.INT, DataType.FLOAT) is DataType.FLOAT
+        assert DataType.common(DataType.BOOL, DataType.INT) is DataType.INT
+        with pytest.raises(SchemaError):
+            DataType.common(DataType.STRING, DataType.INT)
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", DataType.INT), ("A", DataType.FLOAT))
+
+    def test_column_resolution_order(self):
+        schema = Schema.of(("pi.id", DataType.INT), ("pi.age", DataType.FLOAT))
+        assert schema.column("pi.id").name == "pi.id"
+        assert schema.column("age").name == "pi.age"  # suffix match
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_ambiguous_suffix_raises(self):
+        schema = Schema.of(("a.id", DataType.INT), ("b.id", DataType.INT))
+        with pytest.raises(SchemaError):
+            schema.column("id")
+
+    def test_select_drop_rename_prefix(self):
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.FLOAT))
+        assert schema.select(["b"]).names == ("b",)
+        assert schema.drop(["a"]).names == ("b",)
+        assert schema.rename({"a": "x"}).names == ("x", "b")
+        assert schema.prefixed("t").names == ("t.a", "t.b")
+
+
+class TestTable:
+    def make(self):
+        return Table.from_dict(
+            {
+                "id": np.array([1, 2, 3], dtype=np.int64),
+                "value": np.array([1.5, 2.5, 3.5]),
+            }
+        )
+
+    def test_from_rows_roundtrip(self):
+        schema = Schema.of(("x", DataType.INT), ("y", DataType.STRING))
+        table = Table.from_rows(schema, [(1, "a"), (2, "b")])
+        assert list(table.rows()) == [(1, "a"), (2, "b")]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_dict({"a": np.arange(3), "b": np.arange(4)})
+
+    def test_filter_take_slice(self):
+        table = self.make()
+        assert table.filter(np.array([True, False, True])).num_rows == 2
+        assert table.take(np.array([2, 0]))["id"].tolist() == [3, 1]
+        assert table.slice(1, 3).num_rows == 2
+
+    def test_with_column_replace_and_add(self):
+        table = self.make()
+        widened = table.with_column("flag", np.array([True, False, True]))
+        assert widened.schema.dtype_of("flag") is DataType.BOOL
+        replaced = widened.with_column("value", np.array([9.0, 9.0, 9.0]))
+        assert replaced["value"].tolist() == [9.0, 9.0, 9.0]
+        assert replaced.num_columns == 3
+
+    def test_concat_rows_schema_mismatch(self):
+        table = self.make()
+        other = Table.from_dict({"id": np.array([4], dtype=np.int64)})
+        with pytest.raises(SchemaError):
+            Table.concat_rows([table, other])
+
+    def test_concat_rows_and_columns(self):
+        table = self.make()
+        doubled = Table.concat_rows([table, table])
+        assert doubled.num_rows == 6
+        wide = table.concat_columns(
+            Table.from_dict({"extra": np.array([0.0, 1.0, 2.0])})
+        )
+        assert wide.schema.names == ("id", "value", "extra")
+
+    def test_to_matrix_rejects_strings(self):
+        table = Table.from_dict({"s": np.array(["a", "b"])})
+        with pytest.raises(SchemaError):
+            table.to_matrix()
+
+    def test_to_matrix_order_and_shape(self):
+        table = self.make()
+        matrix = table.to_matrix(["value", "id"])
+        assert matrix.shape == (3, 2)
+        assert matrix[0].tolist() == [1.5, 1.0]
+
+    def test_prefixed_resolution(self):
+        table = self.make().prefixed("t")
+        assert table.column("t.id").tolist() == [1, 2, 3]
+        assert table.column("id").tolist() == [1, 2, 3]  # suffix fallback
+
+    def test_empty_table(self):
+        schema = Schema.of(("a", DataType.FLOAT))
+        table = Table.empty(schema)
+        assert table.num_rows == 0
+        assert table.filter(np.array([], dtype=bool)).num_rows == 0
+
+    def test_equals(self):
+        table = self.make()
+        assert table.equals(self.make())
+        assert not table.equals(table.filter(np.array([True, True, False])))
+
+    def test_pretty_contains_header_and_rows(self):
+        rendering = self.make().pretty()
+        assert "id" in rendering and "value" in rendering
+        assert "1.5" in rendering

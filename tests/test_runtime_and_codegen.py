@@ -1,0 +1,252 @@
+"""Tests for the runtimes (integrated, out-of-process, container) and the
+runtime code generator, plus RavenSession end-to-end behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import Database, RavenSession, Table
+from repro.core.codegen import generate_sql
+from repro.core.runtime import ContainerRuntime, ModelServer, OutOfProcessRuntime
+from repro.data import hospital
+from repro.errors import RuntimeDispatchError
+from repro.ml import DecisionTreeRegressor, Pipeline, StandardScaler
+from repro.ml import model_format
+
+
+class TestRavenSessionEndToEnd:
+    def test_fig1_result_matches_unoptimized(self, hospital_small):
+        db, dataset, pipeline = hospital_small
+        session = RavenSession(db)
+        optimized = session.execute(hospital.INFERENCE_QUERY)
+        baseline = session.execute(hospital.INFERENCE_QUERY, optimize=False)
+        assert sorted(optimized.table.column("id").tolist()) == sorted(
+            baseline.table.column("id").tolist()
+        )
+        assert np.allclose(
+            np.sort(optimized.table.column("length_of_stay")),
+            np.sort(baseline.table.column("length_of_stay")),
+        )
+
+    def test_fig1_matches_direct_model_scoring(self, hospital_small):
+        db, dataset, pipeline = hospital_small
+        session = RavenSession(db)
+        result = session.execute(hospital.INFERENCE_QUERY)
+        predictions = pipeline.predict(dataset.features)
+        pregnant = dataset.features[:, 1] == 1.0
+        expected = np.nonzero(pregnant & (predictions > 7))[0]
+        assert sorted(result.table.column("id").tolist()) == expected.tolist()
+
+    def test_all_optimizer_modes_agree(self, hospital_small):
+        db, _, _ = hospital_small
+        reference = None
+        for kind in ("none", "heuristic", "cost"):
+            session = RavenSession(db, optimizer=kind)
+            ids = sorted(
+                session.execute(hospital.INFERENCE_QUERY).table.column("id").tolist()
+            )
+            if reference is None:
+                reference = ids
+            assert ids == reference, f"optimizer={kind} diverged"
+
+    def test_strategy_option_combinations_agree(self, hospital_small):
+        db, _, _ = hospital_small
+        reference = None
+        for options in (
+            {"enable_inlining": False},
+            {"enable_inlining": True},
+            {"enable_inlining": False, "enable_nn_translation": True},
+            {"enable_splitting": True, "enable_inlining": False},
+        ):
+            session = RavenSession(db, options=options)
+            ids = sorted(
+                session.execute(hospital.INFERENCE_QUERY).table.column("id").tolist()
+            )
+            if reference is None:
+                reference = ids
+            assert ids == reference, f"options={options} diverged"
+
+    def test_explain_mentions_rules_and_sql(self, hospital_small):
+        db, _, _ = hospital_small
+        text = RavenSession(db).explain(hospital.INFERENCE_QUERY)
+        assert "optimized IR" in text
+        assert "PredicateBasedModelPruning" in text
+        assert "generated SQL" in text
+
+    def test_timings_and_analysis_time(self, hospital_small):
+        db, _, _ = hospital_small
+        session = RavenSession(db)
+        result = session.execute(hospital.INFERENCE_QUERY)
+        assert set(result.timings) == {"analyze", "optimize", "execute"}
+        assert session.last_analysis_seconds is not None
+        assert session.last_analysis_seconds < 0.2
+
+    def test_gpu_device_option(self, hospital_small):
+        db, _, _ = hospital_small
+        session = RavenSession(
+            db,
+            options={
+                "enable_inlining": False,
+                "enable_nn_translation": True,
+                "device": "gpu",
+            },
+        )
+        result = session.execute(hospital.INFERENCE_QUERY)
+        node = result.plan.find("la.tensor_graph")[0]
+        assert node.attrs["device"] == "gpu"
+        baseline = RavenSession(db).execute(hospital.INFERENCE_QUERY)
+        assert sorted(result.table.column("id").tolist()) == sorted(
+            baseline.table.column("id").tolist()
+        )
+
+
+class TestCodegen:
+    def test_generated_sql_reexecutes_identically(self, hospital_small):
+        db, _, _ = hospital_small
+        session = RavenSession(db)
+        result = session.execute(hospital.INFERENCE_QUERY)
+        assert result.sql is not None
+        # The regenerated SQL is fully relational after inlining; running
+        # it through the plain database yields the same ids.
+        rerun = db.execute(result.sql)
+        assert sorted(rerun.column("id").tolist()) == sorted(
+            result.table.column("id").tolist()
+        )
+
+    def test_predict_rendered_for_in_process_plans(self, hospital_small):
+        db, _, _ = hospital_small
+        session = RavenSession(db, options={"enable_inlining": False})
+        result = session.execute(hospital.INFERENCE_QUERY)
+        assert "PREDICT(MODEL" in result.sql
+        assert "WITH (length_of_stay float)" in result.sql
+
+    def test_plain_relational_roundtrip(self, simple_db):
+        from repro.core.analysis import SQLAnalyzer
+
+        sql = (
+            "SELECT p.city, COUNT(*) AS n FROM people AS p "
+            "WHERE p.age > 20 GROUP BY p.city"
+        )
+        graph = SQLAnalyzer(simple_db).analyze(sql)
+        regenerated = generate_sql(graph)
+        out = simple_db.execute(regenerated)
+        reference = simple_db.execute(sql)
+        assert sorted(out.column("n").tolist()) == sorted(
+            reference.column("n").tolist()
+        )
+
+
+class TestParallelScoring:
+    def test_parallel_matches_sequential(self, hospital_small):
+        db, dataset, pipeline = hospital_small
+        session = RavenSession(db, options={"enable_inlining": False})
+        session.executor.options.parallel_row_threshold = 100
+        parallel = session.execute(hospital.INFERENCE_QUERY)
+        session.executor.options.parallel_predict = False
+        sequential = session.execute(hospital.INFERENCE_QUERY)
+        session.executor.options.parallel_predict = True
+        assert sorted(parallel.table.column("id").tolist()) == sorted(
+            sequential.table.column("id").tolist()
+        )
+
+    def test_batched_scoring_matches(self, hospital_small):
+        db, _, _ = hospital_small
+        session = RavenSession(db, options={"enable_inlining": False})
+        session.executor.options.default_batch_size = 64
+        batched = session.execute(hospital.INFERENCE_QUERY)
+        session.executor.options.default_batch_size = None
+        whole = session.execute(hospital.INFERENCE_QUERY)
+        assert sorted(batched.table.column("id").tolist()) == sorted(
+            whole.table.column("id").tolist()
+        )
+
+
+@pytest.fixture(scope="module")
+def small_model_bundle():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(200, 3))
+    y = X[:, 0] * 2.0 - X[:, 2]
+    pipe = Pipeline(
+        [("sc", StandardScaler()), ("m", DecisionTreeRegressor(max_depth=5))]
+    ).fit(X, y)
+    table = Table.from_dict({"a": X[:, 0], "b": X[:, 1], "c": X[:, 2]})
+    return pipe, model_format.dumps(pipe), table, X
+
+
+class TestOutOfProcess:
+    def test_score_model_matches_in_process(self, small_model_bundle):
+        pipe, bundle, table, X = small_model_bundle
+        runtime = OutOfProcessRuntime()
+        out = runtime.score_model(bundle, table)
+        assert np.allclose(out, pipe.predict(X))
+        # The paper's point: a constant interpreter-startup overhead.
+        assert runtime.last_startup_seconds > 0.05
+
+    def test_run_script(self, small_model_bundle):
+        _, _, table, X = small_model_bundle
+        runtime = OutOfProcessRuntime()
+        out = runtime.run_script(
+            "output = input_columns['a'] * 10.0", table
+        )
+        assert np.allclose(out, X[:, 0] * 10.0)
+
+    def test_script_errors_surface(self, small_model_bundle):
+        _, _, table, _ = small_model_bundle
+        runtime = OutOfProcessRuntime()
+        with pytest.raises(RuntimeDispatchError):
+            runtime.run_script("raise ValueError('boom')", table)
+
+    def test_script_must_set_output(self, small_model_bundle):
+        _, _, table, _ = small_model_bundle
+        runtime = OutOfProcessRuntime()
+        with pytest.raises(RuntimeDispatchError):
+            runtime.run_script("x = 1", table)
+
+
+class TestContainerized:
+    def test_rest_scoring_matches(self, small_model_bundle):
+        pipe, bundle, table, X = small_model_bundle
+        with ContainerRuntime(
+            bundle, simulated_container_start_seconds=0.0
+        ) as runtime:
+            out = runtime.score(table)
+            assert np.allclose(out, pipe.predict(X))
+            assert runtime.last_request_seconds is not None
+
+    def test_server_rejects_bad_route(self, small_model_bundle):
+        pipe, _, _, _ = small_model_bundle
+        import http.client
+        import json
+
+        with ModelServer(pipe) as server:
+            host, port = server.address
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            connection.request("POST", "/nope", body="{}")
+            assert connection.getresponse().status == 404
+            connection.close()
+
+    def test_server_reports_scoring_errors(self, small_model_bundle):
+        pipe, _, _, _ = small_model_bundle
+        import http.client
+        import json
+
+        with ModelServer(pipe) as server:
+            host, port = server.address
+            connection = http.client.HTTPConnection(host, port, timeout=10)
+            body = json.dumps({"matrix": [["not-a-number"]]})
+            connection.request("POST", "/predict", body=body)
+            assert connection.getresponse().status == 500
+            connection.close()
+
+
+class TestExternalScriptStatement:
+    def test_exec_external_script_through_database(self, simple_db):
+        runtime = OutOfProcessRuntime()
+        simple_db.register_external_runtime(
+            "python", lambda script, table: runtime.run_script(script, table)
+        )
+        out = simple_db.execute(
+            "EXEC sp_execute_external_script @language = 'python', "
+            "@script = 'output = input_columns[\"age\"] + 1.0', "
+            "@input_data_1 = 'SELECT age FROM people'"
+        )
+        assert np.allclose(np.sort(out), np.sort(np.array([26.0, 36.0, 46.0, 56.0])))

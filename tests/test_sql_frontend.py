@@ -1,0 +1,217 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.relational.expressions import BinaryOp, CaseWhen, ColumnRef, InList, Literal
+from repro.relational.sql import ast_nodes as ast
+from repro.relational.sql.lexer import TokenType, tokenize
+from repro.relational.sql.parser import parse, parse_expression, parse_statement
+from repro.relational.types import DataType
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("SELECT foo FROM bar")
+        assert [t.type for t in tokens[:4]] == [
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+        ]
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing\n/* block\ncomment */ + 2")
+        values = [t.value for t in tokens if t.type is not TokenType.EOF]
+        assert values == ["SELECT", "1", "+", "2"]
+
+    def test_variable_and_bracket_identifier(self):
+        tokens = tokenize("@model [weird name]")
+        assert tokens[0].type is TokenType.VARIABLE
+        assert tokens[0].value == "model"
+        assert tokens[1].value == "weird name"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5e-2")
+        values = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert values == ["1", "2.5", "1e3", "2.5e-2"]
+
+    def test_operators_normalized(self):
+        tokens = tokenize("a != b <> c")
+        ops = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == ["<>", "<>"]
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(SQLSyntaxError) as info:
+            tokenize("SELECT\n  #")
+        assert info.value.line == 2
+
+
+class TestParserStatements:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a, b AS bee FROM t WHERE a > 1")
+        assert isinstance(stmt, ast.SelectStatement)
+        assert stmt.items[1].alias == "bee"
+        assert isinstance(stmt.where, BinaryOp)
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_statement("SELECT *, t.* FROM t")
+        assert stmt.items[0].star and stmt.items[0].star_qualifier is None
+        assert stmt.items[1].star_qualifier == "t"
+
+    def test_joins(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.id = b.id "
+            "LEFT JOIN c ON b.id = c.id CROSS JOIN d"
+        )
+        kinds = [j.kind for j in stmt.joins]
+        assert kinds == ["INNER", "LEFT", "CROSS"]
+        assert stmt.joins[2].condition is None
+
+    def test_ctes_and_union(self):
+        stmt = parse_statement(
+            "WITH x AS (SELECT a FROM t), y AS (SELECT a FROM u) "
+            "SELECT a FROM x UNION ALL SELECT a FROM y"
+        )
+        assert [name for name, _ in stmt.ctes] == ["x", "y"]
+        assert len(stmt.union) == 1
+
+    def test_group_order_limit(self):
+        stmt = parse_statement(
+            "SELECT city, COUNT(*) AS n FROM t GROUP BY city "
+            "ORDER BY n DESC LIMIT 5"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 5
+
+    def test_top(self):
+        assert parse_statement("SELECT TOP 3 a FROM t").limit == 3
+
+    def test_predict_table(self):
+        stmt = parse_statement(
+            "SELECT d.id, p.out FROM PREDICT(MODEL = @m, DATA = data AS d) "
+            "WITH (out float, score float) AS p WHERE p.out > 1"
+        )
+        source = stmt.source
+        assert isinstance(source, ast.PredictTable)
+        assert source.model_variable == "m"
+        assert source.alias == "p"
+        assert source.data_alias == "d"
+        assert source.output_columns == (
+            ("out", DataType.FLOAT),
+            ("score", DataType.FLOAT),
+        )
+
+    def test_declare_with_subquery(self):
+        stmt = parse_statement(
+            "DECLARE @model varbinary(max) = "
+            "(SELECT model FROM models WHERE model_name = 'x')"
+        )
+        assert isinstance(stmt, ast.DeclareStatement)
+        assert stmt.subquery is not None
+
+    def test_declare_with_literal(self):
+        stmt = parse_statement("DECLARE @k int = 5")
+        assert isinstance(stmt.value, Literal)
+
+    def test_insert_values_and_select(self):
+        stmt = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+        )
+        assert isinstance(stmt, ast.InsertStatement)
+        assert len(stmt.rows) == 2
+        stmt2 = parse_statement("INSERT INTO t SELECT a, b FROM u")
+        assert stmt2.select is not None
+
+    def test_create_drop_delete_update(self):
+        create = parse_statement("CREATE TABLE t (a int, b varchar(10))")
+        assert create.columns == (
+            ("a", DataType.INT),
+            ("b", DataType.STRING),
+        )
+        assert isinstance(parse_statement("DROP TABLE t"), ast.DropTableStatement)
+        delete = parse_statement("DELETE FROM t WHERE a = 1")
+        assert delete.where is not None
+        update = parse_statement("UPDATE t SET a = 2, b = 'z' WHERE a = 1")
+        assert len(update.assignments) == 2
+
+    def test_transactions(self):
+        script = parse("BEGIN TRANSACTION; COMMIT; ROLLBACK")
+        actions = [s.action for s in script.statements]
+        assert actions == ["begin", "commit", "rollback"]
+
+    def test_exec_external_script(self):
+        stmt = parse_statement(
+            "EXEC sp_execute_external_script @language = 'python', "
+            "@script = 'output = 1'"
+        )
+        assert isinstance(stmt, ast.ExecStatement)
+        assert dict(stmt.parameters)["language"].value == "python"
+
+    def test_batch_with_semicolons(self):
+        script = parse("SELECT 1 AS one FROM t; SELECT 2 AS two FROM t;")
+        assert len(script.statements) == 2
+
+    def test_syntax_error_unbalanced_paren(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT a FROM t WHERE (a > 1")
+
+    def test_syntax_error_bad_statement_start(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("FROB the database")
+
+
+class TestParserExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_between_desugars(self):
+        expr = parse_expression("x BETWEEN 1 AND 5")
+        assert expr.op == "AND"
+        assert expr.left.op == ">="
+        assert expr.right.op == "<="
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, InList)
+        assert expr.values == (1, 2, 3)
+
+    def test_case_when(self):
+        expr = parse_expression(
+            "CASE WHEN x > 1 THEN 10 WHEN x > 0 THEN 5 ELSE 0 END"
+        )
+        assert isinstance(expr, CaseWhen)
+        assert len(expr.branches) == 2
+
+    def test_dotted_column(self):
+        expr = parse_expression("t.col")
+        assert isinstance(expr, ColumnRef)
+        assert expr.name == "t.col"
+        assert expr.unqualified == "col"
+
+    def test_unary_minus_and_cast(self):
+        negated = parse_expression("-3")
+        assert negated.op == "-" and negated.operand.value == 3
+        expr = parse_expression("CAST(x AS float)")
+        assert isinstance(expr, ColumnRef)
+
+    def test_function_with_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr.name == "COUNT"
+        assert isinstance(expr.args[0], ColumnRef)

@@ -1,0 +1,109 @@
+"""Tests for database persistence (save/load round-trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Database, RavenSession, Table
+from repro.data import hospital
+from repro.errors import CatalogError
+from repro.ml import DecisionTreeRegressor, Pipeline
+from repro.relational.storage import load_database, save_database
+from repro.tensor import convert
+
+
+class TestRoundtrip:
+    def test_tables_and_models_roundtrip(self, tmp_path, hospital_small):
+        database, dataset, pipeline = hospital_small
+        saved = save_database(database, tmp_path / "db")
+        restored = load_database(saved)
+        # Tables identical.
+        for name in database.catalog.table_names():
+            assert restored.table(name).equals(database.table(name))
+        # The stored model still answers the Fig. 1 query identically.
+        original = RavenSession(database).execute(hospital.INFERENCE_QUERY)
+        reloaded = RavenSession(restored).execute(hospital.INFERENCE_QUERY)
+        assert sorted(original.table.column("id").tolist()) == sorted(
+            reloaded.table.column("id").tolist()
+        )
+
+    def test_model_versions_preserved(self, tmp_path):
+        db = Database()
+        X = np.arange(20.0).reshape(-1, 2)
+        for depth in (1, 2, 3):
+            pipe = Pipeline(
+                [("m", DecisionTreeRegressor(max_depth=depth))]
+            ).fit(X, X[:, 0])
+            db.store_model(
+                "m", pipe, metadata={"feature_names": ["a", "b"], "depth": depth}
+            )
+        restored = load_database(save_database(db, tmp_path / "db"))
+        assert [e.version for e in restored.catalog.model_versions("m")] == [
+            1,
+            2,
+            3,
+        ]
+        assert restored.get_model("m").metadata["depth"] == 3
+        assert restored.get_model("m", version=1).metadata["depth"] == 1
+
+    def test_tensor_graph_models_roundtrip(self, tmp_path):
+        db = Database()
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        model = DecisionTreeRegressor(max_depth=3).fit(X, X[:, 0])
+        db.store_model(
+            "g",
+            convert(model),
+            flavor="tensor.graph",
+            metadata={"feature_names": ["a", "b"]},
+        )
+        db.register_table(
+            "rows", Table.from_dict({"a": X[:, 0], "b": X[:, 1]})
+        )
+        restored = load_database(save_database(db, tmp_path / "db"))
+        sql = (
+            "DECLARE @m varbinary(max) = (SELECT model FROM scoring_models "
+            "WHERE model_name = 'g');"
+            "SELECT p.y FROM PREDICT(MODEL = @m, DATA = rows AS d) "
+            "WITH (y float) AS p"
+        )
+        assert np.allclose(
+            np.asarray(restored.execute(sql)["y"]),
+            np.asarray(db.execute(sql)["y"]),
+        )
+
+    def test_script_models_roundtrip(self, tmp_path):
+        db = Database()
+        db.store_model("s", "output = input_columns['x']", flavor="python.script")
+        restored = load_database(save_database(db, tmp_path / "db"))
+        assert restored.get_model("s").payload == "output = input_columns['x']"
+
+    def test_string_columns_roundtrip(self, tmp_path):
+        db = Database()
+        db.register_table(
+            "t",
+            Table.from_dict(
+                {"name": np.array(["ann", "bob"]), "x": np.array([1.0, 2.0])}
+            ),
+        )
+        restored = load_database(save_database(db, tmp_path / "db"))
+        assert restored.table("t")["name"].tolist() == ["ann", "bob"]
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CatalogError):
+            load_database(tmp_path)
+
+    def test_bad_manifest_version(self, tmp_path):
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"manifest_version": 99})
+        )
+        with pytest.raises(CatalogError):
+            load_database(tmp_path)
+
+    def test_unpersistable_payload_rejected(self, tmp_path):
+        db = Database()
+        db.store_model("weird", object(), flavor="ml.pipeline")
+        with pytest.raises(CatalogError):
+            save_database(db, tmp_path / "db")
