@@ -1,0 +1,188 @@
+"""Serving-layer benchmark: plan-cache and micro-batching speedups.
+
+Claims measured (printed as JSON for the bench trajectory):
+
+* **plan cache** — executing a prepared inference query (analyze/optimize
+  once, bind parameters per request) is >= 3x faster than running the full
+  one-shot pipeline (parse -> analyze -> optimize -> codegen -> execute)
+  for every request, over >= 1000 requests.
+* **micro-batching** — coalescing one-row PREDICT requests into
+  vectorized batches yields >= 2x the throughput of one-row-at-a-time
+  prepared execution for the same requests.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+
+``--smoke`` shrinks row counts so CI can exercise the full code path in
+seconds; the speedup assertions only apply to full-size runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from concurrent.futures import wait
+
+import numpy as np
+
+from repro import Database, RavenSession, Table
+from repro.ml import DecisionTreeClassifier, Pipeline, StandardScaler
+from repro.serving import MicroBatcher
+
+FILTER_SQL = """
+DECLARE @model varbinary(max) = (
+    SELECT model FROM scoring_models WHERE model_name = 'approval');
+SELECT d.id, p.pred
+FROM PREDICT(MODEL = @model, DATA = applicants AS d)
+WITH (pred float) AS p
+WHERE d.age < ?
+"""
+
+PREDICT_SQL = """
+DECLARE @model varbinary(max) = (
+    SELECT model FROM scoring_models WHERE model_name = 'approval');
+SELECT d.age, d.income, p.pred
+FROM PREDICT(MODEL = @model, DATA = requests AS d)
+WITH (pred float) AS p
+"""
+
+
+def build_session(num_rows: int) -> RavenSession:
+    rng = np.random.default_rng(7)
+    age = rng.uniform(18, 90, num_rows)
+    income = rng.normal(55.0, 20.0, num_rows)
+    approved = ((income > 50.0) | (age < 30.0)).astype(np.float64)
+    database = Database()
+    database.register_table(
+        "applicants",
+        Table.from_dict(
+            {"id": np.arange(num_rows), "age": age, "income": income}
+        ),
+    )
+    pipeline = Pipeline(
+        [
+            ("scale", StandardScaler()),
+            ("clf", DecisionTreeClassifier(max_depth=4, random_state=0)),
+        ]
+    ).fit(np.column_stack([age, income]), approved)
+    database.store_model(
+        "approval", pipeline, metadata={"feature_names": ["age", "income"]}
+    )
+    return RavenSession(database)
+
+
+def bench_plan_cache(session: RavenSession, num_requests: int) -> dict:
+    cutoffs = [25.0 + (i % 50) for i in range(num_requests)]
+
+    # Baseline: the full one-shot pipeline per request (what a client
+    # without prepared queries pays every time).
+    start = time.perf_counter()
+    for cutoff in cutoffs:
+        session.execute(FILTER_SQL.replace("?", repr(cutoff)))
+    baseline_seconds = time.perf_counter() - start
+
+    prepared = session.prepare(FILTER_SQL)
+    start = time.perf_counter()
+    for cutoff in cutoffs:
+        prepared.execute(params=(cutoff,))
+    prepared_seconds = time.perf_counter() - start
+
+    return {
+        "requests": num_requests,
+        "one_shot_seconds": round(baseline_seconds, 4),
+        "prepared_seconds": round(prepared_seconds, 4),
+        "one_shot_rps": round(num_requests / baseline_seconds, 1),
+        "prepared_rps": round(num_requests / prepared_seconds, 1),
+        "speedup": round(baseline_seconds / max(prepared_seconds, 1e-9), 2),
+        "plan_cache": session.plan_cache.stats(),
+    }
+
+
+def bench_micro_batching(
+    session: RavenSession, num_requests: int, max_batch_rows: int = 128
+) -> dict:
+    rng = np.random.default_rng(11)
+    rows = [
+        Table.from_dict(
+            {
+                "age": np.array([rng.uniform(18, 90)]),
+                "income": np.array([rng.normal(55.0, 20.0)]),
+            }
+        )
+        for _ in range(num_requests)
+    ]
+    template = rows[0]
+    prepared = session.prepare(PREDICT_SQL, data={"requests": template})
+
+    # Baseline: one row at a time through the (already cheap) prepared path.
+    start = time.perf_counter()
+    for row in rows:
+        prepared.execute(data={"requests": row})
+    unbatched_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with MicroBatcher(
+        lambda table: prepared.execute(data={"requests": table}),
+        max_batch_rows=max_batch_rows,
+        max_wait_seconds=0.005,
+    ) as batcher:
+        futures = [batcher.submit(row) for row in rows]
+        batcher.flush()
+        wait(futures, timeout=600)
+    batched_seconds = time.perf_counter() - start
+    for future in futures:
+        assert future.result().num_rows == 1
+
+    return {
+        "requests": num_requests,
+        "max_batch_rows": max_batch_rows,
+        "unbatched_seconds": round(unbatched_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "unbatched_rps": round(num_requests / unbatched_seconds, 1),
+        "batched_rps": round(num_requests / batched_seconds, 1),
+        "speedup": round(unbatched_seconds / max(batched_seconds, 1e-9), 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny row counts; exercises the path without timing claims",
+    )
+    parser.add_argument("--requests", type=int, default=None)
+    args = parser.parse_args()
+
+    table_rows = 200 if args.smoke else 2_000
+    num_requests = args.requests or (60 if args.smoke else 1_000)
+
+    session = build_session(table_rows)
+    results = {
+        "table_rows": table_rows,
+        "smoke": args.smoke,
+        "plan_cache": bench_plan_cache(session, num_requests),
+        "micro_batching": bench_micro_batching(session, num_requests),
+    }
+    results["claims"] = {
+        "plan_cache_speedup_target": 3.0,
+        "plan_cache_speedup_measured": results["plan_cache"]["speedup"],
+        "plan_cache_pass": results["plan_cache"]["speedup"] >= 3.0,
+        "micro_batch_speedup_target": 2.0,
+        "micro_batch_speedup_measured": results["micro_batching"]["speedup"],
+        "micro_batch_pass": results["micro_batching"]["speedup"] >= 2.0,
+    }
+    print(json.dumps(results, indent=2))
+    if not args.smoke:
+        assert results["claims"]["plan_cache_pass"], (
+            "plan-cache speedup below 3x: "
+            f"{results['claims']['plan_cache_speedup_measured']}"
+        )
+        assert results["claims"]["micro_batch_pass"], (
+            "micro-batch speedup below 2x: "
+            f"{results['claims']['micro_batch_speedup_measured']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,17 +7,49 @@ The package is layered exactly as DESIGN.md describes:
 * :mod:`repro.tensor` — a mini ONNX Runtime (graphs, kernels, sessions),
 * :mod:`repro.core` — Raven itself: unified IR, static analysis,
   cross-optimizer, code generation, and execution runtimes,
+* :mod:`repro.serving` — the concurrent serving layer: prepared queries
+  with ``?``/``@name`` parameters, a normalized-plan cache, adaptive
+  micro-batching, a TTL prediction cache, and :class:`RavenServer`,
 * :mod:`repro.data` — seeded synthetic workloads (hospital LOS, flights).
 
 Quickstart::
 
     from repro import Database, RavenSession
     session = RavenSession(Database())
+
+Serving quickstart::
+
+    from repro import RavenServer
+    prepared = session.prepare(SQL_WITH_PLACEHOLDERS)
+    prepared.execute(params=(40.0,))          # plan reused, 3x+ faster
+    with RavenServer(session, workers=4) as server:
+        server.prepare("score", SQL, data={"requests": schema_row}, batch=True)
+        table = server.query("score", data={"requests": one_row})
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import RavenResult, RavenSession
 from repro.relational import Database, Table
+from repro.serving import (
+    MicroBatcher,
+    PlanCache,
+    PreparedQuery,
+    RavenServer,
+    ResultCache,
+    ServingStats,
+)
 
-__all__ = ["Database", "RavenResult", "RavenSession", "Table", "__version__"]
+__all__ = [
+    "Database",
+    "MicroBatcher",
+    "PlanCache",
+    "PreparedQuery",
+    "RavenResult",
+    "RavenServer",
+    "RavenSession",
+    "ResultCache",
+    "ServingStats",
+    "Table",
+    "__version__",
+]

@@ -51,7 +51,11 @@ class SQLAnalyzer:
             return node.id
         if isinstance(op, logical.InlineTable):
             node = graph.add(
-                "ra.inline_table", [], table_value=op.table, alias=op.alias
+                "ra.inline_table",
+                [],
+                table_value=op.table,
+                alias=op.alias,
+                source_name=op.source_name,
             )
             return node.id
         if isinstance(op, logical.Filter):

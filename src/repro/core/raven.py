@@ -84,6 +84,39 @@ class RavenSession:
         )
         self.out_of_process = external
         self.last_analysis_seconds: float | None = None
+        self._plan_cache = None
+
+    @property
+    def plan_cache(self):
+        """The session's normalized-plan LRU (created on first use).
+
+        Registered as a database model listener so that storing a new
+        model version — or rolling one back — invalidates every cached
+        plan that embeds the old version.
+        """
+        if self._plan_cache is None:
+            import weakref
+
+            from repro.serving.plan_cache import PlanCache
+
+            cache = PlanCache()
+            # The listener holds the cache weakly: when a short-lived
+            # session (and its cache) is collected, the next model event
+            # unregisters the listener instead of leaking it on a
+            # long-lived database.
+            cache_ref = weakref.ref(cache)
+            database = self.database
+
+            def _invalidate(_event: str, name: str) -> None:
+                live = cache_ref()
+                if live is None:
+                    database.remove_model_listener(_invalidate)
+                else:
+                    live.invalidate_model(name)
+
+            database.add_model_listener(_invalidate)
+            self._plan_cache = cache
+        return self._plan_cache
 
     # -- pipeline stages ----------------------------------------------------
 
@@ -123,6 +156,21 @@ class RavenSession:
             return generate_sql(graph)
         except CodegenError:
             return None
+
+    def prepare(self, sql: str, data: dict[str, Table] | None = None):
+        """Compile an inference query once for repeated execution.
+
+        ``sql`` may contain ``?`` positional or ``@name`` parameter
+        placeholders; ``data`` supplies schema templates for request
+        tables that each execution re-binds. The optimized plan is cached
+        in :attr:`plan_cache` keyed by the query's normalized SQL
+        fingerprint and the versions of every model it embeds.
+
+        Returns a :class:`repro.serving.PreparedQuery`.
+        """
+        from repro.serving.prepared import PreparedQuery
+
+        return PreparedQuery(self, sql, data=data, plan_cache=self.plan_cache)
 
     # -- one-call execution ----------------------------------------------
 

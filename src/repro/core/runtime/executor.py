@@ -11,10 +11,17 @@ Scoring is chunked and scored on a thread pool above a row threshold,
 reproducing SQL Server's automatic parallelization of scan + PREDICT
 (Fig. 3, observation iii); batch size is configurable for the §5(v)
 batching experiment.
+
+Execution is re-entrant: each :meth:`RavenExecutor.execute` call keeps its
+memo table on the stack and never mutates the plan, so the serving layer
+can run one cached (prepared) plan from many worker threads concurrently.
+The only shared mutable state — the tensor inference-session cache — is
+guarded by a lock.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
@@ -45,7 +52,11 @@ class RavenExecutor:
         self._external_runtime = external_runtime
         # Tensor sessions are cached by tensor-graph identity; entries
         # survive across queries, like ORT sessions inside SQL Server.
-        self._session_cache: dict[int, InferenceSession] = {}
+        # The keyed graph object is pinned alongside the session: id()s
+        # are recycled after garbage collection, and plan churn (drop,
+        # rollback, re-prepare) makes graph turnover routine.
+        self._session_cache: dict[int, tuple[object, InferenceSession]] = {}
+        self._session_lock = threading.Lock()
 
     # -- entry point -----------------------------------------------------
 
@@ -236,12 +247,21 @@ class RavenExecutor:
     def _session_for(self, node: IRNode) -> InferenceSession:
         tensor_graph = node.attrs["graph"]
         key = id(tensor_graph)
-        session = self._session_cache.get(key)
-        if session is None or session.device.name != _device_name(node):
-            session = InferenceSession(
-                tensor_graph, device=node.attrs.get("device", "cpu")
-            )
-            self._session_cache[key] = session
+        with self._session_lock:
+            cached = self._session_cache.get(key)
+            if (
+                cached is not None
+                and cached[0] is tensor_graph
+                and cached[1].device.name == _device_name(node)
+            ):
+                return cached[1]
+        # Build outside the lock: session construction can be expensive
+        # and must not stall concurrent scoring on unrelated graphs.
+        session = InferenceSession(
+            tensor_graph, device=node.attrs.get("device", "cpu")
+        )
+        with self._session_lock:
+            self._session_cache[key] = (tensor_graph, session)
         return session
 
     # -- fallback runtimes ------------------------------------------------

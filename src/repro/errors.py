@@ -121,3 +121,24 @@ class CodegenError(RavenError):
 
 class RuntimeDispatchError(RavenError):
     """No runtime (in-process/external/container) can execute an operator."""
+
+
+# ---------------------------------------------------------------------------
+# Serving layer
+# ---------------------------------------------------------------------------
+
+
+class ServingError(ReproError):
+    """Base class for errors from the concurrent serving layer."""
+
+
+class ParameterBindError(ServingError):
+    """A prepared query was executed with missing or extra parameters."""
+
+
+class ServerOverloadedError(ServingError):
+    """The server's bounded admission queue rejected a request."""
+
+
+class ServerClosedError(ServingError):
+    """A request was submitted to a server that has been shut down."""

@@ -261,7 +261,7 @@ class _TreeBuilder:
             def entropy(counts, n):
                 p = counts / np.maximum(n, 1)[..., None]
                 with np.errstate(divide="ignore", invalid="ignore"):
-                    logs = np.where(p > 0, np.log2(p, where=p > 0), 0.0)
+                    logs = np.log2(p, out=np.zeros_like(p), where=p > 0)
                 return -(p * logs).sum(axis=-1)
 
             left_imp = entropy(counts_left, n_left)

@@ -7,7 +7,7 @@ declared earlier in the batch to catalog model references.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import BindError
 from repro.relational.algebra import logical
@@ -15,6 +15,7 @@ from repro.relational.expressions import (
     ColumnRef,
     Expression,
     FunctionCall,
+    Literal,
 )
 from repro.relational.sql import ast_nodes as ast
 from repro.relational.types import Schema
@@ -67,6 +68,7 @@ class Binder:
     def _bind_core(
         self, stmt: ast.SelectStatement, context: BindContext
     ) -> logical.LogicalOp:
+        stmt = _substitute_variables(stmt, context.variables)
         if stmt.source is None:
             raise BindError("SELECT without FROM is not supported")
         plan = self._bind_table_ref(stmt.source, context)
@@ -198,6 +200,15 @@ class Binder:
             out.append((expr, output_name(base)))
         return out
 
+    @staticmethod
+    def substitutable_variables(variables: dict[str, object]) -> dict[str, Expression]:
+        """DECLAREd scalar values as a ``Parameter``-substitution mapping."""
+        return {
+            f"@{name}": Literal(value)
+            for name, value in variables.items()
+            if value is not None
+        }
+
     def _collect_aggregates(
         self, items: tuple[ast.SelectItem, ...]
     ) -> list[tuple[str, Expression | None, str]]:
@@ -251,3 +262,42 @@ class Binder:
                     for g, name in group_items
                 ]
         return logical.Aggregate(plan, tuple(group_items), tuple(aggregates))
+
+
+def _substitute_variables(
+    stmt: ast.SelectStatement, variables: dict[str, object]
+) -> ast.SelectStatement:
+    """Replace ``@var`` placeholders with DECLAREd values in one SELECT.
+
+    Only this statement's own expression slots are rewritten; CTEs, FROM
+    subqueries, and UNION branches each pass through :meth:`Binder._bind_core`
+    themselves. Placeholders with no DECLAREd value (``?`` positional and
+    unbound ``@pN``) survive as :class:`~repro.relational.expressions.Parameter`
+    nodes for prepared-query binding.
+    """
+    if not variables:
+        return stmt
+    mapping = Binder.substitutable_variables(variables)
+    if not mapping:
+        return stmt
+
+    def sub(expr: Expression | None) -> Expression | None:
+        return expr.substitute(mapping) if expr is not None else None
+
+    return replace(
+        stmt,
+        items=tuple(
+            item if item.star else replace(item, expression=sub(item.expression))
+            for item in stmt.items
+        ),
+        joins=tuple(
+            replace(join, condition=sub(join.condition)) for join in stmt.joins
+        ),
+        where=sub(stmt.where),
+        group_by=tuple(sub(expr) for expr in stmt.group_by),
+        having=sub(stmt.having),
+        order_by=tuple(
+            replace(item, expression=sub(item.expression))
+            for item in stmt.order_by
+        ),
+    )

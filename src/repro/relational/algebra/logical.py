@@ -59,10 +59,16 @@ class Scan(LogicalOp):
 
 @dataclass(frozen=True)
 class InlineTable(LogicalOp):
-    """A literal table (VALUES rows, or data injected by the runtime)."""
+    """A literal table (VALUES rows, or data injected by the runtime).
+
+    ``source_name`` remembers which application-supplied ``data`` binding
+    produced this table, so prepared queries can re-bind fresh request
+    data into a cached plan without re-analyzing the query.
+    """
 
     table: Table
     alias: str | None = None
+    source_name: str | None = None
 
     @property
     def schema(self) -> Schema:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.errors import CatalogError
 from repro.relational.table import Table
@@ -60,6 +60,30 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._models: dict[str, list[ModelEntry]] = {}
         self._audit: list[AuditRecord] = []
+        self._model_observers: list[Callable[[str, str], None]] = []
+
+    # -- model-change observers ----------------------------------------------
+
+    def add_model_observer(self, fn: Callable[[str, str], None]) -> None:
+        """Register ``fn(event, model_name)`` for model mutations.
+
+        Events: ``"store_model"``, ``"restore_model"``, ``"drop_model"``.
+        Caches keyed on model versions (session caches, plan caches,
+        prediction caches) subscribe here so every mutation path — including
+        transaction rollback — invalidates them.
+        """
+        self._model_observers.append(fn)
+
+    def remove_model_observer(self, fn: Callable[[str, str], None]) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        try:
+            self._model_observers.remove(fn)
+        except ValueError:
+            pass
+
+    def _notify_model(self, event: str, name: str) -> None:
+        for fn in list(self._model_observers):
+            fn(event, name)
 
     # -- tables ---------------------------------------------------------------
 
@@ -128,6 +152,7 @@ class Catalog:
         )
         versions.append(entry)
         self._log("store_model", name, f"v{entry.version} flavor={flavor}")
+        self._notify_model("store_model", name)
         return entry
 
     def get_model(self, name: str, version: int | None = None) -> ModelEntry:
@@ -160,6 +185,7 @@ class Catalog:
             raise CatalogError(f"unknown model {name!r}")
         del self._models[key]
         self._log("drop_model", name)
+        self._notify_model("drop_model", name)
 
     # -- audit ---------------------------------------------------------------
 
@@ -201,3 +227,4 @@ class Catalog:
         else:
             self._models[key] = list(versions)
         self._log("restore_model", name, "rollback")
+        self._notify_model("restore_model", name)

@@ -12,6 +12,7 @@ verbatim.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Sequence
 
@@ -46,26 +47,59 @@ class SessionCache:
     def __init__(self, capacity: int = 32):
         self.capacity = capacity
         self._entries: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get_or_create(self, key: str, factory: Callable[[], object]) -> object:
-        if key in self._entries:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.misses += 1
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+        # Build outside the lock (double-checked): an expensive scorer
+        # build on one model must not stall concurrent hits on others.
+        # Concurrent misses may build twice; the factory is idempotent
+        # and last-write-wins is fine for a cache.
         value = factory()
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-        return value
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return value
 
     def invalidate(self, key: str) -> None:
-        self._entries.pop(key, None)
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def invalidate_model(self, name: str) -> int:
+        """Drop every cached session for any version of ``name``.
+
+        Entries are keyed ``name:vN``; a model update or rollback makes all
+        of them suspect (a rolled-back version number can be reused with a
+        different payload). Returns the number of entries dropped.
+        """
+        prefix = f"{name.lower()}:v"
+        with self._lock:
+            stale = [
+                key for key in self._entries if key.lower().startswith(prefix)
+            ]
+            for key in stale:
+                del self._entries[key]
+        return len(stale)
+
+    def keys(self) -> list[str]:
+        """Cached keys in LRU order (least recently used first)."""
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -91,6 +125,11 @@ class Database:
             options=options,
         )
         self._external_runtimes: dict[str, Callable] = {}
+        self._model_listeners: list[Callable[[str, str], None]] = []
+        # Every model mutation path (store, drop, transaction rollback)
+        # funnels through the catalog, so one observer keeps the session
+        # cache and any registered serving caches coherent.
+        self.catalog.add_model_observer(self._on_model_event)
 
     # -- data management -------------------------------------------------
 
@@ -125,6 +164,31 @@ class Database:
         """Register a handler for ``EXEC sp_execute_external_script``."""
         self._external_runtimes[language.lower()] = runner
 
+    # -- model-change notifications ----------------------------------------
+
+    def add_model_listener(self, fn: Callable[[str, str], None]) -> None:
+        """Register ``fn(event, model_name)`` for model mutations.
+
+        The serving layer's plan and prediction caches subscribe here so a
+        ``store_model`` of a new version (or a rollback) atomically
+        invalidates every derived cache, mirroring the session-cache
+        contract.
+        """
+        self._model_listeners.append(fn)
+
+    def remove_model_listener(self, fn: Callable[[str, str], None]) -> None:
+        """Unregister a listener (servers do this on shutdown)."""
+        try:
+            self._model_listeners.remove(fn)
+        except ValueError:
+            pass
+
+    def _on_model_event(self, event: str, name: str) -> None:
+        if self.session_cache is not None:
+            self.session_cache.invalidate_model(name)
+        for fn in list(self._model_listeners):
+            fn(event, name)
+
     # -- SQL entry point ---------------------------------------------------
 
     def execute(self, sql: str, data: dict[str, Table] | None = None):
@@ -138,7 +202,7 @@ class Database:
         context = BindContext()
         if data:
             for name, table in data.items():
-                context.ctes[name.lower()] = _inline(table)
+                context.ctes[name.lower()] = _inline(table, name)
         result = None
         for statement in script.statements:
             result = self._execute_statement(statement, context)
@@ -160,7 +224,7 @@ class Database:
         context = BindContext()
         if data:
             for name, table in data.items():
-                context.ctes[name.lower()] = _inline(table)
+                context.ctes[name.lower()] = _inline(table, name)
         select: ast.SelectStatement | None = None
         for statement in script.statements:
             if isinstance(statement, ast.DeclareStatement):
@@ -229,7 +293,10 @@ class Database:
             value = table.column(table.schema.names[0])[0]
         elif statement.value is not None:
             dummy = Table.from_dict({"one": np.array([1])})
-            value = statement.value.evaluate(dummy)[0]
+            expr = statement.value.substitute(
+                Binder.substitutable_variables(context.variables)
+            )
+            value = expr.evaluate(dummy)[0]
         if isinstance(value, ModelEntry):
             value = value.qualified_name
         context.variables[statement.name] = value
@@ -339,9 +406,13 @@ class Database:
         raise CatalogError(f"unknown table {name!r}")
 
     def _models_view(self) -> Table:
+        # Versions are listed latest-first so the Fig. 1 idiom
+        # ``DECLARE @model = (SELECT model FROM scoring_models WHERE ...)``
+        # resolves to the newest version — storing an update immediately
+        # changes what new queries (and re-prepared plans) score with.
         rows = []
         for model_name in self.catalog.model_names():
-            for entry in self.catalog.model_versions(model_name):
+            for entry in reversed(self.catalog.model_versions(model_name)):
                 rows.append((entry.name, entry.version, entry.flavor, entry))
         return Table.from_rows(_MODELS_VIEW_SCHEMA, rows)
 
@@ -416,10 +487,10 @@ def _bind_output_names(
     return run
 
 
-def _inline(table: Table):
+def _inline(table: Table, source_name: str | None = None):
     from repro.relational.algebra.logical import InlineTable
 
-    return InlineTable(table)
+    return InlineTable(table, source_name=source_name)
 
 
 class _CatalogView:

@@ -151,6 +151,44 @@ class Literal(Expression):
         return f"lit({self.value!r})"
 
 
+@dataclass(frozen=True, eq=False)
+class Parameter(Expression):
+    """A query parameter placeholder, bound at execution time.
+
+    ``name`` carries its sigil: positional placeholders are ``"?1"``,
+    ``"?2"``, ... in parse order; named placeholders are ``"@p1"`` etc.
+    Prepared queries cache plans containing :class:`Parameter` nodes and
+    substitute literals per execution (:mod:`repro.serving.prepared`).
+    """
+
+    name: str
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        raise ExecutionError(
+            f"unbound parameter {self.name}; bind it via a prepared query "
+            "or a DECLAREd variable"
+        )
+
+    def output_type(self, schema: Schema) -> DataType:
+        # The bound value's type is unknown until execution; FLOAT is the
+        # widest type the optimizer's estimates care about.
+        return DataType.FLOAT
+
+    def substitute(self, mapping: Mapping[str, Expression]) -> Expression:
+        if self.name in mapping:
+            return mapping[self.name]
+        return self
+
+    def to_sql(self) -> str:
+        return "?" if self.name.startswith("?") else self.name
+
+    def _key(self):
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return f"param({self.name})"
+
+
 _COMPARISONS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "=": lambda a, b: a == b,
     "<>": lambda a, b: a != b,
@@ -418,6 +456,11 @@ def col(name: str) -> ColumnRef:
 def lit(value: object) -> Literal:
     """Shorthand constructor for a literal."""
     return Literal(value)
+
+
+def parameters(expr: Expression) -> list["Parameter"]:
+    """All :class:`Parameter` placeholders in the expression, pre-order."""
+    return [node for node in expr.walk() if isinstance(node, Parameter)]
 
 
 def conjuncts(expr: Expression) -> list[Expression]:

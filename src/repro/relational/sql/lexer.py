@@ -28,6 +28,7 @@ class TokenType(enum.Enum):
     KEYWORD = "keyword"
     IDENTIFIER = "identifier"
     VARIABLE = "variable"  # @name
+    PARAMETER = "parameter"  # ? placeholder
     NUMBER = "number"
     STRING = "string"
     OPERATOR = "operator"
@@ -122,6 +123,11 @@ def tokenize(sql: str) -> list[Token]:
                 Token(TokenType.IDENTIFIER, sql[i + 1 : end], line, column())
             )
             i = end + 1
+            continue
+        # Positional parameter placeholder
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAMETER, "?", line, column()))
+            i += 1
             continue
         # Variable @name
         if ch == "@":

@@ -17,6 +17,7 @@ from repro.relational.expressions import (
     FunctionCall,
     InList,
     Literal,
+    Parameter,
     UnaryOp,
 )
 from repro.relational.sql import ast_nodes as ast
@@ -30,6 +31,7 @@ class Parser:
     def __init__(self, sql: str):
         self._tokens = tokenize(sql)
         self._pos = 0
+        self._param_count = 0  # numbers ? placeholders in parse order
 
     # -- token helpers -------------------------------------------------------
 
@@ -531,9 +533,16 @@ class Parser:
         if token.type is TokenType.STRING:
             self._advance()
             return Literal(token.value)
-        if token.type is TokenType.VARIABLE:
+        if token.type is TokenType.PARAMETER:
             self._advance()
-            return ColumnRef(f"@{token.value}")
+            self._param_count += 1
+            return Parameter(f"?{self._param_count}")
+        if token.type is TokenType.VARIABLE:
+            # In scalar position a variable is a placeholder: either a
+            # DECLAREd value the binder substitutes, or a named prepared-
+            # query parameter (@p1, @p2, ...) bound at execution time.
+            self._advance()
+            return Parameter(f"@{token.value}")
         if token.matches(TokenType.KEYWORD, "CASE"):
             return self._case()
         if token.matches(TokenType.KEYWORD, "CAST"):

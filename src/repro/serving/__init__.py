@@ -1,0 +1,39 @@
+"""The serving layer: prepared queries, plan/result caches, micro-batching.
+
+Raven's production claim (paper §1, Fig. 3) is that in-RDBMS inference
+wins by amortizing optimization and session state across requests. This
+subpackage makes that amortization explicit for concurrent traffic:
+
+* :class:`PreparedQuery` — analyze/optimize a parameterized inference
+  query once; execute many times with bound ``?``/``@name`` parameters
+  and fresh request data (``RavenSession.prepare``).
+* :class:`PlanCache` — normalized-plan LRU keyed by SQL fingerprint,
+  invalidated per model version.
+* :class:`MicroBatcher` — size-or-deadline coalescing of small PREDICT
+  requests into one vectorized scoring call.
+* :class:`ResultCache` — LRU + TTL prediction cache with model-based
+  invalidation (mirrors the ``SessionCache`` contract).
+* :class:`RavenServer` — N worker threads behind a bounded admission
+  queue, with :class:`ServingStats` metrics (throughput, p50/p95 latency,
+  cache hit rates, batch-size histogram).
+"""
+
+from repro.serving.batcher import MicroBatcher
+from repro.serving.fingerprint import sql_fingerprint, table_fingerprint
+from repro.serving.plan_cache import CachedPlan, PlanCache
+from repro.serving.prepared import PreparedQuery
+from repro.serving.result_cache import ResultCache
+from repro.serving.server import RavenServer
+from repro.serving.stats import ServingStats
+
+__all__ = [
+    "CachedPlan",
+    "MicroBatcher",
+    "PlanCache",
+    "PreparedQuery",
+    "RavenServer",
+    "ResultCache",
+    "ServingStats",
+    "sql_fingerprint",
+    "table_fingerprint",
+]

@@ -1,0 +1,194 @@
+"""Adaptive micro-batching: coalesce tiny PREDICT requests into one call.
+
+The paper's Fig. 3 shows per-invocation overhead dominating small-input
+inference; a serving tier sees exactly that shape — thousands of
+independent one-row requests. :class:`MicroBatcher` queues concurrent
+requests and dispatches them as a single vectorized scoring call when
+either ``max_batch_rows`` accumulate or the oldest request has waited
+``max_wait_seconds`` (classic size-or-deadline coalescing). The combined
+batch then flows through the executor's chunked thread-pool scoring path,
+so intra-batch parallelism still applies to large coalesced batches.
+
+The runner must be *row-preserving*: one output row per input row, in
+order (true of the canonical ``SELECT ..., p.pred FROM PREDICT(...)``
+serving query with no WHERE/ORDER/aggregate). The batcher verifies the
+row count and fails the whole batch loudly otherwise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import (
+    ExecutionError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.relational.table import Table
+from repro.serving.stats import ServingStats
+
+
+@dataclass
+class _Request:
+    table: Table
+    future: Future
+    enqueued_at: float
+    rows: int = field(init=False)
+
+    def __post_init__(self):
+        self.rows = self.table.num_rows
+
+
+class MicroBatcher:
+    """Coalesces concurrent small requests against one scoring callable."""
+
+    def __init__(
+        self,
+        runner: Callable[[Table], Table],
+        max_batch_rows: int = 64,
+        max_wait_seconds: float = 0.002,
+        max_pending_requests: int | None = None,
+        stats: ServingStats | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_batch_rows < 1:
+            raise ValueError("max_batch_rows must be >= 1")
+        self._runner = runner
+        self.max_batch_rows = max_batch_rows
+        self.max_wait_seconds = max_wait_seconds
+        self.max_pending_requests = max_pending_requests
+        self._stats = stats
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._pending: deque[_Request] = deque()
+        self._flush_requested = False
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name="raven-microbatcher", daemon=True
+        )
+        self._thread.start()
+
+    # -- client API --------------------------------------------------------
+
+    def submit(self, table: Table) -> Future:
+        """Enqueue one request; the future resolves to its result rows."""
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise ServerClosedError("micro-batcher is closed")
+            if (
+                self.max_pending_requests is not None
+                and len(self._pending) >= self.max_pending_requests
+            ):
+                raise ServerOverloadedError(
+                    f"micro-batch queue is full "
+                    f"({self.max_pending_requests} requests)"
+                )
+            self._pending.append(_Request(table, future, self._clock()))
+            self._cond.notify_all()
+        return future
+
+    def flush(self) -> None:
+        """Dispatch whatever is pending without waiting for the deadline."""
+        with self._cond:
+            if self._pending:  # an idle flush must not taint the next batch
+                self._flush_requested = True
+                self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop accepting requests; drain the queue, then join the worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker ------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending:
+                    if self._closed:
+                        return
+                    self._cond.wait()
+                deadline = self._pending[0].enqueued_at + self.max_wait_seconds
+                while (
+                    not self._closed
+                    and not self._flush_requested
+                    and self._pending_rows() < self.max_batch_rows
+                ):
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                self._flush_requested = False
+                batch = self._drain_batch()
+            if batch:
+                self._run_batch(batch)
+
+    def _pending_rows(self) -> int:
+        return sum(request.rows for request in self._pending)
+
+    def _drain_batch(self) -> list[_Request]:
+        """Pop requests until the row budget is met (always at least one)."""
+        batch: list[_Request] = []
+        rows = 0
+        while self._pending and (not batch or rows < self.max_batch_rows):
+            request = self._pending.popleft()
+            batch.append(request)
+            rows += request.rows
+        return batch
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        # Claim every future before scoring: client-cancelled requests
+        # drop out of the batch here, and a claimed future can never
+        # raise InvalidStateError on set_result/set_exception below
+        # (which would kill this worker thread).
+        batch = [
+            request
+            for request in batch
+            if request.future.set_running_or_notify_cancel()
+        ]
+        if not batch:
+            return
+        combined = (
+            batch[0].table
+            if len(batch) == 1
+            else Table.concat_rows([request.table for request in batch])
+        )
+        total_rows = combined.num_rows
+        try:
+            result = self._runner(combined)
+            if result.num_rows != total_rows:
+                raise ExecutionError(
+                    f"micro-batched plan is not row-preserving: {total_rows} "
+                    f"rows in, {result.num_rows} out; serve this query "
+                    "unbatched"
+                )
+        except BaseException as exc:  # noqa: BLE001 — fail the whole batch
+            failed_at = self._clock()
+            for request in batch:
+                request.future.set_exception(exc)
+                if self._stats is not None:
+                    self._stats.record_failed(failed_at - request.enqueued_at)
+            return
+        if self._stats is not None:
+            self._stats.record_batch(total_rows)
+        offset = 0
+        finished = self._clock()
+        for request in batch:
+            request.future.set_result(result.slice(offset, offset + request.rows))
+            offset += request.rows
+            if self._stats is not None:
+                self._stats.record_completed(finished - request.enqueued_at)

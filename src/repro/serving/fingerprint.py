@@ -1,0 +1,92 @@
+"""Normalized fingerprints for plan- and result-cache keys.
+
+The plan cache must treat two textually different spellings of the same
+inference query as one entry ("prepared once, executed many times"), so
+SQL is fingerprinted over its *token stream* — whitespace, comments, and
+keyword/identifier case disappear, while literals and structure remain.
+Request data for the prediction cache is fingerprinted over raw column
+bytes, which is cheap at serving sizes (single rows / micro-batches).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping, Sequence
+
+from repro.relational.sql.lexer import TokenType, tokenize
+from repro.relational.table import Table
+
+
+def sql_fingerprint(sql: str) -> str:
+    """A stable hex digest of the query's normalized token stream."""
+    parts: list[str] = []
+    for token in tokenize(sql):
+        if token.type is TokenType.EOF:
+            break
+        value = token.value
+        if token.type is TokenType.KEYWORD:
+            value = value.upper()
+        elif token.type is TokenType.IDENTIFIER:
+            # Identifiers resolve case-insensitively in the catalog.
+            value = value.lower()
+        parts.append(f"{token.type.value}\x1e{value}")
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def schema_key(data: Mapping[str, Table] | None) -> str:
+    """A digest of data-table *schemas* (names + column types).
+
+    Part of the plan-cache key: the same SQL prepared against request
+    tables with different shapes compiles to different plans.
+    """
+    if not data:
+        return ""
+    parts = []
+    for name, table in sorted(data.items(), key=lambda kv: kv[0].lower()):
+        columns = ",".join(
+            f"{column.name.lower()}:{column.dtype.name}"
+            for column in table.schema
+        )
+        parts.append(f"{name.lower()}({columns})")
+    digest = hashlib.sha256("|".join(parts).encode("utf-8"))
+    return digest.hexdigest()[:8]
+
+
+def table_fingerprint(table: Table) -> str:
+    """A content digest of a (small) table: schema + column bytes."""
+    digest = hashlib.sha256()
+    for column in table.schema:
+        digest.update(column.name.lower().encode("utf-8"))
+        values = table.column(column.name)
+        digest.update(str(values.dtype).encode("utf-8"))
+        digest.update(values.tobytes() if values.dtype != object else
+                      repr(values.tolist()).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def params_key(params: Sequence | Mapping | None) -> tuple:
+    """A hashable canonical form of bound parameter values."""
+    if params is None:
+        return ()
+    if isinstance(params, Mapping):
+        return tuple(
+            (str(name).lstrip("@"), _plain(value))
+            for name, value in sorted(params.items(), key=lambda kv: str(kv[0]))
+        )
+    return tuple(_plain(value) for value in params)
+
+
+def data_key(data: Mapping[str, Table] | None) -> tuple:
+    """A hashable canonical form of per-request data tables."""
+    if not data:
+        return ()
+    return tuple(
+        (name.lower(), table_fingerprint(table))
+        for name, table in sorted(data.items(), key=lambda kv: kv[0].lower())
+    )
+
+
+def _plain(value: object) -> object:
+    # Unwrap numpy scalars so keys compare by value, not wrapper type.
+    return value.item() if hasattr(value, "item") else value

@@ -1,0 +1,114 @@
+"""The normalized-plan LRU cache (prepared inference queries).
+
+Raven's advantage over standalone runtimes on small inputs comes from
+amortizing per-query work — parsing, static analysis, cross-optimization —
+across many requests (paper Fig. 3). :class:`PlanCache` holds optimized IR
+templates keyed by the query's normalized SQL fingerprint; each entry
+records which stored models (at which versions) the plan embeds, so a
+``store_model`` of a new version invalidates exactly the plans it staled.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.ir.graph import IRGraph
+
+
+@dataclass
+class CachedPlan:
+    """One optimized, parameterized plan template.
+
+    ``model_refs`` records, per referenced model, the qualified ``name:vN``
+    the plan was compiled against and whether that was the catalog's
+    latest version at prepare time (``tracked``). A tracked plan goes
+    stale when a newer version is stored; a plan that pinned an older
+    version only goes stale if that version disappears (rollback).
+    """
+
+    fingerprint: str
+    graph: IRGraph  # optimized template; copied before each binding
+    report: object  # OptimizationReport
+    generated_sql: str | None
+    param_names: tuple[str, ...]  # e.g. ("?1", "@cutoff")
+    data_names: tuple[str, ...]  # application-data tables the plan re-binds
+    model_refs: tuple[tuple[str, str, bool], ...]  # (name, qualified, tracked)
+    prepare_seconds: float = 0.0
+    executions: int = field(default=0)
+
+    @property
+    def model_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _qualified, _tracked in self.model_refs)
+
+
+class PlanCache:
+    """A thread-safe LRU of :class:`CachedPlan` entries."""
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CachedPlan] = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, fingerprint: str) -> CachedPlan | None:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(fingerprint)
+            return entry
+
+    def put(self, entry: CachedPlan) -> None:
+        with self._lock:
+            self._entries[entry.fingerprint] = entry
+            self._entries.move_to_end(entry.fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, fingerprint: str) -> None:
+        with self._lock:
+            if self._entries.pop(fingerprint, None) is not None:
+                self.invalidations += 1
+
+    def invalidate_model(self, name: str) -> int:
+        """Drop every cached plan that embeds model ``name``; returns count."""
+        key = name.lower()
+        with self._lock:
+            stale = [
+                fp
+                for fp, entry in self._entries.items()
+                if any(model.lower() == key for model in entry.model_names)
+            ]
+            for fp in stale:
+                del self._entries[fp]
+            self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

@@ -1,0 +1,391 @@
+"""Prepared inference queries: analyze/optimize once, execute many times.
+
+A :class:`PreparedQuery` runs the expensive front half of Raven's pipeline
+(parse -> static analysis -> cross-optimization) a single time, caches the
+optimized IR template in the session's :class:`~repro.serving.plan_cache.PlanCache`,
+and then executes with per-request bindings:
+
+* scalar parameters — ``?`` positional or ``@name`` placeholders left
+  unbound in the SQL are substituted with literals into a copy of the
+  template (the plan itself is never mutated, so executions can run
+  concurrently from many threads);
+* request data — tables passed as ``data={...}`` at prepare time act as
+  schema templates; each execution re-binds fresh rows into the plan's
+  ``ra.inline_table`` leaves by ``source_name``.
+
+Plans are version-addressed: the template records the qualified
+``name:vN`` of every model it embeds, and execution transparently
+re-prepares when the catalog has moved on (``store_model`` of a new
+version, or a transaction rollback).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import ParameterBindError
+from repro.core.ir.graph import IRGraph
+from repro.relational.expressions import Expression, Literal, Parameter
+from repro.relational.table import Table
+from repro.serving.fingerprint import (
+    _plain,
+    data_key,
+    params_key,
+    schema_key,
+    sql_fingerprint,
+)
+from repro.serving.plan_cache import CachedPlan, PlanCache
+from repro.serving.result_cache import ResultCache
+
+# IR attrs that hold expressions (scalars or (expr, ...) tuples).
+_SCALAR_EXPR_ATTRS = ("predicate", "condition")
+_PAIR_EXPR_ATTRS = ("items", "keys", "group_by")  # [(expr, name-or-flag), ...]
+
+
+class PreparedQuery:
+    """A parameterized inference query compiled to a reusable plan."""
+
+    def __init__(
+        self,
+        session,
+        sql: str,
+        data: Mapping[str, Table] | None = None,
+        plan_cache: PlanCache | None = None,
+        result_cache: ResultCache | None = None,
+    ):
+        self._session = session
+        self.sql = sql
+        self._template_data = {
+            name.lower(): table for name, table in (data or {}).items()
+        }
+        # The plan-cache key covers the SQL *and* the request-table
+        # schemas: the same SQL prepared over differently-shaped data
+        # templates compiles to different plans.
+        self.fingerprint = sql_fingerprint(sql)
+        if self._template_data:
+            self.fingerprint += f":{schema_key(self._template_data)}"
+        self._plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else getattr(session, "plan_cache", None)
+        )
+        self._result_cache = result_cache
+        self._lock = threading.Lock()
+        self.replans = 0
+        self._entry = self._prepare()
+
+    # -- compilation -------------------------------------------------------
+
+    def _prepare(self) -> CachedPlan:
+        if self._plan_cache is not None:
+            cached = self._plan_cache.get(self.fingerprint)
+            if cached is not None and self._is_current(cached):
+                return cached
+        start = time.perf_counter()
+        graph = self._session.analyze(self.sql, dict(self._template_data))
+        model_refs = _collect_model_refs(graph, self._session.database)
+        optimized, report = self._session.optimize(graph)
+        generated = self._session.generate_sql(optimized)
+        entry = CachedPlan(
+            fingerprint=self.fingerprint,
+            graph=optimized,
+            report=report,
+            generated_sql=generated,
+            param_names=_collect_parameters(optimized),
+            data_names=_collect_data_names(optimized),
+            model_refs=model_refs,
+            prepare_seconds=time.perf_counter() - start,
+        )
+        if self._plan_cache is not None:
+            self._plan_cache.put(entry)
+        return entry
+
+    def _is_current(self, entry: CachedPlan) -> bool:
+        database = self._session.database
+        for name, qualified, tracked in entry.model_refs:
+            try:
+                if tracked:
+                    # Plan followed the latest version; stale once the
+                    # catalog moves on.
+                    if database.get_model(name).qualified_name != qualified:
+                        return False
+                else:
+                    # Plan pinned an older version; stale only if that
+                    # version no longer exists (e.g. rollback).
+                    database.get_model(qualified)
+            except Exception:
+                return False
+        return True
+
+    def _ensure_current(self) -> CachedPlan:
+        entry = self._entry
+        if self._is_current(entry):
+            return entry
+        with self._lock:
+            if not self._is_current(self._entry):
+                if self._plan_cache is not None:
+                    self._plan_cache.invalidate(self.fingerprint)
+                self._entry = self._prepare()
+                self.replans += 1
+            return self._entry
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return self._entry.param_names
+
+    @property
+    def data_names(self) -> tuple[str, ...]:
+        return self._entry.data_names
+
+    @property
+    def model_names(self) -> tuple[str, ...]:
+        return self._entry.model_names
+
+    @property
+    def plan(self) -> IRGraph:
+        return self._entry.graph
+
+    @property
+    def report(self):
+        return self._entry.report
+
+    @property
+    def generated_sql(self) -> str | None:
+        return self._entry.generated_sql
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        params: Sequence | Mapping | None = None,
+        data: Mapping[str, Table] | None = None,
+        use_result_cache: bool = True,
+    ) -> Table:
+        """Bind parameters + request data and run the cached plan."""
+        entry = self._ensure_current()
+        cache_key = None
+        if self._result_cache is not None and use_result_cache:
+            cache_key = _result_key(entry, params, data)
+            hit = self._result_cache.get(cache_key)
+            if hit is not None:
+                entry.executions += 1
+                return hit
+        mapping = self._build_mapping(params, entry)
+        request_data = _normalize_data(data)
+        self._check_data_bindings(request_data, entry)
+        bound = _bind_template(entry.graph, mapping, request_data)
+        table = self._session.executor.execute(bound)
+        entry.executions += 1
+        if cache_key is not None:
+            self._result_cache.put(cache_key, table, entry.model_names)
+        return table
+
+    def result_key(
+        self,
+        params: Sequence | Mapping | None = None,
+        data: Mapping[str, Table] | None = None,
+    ) -> tuple:
+        """The prediction-cache key for one request against this query."""
+        return _result_key(self._ensure_current(), params, data)
+
+    def execute_many(
+        self,
+        param_sets: Sequence[Sequence | Mapping],
+        data: Mapping[str, Table] | None = None,
+    ) -> list[Table]:
+        """Execute once per parameter set against the same cached plan."""
+        return [self.execute(params, data) for params in param_sets]
+
+    def _build_mapping(
+        self, params: Sequence | Mapping | None, entry: CachedPlan
+    ) -> dict[str, Expression]:
+        required = set(entry.param_names)
+        mapping: dict[str, Expression] = {}
+        if params is None:
+            pass
+        elif isinstance(params, Mapping):
+            for raw_name, value in params.items():
+                name = str(raw_name)
+                if not name.startswith(("@", "?")):
+                    name = f"@{name}"
+                mapping[name] = Literal(_plain(value))
+        else:
+            positional = sorted(
+                (name for name in required if name.startswith("?")),
+                key=lambda name: int(name[1:]),
+            )
+            if len(params) != len(positional):
+                raise ParameterBindError(
+                    f"query has {len(positional)} positional parameters, "
+                    f"got {len(params)} values"
+                )
+            for name, value in zip(positional, params):
+                mapping[name] = Literal(_plain(value))
+        missing = required - set(mapping)
+        if missing:
+            raise ParameterBindError(
+                f"missing values for parameters: {', '.join(sorted(missing))}"
+            )
+        extra = set(mapping) - required
+        if extra:
+            raise ParameterBindError(
+                f"unknown parameters: {', '.join(sorted(extra))}"
+            )
+        return mapping
+
+    @staticmethod
+    def _check_data_bindings(
+        request_data: Mapping[str, Table], entry: CachedPlan
+    ) -> None:
+        """Data bindings are validated as strictly as scalar parameters.
+
+        Silently scoring the prepare-time schema-template rows (data
+        forgotten) or ignoring a misnamed table (typo) would return
+        plausible-looking garbage predictions.
+        """
+        required = set(entry.data_names)
+        provided = set(request_data)
+        missing = required - provided
+        if missing:
+            raise ParameterBindError(
+                f"missing data tables: {', '.join(sorted(missing))}"
+            )
+        extra = provided - required
+        if extra:
+            raise ParameterBindError(
+                f"unknown data tables: {', '.join(sorted(extra))}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"PreparedQuery(fingerprint={self.fingerprint}, "
+            f"params={list(self.param_names)}, data={list(self.data_names)})"
+        )
+
+
+def _result_key(
+    entry: CachedPlan,
+    params: Sequence | Mapping | None,
+    data: Mapping[str, Table] | None,
+) -> tuple:
+    """Prediction-cache key: plan + *model versions* + bindings.
+
+    Embedding the qualified ``name:vN`` versions means a model update
+    naturally misses the cache even when no invalidation listener is
+    wired up (standalone :class:`PreparedQuery` use); stale entries age
+    out via TTL/LRU.
+    """
+    versions = tuple(
+        qualified for _name, qualified, _tracked in entry.model_refs
+    )
+    return (entry.fingerprint, versions, params_key(params), data_key(data))
+
+
+# -- template binding --------------------------------------------------------
+
+
+def _bind_template(
+    template: IRGraph,
+    mapping: Mapping[str, Expression],
+    data: Mapping[str, Table],
+) -> IRGraph:
+    """A copy of ``template`` with parameters and request data bound in."""
+    graph = template.copy()
+    for node in graph.nodes():
+        attrs = node.attrs
+        if mapping:
+            for key in _SCALAR_EXPR_ATTRS:
+                expr = attrs.get(key)
+                if expr is not None:
+                    attrs[key] = expr.substitute(mapping)
+            for key in _PAIR_EXPR_ATTRS:
+                pairs = attrs.get(key)
+                if pairs:
+                    attrs[key] = [
+                        (expr.substitute(mapping), tag) for expr, tag in pairs
+                    ]
+            aggregates = attrs.get("aggregates")
+            if aggregates:
+                attrs["aggregates"] = [
+                    (
+                        func,
+                        arg.substitute(mapping) if arg is not None else None,
+                        alias,
+                    )
+                    for func, arg, alias in aggregates
+                ]
+        if node.op == "ra.inline_table" and data:
+            source = attrs.get("source_name")
+            if source and source.lower() in data:
+                attrs["table_value"] = data[source.lower()]
+    return graph
+
+
+def _walk_expressions(graph: IRGraph) -> Iterator[Expression]:
+    for node in graph.nodes():
+        attrs = node.attrs
+        for key in _SCALAR_EXPR_ATTRS:
+            expr = attrs.get(key)
+            if expr is not None:
+                yield expr
+        for key in _PAIR_EXPR_ATTRS:
+            for expr, _tag in attrs.get(key) or ():
+                yield expr
+        for _func, arg, _alias in attrs.get("aggregates") or ():
+            if arg is not None:
+                yield arg
+
+
+def _collect_parameters(graph: IRGraph) -> tuple[str, ...]:
+    names: dict[str, None] = {}
+    for expr in _walk_expressions(graph):
+        for node in expr.walk():
+            if isinstance(node, Parameter):
+                names[node.name] = None
+    return tuple(names)
+
+
+def _collect_data_names(graph: IRGraph) -> tuple[str, ...]:
+    names: dict[str, None] = {}
+    for node in graph.nodes():
+        if node.op == "ra.inline_table":
+            source = node.attrs.get("source_name")
+            if source:
+                names[source.lower()] = None
+    return tuple(names)
+
+
+def _collect_model_refs(
+    graph: IRGraph, database
+) -> tuple[tuple[str, str, bool], ...]:
+    """(name, qualified ``name:vN``, tracked-latest?) per embedded model.
+
+    Collected from the *analysis* graph, before optimization rewrites
+    (inlining, NN translation) can fold model nodes away. ``tracked`` is
+    whether the bound version was the catalog's latest at prepare time —
+    if so, a newer store invalidates the plan; if the query pinned an
+    older version, only that version's disappearance does.
+    """
+    refs: dict[tuple[str, str, bool], None] = {}
+    for node in graph.nodes():
+        qualified = node.attrs.get("model_ref")
+        if not qualified:
+            continue
+        qualified = str(qualified)
+        name = qualified.rpartition(":v")[0] or qualified
+        try:
+            tracked = database.get_model(name).qualified_name == qualified
+        except Exception:
+            tracked = True
+        refs[(name, qualified, tracked)] = None
+    return tuple(refs)
+
+
+def _normalize_data(
+    data: Mapping[str, Table] | None,
+) -> dict[str, Table]:
+    return {name.lower(): table for name, table in (data or {}).items()}

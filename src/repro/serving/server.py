@@ -1,0 +1,424 @@
+"""A concurrent inference server over a :class:`RavenSession`.
+
+``RavenServer`` is the front end of the serving subsystem: N worker
+threads drain a bounded admission queue (overload rejects fast instead of
+queueing unboundedly), prepared queries are registered once by name and
+executed per request with bound parameters, optional micro-batching
+coalesces small PREDICT requests, and an optional prediction cache
+short-circuits repeats. All request paths feed one
+:class:`~repro.serving.stats.ServingStats` object.
+
+Typical use::
+
+    server = RavenServer(session, workers=4)
+    server.prepare("score", SQL, data={"requests": schema_row}, batch=True)
+    future = server.submit("score", data={"requests": one_row})
+    table = future.result()
+    print(server.stats_snapshot())
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import (
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.relational.table import Table
+from repro.serving.batcher import MicroBatcher
+from repro.serving.fingerprint import params_key
+from repro.serving.prepared import PreparedQuery
+from repro.serving.result_cache import ResultCache
+from repro.serving.stats import ServingStats
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _PreparedSpec:
+    prepared: PreparedQuery
+    batch: bool
+    cache_results: bool
+    data_name: str | None  # the single re-bindable data table, when batching
+    template_table: Table | None  # its prepare-time schema template
+
+
+class RavenServer:
+    """Serves concurrent inference requests against one database session."""
+
+    def __init__(
+        self,
+        session,
+        workers: int = 4,
+        max_queue: int = 256,
+        result_cache: ResultCache | None = None,
+        result_cache_capacity: int = 256,
+        result_ttl_seconds: float = 30.0,
+        batch_max_rows: int = 64,
+        batch_max_wait_seconds: float = 0.002,
+        max_batchers: int = 32,
+    ):
+        self.session = session
+        self.stats = ServingStats()
+        self.result_cache = result_cache or ResultCache(
+            result_cache_capacity, result_ttl_seconds
+        )
+        self.batch_max_rows = batch_max_rows
+        self.batch_max_wait_seconds = batch_max_wait_seconds
+        self.max_batchers = max_batchers
+        self.max_queue = max_queue
+        # A new model version (or rollback) must drop stale predictions;
+        # the plan cache subscribes separately via the session.
+        session.database.add_model_listener(self._on_model_event)
+        self._prepared: dict[str, _PreparedSpec] = {}
+        self._batchers: dict[tuple, MicroBatcher] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"raven-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop admission, drain queued work, and join the workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        # Stop receiving model events; a shut-down server must not stay
+        # reachable from (and invalidated by) a long-lived database.
+        self.session.database.remove_model_listener(self._on_model_event)
+        for batcher in batchers:
+            batcher.close()
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+            # With worker threads, admission (atomic with the closed
+            # flag in _enqueue) always precedes the sentinels, so this
+            # drain is normally empty. It matters for zero-worker
+            # servers (nothing consumes the queue) and as a backstop:
+            # fail stragglers rather than leave callers blocked forever.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    continue
+                _fn, future, _enqueued_at = item
+                if future.set_running_or_notify_cancel():
+                    future.set_exception(
+                        ServerClosedError(
+                            "server shut down before executing request"
+                        )
+                    )
+
+    def __enter__(self) -> "RavenServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- registration ------------------------------------------------------
+
+    def prepare(
+        self,
+        name: str,
+        sql: str,
+        data: Mapping[str, Table] | None = None,
+        batch: bool = False,
+        cache_results: bool = False,
+    ) -> PreparedQuery:
+        """Register a named prepared query; returns the compiled plan."""
+        prepared = PreparedQuery(
+            self.session,
+            sql,
+            data=data,
+            result_cache=self.result_cache if cache_results else None,
+        )
+        data_name: str | None = None
+        template_table: Table | None = None
+        if batch:
+            if len(prepared.data_names) != 1:
+                raise ServingError(
+                    "micro-batching needs exactly one request-data table; "
+                    f"{name!r} has {list(prepared.data_names)}"
+                )
+            data_name = prepared.data_names[0]
+            template_table = next(
+                table
+                for key, table in (data or {}).items()
+                if key.lower() == data_name
+            )
+        with self._lock:
+            self._prepared[name] = _PreparedSpec(
+                prepared, batch, cache_results, data_name, template_table
+            )
+            # Re-registering a name must retire its batchers; their
+            # runner closures capture the old spec and would keep
+            # scoring already-seen parameter groups with the old plan.
+            stale = [
+                key for key in self._batchers if key[0] == name
+            ]
+            retired = [self._batchers.pop(key) for key in stale]
+        for batcher in retired:
+            batcher.close()
+        return prepared
+
+    def prepared(self, name: str) -> PreparedQuery:
+        return self._spec(name).prepared
+
+    def _spec(self, name: str) -> _PreparedSpec:
+        try:
+            return self._prepared[name]
+        except KeyError:
+            raise ServingError(f"unknown prepared query {name!r}") from None
+
+    # -- request admission -------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        params: Sequence | Mapping | None = None,
+        data: Mapping[str, Table] | None = None,
+    ) -> Future:
+        """Admit one request; resolves to its result :class:`Table`."""
+        if self._closed:
+            raise ServerClosedError("server has been shut down")
+        spec = self._spec(name)
+        self.stats.record_submitted()
+        try:
+            if spec.batch and data and spec.data_name in {
+                key.lower() for key in data
+            }:
+                return self._submit_batched(name, spec, params, data)
+            return self._enqueue(
+                lambda: spec.prepared.execute(params, data)
+            )
+        except Exception:
+            # Synchronous admission failures (overload, malformed
+            # request, shutdown race) count as rejected, keeping
+            # submitted == completed + failed + rejected + in-flight.
+            self.stats.record_rejected()
+            raise
+
+    def query(
+        self,
+        name: str,
+        params: Sequence | Mapping | None = None,
+        data: Mapping[str, Table] | None = None,
+        timeout: float | None = None,
+    ) -> Table:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(name, params, data).result(timeout)
+
+    def submit_sql(self, sql: str, data: Mapping[str, Table] | None = None) -> Future:
+        """Ad-hoc (unprepared) execution through the session pipeline."""
+        if self._closed:
+            raise ServerClosedError("server has been shut down")
+        self.stats.record_submitted()
+        try:
+            return self._enqueue(
+                lambda: self.session.execute(sql, data).table
+            )
+        except Exception:
+            self.stats.record_rejected()
+            raise
+
+    # -- batched path ------------------------------------------------------
+
+    def _submit_batched(
+        self,
+        name: str,
+        spec: _PreparedSpec,
+        params: Sequence | Mapping | None,
+        data: Mapping[str, Table],
+    ) -> Future:
+        request_table = next(
+            table
+            for key, table in data.items()
+            if key.lower() == spec.data_name
+        )
+        request_table = _conform_to_template(
+            request_table, spec.template_table, name
+        )
+        if spec.cache_results:
+            key = spec.prepared.result_key(
+                params, {spec.data_name: request_table}
+            )
+            hit = self.result_cache.get(key)
+            if hit is not None:
+                future: Future = Future()
+                future.set_result(hit)
+                self.stats.record_completed(0.0)
+                return future
+            future = self._batch_submit(name, spec, params, request_table)
+            future.add_done_callback(
+                lambda f: (
+                    self.result_cache.put(
+                        key, f.result(), spec.prepared.model_names
+                    )
+                    if f.exception() is None
+                    else None
+                )
+            )
+            return future
+        return self._batch_submit(name, spec, params, request_table)
+
+    def _batch_submit(
+        self,
+        name: str,
+        spec: _PreparedSpec,
+        params: Sequence | Mapping | None,
+        request_table: Table,
+    ) -> Future:
+        batcher = self._batcher_for(name, spec, params)
+        if batcher is None:
+            # Too many distinct parameter groups to batch; degrade to the
+            # (still asynchronous, still admission-bounded) worker path.
+            return self._enqueue(
+                lambda: spec.prepared.execute(
+                    params,
+                    {spec.data_name: request_table},
+                    use_result_cache=False,
+                )
+            )
+        return batcher.submit(request_table)
+
+    def _batcher_for(
+        self,
+        name: str,
+        spec: _PreparedSpec,
+        params: Sequence | Mapping | None,
+    ) -> MicroBatcher | None:
+        """One batcher per (query, bound-params) group — only identical
+        parameter bindings may share a vectorized call. Returns ``None``
+        when the group budget is exhausted (caller degrades to the
+        worker pool)."""
+        key = (name, params_key(params))
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("server has been shut down")
+            batcher = self._batchers.get(key)
+            if batcher is None:
+                if len(self._batchers) >= self.max_batchers:
+                    return None
+                batcher = MicroBatcher(
+                    runner=lambda table: spec.prepared.execute(
+                        params,
+                        {spec.data_name: table},
+                        use_result_cache=False,
+                    ),
+                    max_batch_rows=self.batch_max_rows,
+                    max_wait_seconds=self.batch_max_wait_seconds,
+                    # The batch path honors the same admission bound as
+                    # the worker queue; overload rejects instead of
+                    # queueing unboundedly.
+                    max_pending_requests=self.max_queue,
+                    stats=self.stats,
+                )
+                self._batchers[key] = batcher
+            return batcher
+
+    def flush_batchers(self) -> None:
+        """Dispatch all pending micro-batches immediately."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+        for batcher in batchers:
+            batcher.flush()
+
+    # -- worker pool -------------------------------------------------------
+
+    def _enqueue(self, fn) -> Future:
+        future: Future = Future()
+        # Admission happens under the lock so it is atomic with
+        # shutdown()'s closed-flag flip: a request either lands in the
+        # queue before the shutdown sentinels (workers drain it) or is
+        # rejected here — its future can never be stranded unresolved.
+        with self._lock:
+            if self._closed:
+                raise ServerClosedError("server has been shut down")
+            try:
+                self._queue.put_nowait((fn, future, time.perf_counter()))
+            except queue.Full:
+                # Callers (submit/submit_sql) count the rejection.
+                raise ServerOverloadedError(
+                    f"admission queue is full ({self._queue.maxsize} requests)"
+                ) from None
+        return future
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            fn, future, enqueued_at = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                result = fn()
+            except BaseException as exc:  # noqa: BLE001 — report to caller
+                self.stats.record_failed(time.perf_counter() - enqueued_at)
+                future.set_exception(exc)
+                continue
+            self.stats.record_completed(time.perf_counter() - enqueued_at)
+            future.set_result(result)
+
+    # -- observability -----------------------------------------------------
+
+    def _on_model_event(self, event: str, name: str) -> None:
+        self.result_cache.invalidate_model(name)
+
+    def stats_snapshot(self) -> dict:
+        """One dict with request, latency, and cache metrics."""
+        snapshot = self.stats.snapshot()
+        plan_cache = getattr(self.session, "plan_cache", None)
+        if plan_cache is not None:
+            snapshot["plan_cache"] = plan_cache.stats()
+        snapshot["result_cache"] = self.result_cache.stats()
+        session_cache = self.session.database.session_cache
+        if session_cache is not None:
+            snapshot["session_cache"] = {
+                "hits": session_cache.hits,
+                "misses": session_cache.misses,
+            }
+        return snapshot
+
+
+def _conform_to_template(
+    table: Table, template: Table | None, name: str
+) -> Table:
+    """Reorder a request table's columns to the prepare-time template.
+
+    Requests are concatenated into shared micro-batches, so one
+    client's malformed table must be rejected at admission — before it
+    can fail the whole batch for everyone coalesced with it.
+    """
+    if template is None or table.schema.names == template.schema.names:
+        return table
+    try:
+        return table.select(template.schema.names)
+    except Exception:
+        raise ServingError(
+            f"request table for {name!r} does not match the prepared "
+            f"schema {list(template.schema.names)}; "
+            f"got {list(table.schema.names)}"
+        ) from None

@@ -1,0 +1,100 @@
+"""Serving metrics: throughput, latency percentiles, batch-size histogram.
+
+The reproducibility bar for a serving claim is a first-class measurement
+harness, so the server keeps its own counters rather than leaning on the
+benchmark scripts: every request is counted at admission, completion is
+timed end-to-end (queue wait + execution), and the micro-batcher reports
+the coalesced batch sizes it actually achieved.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+
+class ServingStats:
+    """Thread-safe counters + a bounded latency reservoir."""
+
+    def __init__(self, max_latency_samples: int = 10_000):
+        self._lock = threading.Lock()
+        self._max_samples = max_latency_samples
+        self._latencies: list[float] = []
+        self._sample_cursor = 0  # ring-buffer index once the reservoir fills
+        self._batch_sizes: Counter[int] = Counter()
+        self._started_at = time.perf_counter()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.batched_requests = 0
+        self.batches = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_completed(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self._record_latency(latency_seconds)
+
+    def record_failed(self, latency_seconds: float) -> None:
+        with self._lock:
+            self.failed += 1
+            self._record_latency(latency_seconds)
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self._batch_sizes[size] += 1
+
+    def _record_latency(self, latency_seconds: float) -> None:
+        if len(self._latencies) < self._max_samples:
+            self._latencies.append(latency_seconds)
+        else:
+            self._latencies[self._sample_cursor] = latency_seconds
+            self._sample_cursor = (self._sample_cursor + 1) % self._max_samples
+
+    # -- reporting ---------------------------------------------------------
+
+    def latency_percentile(self, fraction: float) -> float:
+        with self._lock:
+            samples = sorted(self._latencies)
+        if not samples:
+            return 0.0
+        index = min(len(samples) - 1, int(fraction * len(samples)))
+        return samples[index]
+
+    def batch_size_histogram(self) -> dict[int, int]:
+        with self._lock:
+            return dict(sorted(self._batch_sizes.items()))
+
+    def snapshot(self) -> dict:
+        elapsed = max(time.perf_counter() - self._started_at, 1e-9)
+        with self._lock:
+            completed = self.completed
+            snapshot = {
+                "submitted": self.submitted,
+                "completed": completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "throughput_rps": completed / elapsed,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "mean_batch_size": (
+                    self.batched_requests / self.batches if self.batches else 0.0
+                ),
+            }
+        snapshot["latency_p50_ms"] = self.latency_percentile(0.50) * 1e3
+        snapshot["latency_p95_ms"] = self.latency_percentile(0.95) * 1e3
+        snapshot["batch_size_histogram"] = self.batch_size_histogram()
+        return snapshot

@@ -274,3 +274,93 @@ class TestPredictStatement:
             data={"fresh": fresh},
         )
         assert out.num_rows == 40
+
+
+class TestSessionCache:
+    """LRU + invalidation contract of the scorer session cache."""
+
+    def test_lru_eviction_order(self):
+        from repro.relational.database import SessionCache
+
+        cache = SessionCache(capacity=3)
+        for key in ("a:v1", "b:v1", "c:v1"):
+            cache.get_or_create(key, lambda k=key: k.upper())
+        # Touch a:v1 so b:v1 becomes least recently used.
+        cache.get_or_create("a:v1", lambda: "never called")
+        cache.get_or_create("d:v1", lambda: "D")
+        assert cache.keys() == ["c:v1", "a:v1", "d:v1"]
+        # Evicted entry is rebuilt on next access (a miss, not stale data).
+        misses = cache.misses
+        cache.get_or_create("b:v1", lambda: "B2")
+        assert cache.misses == misses + 1
+
+    def test_invalidate_model_drops_all_versions(self):
+        from repro.relational.database import SessionCache
+
+        cache = SessionCache()
+        cache.get_or_create("reg:v1", lambda: "r1")
+        cache.get_or_create("reg:v2", lambda: "r2")
+        cache.get_or_create("other:v1", lambda: "o1")
+        assert cache.invalidate_model("REG") == 2
+        assert cache.keys() == ["other:v1"]
+
+    def test_store_model_invalidates_stale_sessions(self, simple_db):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(30, 2))
+        pipe = Pipeline([("m", DecisionTreeRegressor(max_depth=3))]).fit(
+            X, X[:, 0]
+        )
+        simple_db.register_table(
+            "inputs", Table.from_dict({"f1": X[:, 0], "f2": X[:, 1]})
+        )
+        simple_db.store_model("reg", pipe, metadata={"feature_names": ["f1", "f2"]})
+        query = (
+            "DECLARE @m varbinary(max) = "
+            "(SELECT model FROM scoring_models WHERE model_name = 'reg');"
+            "SELECT p.yhat FROM PREDICT(MODEL = @m, DATA = inputs AS d) "
+            "WITH (yhat float) AS p"
+        )
+        simple_db.execute(query)
+        assert len(simple_db.session_cache) == 1
+        # A repeated store under the same name drops every cached session
+        # for that model, not just the latest version's key.
+        simple_db.store_model("reg", pipe, metadata={"feature_names": ["f1", "f2"]})
+        assert len(simple_db.session_cache) == 0
+
+    def test_invalidation_on_transaction_rollback(self, simple_db):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(30, 2))
+        pipe = Pipeline([("m", DecisionTreeRegressor(max_depth=3))]).fit(
+            X, X[:, 0]
+        )
+        simple_db.register_table(
+            "inputs", Table.from_dict({"f1": X[:, 0], "f2": X[:, 1]})
+        )
+        simple_db.store_model("reg", pipe, metadata={"feature_names": ["f1", "f2"]})
+        simple_db.execute("BEGIN TRANSACTION")
+        other = Pipeline([("m", DecisionTreeRegressor(max_depth=2))]).fit(
+            X, -X[:, 0]
+        )
+        simple_db.store_model("reg", other, metadata={"feature_names": ["f1", "f2"]})
+        query = (
+            "DECLARE @m varbinary(max) = "
+            "(SELECT model FROM scoring_models WHERE model_name = 'reg');"
+            "SELECT p.yhat FROM PREDICT(MODEL = @m, DATA = inputs AS d) "
+            "WITH (yhat float) AS p"
+        )
+        simple_db.execute(query)  # caches a scorer for reg:v2
+        simple_db.execute("ROLLBACK")
+        # The rollback removed v2; a later store reuses version number 2
+        # with a different payload, so the cached v2 scorer must be gone.
+        assert len(simple_db.session_cache) == 0
+        simple_db.store_model("reg", pipe, metadata={"feature_names": ["f1", "f2"]})
+        out = simple_db.execute(query)
+        expected = pipe.predict(X)
+        assert np.allclose(np.asarray(out["yhat"]), expected)
+
+    def test_declared_scalar_variable_in_where(self, simple_db):
+        out = simple_db.execute(
+            "DECLARE @cutoff INT = 40; "
+            "SELECT id FROM people WHERE age >= @cutoff"
+        )
+        assert sorted(out["id"].tolist()) == [3, 4]

@@ -1,0 +1,597 @@
+"""Tests for the serving layer: prepared queries, caches, batching, server."""
+
+from __future__ import annotations
+
+from concurrent.futures import wait
+
+import numpy as np
+import pytest
+
+from repro import (
+    Database,
+    MicroBatcher,
+    PlanCache,
+    RavenServer,
+    RavenSession,
+    ResultCache,
+    Table,
+)
+from repro.errors import (
+    ExecutionError,
+    ParameterBindError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ServingError,
+)
+from repro.ml import DecisionTreeClassifier, Pipeline, StandardScaler
+from repro.serving.fingerprint import sql_fingerprint
+
+PREDICT_SQL = """
+DECLARE @model varbinary(max) = (
+    SELECT model FROM scoring_models WHERE model_name = 'approval');
+SELECT d.age, d.income, p.pred
+FROM PREDICT(MODEL = @model, DATA = requests AS d)
+WITH (pred float) AS p
+"""
+
+FILTER_SQL = """
+DECLARE @model varbinary(max) = (
+    SELECT model FROM scoring_models WHERE model_name = 'approval');
+SELECT d.id, p.pred
+FROM PREDICT(MODEL = @model, DATA = applicants AS d)
+WITH (pred float) AS p
+WHERE d.age < ?
+ORDER BY d.id
+"""
+
+
+def _request_row(age: float, income: float) -> Table:
+    return Table.from_dict(
+        {"age": np.array([age]), "income": np.array([income])}
+    )
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    """(database, pipeline) with a stored approval model and a base table."""
+    rng = np.random.default_rng(0)
+    n = 600
+    age = rng.uniform(18, 90, n)
+    income = rng.normal(55.0, 20.0, n)
+    approved = ((income > 50.0) | (age < 30.0)).astype(np.float64)
+    database = Database()
+    database.register_table(
+        "applicants",
+        Table.from_dict({"id": np.arange(n), "age": age, "income": income}),
+    )
+    pipeline = Pipeline(
+        [
+            ("scale", StandardScaler()),
+            ("clf", DecisionTreeClassifier(max_depth=4, random_state=0)),
+        ]
+    ).fit(np.column_stack([age, income]), approved)
+    database.store_model(
+        "approval", pipeline, metadata={"feature_names": ["age", "income"]}
+    )
+    return database, pipeline
+
+
+@pytest.fixture()
+def session(serving_setup):
+    database, _pipeline = serving_setup
+    return RavenSession(database)
+
+
+class TestFingerprint:
+    def test_whitespace_and_case_insensitive(self):
+        a = sql_fingerprint("SELECT id FROM people WHERE age > 40")
+        b = sql_fingerprint("select  id\n from People\twhere age > 40 -- hi")
+        assert a == b
+
+    def test_literals_distinguish(self):
+        a = sql_fingerprint("SELECT id FROM people WHERE age > 40")
+        b = sql_fingerprint("SELECT id FROM people WHERE age > 41")
+        assert a != b
+
+
+class TestPreparedQuery:
+    def test_positional_parameters(self, session):
+        prepared = session.prepare(FILTER_SQL)
+        assert prepared.param_names == ("?1",)
+        narrow = prepared.execute(params=(30.0,))
+        wide = prepared.execute(params=(80.0,))
+        assert 0 < narrow.num_rows < wide.num_rows
+
+    def test_named_parameters(self, session):
+        prepared = session.prepare(
+            "SELECT id FROM applicants WHERE age > @lo AND age < @hi"
+        )
+        assert set(prepared.param_names) == {"@lo", "@hi"}
+        out = prepared.execute(params={"lo": 30.0, "hi": 50.0})
+        ages = session.database.table("applicants").column("age")
+        assert out.num_rows == int(((ages > 30.0) & (ages < 50.0)).sum())
+
+    def test_missing_and_extra_parameters_raise(self, session):
+        prepared = session.prepare(FILTER_SQL)
+        with pytest.raises(ParameterBindError):
+            prepared.execute()
+        with pytest.raises(ParameterBindError):
+            prepared.execute(params=(1.0, 2.0))
+        named = session.prepare("SELECT id FROM applicants WHERE age > @lo")
+        with pytest.raises(ParameterBindError):
+            named.execute(params={"lo": 1.0, "typo": 2.0})
+
+    def test_plan_cache_hit_on_reprepare(self, session):
+        session.prepare(FILTER_SQL)
+        misses = session.plan_cache.misses
+        hits = session.plan_cache.hits
+        # Same query modulo whitespace, comments, and keyword/identifier
+        # case — must hit the normalized-plan cache.
+        variant = (
+            "-- serving traffic\n"
+            + FILTER_SQL.replace("SELECT", "select")
+            .replace("FROM PREDICT", "from  PREDICT")
+            .replace("applicants", "Applicants")
+        )
+        session.prepare(variant)
+        assert session.plan_cache.misses == misses
+        assert session.plan_cache.hits == hits + 1
+
+    def test_data_rebinding(self, session, serving_setup):
+        _database, pipeline = serving_setup
+        prepared = session.prepare(
+            PREDICT_SQL, data={"requests": _request_row(30.0, 50.0)}
+        )
+        assert prepared.data_names == ("requests",)
+        out = prepared.execute(
+            data={
+                "requests": Table.from_dict(
+                    {
+                        "age": np.array([25.0, 70.0]),
+                        "income": np.array([80.0, 20.0]),
+                    }
+                )
+            }
+        )
+        expected = pipeline.predict(np.array([[25.0, 80.0], [70.0, 20.0]]))
+        assert np.allclose(np.asarray(out["pred"]), expected)
+
+    def test_missing_or_misnamed_data_raises(self, session):
+        prepared = session.prepare(
+            PREDICT_SQL, data={"requests": _request_row(30.0, 50.0)}
+        )
+        with pytest.raises(ParameterBindError, match="missing data"):
+            prepared.execute()  # would silently score the template row
+        with pytest.raises(ParameterBindError, match="unknown data"):
+            prepared.execute(
+                data={
+                    "requests": _request_row(1.0, 1.0),
+                    "requestz": _request_row(1.0, 1.0),
+                }
+            )
+
+    def test_concurrent_execution_of_one_plan(self, session):
+        from concurrent.futures import ThreadPoolExecutor
+
+        prepared = session.prepare(FILTER_SQL)
+        cutoffs = [25.0 + i for i in range(24)]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(
+                pool.map(lambda c: prepared.execute(params=(c,)), cutoffs)
+            )
+        counts = [r.num_rows for r in results]
+        assert counts == sorted(counts)  # wider cutoff, more rows
+
+    def test_replan_on_model_version_bump(self, session, serving_setup):
+        database, pipeline = serving_setup
+        prepared = session.prepare(FILTER_SQL)
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 0
+        database.store_model(
+            "approval", pipeline, metadata={"feature_names": ["age", "income"]}
+        )
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 1
+        version = database.get_model("approval").version
+        assert prepared.model_names == ("approval",)
+        name, qualified, tracked = prepared._entry.model_refs[0]
+        assert (name, qualified, tracked) == (
+            "approval",
+            f"approval:v{version}",
+            True,
+        )
+        # The refreshed plan is stable: no further replans on re-execute.
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 1
+
+    def test_store_model_invalidates_plan_cache(self, session, serving_setup):
+        database, pipeline = serving_setup
+        session.prepare(FILTER_SQL)
+        assert len(session.plan_cache) >= 1
+        before = session.plan_cache.invalidations
+        database.store_model(
+            "approval", pipeline, metadata={"feature_names": ["age", "income"]}
+        )
+        assert session.plan_cache.invalidations > before
+
+
+class TestPlanCacheKeying:
+    def test_same_sql_different_data_schemas_get_distinct_plans(self, session):
+        sql = "SELECT * FROM requests"
+        narrow = session.prepare(
+            sql, data={"requests": Table.from_dict({"x": np.array([1.0])})}
+        )
+        wide = session.prepare(
+            sql,
+            data={
+                "requests": Table.from_dict(
+                    {"y": np.array([1.0]), "z": np.array([2.0])}
+                )
+            },
+        )
+        assert narrow.fingerprint != wide.fingerprint
+        out = wide.execute(
+            data={
+                "requests": Table.from_dict(
+                    {"y": np.array([3.0]), "z": np.array([4.0])}
+                )
+            }
+        )
+        assert out.schema.names == ("y", "z")
+        assert out["y"].tolist() == [3.0]
+
+
+class TestPlanCacheLRU:
+    def test_capacity_and_eviction(self, session):
+        cache = PlanCache(capacity=2)
+        for i in range(3):
+            from repro.serving.prepared import PreparedQuery
+
+            PreparedQuery(
+                session,
+                f"SELECT id FROM applicants WHERE id > {i}",
+                plan_cache=cache,
+            )
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+
+
+class TestResultCache:
+    def test_ttl_expiry(self):
+        now = [0.0]
+        cache = ResultCache(capacity=8, ttl_seconds=10.0, clock=lambda: now[0])
+        cache.put("k", "value", model_names=("m",))
+        assert cache.get("k") == "value"
+        now[0] = 9.9
+        assert cache.get("k") == "value"
+        now[0] = 10.1
+        assert cache.get("k") is None
+        assert cache.stats()["expired"] == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2, ttl_seconds=100.0, clock=lambda: 0.0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+
+    def test_model_invalidation(self):
+        cache = ResultCache(clock=lambda: 0.0)
+        cache.put("x", 1, model_names=("approval",))
+        cache.put("y", 2, model_names=("other",))
+        assert cache.invalidate_model("Approval") == 1
+        assert cache.get("x") is None
+        assert cache.get("y") == 2
+
+    def test_standalone_result_cache_not_stale_after_model_bump(self):
+        # A fresh database: this test swaps in an *inverted* model and
+        # must not pollute the shared module fixture.
+        rng = np.random.default_rng(5)
+        age = rng.uniform(18, 90, 200)
+        income = rng.normal(55.0, 20.0, 200)
+        labels = ((income > 50.0) | (age < 30.0)).astype(np.float64)
+        features = np.column_stack([age, income])
+        database = Database()
+        fit = lambda y: Pipeline(
+            [
+                ("scale", StandardScaler()),
+                ("clf", DecisionTreeClassifier(max_depth=4, random_state=0)),
+            ]
+        ).fit(features, y)
+        database.store_model(
+            "approval", fit(labels), metadata={"feature_names": ["age", "income"]}
+        )
+        local = RavenSession(database)
+        from repro.serving.prepared import PreparedQuery
+
+        cache = ResultCache(ttl_seconds=100.0)
+        prepared = PreparedQuery(
+            local,
+            PREDICT_SQL,
+            data={"requests": _request_row(30.0, 50.0)},
+            result_cache=cache,
+        )
+        row = {"requests": _request_row(25.0, 80.0)}
+        before = prepared.execute(data=row).column("pred")[0]
+        assert before == 1.0
+        # Even without a server wiring invalidation listeners, a version
+        # bump must not serve the stale cached prediction: the cache key
+        # embeds the model versions the plan was compiled against.
+        database.store_model(
+            "approval",
+            fit(1.0 - labels),
+            metadata={"feature_names": ["age", "income"]},
+        )
+        after = prepared.execute(data=row).column("pred")[0]
+        assert after == 0.0
+
+    def test_prepared_query_result_cache(self, session):
+        cache = ResultCache(ttl_seconds=100.0)
+        from repro.serving.prepared import PreparedQuery
+
+        prepared = PreparedQuery(session, FILTER_SQL, result_cache=cache)
+        first = prepared.execute(params=(40.0,))
+        second = prepared.execute(params=(40.0,))
+        assert second is first  # cache hit returns the same table object
+        assert cache.stats()["hits"] == 1
+        third = prepared.execute(params=(41.0,))
+        assert third is not first
+
+
+class TestMicroBatcher:
+    def test_coalesces_requests_into_one_call(self, session, serving_setup):
+        _database, pipeline = serving_setup
+        calls: list[int] = []
+        prepared = session.prepare(
+            PREDICT_SQL, data={"requests": _request_row(30.0, 50.0)}
+        )
+
+        def runner(table: Table) -> Table:
+            calls.append(table.num_rows)
+            return prepared.execute(data={"requests": table})
+
+        with MicroBatcher(
+            runner, max_batch_rows=16, max_wait_seconds=5.0
+        ) as batcher:
+            futures = [
+                batcher.submit(_request_row(20.0 + i, 40.0 + i))
+                for i in range(16)
+            ]
+            wait(futures, timeout=30)
+        results = [f.result() for f in futures]
+        assert calls == [16]  # one vectorized call, not sixteen
+        for i, result in enumerate(results):
+            assert result.num_rows == 1
+            expected = pipeline.predict(np.array([[20.0 + i, 40.0 + i]]))[0]
+            assert result.column("pred")[0] == expected
+
+    def test_deadline_flush_without_full_batch(self, session):
+        prepared = session.prepare(
+            PREDICT_SQL, data={"requests": _request_row(30.0, 50.0)}
+        )
+        with MicroBatcher(
+            lambda t: prepared.execute(data={"requests": t}),
+            max_batch_rows=1000,
+            max_wait_seconds=0.01,
+        ) as batcher:
+            future = batcher.submit(_request_row(25.0, 80.0))
+            assert future.result(timeout=30).num_rows == 1
+
+    def test_non_row_preserving_plan_fails_loudly(self, session):
+        prepared = session.prepare(FILTER_SQL)  # WHERE drops rows
+        applicants = session.database.table("applicants")
+
+        def runner(table: Table) -> Table:
+            return prepared.execute(params=(30.0,))
+
+        with MicroBatcher(runner, max_batch_rows=4, max_wait_seconds=0.01) as b:
+            future = b.submit(applicants.head(2))
+            with pytest.raises(ExecutionError, match="row-preserving"):
+                future.result(timeout=30)
+
+    def test_submit_after_close_raises(self, session):
+        batcher = MicroBatcher(lambda t: t, max_batch_rows=4)
+        batcher.close()
+        with pytest.raises(ServerClosedError):
+            batcher.submit(_request_row(1.0, 1.0))
+
+    def test_cancelled_future_does_not_kill_worker(self, session):
+        prepared = session.prepare(
+            PREDICT_SQL, data={"requests": _request_row(30.0, 50.0)}
+        )
+        with MicroBatcher(
+            lambda t: prepared.execute(data={"requests": t}),
+            max_batch_rows=100,
+            max_wait_seconds=0.05,
+        ) as batcher:
+            doomed = batcher.submit(_request_row(1.0, 1.0))
+            assert doomed.cancel()
+            # The worker must survive the cancelled future and keep
+            # serving later requests.
+            healthy = batcher.submit(_request_row(25.0, 80.0))
+            batcher.flush()
+            assert healthy.result(timeout=30).num_rows == 1
+
+    def test_bounded_pending_queue_rejects_overload(self):
+        import threading
+
+        release = threading.Event()
+
+        def slow_runner(table: Table) -> Table:
+            release.wait(timeout=30)
+            return table
+
+        with MicroBatcher(
+            slow_runner,
+            max_batch_rows=1,
+            max_wait_seconds=0.001,
+            max_pending_requests=2,
+        ) as batcher:
+            futures = [batcher.submit(_request_row(1.0, 1.0))]
+            # The worker is busy in slow_runner; fill the pending queue.
+            deadline = 30.0
+            import time as _time
+
+            start = _time.monotonic()
+            accepted = 0
+            with pytest.raises(ServerOverloadedError):
+                while _time.monotonic() - start < deadline:
+                    futures.append(batcher.submit(_request_row(1.0, 1.0)))
+                    accepted += 1
+                    if accepted > 10:  # pragma: no cover — bound not enforced
+                        break
+            release.set()
+            wait(futures, timeout=30)
+
+
+class TestRavenServer:
+    def test_end_to_end_batched_serving(self, session, serving_setup):
+        _database, pipeline = serving_setup
+        with RavenServer(
+            session,
+            workers=2,
+            batch_max_rows=32,
+            batch_max_wait_seconds=0.005,
+        ) as server:
+            server.prepare(
+                "score",
+                PREDICT_SQL,
+                data={"requests": _request_row(30.0, 50.0)},
+                batch=True,
+            )
+            futures = [
+                server.submit(
+                    "score",
+                    data={"requests": _request_row(20.0 + i % 50, 45.0)},
+                )
+                for i in range(100)
+            ]
+            server.flush_batchers()
+            wait(futures, timeout=60)
+            results = [f.result() for f in futures]
+            snapshot = server.stats_snapshot()
+        assert all(r.num_rows == 1 for r in results)
+        expected = pipeline.predict(np.array([[20.0 + 7, 45.0]]))[0]
+        assert results[7].column("pred")[0] == expected
+        assert snapshot["completed"] == 100
+        assert snapshot["batches"] < 100  # coalescing actually happened
+        histogram = snapshot["batch_size_histogram"]
+        assert sum(size * count for size, count in histogram.items()) == 100
+        assert max(histogram) > 1
+
+    def test_parameterized_requests(self, session):
+        with RavenServer(session, workers=2) as server:
+            server.prepare("filtered", FILTER_SQL)
+            narrow = server.query("filtered", params=(30.0,), timeout=30)
+            wide = server.query("filtered", params=(80.0,), timeout=30)
+        assert 0 < narrow.num_rows < wide.num_rows
+
+    def test_unknown_prepared_name(self, session):
+        with RavenServer(session, workers=1) as server:
+            with pytest.raises(ServingError, match="unknown prepared"):
+                server.submit("nope")
+
+    def test_admission_control_rejects_when_full(self, session):
+        server = RavenServer(session, workers=0, max_queue=2)
+        try:
+            server.prepare("filtered", FILTER_SQL)
+            server.submit("filtered", params=(30.0,))
+            server.submit("filtered", params=(31.0,))
+            with pytest.raises(ServerOverloadedError):
+                server.submit("filtered", params=(32.0,))
+            assert server.stats.rejected == 1
+        finally:
+            server.shutdown(wait=False)
+
+    def test_submit_after_shutdown_raises(self, session):
+        server = RavenServer(session, workers=1)
+        server.prepare("filtered", FILTER_SQL)
+        server.shutdown()
+        with pytest.raises(ServerClosedError):
+            server.submit("filtered", params=(30.0,))
+
+    def test_result_cache_round_trip_and_invalidation(
+        self, session, serving_setup
+    ):
+        database, pipeline = serving_setup
+        with RavenServer(
+            session, workers=2, result_ttl_seconds=100.0
+        ) as server:
+            server.prepare(
+                "score",
+                PREDICT_SQL,
+                data={"requests": _request_row(30.0, 50.0)},
+                batch=True,
+                cache_results=True,
+            )
+            row = {"requests": _request_row(33.0, 44.0)}
+            first = server.submit("score", data=row)
+            server.flush_batchers()
+            first.result(timeout=30)
+            hits_before = server.result_cache.stats()["hits"]
+            second = server.submit("score", data=row)
+            assert second.result(timeout=30).column("pred")[0] == (
+                first.result().column("pred")[0]
+            )
+            assert server.result_cache.stats()["hits"] == hits_before + 1
+            # A new model version drops the cached prediction.
+            database.store_model(
+                "approval",
+                pipeline,
+                metadata={"feature_names": ["age", "income"]},
+            )
+            assert server.result_cache.stats()["size"] == 0
+
+    def test_malformed_request_rejected_at_admission(self, session):
+        """One bad request must not poison the shared micro-batch."""
+        with RavenServer(
+            session, workers=2, batch_max_rows=8, batch_max_wait_seconds=0.005
+        ) as server:
+            server.prepare(
+                "score",
+                PREDICT_SQL,
+                data={"requests": _request_row(30.0, 50.0)},
+                batch=True,
+            )
+            good = [
+                server.submit(
+                    "score", data={"requests": _request_row(25.0 + i, 60.0)}
+                )
+                for i in range(3)
+            ]
+            # Reversed column order is normalized to the template...
+            reordered = server.submit(
+                "score",
+                data={
+                    "requests": Table.from_dict(
+                        {"income": np.array([60.0]), "age": np.array([28.0])}
+                    )
+                },
+            )
+            # ...but a missing column is rejected synchronously, alone.
+            with pytest.raises(ServingError, match="does not match"):
+                server.submit(
+                    "score",
+                    data={"requests": Table.from_dict({"age": np.array([1.0])})},
+                )
+            server.flush_batchers()
+            wait(good + [reordered], timeout=30)
+            assert all(f.result().num_rows == 1 for f in good)
+            assert reordered.result().num_rows == 1
+
+    def test_shutdown_unregisters_model_listener(self, session, serving_setup):
+        database, _pipeline = serving_setup
+        listeners_before = len(database._model_listeners)
+        server = RavenServer(session, workers=1)
+        assert len(database._model_listeners) == listeners_before + 1
+        server.shutdown()
+        assert len(database._model_listeners) == listeners_before
+
+    def test_ad_hoc_sql(self, session):
+        with RavenServer(session, workers=1) as server:
+            out = server.submit_sql(
+                "SELECT id FROM applicants ORDER BY id LIMIT 3"
+            ).result(timeout=30)
+        assert out["id"].tolist() == [0, 1, 2]
