@@ -1,0 +1,211 @@
+"""Physical-planning benchmark: zone-map pruning and join reordering.
+
+Claims measured (printed as JSON for the bench trajectory):
+
+* **zone-map pruning** — a selective scan + PREDICT query over a
+  partitioned table is >= 2x faster with zone-map partition pruning
+  than the same morsel-parallel execution scanning every partition (an
+  isolated ablation: only the pruning flag differs). The fully
+  sequential full-scan baseline is also reported for context.
+* **join reordering** — the statistics-driven greedy join order
+  (smallest estimated intermediate first) measurably beats the naive
+  FROM-order plan on a 3-way join where syntax order is adversarial.
+
+Run:  PYTHONPATH=src python benchmarks/bench_planning.py [--smoke]
+
+``--smoke`` shrinks row counts so CI can exercise the full code path in
+seconds; the speedup assertions only apply to full-size runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+
+from harness import measure, speedup
+from repro import Database, Table
+from repro.data import flights
+from repro.relational.algebra.executor import ExecutionOptions
+
+PREDICT_SQL = """
+DECLARE @m varbinary(max) = (
+    SELECT model FROM scoring_models WHERE model_name = 'flight_delay');
+SELECT d.flight_id, p.delayed
+FROM PREDICT(MODEL = @m, DATA = flights AS d)
+WITH (delayed float) AS p
+WHERE d.flight_id < {cutoff}
+"""
+
+JOIN_SQL = """
+SELECT e.flight_id, d.label, s.note
+FROM flights AS e
+JOIN dims AS d ON e.carrier = d.carrier
+JOIN sampled AS s ON e.flight_id = s.flight_id
+"""
+
+
+def bench_zone_map_pruning(
+    num_rows: int, train_rows: int, partition_rows: int
+) -> dict:
+    dataset = flights.generate(num_rows, seed=3)
+    table = dataset.flights.with_partitioning(partition_rows)
+    pipeline = flights.train_logistic_pipeline(
+        flights.generate(train_rows, seed=3), max_iter=80
+    )
+    cutoff = max(1, num_rows // 1000)  # ~0.1% of rows survive the filter
+
+    def database(options: ExecutionOptions) -> Database:
+        db = Database(options=options)
+        db.register_table("flights", table)
+        db.store_model(
+            "flight_delay",
+            pipeline,
+            metadata={"feature_names": flights.FEATURE_NAMES},
+        )
+        db.catalog.table_statistics("flights")  # warm stats
+        return db
+
+    threshold = partition_rows * 2
+    pruned_db = database(ExecutionOptions(parallel_row_threshold=threshold))
+    # Ablation baseline: identical morsel-parallel execution with ONLY
+    # zone-map pruning disabled, so the measured speedup is pruning's
+    # alone and not conflated with thread parallelism.
+    unpruned_db = database(
+        ExecutionOptions(
+            enable_zone_map_pruning=False, parallel_row_threshold=threshold
+        )
+    )
+    sequential_db = database(
+        ExecutionOptions(
+            enable_zone_map_pruning=False, morsel_parallel_predict=False
+        )
+    )
+    sql = PREDICT_SQL.format(cutoff=cutoff)
+    rows = pruned_db.execute(sql).num_rows
+    assert rows == unpruned_db.execute(sql).num_rows
+    assert rows == sequential_db.execute(sql).num_rows
+
+    unpruned_seconds = measure(
+        lambda: unpruned_db.execute(sql), repeats=5, warmup=1
+    )
+    sequential_seconds = measure(
+        lambda: sequential_db.execute(sql), repeats=5, warmup=1
+    )
+    pruned_seconds = measure(
+        lambda: pruned_db.execute(sql), repeats=5, warmup=1
+    )
+    pruning = pruned_db._executor.last_scan_pruning or {}
+    return {
+        "table_rows": num_rows,
+        "partition_rows": partition_rows,
+        "result_rows": rows,
+        "partitions_total": pruning.get("partitions_total"),
+        "partitions_scanned": pruning.get("partitions_scanned"),
+        "unpruned_morsel_seconds": round(unpruned_seconds, 5),
+        "sequential_full_scan_seconds": round(sequential_seconds, 5),
+        "pruned_seconds": round(pruned_seconds, 5),
+        "speedup": round(speedup(unpruned_seconds, pruned_seconds), 2),
+        "speedup_vs_sequential": round(
+            speedup(sequential_seconds, pruned_seconds), 2
+        ),
+    }
+
+
+def bench_join_reorder(num_rows: int) -> dict:
+    rng = np.random.default_rng(9)
+    dataset = flights.generate(num_rows, seed=5)
+    db = Database()
+    db.register_table("flights", dataset.flights)
+    db.register_table(
+        "dims",
+        Table.from_dict(
+            {
+                "carrier": np.arange(flights.NUM_CARRIERS, dtype=np.int64),
+                "label": np.array(
+                    [f"c{i}" for i in range(flights.NUM_CARRIERS)]
+                ),
+            }
+        ),
+    )
+    sampled_ids = rng.choice(num_rows, size=max(8, num_rows // 2000), replace=False)
+    db.register_table(
+        "sampled",
+        Table.from_dict(
+            {
+                "flight_id": np.sort(sampled_ids).astype(np.int64),
+                "note": np.array(["sampled"] * len(sampled_ids)),
+            }
+        ),
+    )
+    for name in ("flights", "dims", "sampled"):
+        db.catalog.table_statistics(name)
+
+    naive_plan = db.bind(JOIN_SQL)  # binder output: joins in FROM order
+    optimized_plan = db._planner.optimize(naive_plan)
+    naive_rows = db.execute_plan(naive_plan).num_rows
+    assert naive_rows == db.execute_plan(optimized_plan).num_rows
+
+    naive_seconds = measure(
+        lambda: db.execute_plan(naive_plan), repeats=5, warmup=1
+    )
+    reordered_seconds = measure(
+        lambda: db.execute_plan(optimized_plan), repeats=5, warmup=1
+    )
+    return {
+        "table_rows": num_rows,
+        "result_rows": naive_rows,
+        "naive_order_seconds": round(naive_seconds, 5),
+        "reordered_seconds": round(reordered_seconds, 5),
+        "speedup": round(speedup(naive_seconds, reordered_seconds), 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny row counts; exercises the path without timing claims",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        pruning = bench_zone_map_pruning(
+            num_rows=20_000, train_rows=2_000, partition_rows=1_024
+        )
+        reorder = bench_join_reorder(num_rows=20_000)
+    else:
+        pruning = bench_zone_map_pruning(
+            num_rows=800_000, train_rows=20_000, partition_rows=8_192
+        )
+        reorder = bench_join_reorder(num_rows=200_000)
+
+    results = {
+        "smoke": args.smoke,
+        "zone_map_pruning": pruning,
+        "join_reorder": reorder,
+        "claims": {
+            "pruning_speedup_target": 2.0,
+            "pruning_speedup_measured": pruning["speedup"],
+            "pruning_pass": pruning["speedup"] >= 2.0,
+            "join_reorder_speedup_target": 1.15,
+            "join_reorder_speedup_measured": reorder["speedup"],
+            "join_reorder_pass": reorder["speedup"] >= 1.15,
+        },
+    }
+    print(json.dumps(results, indent=2))
+    if not args.smoke:
+        assert results["claims"]["pruning_pass"], (
+            "zone-map pruning speedup below 2x: "
+            f"{results['claims']['pruning_speedup_measured']}"
+        )
+        assert results["claims"]["join_reorder_pass"], (
+            "join reorder win below 1.15x: "
+            f"{results['claims']['join_reorder_speedup_measured']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Shared thread-pool sizing for every parallel component.
+
+The executor's chunked PREDICT path, the morsel-parallel scan pipeline,
+and the serving micro-batcher all dispatch work onto thread pools. One
+helper decides how wide those pools are so a deployment tunes a single
+knob (or just inherits the machine size) instead of chasing hard-coded
+constants through the stack.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Upper bound on auto-detected pool width. NumPy kernels and in-process
+#: scorers release the GIL only partially, so very wide pools past this
+#: point add contention, not throughput.
+MAX_AUTO_WORKERS = 16
+
+
+def default_max_workers(cap: int = MAX_AUTO_WORKERS) -> int:
+    """Pool width derived from the machine: ``cpu_count`` capped at ``cap``.
+
+    Falls back to 4 when the CPU count is undetectable (containers with
+    restricted procfs).
+    """
+    detected = os.cpu_count() or 4
+    return max(1, min(detected, cap))

@@ -16,14 +16,78 @@ from repro.core.ir.nodes import IRNode
 from repro.core.optimizer.ml_rewrites import split_pipeline
 from repro.core.optimizer.rule import RuleContext
 from repro.relational.expressions import CaseWhen, conjuncts
+from repro.relational.statistics import (
+    DEFAULT_ROW_ESTIMATE,
+    DEFAULT_SELECTIVITY,
+    TableStatistics,
+    column_stats_resolver,
+    combine_aggregate_estimate,
+    combine_join_estimate,
+    estimate_predicate_selectivity,
+    group_keys_cardinality,
+    join_condition_selectivity,
+)
 
-DEFAULT_ROWS = 10_000
-FILTER_SELECTIVITY = 0.33
+# Fallbacks shared with the SQL physical planner (one source of truth).
+DEFAULT_ROWS = DEFAULT_ROW_ESTIMATE
+FILTER_SELECTIVITY = DEFAULT_SELECTIVITY  # per-conjunct, no-stats fallback
 ENGINE_SWITCH_COST = 500.0  # flat cost of handing a batch across engines
 
 
-def estimate_rows(graph: IRGraph, node: IRNode, context: RuleContext) -> float:
-    """Estimated output cardinality of an IR node."""
+def _graph_stats_resolver(graph: IRGraph, context: RuleContext):
+    """Column-statistics lookup over every scan in ``graph``.
+
+    Built on the same :func:`column_stats_resolver` the SQL physical
+    planner uses, so the cross-IR cost model prices filters and joins
+    from identical catalog histograms/NDVs. Built once per costing
+    pass and threaded through the recursion — rebuilding it per node
+    made plan costing quadratic in plan size.
+    """
+    sources: list[tuple[TableStatistics, str | None]] = []
+    for candidate in graph.nodes():
+        if candidate.op != "ra.scan":
+            continue
+        stats = context.table_statistics(candidate.attrs["table"])
+        if stats is not None:
+            sources.append((stats, candidate.attrs.get("alias")))
+    return column_stats_resolver(sources)
+
+
+def estimate_rows(
+    graph: IRGraph,
+    node: IRNode,
+    context: RuleContext,
+    _resolve=None,
+    _memo: dict[int, float] | None = None,
+) -> float:
+    """Estimated output cardinality of an IR node.
+
+    ``_resolve``/``_memo`` are threaded through the recursion so one
+    costing pass builds the stats resolver once and estimates each
+    node once.
+    """
+    if _resolve is None:
+        _resolve = _graph_stats_resolver(graph, context)
+    memo = _memo if _memo is not None else {}
+    cached = memo.get(node.id)
+    if cached is None:
+        cached = _estimate_node(graph, node, context, _resolve, memo)
+        memo[node.id] = cached
+    return cached
+
+
+def _estimate_node(
+    graph: IRGraph,
+    node: IRNode,
+    context: RuleContext,
+    resolve,
+    memo: dict[int, float],
+) -> float:
+    def child_rows(index: int) -> float:
+        return estimate_rows(
+            graph, graph.node(node.inputs[index]), context, resolve, memo
+        )
+
     op = node.op
     if op == "ra.scan":
         rows = context.table_rows(node.attrs["table"])
@@ -31,29 +95,33 @@ def estimate_rows(graph: IRGraph, node: IRNode, context: RuleContext) -> float:
     if op == "ra.inline_table":
         return float(node.attrs["table_value"].num_rows)
     if op == "ra.filter":
-        child = estimate_rows(graph, graph.node(node.inputs[0]), context)
-        selectivity = FILTER_SELECTIVITY ** len(
-            conjuncts(node.attrs["predicate"])
+        selectivity = estimate_predicate_selectivity(
+            node.attrs["predicate"], resolve, default=FILTER_SELECTIVITY
         )
-        return max(1.0, child * selectivity)
+        return max(1.0, child_rows(0) * selectivity)
     if op == "ra.join":
-        left = estimate_rows(graph, graph.node(node.inputs[0]), context)
-        right = estimate_rows(graph, graph.node(node.inputs[1]), context)
-        if node.attrs.get("condition") is None:
+        left = child_rows(0)
+        right = child_rows(1)
+        condition = node.attrs.get("condition")
+        if condition is None:
             return left * right
-        return max(left, right)
-    if op == "ra.union_all":
-        return sum(
-            estimate_rows(graph, graph.node(i), context) for i in node.inputs
+        return combine_join_estimate(
+            left,
+            right,
+            node.attrs.get("kind", "INNER"),
+            join_condition_selectivity(condition, resolve),
         )
+    if op == "ra.union_all":
+        return sum(child_rows(i) for i in range(len(node.inputs)))
     if op == "ra.limit":
-        child = estimate_rows(graph, graph.node(node.inputs[0]), context)
-        return min(child, float(node.attrs["count"]))
+        return min(child_rows(0), float(node.attrs["count"]))
     if op == "ra.aggregate":
-        child = estimate_rows(graph, graph.node(node.inputs[0]), context)
-        return max(1.0, child * 0.1)
+        groups = group_keys_cardinality(
+            node.attrs.get("group_by") or (), resolve
+        )
+        return combine_aggregate_estimate(child_rows(0), groups)
     if node.inputs:
-        return estimate_rows(graph, graph.node(node.inputs[0]), context)
+        return child_rows(0)
     return float(DEFAULT_ROWS)
 
 
@@ -87,9 +155,18 @@ def _pipeline_row_cost(pipeline) -> float:
     return cost + 10.0
 
 
-def node_cost(graph: IRGraph, node: IRNode, context: RuleContext) -> float:
+def node_cost(
+    graph: IRGraph,
+    node: IRNode,
+    context: RuleContext,
+    _resolve=None,
+    _memo: dict[int, float] | None = None,
+) -> float:
     """Total (not per-row) cost of executing one node."""
-    rows = estimate_rows(graph, node, context)
+    if _resolve is None:
+        _resolve = _graph_stats_resolver(graph, context)
+    memo = _memo if _memo is not None else {}
+    rows = estimate_rows(graph, node, context, _resolve, memo)
     op = node.op
     if op in ("ra.scan", "ra.inline_table"):
         return rows * 0.1
@@ -99,8 +176,12 @@ def node_cost(graph: IRGraph, node: IRNode, context: RuleContext) -> float:
         items = node.attrs.get("items", [])
         return rows * 0.1 * sum(_expression_cost(e) for e, _ in items)
     if op == "ra.join":
-        left = estimate_rows(graph, graph.node(node.inputs[0]), context)
-        right = estimate_rows(graph, graph.node(node.inputs[1]), context)
+        left = estimate_rows(
+            graph, graph.node(node.inputs[0]), context, _resolve, memo
+        )
+        right = estimate_rows(
+            graph, graph.node(node.inputs[1]), context, _resolve, memo
+        )
         return (left + right) * 1.0 + rows * 0.5
     if op in ("ra.order_by", "ra.distinct"):
         return rows * 2.0
@@ -124,6 +205,9 @@ def node_cost(graph: IRGraph, node: IRNode, context: RuleContext) -> float:
 def plan_cost(graph: IRGraph, context: RuleContext | None = None) -> float:
     """Total estimated cost of an IR plan."""
     context = context or RuleContext()
+    resolve = _graph_stats_resolver(graph, context)
+    memo: dict[int, float] = {}
     return sum(
-        node_cost(graph, node, context) for node in graph.topological_order()
+        node_cost(graph, node, context, resolve, memo)
+        for node in graph.topological_order()
     )

@@ -42,6 +42,20 @@ class RuleContext:
         except Exception:
             return None
 
+    def table_statistics(self, table_name: str):
+        """Catalog :class:`~repro.relational.statistics.TableStatistics`.
+
+        The cross-optimizer prices plans from the same histograms and
+        NDV counts the SQL-side physical planner uses; ``None`` when the
+        table (or a catalog) is unavailable.
+        """
+        if self.database is None:
+            return None
+        try:
+            return self.database.catalog.table_statistics(table_name)
+        except Exception:
+            return None
+
     def is_unique_column(self, table_name: str, column: str) -> bool:
         """True when every value in ``table.column`` is distinct.
 

@@ -15,7 +15,9 @@ from typing import Callable, Protocol
 
 import numpy as np
 
+from repro.concurrency import default_max_workers
 from repro.errors import ExecutionError
+from repro.relational import statistics as table_stats
 from repro.relational.algebra import logical
 from repro.relational.table import Table
 from repro.relational.types import DataType, Schema
@@ -34,19 +36,30 @@ class ModelResolver(Protocol):
 
 
 class ExecutionOptions:
-    """Tuning knobs for the executor (used by ablation benchmarks)."""
+    """Tuning knobs for the executor (used by ablation benchmarks).
+
+    ``max_workers`` defaults from the machine via
+    :func:`repro.concurrency.default_max_workers` (capped) rather than a
+    hard-coded constant; pass an explicit value to pin it.
+    """
 
     def __init__(
         self,
         parallel_predict: bool = True,
         parallel_row_threshold: int = 50_000,
-        max_workers: int = 8,
+        max_workers: int | None = None,
         default_batch_size: int | None = None,
+        enable_zone_map_pruning: bool = True,
+        morsel_parallel_predict: bool = True,
     ):
         self.parallel_predict = parallel_predict
         self.parallel_row_threshold = parallel_row_threshold
-        self.max_workers = max_workers
+        self.max_workers = (
+            max_workers if max_workers is not None else default_max_workers()
+        )
         self.default_batch_size = default_batch_size
+        self.enable_zone_map_pruning = enable_zone_map_pruning
+        self.morsel_parallel_predict = morsel_parallel_predict
 
 
 class Executor:
@@ -61,6 +74,12 @@ class Executor:
         self._table_provider = table_provider
         self._model_resolver = model_resolver
         self.options = options or ExecutionOptions()
+        #: Zone-map outcome of the most recent pruned scan:
+        #: {"table", "partitions_total", "partitions_scanned"}. A
+        #: single-threaded diagnostic for tests and benchmarks only —
+        #: it is unsynchronized and persists across queries that prune
+        #: nothing, so read it immediately after the query of interest.
+        self.last_scan_pruning: dict | None = None
 
     def execute(self, plan: logical.LogicalOp) -> Table:
         method = getattr(self, f"_execute_{type(plan).__name__.lower()}", None)
@@ -84,12 +103,74 @@ class Executor:
     # -- unary operators ------------------------------------------------------
 
     def _execute_filter(self, op: logical.Filter) -> Table:
-        table = self.execute(op.child)
-        mask = op.predicate.evaluate(table)
-        mask = np.asarray(mask)
+        table = self._pruned_scan_input(op)
+        if table is None:
+            table = self.execute(op.child)
+        return self._apply_predicate(table, op.predicate)
+
+    @staticmethod
+    def _apply_predicate(table: Table, predicate) -> Table:
+        mask = np.asarray(predicate.evaluate(table))
         if mask.ndim == 0:
             mask = np.full(table.num_rows, bool(mask))
         return table.filter(mask.astype(bool))
+
+    #: Below this surviving-partition fraction, pruning materializes a
+    #: compacted table; above it the copy would cost more than the
+    #: predicate evaluation it saves, so the full table is scanned.
+    PRUNE_COPY_THRESHOLD = 0.5
+
+    def _zone_map_survivors(
+        self, base: Table, predicate
+    ) -> np.ndarray | None:
+        """Keep-mask of ``base``'s partitions under ``predicate``.
+
+        The single source of zone-map pruning decisions — both the
+        Filter fast path and the morsel-parallel Predict path consult
+        it, so pruning semantics never diverge. ``None`` when pruning
+        does not apply. Callers record ``last_scan_pruning`` only when
+        they commit to the pruned execution.
+        """
+        if not self.options.enable_zone_map_pruning:
+            return None
+        return table_stats.surviving_partitions(base, predicate)
+
+    def _record_pruning(self, table_name: str, keep: np.ndarray) -> None:
+        self.last_scan_pruning = {
+            "table": table_name,
+            "partitions_total": int(len(keep)),
+            "partitions_scanned": int(keep.sum()),
+        }
+
+    def _pruned_scan_input(self, op: logical.Filter) -> Table | None:
+        """Zone-map pruned base rows for a filter directly over a scan.
+
+        Partitions whose min/max prove the predicate cannot match are
+        never materialized, so predicate evaluation touches only the
+        surviving chunks. ``None`` means no pruning applies (or too few
+        partitions drop to pay for compaction) and the caller should
+        execute the child normally.
+        """
+        scan = op.child
+        if not isinstance(scan, logical.Scan):
+            return None
+        base = self._table_provider(scan.table_name)
+        keep = self._zone_map_survivors(base, op.predicate)
+        if keep is None:
+            return None
+        kept = int(keep.sum())
+        if kept > len(keep) * self.PRUNE_COPY_THRESHOLD:
+            return None  # weak pruning: compaction would cost more
+        self._record_pruning(scan.table_name, keep)
+        surviving = [
+            base.slice(start, stop)
+            for (start, stop), is_kept in zip(base.partition_bounds(), keep)
+            if is_kept
+        ]
+        pruned = (
+            Table.concat_rows(surviving) if surviving else base.slice(0, 0)
+        )
+        return pruned.prefixed(scan.alias) if scan.alias else pruned
 
     def _execute_project(self, op: logical.Project) -> Table:
         table = self.execute(op.child)
@@ -336,13 +417,22 @@ class Executor:
     # -- model scoring ----------------------------------------------------
 
     def _execute_predict(self, op: logical.Predict) -> Table:
-        table = self.execute(op.child)
         if self._model_resolver is None:
             raise ExecutionError("no model resolver configured for PREDICT")
+        morsel = self._morsel_predict(op)
+        if morsel is not None:
+            return morsel
+        table = self.execute(op.child)
         scorer = self._model_resolver.resolve_scorer(
             op.model_ref, op.output_columns
         )
         outputs = self._score(scorer, table, op.batch_size)
+        return self._attach_outputs(op, table, outputs)
+
+    @staticmethod
+    def _attach_outputs(
+        op: logical.Predict, table: Table, outputs: dict[str, np.ndarray]
+    ) -> Table:
         result = table
         for name, dtype in op.output_columns:
             out_name = f"{op.alias}.{name}" if op.alias else name
@@ -350,16 +440,99 @@ class Executor:
             result = result.with_column(out_name, values)
         return result
 
+    def _morsel_predict(self, op: logical.Predict) -> Table | None:
+        """Morsel-parallel filter→predict over a partitioned scan.
+
+        A ``Predict(Filter(Scan))`` pipeline on a large partitioned
+        table runs partition-at-a-time on the thread pool: each morsel
+        evaluates the predicate, filters, and scores independently, and
+        zone maps drop non-matching partitions before any work is
+        scheduled. Results concatenate in partition order, so row order
+        matches sequential execution. ``None`` falls back to the
+        operator-at-a-time path.
+        """
+        options = self.options
+        if not (options.morsel_parallel_predict and options.parallel_predict):
+            return None
+        filter_op = op.child
+        if not isinstance(filter_op, logical.Filter):
+            return None
+        scan = filter_op.child
+        if not isinstance(scan, logical.Scan):
+            return None
+        # Cheap guards first: zone maps are only computed once this
+        # path commits (declining here falls back to _execute_filter,
+        # which would otherwise repeat the survivors computation).
+        base = self._table_provider(scan.table_name)
+        if not base.partition_size or base.num_rows < options.parallel_row_threshold:
+            return None
+        bounds = base.partition_bounds()
+        keep = self._zone_map_survivors(base, filter_op.predicate)
+        if keep is None:
+            keep = np.ones(len(bounds), dtype=bool)
+        else:
+            self._record_pruning(scan.table_name, keep)
+        scorer = self._model_resolver.resolve_scorer(
+            op.model_ref, op.output_columns
+        )
+
+        # Within a morsel, scoring is chunked by the same batch-size
+        # knobs as the sequential path, but never parallelized: the
+        # morsel threads ARE the parallelism, and a nested pool per
+        # morsel (possible with huge manual partitions) would spawn up
+        # to max_workers^2 threads.
+        batch_size = op.batch_size or options.default_batch_size
+
+        def work(bound: tuple[int, int]) -> Table:
+            start, stop = bound
+            chunk = base.slice(start, stop)
+            if scan.alias:
+                chunk = chunk.prefixed(scan.alias)
+            filtered = self._apply_predicate(chunk, filter_op.predicate)
+            if filtered.num_rows == 0:
+                return self._empty_predict_result(op, filtered)
+            if batch_size is not None and filtered.num_rows > batch_size:
+                outputs = self._score(
+                    scorer, filtered, batch_size, allow_parallel=False
+                )
+            else:
+                outputs = scorer(filtered)
+            return self._attach_outputs(op, filtered, outputs)
+
+        surviving = [b for b, kept in zip(bounds, keep) if kept]
+        if not surviving:
+            empty = base.slice(0, 0)
+            if scan.alias:
+                empty = empty.prefixed(scan.alias)
+            return self._empty_predict_result(op, empty)
+        if len(surviving) > 1:
+            with ThreadPoolExecutor(max_workers=options.max_workers) as pool:
+                parts = list(pool.map(work, surviving))
+        else:
+            parts = [work(surviving[0])]
+        return Table.concat_rows(parts)
+
+    @classmethod
+    def _empty_predict_result(cls, op: logical.Predict, empty: Table) -> Table:
+        """A zero-row result with the predict output columns appended."""
+        outputs = {
+            name: np.empty(0, dtype=dtype.numpy_dtype)
+            for name, dtype in op.output_columns
+        }
+        return cls._attach_outputs(op, empty, outputs)
+
     def _score(
         self,
         scorer: Callable[[Table], dict[str, np.ndarray]],
         table: Table,
         batch_size: int | None,
+        allow_parallel: bool = True,
     ) -> dict[str, np.ndarray]:
         options = self.options
         batch_size = batch_size or options.default_batch_size
         use_parallel = (
-            options.parallel_predict
+            allow_parallel
+            and options.parallel_predict
             and table.num_rows >= options.parallel_row_threshold
         )
         if not use_parallel and batch_size is None:

@@ -13,13 +13,31 @@ This catalog delivers scaled-down but real versions of those guarantees:
 
 from __future__ import annotations
 
+import math
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.errors import CatalogError
+from repro.relational.statistics import TableStatistics, collect_statistics
 from repro.relational.table import Table
 from repro.relational.types import Schema
+
+#: Tables at or above this row count are automatically partitioned on
+#: registration so zone-map pruning and morsel parallelism apply without
+#: callers opting in.
+AUTO_PARTITION_MIN_ROWS = 32_768
+
+#: Chunk size used for automatic partitioning.
+DEFAULT_PARTITION_SIZE = 8_192
+
+#: Relative row-count drift below which a write keeps the existing
+#: statistics (and stats epoch) instead of invalidating them. Small
+#: writes must not stampede plan re-preparation across the serving tier.
+STATS_DRIFT_THRESHOLD = 0.1
 
 
 @dataclass(frozen=True)
@@ -61,6 +79,17 @@ class Catalog:
         self._models: dict[str, list[ModelEntry]] = {}
         self._audit: list[AuditRecord] = []
         self._model_observers: list[Callable[[str, str], None]] = []
+        # Statistics are collected lazily (first request after a write)
+        # and versioned by a monotonically increasing epoch shared
+        # across tables; plan caches key on per-table epochs so ANALYZE
+        # or a large write replans exactly the affected plans. The lock
+        # keeps stats/epoch updates atomic: a serving worker collecting
+        # lazily must not install stats from a table a concurrent
+        # writer just replaced under a fresh epoch.
+        self._stats: dict[str, TableStatistics] = {}
+        self._stats_epochs: dict[str, int] = {}
+        self._epoch_counter = 0
+        self._stats_lock = threading.RLock()
 
     # -- model-change observers ----------------------------------------------
 
@@ -106,15 +135,26 @@ class Catalog:
         key = name.lower()
         if key in self._tables and not replace:
             raise CatalogError(f"table {name!r} already exists")
-        self._tables[key] = table
+        self._tables[key] = _auto_partition(table)
+        self._invalidate_stats(key)
         self._log("create_table", name, f"{table.num_rows} rows")
 
     def set_table(self, name: str, table: Table) -> None:
         """Replace table contents (INSERT/DELETE/UPDATE go through here)."""
         key = name.lower()
-        if key not in self._tables:
+        previous = self._tables.get(key)
+        if previous is None:
             raise CatalogError(f"unknown table {name!r}")
+        # DML rebuilds tables from scratch (derived tables drop
+        # partitioning); inherit the previous chunk size so an explicit
+        # sub-threshold partitioning survives writes.
+        if table.partition_size is None and previous.partition_size:
+            table = table.with_partitioning(previous.partition_size)
+        else:
+            table = _auto_partition(table)
         self._tables[key] = table
+        if self._stats_drifted(key, table):
+            self._invalidate_stats(key)
         self._log("set_table", name, f"{table.num_rows} rows")
 
     def drop_table(self, name: str) -> None:
@@ -122,7 +162,150 @@ class Catalog:
         if key not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[key]
+        with self._stats_lock:
+            self._stats.pop(key, None)
+            self._stats_epochs.pop(key, None)
         self._log("drop_table", name)
+
+    # -- statistics -----------------------------------------------------------
+
+    def table_statistics(self, name: str) -> TableStatistics:
+        """Statistics for a table, collected on first use after a write."""
+        key = name.lower()
+        with self._stats_lock:
+            cached = self._stats.get(key)
+            epoch_before = self._stats_epochs.get(key, 0)
+        if cached is not None:
+            return cached
+        # Collect outside the lock (an O(rows) pass must not stall
+        # writers), then install only if no write raced the collection
+        # — otherwise these stats describe a replaced table and would
+        # be cached under the new epoch.
+        stats = collect_statistics(self.get_table(name))
+        with self._stats_lock:
+            if self._stats_epochs.get(key, 0) == epoch_before:
+                return self._stats.setdefault(key, stats)
+        return stats
+
+    def analyze_table(self, name: str) -> TableStatistics:
+        """``ANALYZE <table>``: force recollection and bump the epoch.
+
+        Uses the same snapshot-and-compare as :meth:`table_statistics`:
+        if a large write lands mid-collection (epoch moved), the pass
+        is retried so stale statistics are never installed under a
+        fresh epoch.
+        """
+        key = name.lower()
+        for attempt in range(3):
+            with self._stats_lock:
+                epoch_before = self._stats_epochs.get(key, 0)
+            stats = collect_statistics(self.get_table(name))
+            with self._stats_lock:
+                # Install atomically with the no-race check. After
+                # repeated races the latest collection still wins — it
+                # is at most one write behind, and that write bumped
+                # the epoch, so dependent plans replan regardless.
+                if (
+                    self._stats_epochs.get(key, 0) == epoch_before
+                    or attempt == 2
+                ):
+                    self._stats[key] = stats
+                    self._epoch_counter += 1
+                    epoch = self._stats_epochs[key] = self._epoch_counter
+                    break
+        self._log("analyze", name, f"epoch {epoch}")
+        return stats
+
+    def stats_epoch(self, name: str) -> int:
+        """The table's current statistics epoch (0 before first write)."""
+        with self._stats_lock:
+            return self._stats_epochs.get(name.lower(), 0)
+
+    def set_table_statistics(self, name: str, stats: TableStatistics) -> None:
+        """Install externally persisted statistics (database load path)."""
+        with self._stats_lock:
+            self._stats[name.lower()] = stats
+
+    def _invalidate_stats(self, key: str) -> None:
+        with self._stats_lock:
+            self._stats.pop(key, None)
+            self._epoch_counter += 1
+            self._stats_epochs[key] = self._epoch_counter
+
+    def _stats_drifted(self, key: str, table: Table) -> bool:
+        """Whether a write moved the data enough to stale cached plans.
+
+        Checks the row count and, because an UPDATE can rewrite every
+        value without changing it, the min/max of each numeric column
+        against the cached statistics (a cheap vectorized pass —
+        writes already copy whole columns). Value shuffles within the
+        old range keep the stats: range- and NDV-based estimates stay
+        approximately valid.
+        """
+        stats = self._stats.get(key)
+        if stats is None:
+            # No cached stats to compare against: bump. This also
+            # closes a race — a lazy collection snapshotting the old
+            # table must see the epoch move so its snapshot-and-compare
+            # rejects installing stale statistics for the new contents.
+            return True
+        baseline = max(stats.row_count, 1)
+        if (
+            abs(table.num_rows - stats.row_count) / baseline
+            > STATS_DRIFT_THRESHOLD
+        ):
+            return True
+        for column in table.schema:
+            cached = stats.column(column.name)
+            if cached is None or cached.min_value is None:
+                continue
+            values = table.column(column.name)
+            if len(values) == 0:
+                continue
+            kind = values.dtype.kind
+            if kind in ("f", "i", "u", "b"):
+                if not isinstance(cached.min_value, (int, float)):
+                    return True  # column type changed under the stats
+                if kind == "f":
+                    present = values[~np.isnan(values)]
+                    if len(present) == 0:
+                        return True  # had values before, all NaN now
+                    new_min = float(present.min())
+                    new_max = float(present.max())
+                else:
+                    new_min, new_max = float(values.min()), float(values.max())
+            elif kind in ("U", "S"):
+                if not isinstance(cached.min_value, str):
+                    return True  # column type changed under the stats
+                # Strings have no distance metric: any change to the
+                # lexicographic bounds counts as drift. Vectorized O(n)
+                # checks — expansion past a bound, or a bound value
+                # disappearing (shrink) — avoid sorting the column.
+                if (values < cached.min_value).any() or (
+                    values > cached.max_value
+                ).any():
+                    return True
+                if not (values == cached.min_value).any() or not (
+                    values == cached.max_value
+                ).any():
+                    return True
+                continue
+            else:
+                continue
+            cached_min = float(cached.min_value)
+            cached_max = float(cached.max_value)
+            if not (math.isfinite(cached_min) and math.isfinite(cached_max)):
+                # Infinite span swallows every shift ratio; with an
+                # inf sentinel in the bounds, any bound change counts.
+                if new_min != cached_min or new_max != cached_max:
+                    return True
+                continue
+            span = max(cached_max - cached_min, 1e-12)
+            low_shift = abs(new_min - cached_min)
+            high_shift = abs(new_max - cached_max)
+            if max(low_shift, high_shift) / span > STATS_DRIFT_THRESHOLD:
+                return True
+        return False
 
     # -- models ---------------------------------------------------------------
 
@@ -210,8 +393,13 @@ class Catalog:
         key = name.lower()
         if table is None:
             self._tables.pop(key, None)
+            with self._stats_lock:
+                self._stats.pop(key, None)
+                self._stats_epochs.pop(key, None)
         else:
             self._tables[key] = table
+            # A rollback can revert arbitrary churn; always re-epoch.
+            self._invalidate_stats(key)
         self._log("restore_table", name, "rollback")
 
     def snapshot_model_versions(self, name: str) -> list[ModelEntry] | None:
@@ -228,3 +416,13 @@ class Catalog:
             self._models[key] = list(versions)
         self._log("restore_model", name, "rollback")
         self._notify_model("restore_model", name)
+
+
+def _auto_partition(table: Table) -> Table:
+    """Partition large unpartitioned tables on registration."""
+    if (
+        table.partition_size is None
+        and table.num_rows >= AUTO_PARTITION_MIN_ROWS
+    ):
+        return table.with_partitioning(DEFAULT_PARTITION_SIZE)
+    return table

@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import BindError, CatalogError, ExecutionError
 from repro.relational.algebra.binder import BindContext, Binder
 from repro.relational.algebra.executor import ExecutionOptions, Executor
+from repro.relational.algebra.planner import PhysicalPlanner
 from repro.relational.catalog import Catalog, ModelEntry
 from repro.relational.sql import ast_nodes as ast
 from repro.relational.sql.parser import parse
@@ -124,6 +125,7 @@ class Database:
             model_resolver=self,
             options=options,
         )
+        self._planner = PhysicalPlanner(self.catalog, self._executor.options)
         self._external_runtimes: dict[str, Callable] = {}
         self._model_listeners: list[Callable[[str, str], None]] = []
         # Every model mutation path (store, drop, transaction rollback)
@@ -251,7 +253,12 @@ class Database:
     def _execute_statement(self, statement, context: BindContext):
         if isinstance(statement, ast.SelectStatement):
             plan = self._binder.bind_select(statement, context)
+            plan = self._planner.optimize(plan)
             return self._executor.execute(plan)
+        if isinstance(statement, ast.AnalyzeStatement):
+            return self._execute_analyze(statement)
+        if isinstance(statement, ast.ExplainStatement):
+            return self._execute_explain(statement, context)
         if isinstance(statement, ast.DeclareStatement):
             return self._execute_declare(statement, context)
         if isinstance(statement, ast.InsertStatement):
@@ -280,6 +287,40 @@ class Database:
         if isinstance(statement, ast.ExecStatement):
             return self._execute_exec(statement, context)
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def _execute_analyze(self, statement: ast.AnalyzeStatement) -> Table:
+        """``ANALYZE <table>``: recollect statistics, bump the stats epoch.
+
+        Returns a one-row summary so interactive sessions see what moved.
+        """
+        stats = self.catalog.analyze_table(statement.name)
+        return Table.from_dict(
+            {
+                "table_name": np.array([statement.name]),
+                "row_count": np.array([stats.row_count], dtype=np.int64),
+                "columns_analyzed": np.array(
+                    [len(stats.columns)], dtype=np.int64
+                ),
+                "stats_epoch": np.array(
+                    [self.catalog.stats_epoch(statement.name)], dtype=np.int64
+                ),
+            }
+        )
+
+    def _execute_explain(
+        self, statement: ast.ExplainStatement, context: BindContext
+    ) -> Table:
+        """``EXPLAIN <select>``: the optimized plan as a one-column table.
+
+        Lines carry histogram-based row estimates, filter selectivities,
+        and zone-map partition pruning counts for filtered scans.
+        """
+        plan = self._binder.bind_select(statement.select, context)
+        plan = self._planner.optimize(plan)
+        lines = self._planner.explain_lines(plan)
+        # Object (BINARY) storage keeps lines unbounded; the STRING
+        # storage dtype would truncate plans at 64 characters.
+        return Table.from_dict({"plan": np.array(lines, dtype=object)})
 
     def _execute_declare(self, statement: ast.DeclareStatement, context: BindContext):
         value: object = None

@@ -135,6 +135,24 @@ class UpdateStatement:
 
 
 @dataclass(frozen=True)
+class AnalyzeStatement:
+    """``ANALYZE <table>``: recompute statistics, bump the stats epoch."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN <select>``: render the optimized physical plan.
+
+    Executing it returns a one-column table of plan lines annotated with
+    histogram-based row estimates and zone-map partition pruning counts.
+    """
+
+    select: SelectStatement
+
+
+@dataclass(frozen=True)
 class TransactionStatement:
     """BEGIN TRANSACTION / COMMIT / ROLLBACK."""
 

@@ -21,6 +21,7 @@ KEYWORDS = {
     "DESC", "LIMIT", "TOP", "UNION", "ALL", "DISTINCT", "CASE", "WHEN",
     "THEN", "ELSE", "END", "PREDICT", "MODEL", "DATA", "EXEC", "BETWEEN",
     "HAVING", "CAST", "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "LIKE",
+    "ANALYZE", "EXPLAIN",
 }
 
 

@@ -124,6 +124,13 @@ class Parser:
             return ast.TransactionStatement("rollback")
         if token.matches(TokenType.KEYWORD, "EXEC"):
             return self._exec()
+        if token.matches(TokenType.KEYWORD, "ANALYZE"):
+            self._advance()
+            self._keyword("TABLE")
+            return ast.AnalyzeStatement(self._identifier())
+        if token.matches(TokenType.KEYWORD, "EXPLAIN"):
+            self._advance()
+            return ast.ExplainStatement(self._select_statement())
         raise SQLSyntaxError(
             f"unexpected token {token.value!r} at statement start",
             token.line,

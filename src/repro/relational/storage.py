@@ -24,12 +24,19 @@ from repro.errors import CatalogError
 from repro.ml import model_format
 from repro.ml.base import BaseEstimator
 from repro.relational.database import Database
+from repro.relational.statistics import TableStatistics
 from repro.relational.table import Table
 from repro.relational.types import Column, DataType, Schema
 from repro.tensor import serialize as tensor_serialize
 from repro.tensor.graph import Graph
 
-MANIFEST_VERSION = 1
+#: Version 2 adds per-table ``partition_size`` and persisted
+#: ``statistics`` (row count, min/max, NDV, histograms). Version 1
+#: manifests still load; their statistics are rebuilt lazily on first
+#: use by the catalog.
+MANIFEST_VERSION = 2
+
+_SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
 def save_database(database: Database, path: str | Path) -> Path:
@@ -51,6 +58,10 @@ def save_database(database: Database, path: str | Path) -> Path:
             "schema": [
                 [column.name, column.dtype.value] for column in table.schema
             ],
+            "partition_size": table.partition_size,
+            # Persisting statistics means a reloaded database plans at
+            # full fidelity immediately — no warm-up ANALYZE pass.
+            "statistics": database.catalog.table_statistics(name).to_dict(),
         }
     for model_name in database.catalog.model_names():
         for entry in database.catalog.model_versions(model_name):
@@ -98,7 +109,7 @@ def load_database(path: str | Path) -> Database:
     if not manifest_file.exists():
         raise CatalogError(f"no manifest.json under {path}")
     manifest = json.loads(manifest_file.read_text())
-    if manifest.get("manifest_version") != MANIFEST_VERSION:
+    if manifest.get("manifest_version") not in _SUPPORTED_MANIFEST_VERSIONS:
         raise CatalogError(
             f"unsupported manifest_version {manifest.get('manifest_version')!r}"
         )
@@ -112,7 +123,16 @@ def load_database(path: str | Path) -> Database:
         )
         with np.load(path / "tables" / spec["file"], allow_pickle=False) as data:
             columns = {key: data[key] for key in data.files}
-        database.register_table(name, Table(schema, columns))
+        database.register_table(
+            name, Table(schema, columns, spec.get("partition_size"))
+        )
+        stats_spec = spec.get("statistics")
+        if stats_spec:
+            # v2: reuse the persisted statistics. v1 manifests have
+            # none; the catalog rebuilds them lazily on first use.
+            database.catalog.set_table_statistics(
+                name, TableStatistics.from_dict(stats_spec)
+            )
     # Versions were appended in order; re-storing in order recreates them.
     for spec in sorted(
         manifest["models"], key=lambda m: (m["name"], m["version"])

@@ -26,9 +26,27 @@ class Table:
     columns:
         Mapping from column name to a 1-D NumPy array. All arrays must have
         equal length; dtypes are coerced to the schema's storage dtypes.
+    partition_size:
+        Optional fixed row-chunk size. A partitioned table carries lazy
+        per-partition zone maps (column min/max) that the executor uses
+        to skip chunks a predicate cannot match, and that morsel-parallel
+        scan+PREDICT pipelines use as work units. Derived tables (filter,
+        take, ...) do not inherit partitioning — only base tables are
+        partitioned, by the catalog or by :meth:`with_partitioning`.
     """
 
-    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        partition_size: int | None = None,
+    ):
+        if partition_size is not None and partition_size < 1:
+            raise SchemaError(
+                f"partition_size must be >= 1, got {partition_size}"
+            )
+        self._partition_size = partition_size
+        self._zone_maps: dict[str, tuple[np.ndarray, np.ndarray] | None] = {}
         self._schema = schema
         data: dict[str, np.ndarray] = {}
         num_rows: int | None = None
@@ -139,6 +157,86 @@ class Table:
 
     def __getitem__(self, name: str) -> np.ndarray:
         return self.column(name)
+
+    # -- partitioning --------------------------------------------------------
+
+    @property
+    def partition_size(self) -> int | None:
+        """Row-chunk size, or ``None`` for an unpartitioned table."""
+        return self._partition_size
+
+    @property
+    def num_partitions(self) -> int:
+        if not self._partition_size or self._num_rows == 0:
+            return 1
+        return -(-self._num_rows // self._partition_size)
+
+    def with_partitioning(self, partition_size: int | None) -> "Table":
+        """The same data as a (re)partitioned table (arrays are shared)."""
+        if partition_size == self._partition_size:
+            return self
+        return Table(self._schema, self._columns, partition_size)
+
+    def partition_bounds(self) -> list[tuple[int, int]]:
+        """``[start, stop)`` row ranges, one per partition."""
+        if not self._partition_size:
+            return [(0, self._num_rows)]
+        size = self._partition_size
+        return [
+            (start, min(start + size, self._num_rows))
+            for start in range(0, max(self._num_rows, 1), size)
+        ]
+
+    def partition(self, index: int) -> "Table":
+        """One partition as an (unpartitioned) table slice."""
+        bounds = self.partition_bounds()
+        start, stop = bounds[index]
+        return self.slice(start, stop)
+
+    def zone_map(self, name: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """Per-partition ``(mins, maxs)`` for a column (lazily cached).
+
+        ``None`` for columns without an ordering (opaque payloads) or
+        when the name does not resolve. NaN rows are excluded: a
+        comparison predicate can never select them, so a partition's
+        zone reflects only its non-NaN values (all-NaN partitions get
+        an empty ``[+inf, -inf]`` zone and are always prunable).
+        Infinities are real, orderable values — ``x > 100`` matches
+        ``+inf`` — so they stay in the zone.
+        """
+        if self._num_rows == 0:
+            return None
+        try:
+            stored = self.resolve_name(name)
+        except SchemaError:
+            return None
+        if stored in self._zone_maps:
+            return self._zone_maps[stored]
+        values = self._columns[stored]
+        if values.dtype.kind not in ("b", "i", "u", "f", "U", "S"):
+            self._zone_maps[stored] = None
+            return None
+        bounds = self.partition_bounds()
+        if values.dtype.kind == "f":
+            mins = np.full(len(bounds), np.inf)
+            maxs = np.full(len(bounds), -np.inf)
+            for i, (start, stop) in enumerate(bounds):
+                chunk = values[start:stop]
+                present = chunk[~np.isnan(chunk)]
+                if len(present):
+                    mins[i] = present.min()
+                    maxs[i] = present.max()
+        elif values.dtype.kind in ("U", "S"):
+            # The min/max ufuncs lack unicode loops; sort each chunk.
+            sorted_chunks = [np.sort(values[s:e]) for s, e in bounds]
+            mins = np.array([c[0] if len(c) else "" for c in sorted_chunks])
+            maxs = np.array([c[-1] if len(c) else "" for c in sorted_chunks])
+        else:
+            mins = np.array([values[s:e].min() for s, e in bounds])
+            maxs = np.array([values[s:e].max() for s, e in bounds])
+        zone = (mins, maxs)
+        self._zone_maps[stored] = zone
+        return zone
 
     def rows(self) -> Iterator[tuple]:
         """Iterate rows as tuples (slow path, for tests and display)."""

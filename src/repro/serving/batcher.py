@@ -20,10 +20,11 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.concurrency import default_max_workers
 from repro.errors import (
     ExecutionError,
     ServerClosedError,
@@ -55,6 +56,7 @@ class MicroBatcher:
         max_pending_requests: int | None = None,
         stats: ServingStats | None = None,
         clock: Callable[[], float] = time.monotonic,
+        dispatch_workers: int | None = None,
     ):
         if max_batch_rows < 1:
             raise ValueError("max_batch_rows must be >= 1")
@@ -68,6 +70,22 @@ class MicroBatcher:
         self._pending: deque[_Request] = deque()
         self._flush_requested = False
         self._closed = False
+        # Batches dispatch onto a small pool (sized with the same
+        # helper as the executor's scoring pool) so the next batch can
+        # coalesce while the previous one is still scoring, instead of
+        # serializing coalescing behind scoring. The semaphore caps
+        # in-flight batches at the pool width: when every dispatch slot
+        # is busy, the coalescing loop blocks, the pending deque fills,
+        # and ``max_pending_requests`` overload rejection fires exactly
+        # as it did with inline scoring.
+        if dispatch_workers is None:
+            dispatch_workers = max(1, default_max_workers(cap=4) // 2)
+        dispatch_workers = max(1, dispatch_workers)
+        self._dispatch_slots = threading.Semaphore(dispatch_workers)
+        self._dispatch_pool = ThreadPoolExecutor(
+            max_workers=dispatch_workers,
+            thread_name_prefix="raven-microbatch-dispatch",
+        )
         self._thread = threading.Thread(
             target=self._loop, name="raven-microbatcher", daemon=True
         )
@@ -106,6 +124,9 @@ class MicroBatcher:
             self._closed = True
             self._cond.notify_all()
         self._thread.join()
+        # The loop has dispatched every drained batch by now; wait for
+        # in-flight scoring so no future is left unresolved.
+        self._dispatch_pool.shutdown(wait=True)
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -132,10 +153,23 @@ class MicroBatcher:
                     if remaining <= 0:
                         break
                     self._cond.wait(timeout=remaining)
+            # Wait for a dispatch slot *before* draining: requests keep
+            # queueing (and rejecting on overload) while scoring is
+            # saturated, instead of piling into the pool unboundedly.
+            self._dispatch_slots.acquire()
+            with self._cond:
                 self._flush_requested = False
                 batch = self._drain_batch()
             if batch:
-                self._run_batch(batch)
+                self._dispatch_pool.submit(self._run_dispatched, batch)
+            else:
+                self._dispatch_slots.release()
+
+    def _run_dispatched(self, batch: list[_Request]) -> None:
+        try:
+            self._run_batch(batch)
+        finally:
+            self._dispatch_slots.release()
 
     def _pending_rows(self) -> int:
         return sum(request.rows for request in self._pending)
@@ -162,13 +196,17 @@ class MicroBatcher:
         ]
         if not batch:
             return
-        combined = (
-            batch[0].table
-            if len(batch) == 1
-            else Table.concat_rows([request.table for request in batch])
-        )
-        total_rows = combined.num_rows
         try:
+            # Assembly failures (e.g. mismatched request schemas in
+            # concat_rows) must fail the batch's futures like scoring
+            # failures do — an exception escaping to the dispatch pool
+            # would strand every client on a forever-pending future.
+            combined = (
+                batch[0].table
+                if len(batch) == 1
+                else Table.concat_rows([request.table for request in batch])
+            )
+            total_rows = combined.num_rows
             result = self._runner(combined)
             if result.num_rows != total_rows:
                 raise ExecutionError(

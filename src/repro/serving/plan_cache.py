@@ -35,6 +35,11 @@ class CachedPlan:
     param_names: tuple[str, ...]  # e.g. ("?1", "@cutoff")
     data_names: tuple[str, ...]  # application-data tables the plan re-binds
     model_refs: tuple[tuple[str, str, bool], ...]  # (name, qualified, tracked)
+    #: Per scanned base table, the catalog stats epoch the plan was
+    #: optimized against. ``ANALYZE`` (or a large write) bumps the
+    #: epoch, which stales this plan so the next execution replans with
+    #: fresh cardinalities.
+    stats_epochs: tuple[tuple[str, int], ...] = ()
     prepare_seconds: float = 0.0
     executions: int = field(default=0)
 

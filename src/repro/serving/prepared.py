@@ -86,6 +86,7 @@ class PreparedQuery:
         start = time.perf_counter()
         graph = self._session.analyze(self.sql, dict(self._template_data))
         model_refs = _collect_model_refs(graph, self._session.database)
+        stats_epochs = _collect_stats_epochs(graph, self._session.database)
         optimized, report = self._session.optimize(graph)
         generated = self._session.generate_sql(optimized)
         entry = CachedPlan(
@@ -96,6 +97,7 @@ class PreparedQuery:
             param_names=_collect_parameters(optimized),
             data_names=_collect_data_names(optimized),
             model_refs=model_refs,
+            stats_epochs=stats_epochs,
             prepare_seconds=time.perf_counter() - start,
         )
         if self._plan_cache is not None:
@@ -104,6 +106,14 @@ class PreparedQuery:
 
     def _is_current(self, entry: CachedPlan) -> bool:
         database = self._session.database
+        # Statistics moved (ANALYZE or a large write): the plan was
+        # priced on stale cardinalities, so replan before reuse.
+        for table_name, epoch in entry.stats_epochs:
+            try:
+                if database.catalog.stats_epoch(table_name) != epoch:
+                    return False
+            except Exception:
+                return False
         for name, qualified, tracked in entry.model_refs:
             try:
                 if tracked:
@@ -383,6 +393,28 @@ def _collect_model_refs(
             tracked = True
         refs[(name, qualified, tracked)] = None
     return tuple(refs)
+
+
+def _collect_stats_epochs(
+    graph: IRGraph, database
+) -> tuple[tuple[str, int], ...]:
+    """``(table, stats_epoch)`` for every base table the plan scans.
+
+    Collected from the analysis graph so optimization rewrites cannot
+    hide a dependency; inline (request-data) tables have no epoch.
+    """
+    epochs: dict[str, int] = {}
+    for node in graph.nodes():
+        if node.op != "ra.scan":
+            continue
+        name = str(node.attrs.get("table", "")).lower()
+        if not name or name in epochs:
+            continue
+        try:
+            epochs[name] = database.catalog.stats_epoch(name)
+        except Exception:
+            continue
+    return tuple(sorted(epochs.items()))
 
 
 def _normalize_data(

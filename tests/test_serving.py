@@ -595,3 +595,52 @@ class TestRavenServer:
                 "SELECT id FROM applicants ORDER BY id LIMIT 3"
             ).result(timeout=30)
         assert out["id"].tolist() == [0, 1, 2]
+
+
+class TestStatsEpochReplan:
+    """Cached plans are stats-epoch-addressed: ANALYZE forces a replan."""
+
+    def test_replan_after_analyze(self, session, serving_setup):
+        database, _pipeline = serving_setup
+        prepared = session.prepare(FILTER_SQL)
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 0
+        epoch_before = database.catalog.stats_epoch("applicants")
+        database.execute("ANALYZE applicants")
+        assert database.catalog.stats_epoch("applicants") > epoch_before
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 1
+        # The refreshed plan records the new epoch and is stable.
+        assert dict(prepared._entry.stats_epochs)["applicants"] == (
+            database.catalog.stats_epoch("applicants")
+        )
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 1
+
+    def test_small_write_does_not_replan(self, session, serving_setup):
+        database, _pipeline = serving_setup
+        prepared = session.prepare(FILTER_SQL)
+        prepared.execute(params=(40.0,))
+        # A sub-threshold, in-range write (the routine append shape)
+        # keeps the stats epoch, so the hot serving path never
+        # stampedes into re-preparation.
+        database.execute(
+            "INSERT INTO applicants VALUES (600, 55.0, 55.0)"
+        )
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 0
+        database.execute("DELETE FROM applicants WHERE id = 600")
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 0
+
+    def test_fresh_prepare_after_analyze_skips_stale_cache_entry(
+        self, session, serving_setup
+    ):
+        database, _pipeline = serving_setup
+        first = session.prepare(FILTER_SQL)
+        database.execute("ANALYZE applicants")
+        second = session.prepare(FILTER_SQL)
+        assert second._entry is not first._entry  # stale entry not reused
+        assert dict(second._entry.stats_epochs)["applicants"] == (
+            database.catalog.stats_epoch("applicants")
+        )

@@ -107,3 +107,68 @@ class TestErrors:
         db.store_model("weird", object(), flavor="ml.pipeline")
         with pytest.raises(CatalogError):
             save_database(db, tmp_path / "db")
+
+
+class TestStatisticsPersistence:
+    def _events_db(self) -> Database:
+        rng = np.random.default_rng(5)
+        db = Database()
+        db.register_table(
+            "events",
+            Table.from_dict(
+                {
+                    "id": np.arange(4000, dtype=np.int64),
+                    "value": rng.uniform(0.0, 10.0, 4000),
+                }
+            ).with_partitioning(512),
+        )
+        return db
+
+    def test_partitioned_table_and_stats_roundtrip(self, tmp_path):
+        db = self._events_db()
+        stats = db.catalog.table_statistics("events")
+        saved = save_database(db, tmp_path / "db")
+        manifest = json.loads((saved / "manifest.json").read_text())
+        assert manifest["manifest_version"] == 2
+        spec = manifest["tables"]["events"]
+        assert spec["partition_size"] == 512
+        assert spec["statistics"]["row_count"] == 4000
+
+        restored = load_database(saved)
+        assert restored.table("events").partition_size == 512
+        assert restored.table("events").num_partitions == 8
+        restored_stats = restored.catalog.table_statistics("events")
+        assert restored_stats.row_count == stats.row_count
+        assert restored_stats.column("value").histogram_counts == (
+            stats.column("value").histogram_counts
+        )
+        assert restored_stats.column("id").ndv == 4000
+
+    def test_v2_load_reuses_persisted_stats(self, tmp_path, monkeypatch):
+        saved = save_database(self._events_db(), tmp_path / "db")
+        restored = load_database(saved)
+
+        def boom(_table, bins=0):
+            raise AssertionError("stats should come from the manifest")
+
+        import repro.relational.catalog as catalog_module
+
+        monkeypatch.setattr(catalog_module, "collect_statistics", boom)
+        assert restored.catalog.table_statistics("events").row_count == 4000
+
+    def test_v1_manifest_loads_with_lazily_rebuilt_stats(self, tmp_path):
+        saved = save_database(self._events_db(), tmp_path / "db")
+        manifest_path = saved / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["manifest_version"] = 1
+        for spec in manifest["tables"].values():
+            spec.pop("statistics", None)
+            spec.pop("partition_size", None)
+        manifest_path.write_text(json.dumps(manifest, indent=2))
+
+        restored = load_database(saved)
+        assert restored.table("events").num_rows == 4000
+        # No persisted stats: the catalog rebuilds them on first use.
+        stats = restored.catalog.table_statistics("events")
+        assert stats.row_count == 4000
+        assert stats.column("value").ndv > 0
