@@ -1,0 +1,191 @@
+"""Memo-optimizer benchmark: DP join search vs the PR 2 greedy baseline.
+
+Claims measured (printed as JSON for the bench trajectory):
+
+* **8-way star join** — Selinger DP inside the memo (bushy allowed)
+  orders an adversarial 8-relation star join >= 2x faster than the
+  PR 2 baseline planner (greedy capped at 6 relations, i.e. FROM order
+  for this chain). The FROM order lists the unselective dimensions
+  first, so the baseline drags the full fact table through every join
+  while DP applies the two selective dimensions immediately.
+* **PREDICT over a join** — the same comparison with a model scoring
+  the join output: DP ordering shrinks the scored relation before the
+  model runs.
+
+Run:  PYTHONPATH=src python benchmarks/bench_memo.py [--smoke]
+
+``--smoke`` shrinks row counts so CI can exercise the full code path in
+seconds; the speedup assertions only apply to full-size runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import numpy as np
+
+from harness import measure, speedup
+from repro import Database, Table
+from repro.ml import DecisionTreeRegressor, Pipeline
+
+NUM_DIMS = 7  # fact + 7 dimensions = 8 relations
+SELECTIVE_KEYS = 2  # keys kept by each selective dimension filter
+
+
+def build_database(fact_rows: int, dim_rows: int, seed: int = 0) -> Database:
+    rng = np.random.default_rng(seed)
+    db = Database()
+    fact = {
+        "fid": np.arange(fact_rows, dtype=np.int64),
+        "x1": rng.uniform(0.0, 10.0, fact_rows),
+        "x2": rng.uniform(0.0, 10.0, fact_rows),
+    }
+    for d in range(NUM_DIMS):
+        fact[f"fk{d}"] = rng.integers(0, dim_rows, fact_rows)
+    db.register_table("fact", Table.from_dict(fact))
+    for d in range(NUM_DIMS):
+        db.register_table(
+            f"dim{d}",
+            Table.from_dict(
+                {
+                    f"k{d}": np.arange(dim_rows, dtype=np.int64),
+                    f"attr{d}": np.arange(dim_rows, dtype=np.int64),
+                    f"label{d}": np.array(
+                        [f"d{d}_{i}" for i in range(dim_rows)]
+                    ),
+                }
+            ),
+        )
+    for name in ["fact"] + [f"dim{d}" for d in range(NUM_DIMS)]:
+        db.catalog.table_statistics(name)  # warm stats
+    return db
+
+
+def star_sql(select: str, where: str) -> str:
+    # Adversarial FROM order: the five unselective dimensions first,
+    # the two selective ones (filtered in WHERE) last.
+    joins = " ".join(
+        f"JOIN dim{d} AS d{d} ON f.fk{d} = d{d}.k{d}"
+        for d in range(NUM_DIMS)
+    )
+    return f"SELECT {select} FROM fact AS f {joins} WHERE {where}"
+
+
+def _where() -> str:
+    a, b = NUM_DIMS - 2, NUM_DIMS - 1
+    return (
+        f"d{a}.attr{a} < {SELECTIVE_KEYS} AND d{b}.attr{b} < {SELECTIVE_KEYS}"
+    )
+
+
+def _plans(db: Database, sql: str):
+    """(dp_plan, legacy_plan) for one query, via the shared planner."""
+    naive = db.bind(sql)
+    db._planner.join_search = "dp"
+    dp_plan = db._planner.optimize(naive)
+    dp_stats = db._planner.last_report.stats
+    db._planner.join_search = "legacy"
+    legacy_plan = db._planner.optimize(naive)
+    db._planner.join_search = "dp"
+    return dp_plan, legacy_plan, dp_stats
+
+
+def bench_star_join(fact_rows: int, dim_rows: int) -> dict:
+    db = build_database(fact_rows, dim_rows)
+    sql = star_sql("f.fid, d0.label0", _where())
+    dp_plan, legacy_plan, dp_stats = _plans(db, sql)
+    dp_rows = db.execute_plan(dp_plan).num_rows
+    assert dp_rows == db.execute_plan(legacy_plan).num_rows
+    legacy_seconds = measure(
+        lambda: db.execute_plan(legacy_plan), repeats=3, warmup=1
+    )
+    dp_seconds = measure(lambda: db.execute_plan(dp_plan), repeats=3, warmup=1)
+    return {
+        "fact_rows": fact_rows,
+        "relations": NUM_DIMS + 1,
+        "result_rows": dp_rows,
+        "dp_relations_searched": dp_stats.dp_relations,
+        "dp_subsets": dp_stats.dp_subsets,
+        "legacy_greedy_seconds": round(legacy_seconds, 5),
+        "dp_seconds": round(dp_seconds, 5),
+        "speedup": round(speedup(legacy_seconds, dp_seconds), 2),
+    }
+
+
+def bench_predict_over_join(fact_rows: int, dim_rows: int) -> dict:
+    db = build_database(fact_rows, dim_rows, seed=1)
+    rng = np.random.default_rng(2)
+    X = rng.uniform(0.0, 10.0, (5000, 2))
+    y = X[:, 0] * 2.0 - X[:, 1]
+    pipeline = Pipeline([("m", DecisionTreeRegressor(max_depth=6))]).fit(X, y)
+    db.store_model(
+        "score", pipeline, metadata={"feature_names": ["x1", "x2"]}
+    )
+    inner = star_sql("f.x1 AS x1, f.x2 AS x2, f.fid AS fid", _where())
+    sql = (
+        "DECLARE @m varbinary(max) = (SELECT model FROM scoring_models "
+        "WHERE model_name = 'score');"
+        f"SELECT d.fid, p.yhat FROM PREDICT(MODEL = @m, DATA = ({inner}) "
+        "AS d) WITH (yhat float) AS p"
+    )
+    dp_plan, legacy_plan, dp_stats = _plans(db, sql)
+    dp_rows = db.execute_plan(dp_plan).num_rows
+    assert dp_rows == db.execute_plan(legacy_plan).num_rows
+    legacy_seconds = measure(
+        lambda: db.execute_plan(legacy_plan), repeats=3, warmup=1
+    )
+    dp_seconds = measure(lambda: db.execute_plan(dp_plan), repeats=3, warmup=1)
+    return {
+        "fact_rows": fact_rows,
+        "result_rows": dp_rows,
+        "dp_relations_searched": dp_stats.dp_relations,
+        "legacy_greedy_seconds": round(legacy_seconds, 5),
+        "dp_seconds": round(dp_seconds, 5),
+        "speedup": round(speedup(legacy_seconds, dp_seconds), 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny row counts; exercises the path without timing claims",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        star = bench_star_join(fact_rows=20_000, dim_rows=40)
+        predict = bench_predict_over_join(fact_rows=15_000, dim_rows=40)
+    else:
+        star = bench_star_join(fact_rows=300_000, dim_rows=50)
+        predict = bench_predict_over_join(fact_rows=200_000, dim_rows=50)
+
+    results = {
+        "smoke": args.smoke,
+        "star_join_8way": star,
+        "predict_over_join": predict,
+        "claims": {
+            "star_speedup_target": 2.0,
+            "star_speedup_measured": star["speedup"],
+            "star_pass": star["speedup"] >= 2.0,
+            "predict_speedup_target": 1.5,
+            "predict_speedup_measured": predict["speedup"],
+            "predict_pass": predict["speedup"] >= 1.5,
+        },
+    }
+    print(json.dumps(results, indent=2))
+    if not args.smoke:
+        assert results["claims"]["star_pass"], (
+            "8-way star DP speedup below 2x: "
+            f"{results['claims']['star_speedup_measured']}"
+        )
+        assert results["claims"]["predict_pass"], (
+            "PREDICT-over-join DP speedup below 1.5x: "
+            f"{results['claims']['predict_speedup_measured']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

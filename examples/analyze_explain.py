@@ -1,10 +1,12 @@
-"""ANALYZE + EXPLAIN: watching statistics change the physical plan.
+"""ANALYZE + EXPLAIN: watching statistics drive the memo optimizer.
 
-Loads the flights dataset, shows the optimizer's plan for a selective
-scan + PREDICT query and a 3-way join, then demonstrates how ``ANALYZE``
-refreshes statistics after the data changes — and how the plan responds:
-row estimates, zone-map partition pruning counts, and the join order all
-move with the data.
+Loads the flights dataset, shows the memo-optimized plan for a
+selective scan + PREDICT query, a 3-way join, and an 8-way star join
+(Selinger DP inside the memo), then demonstrates how ``ANALYZE``
+refreshes statistics after the data changes — and how the plan
+responds: per-operator row/cost estimates, zone-map partition pruning
+counts, the join order, and the memo's own search statistics (groups,
+expressions, pruned branches, DP subsets) all move with the data.
 
 Run:  PYTHONPATH=src python examples/analyze_explain.py
 """
@@ -81,6 +83,30 @@ def main() -> None:
     )
     show("3-way join, statistics-driven order", database.execute(JOIN_EXPLAIN))
 
+    # An 8-way star join: beyond the old greedy planner's 6-relation
+    # cap, the memo's Selinger DP search prices every connected subset
+    # (bushy shapes allowed) — the footer lines report the search.
+    for d in range(7):
+        database.register_table(
+            f"star{d}",
+            Table.from_dict(
+                {
+                    f"k{d}": np.arange(8, dtype=np.int64),
+                    f"attr{d}": np.arange(8, dtype=np.int64),
+                }
+            ),
+        )
+    star_joins = " ".join(
+        f"JOIN star{d} AS s{d} ON e.carrier = s{d}.k{d}" for d in range(7)
+    )
+    show(
+        "8-way star join (DP memo search, see the memo footer)",
+        database.execute(
+            f"EXPLAIN SELECT e.flight_id FROM flights AS e {star_joins} "
+            "WHERE s6.attr6 < 2"
+        ),
+    )
+
     # Small writes keep the statistics (and the stats epoch) so hot
     # serving plans are not invalidated by every INSERT...
     epoch = database.catalog.stats_epoch("flights")
@@ -90,12 +116,25 @@ def main() -> None:
         f"{database.catalog.stats_epoch('flights')} (unchanged, plans stay hot)"
     )
     # ...while a large write moves the epoch, which stales every cached
-    # serving plan that scans the table. ANALYZE does the same
-    # explicitly and recollects immediately.
+    # serving plan that scans the table. Epochs are column-granular:
+    # a write drifting only one column bumps that column's epoch, so
+    # plans that never read it stay hot.
     database.execute("DELETE FROM flights WHERE flight_id >= 5000")
     print(
         f"large delete: epoch -> {database.catalog.stats_epoch('flights')} "
         "(moved; cached plans replan)"
+    )
+    # Column-granular epochs: a write drifting only one column bumps
+    # that column's epoch alone, so cached plans reading other columns
+    # of the same table stay hot.
+    database.catalog.table_statistics("flights")  # re-cache for drift check
+    database.execute("UPDATE flights SET distance = distance + 100000")
+    print(
+        "after UPDATE distance: distance epoch="
+        f"{database.catalog.column_stats_epoch('flights', 'distance')}, "
+        "carrier epoch="
+        f"{database.catalog.column_stats_epoch('flights', 'carrier')} "
+        "(plans not reading distance stay hot)"
     )
     print("\n" + database.execute("ANALYZE flights").pretty())
     show(

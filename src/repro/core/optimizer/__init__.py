@@ -1,18 +1,37 @@
-"""The cross-optimizer: rules, engines, cost model, model rewrites."""
+"""The cross-optimizer: memo engine, rules, cost model, model rewrites."""
 
 from repro.core.optimizer.engine import (
     CostBasedOptimizer,
     HeuristicOptimizer,
     OptimizationReport,
+    UnifiedOptimizer,
     default_rules,
 )
+from repro.core.optimizer.memo import Memo, MemoStats
 from repro.core.optimizer.rule import Rule, RuleContext
+from repro.core.optimizer.search import (
+    MemoOptimizer,
+    MemoReport,
+    MemoRule,
+    SearchContext,
+    cross_ir_rules,
+    sql_rules,
+)
 
 __all__ = [
     "CostBasedOptimizer",
+    "cross_ir_rules",
     "default_rules",
     "HeuristicOptimizer",
+    "Memo",
+    "MemoOptimizer",
+    "MemoReport",
+    "MemoRule",
+    "MemoStats",
     "OptimizationReport",
     "Rule",
     "RuleContext",
+    "SearchContext",
+    "sql_rules",
+    "UnifiedOptimizer",
 ]

@@ -1,15 +1,23 @@
 """Cross-optimizer engines (paper §4.3).
 
-``HeuristicOptimizer`` is the paper's "initial version": all transformation
-rules applied in a fixed order, to fixpoint. ``CostBasedOptimizer`` is a
-first cut of the Cascades-style follow-up: it generates plan alternatives
-by running the heuristic pipeline under different execution strategies for
-the model (in-process pipeline / SQL inlining / NN translation), prices
-each with the cost model, and keeps the cheapest.
+``UnifiedOptimizer`` is the production engine: it runs the query
+through the Cascades memo (:mod:`repro.core.optimizer.search`) that the
+SQL physical planner also uses, so relational rewrites (pushdown, DP
+join ordering) and ML rewrites (predicate-based pruning, projection
+pushdown, model inlining) compete as memo rules under one cost model.
+IR-level cleanup that depends on graph context (projection pruning,
+join elimination, tensor constant folding) runs as a post-pass.
 
-Both finish with engine assignment: every IR node is tagged with the
-runtime that will execute it (relational engine, tensor runtime, in-process
-Python, external process, container).
+``HeuristicOptimizer`` remains the paper's "initial version" — all
+transformation rules applied in a fixed order, to fixpoint — and is
+the engine for the strategies the memo does not search (model/query
+splitting, NN translation, which are opt-in flags).
+``CostBasedOptimizer`` prices four strategies (memo with and without
+inlining, NN translation, split+inline) and keeps the cheapest.
+
+All engines finish with engine assignment: every IR node is tagged with
+the runtime that will execute it (relational engine, tensor runtime,
+in-process Python, external process, container).
 """
 
 from __future__ import annotations
@@ -82,13 +90,20 @@ def default_rules(
 
 @dataclass
 class OptimizationReport:
-    """What the optimizer did — attached to every optimized plan."""
+    """What the optimizer did — attached to every optimized plan.
+
+    ``applied`` is the exploration log: every rule that fired while
+    searching, whether or not its alternative won the cost race.
+    ``memo`` carries the memo search counters (groups, expressions,
+    pruned branches, DP subsets) when the unified engine ran.
+    """
 
     applied: list[str] = field(default_factory=list)
     cost_before: float = 0.0
     cost_after: float = 0.0
     alternatives_considered: int = 1
     strategy: str = "heuristic"
+    memo: dict | None = None
 
 
 class HeuristicOptimizer:
@@ -118,20 +133,102 @@ class HeuristicOptimizer:
         return graph, report
 
 
-class CostBasedOptimizer:
-    """Pick the cheapest of several heuristic plans (execution strategies).
+class UnifiedOptimizer:
+    """Cross-IR optimization through the shared Cascades memo.
 
-    Alternatives differ in how model pipelines execute: kept in-process,
-    inlined into SQL, or NN-translated to the tensor runtime — with
-    model/query splitting optionally layered on. This mirrors the paper's
-    "several plan alternatives will be considered by applying the rules in
-    different orders and the best will be picked", restricted to the
-    strategy choices that actually change cost class.
+    The IR graph is bridged to a logical tree
+    (:func:`repro.core.optimizer.search.ir_to_logical`), searched with
+    the cross-IR memo rule set (relational pushdown + DP join ordering
+    + the ML rewrites), and lowered back. Rewrites that need whole-graph
+    context — projection pruning, join elimination, tensor-graph
+    constant folding — then run as a legacy IR post-pass. Graphs with
+    no tree form (shared sub-plans) fall back to the heuristic engine.
     """
 
-    STRATEGIES = (
-        ("in-process", dict(enable_inlining=False, enable_nn_translation=False)),
-        ("inline", dict(enable_inlining=True, enable_nn_translation=False)),
+    #: Bounded rounds for the IR-level cleanup post-pass.
+    MAX_POST_ROUNDS = 3
+
+    def __init__(self, options: dict | None = None):
+        self.options = dict(options or {})
+
+    def optimize(
+        self, graph: IRGraph, context: RuleContext | None = None
+    ) -> tuple[IRGraph, OptimizationReport]:
+        from repro.core.optimizer.search import (
+            MemoOptimizer,
+            PlanConversionError,
+            SearchContext,
+            cross_ir_rules,
+            ir_to_logical,
+            logical_to_ir,
+        )
+
+        context = context or RuleContext()
+        cost_before = plan_cost(graph, context)
+        try:
+            plan = ir_to_logical(graph)
+        except PlanConversionError:
+            fallback = HeuristicOptimizer(
+                default_rules(
+                    enable_inlining=bool(
+                        self.options.get("enable_inlining", True)
+                    ),
+                    max_inline_nodes=int(
+                        self.options.get("max_inline_nodes", 255)
+                    ),
+                )
+            )
+            return fallback.optimize(graph, context)
+        database = context.database
+        search_context = SearchContext(
+            catalog=getattr(database, "catalog", None),
+            models=database,
+            options=self.options,
+        )
+        optimizer = MemoOptimizer(cross_ir_rules(self.options), search_context)
+        best, memo_report = optimizer.optimize(plan)
+        optimized = logical_to_ir(best)
+        context.applied.extend(memo_report.applied)
+        post_rules = [
+            TensorGraphConstantFolding(),
+            PruneProjectionItems(),
+            JoinElimination(),
+            PushFilterIntoJoin(),
+            MergeConsecutiveFilters(),
+        ]
+        for _ in range(self.MAX_POST_ROUNDS):
+            fired = False
+            for rule in post_rules:
+                if rule.apply(optimized, context):
+                    fired = True
+            if not fired:
+                break
+        assign_engines(optimized)
+        optimized.validate()
+        report = OptimizationReport(
+            applied=list(context.applied),
+            cost_before=cost_before,
+            cost_after=plan_cost(optimized, context),
+            strategy="memo",
+            memo=memo_report.stats.to_dict(),
+        )
+        return optimized, report
+
+
+class CostBasedOptimizer:
+    """Pick the cheapest of several optimization strategies.
+
+    Two strategies run through the unified memo engine (with and
+    without model inlining — the memo's cost competition covers the
+    in-process/inline choice natively); the remaining two are the
+    legacy heuristic pipelines for the strategies the memo does not
+    search (NN translation, model/query splitting). All four final
+    plans are priced by the same :func:`plan_cost` model and the
+    cheapest wins — the paper's "several plan alternatives will be
+    considered ... and the best will be picked".
+    """
+
+    LEGACY_STRATEGIES = (
         ("nn-translate", dict(enable_inlining=False, enable_nn_translation=True)),
         (
             "split+inline",
@@ -143,12 +240,29 @@ class CostBasedOptimizer:
         ),
     )
 
+    MEMO_STRATEGIES = (
+        ("in-process", dict(enable_inlining=False)),
+        ("inline", dict(enable_inlining=True)),
+    )
+
     def optimize(
         self, graph: IRGraph, context: RuleContext | None = None
     ) -> tuple[IRGraph, OptimizationReport]:
         context = context or RuleContext()
         best: tuple[float, IRGraph, OptimizationReport, str] | None = None
-        for strategy_name, flags in self.STRATEGIES:
+        for strategy_name, flags in self.MEMO_STRATEGIES:
+            options = dict(context.options)
+            options.update(flags)
+            candidate_context = RuleContext(
+                database=context.database, options=options
+            )
+            candidate, report = UnifiedOptimizer(options).optimize(
+                graph, candidate_context
+            )
+            cost = report.cost_after
+            if best is None or cost < best[0]:
+                best = (cost, candidate, report, strategy_name)
+        for strategy_name, flags in self.LEGACY_STRATEGIES:
             candidate_context = RuleContext(
                 database=context.database, options=dict(context.options)
             )
@@ -159,7 +273,9 @@ class CostBasedOptimizer:
                 best = (cost, candidate, report, strategy_name)
         assert best is not None
         _, chosen, report, strategy_name = best
-        report.alternatives_considered = len(self.STRATEGIES)
+        report.alternatives_considered = len(self.MEMO_STRATEGIES) + len(
+            self.LEGACY_STRATEGIES
+        )
         report.strategy = strategy_name
         context.applied.extend(report.applied)
         return chosen, report

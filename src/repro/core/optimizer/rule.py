@@ -85,14 +85,9 @@ class RuleContext:
             table = self.database.table(table_name)
         except Exception:
             return {}
-        constants: dict[str, float] = {}
-        for column in table.schema:
-            if not column.dtype.is_numeric:
-                continue
-            values = table.column(column.name)
-            if len(values) > 0 and (values == values[0]).all():
-                constants[column.name.lower()] = float(values[0])
-        return constants
+        from repro.relational.statistics import constant_columns
+
+        return constant_columns(table)
 
 
 class Rule:

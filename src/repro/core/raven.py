@@ -31,6 +31,7 @@ from repro.core.optimizer.engine import (
     CostBasedOptimizer,
     HeuristicOptimizer,
     OptimizationReport,
+    UnifiedOptimizer,
     default_rules,
 )
 from repro.core.optimizer.rule import RuleContext
@@ -130,7 +131,14 @@ class RavenSession:
         return graph
 
     def optimize(self, graph: IRGraph) -> tuple[IRGraph, OptimizationReport]:
-        """Cross-optimization under the session's options."""
+        """Cross-optimization under the session's options.
+
+        The default path runs through the unified Cascades memo
+        (relational pushdown, DP join ordering, and the ML rewrites as
+        competing memo rules). The opt-in strategies the memo does not
+        search — model/query splitting and NN translation — force the
+        legacy heuristic pipeline, exactly as before.
+        """
         context = RuleContext(database=self.database, options=dict(self.options))
         if self.optimizer_kind == "none":
             from repro.core.optimizer.engine import assign_engines
@@ -140,15 +148,21 @@ class RavenSession:
             return optimized, OptimizationReport(strategy="none")
         if self.optimizer_kind == "cost":
             return CostBasedOptimizer().optimize(graph, context)
-        rules = default_rules(
-            enable_splitting=bool(self.options.get("enable_splitting", False)),
-            enable_inlining=bool(self.options.get("enable_inlining", True)),
-            enable_nn_translation=bool(
-                self.options.get("enable_nn_translation", False)
-            ),
-            max_inline_nodes=int(self.options.get("max_inline_nodes", 255)),
-        )
-        return HeuristicOptimizer(rules).optimize(graph, context)
+        if self.options.get("enable_splitting") or self.options.get(
+            "enable_nn_translation"
+        ):
+            rules = default_rules(
+                enable_splitting=bool(
+                    self.options.get("enable_splitting", False)
+                ),
+                enable_inlining=bool(self.options.get("enable_inlining", True)),
+                enable_nn_translation=bool(
+                    self.options.get("enable_nn_translation", False)
+                ),
+                max_inline_nodes=int(self.options.get("max_inline_nodes", 255)),
+            )
+            return HeuristicOptimizer(rules).optimize(graph, context)
+        return UnifiedOptimizer(self.options).optimize(graph, context)
 
     def generate_sql(self, graph: IRGraph) -> str | None:
         """Runtime code generation (None when the plan has no SQL form)."""

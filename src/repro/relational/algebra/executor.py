@@ -423,11 +423,28 @@ class Executor:
         if morsel is not None:
             return morsel
         table = self.execute(op.child)
-        scorer = self._model_resolver.resolve_scorer(
-            op.model_ref, op.output_columns
-        )
+        scorer = self._resolve_scorer(op)
         outputs = self._score(scorer, table, op.batch_size)
         return self._attach_outputs(op, table, outputs)
+
+    def _resolve_scorer(self, op: logical.Predict):
+        """Scorer for a Predict: inline payload first, catalog second.
+
+        The memo optimizer's model rewrites (pruning, projection
+        pushdown) attach the rewritten pipeline to the plan; it no
+        longer exists in the catalog, so it must be scored directly.
+        """
+        if op.payload is not None and op.flavor == "ml.pipeline":
+            resolve_inline = getattr(
+                self._model_resolver, "resolve_inline_scorer", None
+            )
+            if resolve_inline is not None:
+                return resolve_inline(
+                    op.payload, op.feature_names, op.output_columns
+                )
+        return self._model_resolver.resolve_scorer(
+            op.model_ref, op.output_columns
+        )
 
     @staticmethod
     def _attach_outputs(
@@ -472,9 +489,7 @@ class Executor:
             keep = np.ones(len(bounds), dtype=bool)
         else:
             self._record_pruning(scan.table_name, keep)
-        scorer = self._model_resolver.resolve_scorer(
-            op.model_ref, op.output_columns
-        )
+        scorer = self._resolve_scorer(op)
 
         # Within a morsel, scoring is chunked by the same batch-size
         # knobs as the sequential path, but never parallelized: the

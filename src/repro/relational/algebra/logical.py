@@ -256,6 +256,16 @@ class Predict(LogicalOp):
     SQL Server native scoring. ``model_ref`` names a model in the catalog
     (resolved from the ``@variable`` in the query); the physical executor
     resolves it to a scorer at run time.
+
+    The memo optimizer's model rewrites (predicate-based pruning,
+    projection pushdown) produce *rewritten* model objects that no longer
+    exist in the catalog; such a plan carries the rewritten model inline:
+    ``payload`` (the fitted pipeline / tensor graph / script source),
+    ``flavor`` (which runtime understands the payload), and
+    ``feature_names`` (the — possibly narrowed — input columns it reads).
+    Executors score ``payload`` directly when present and fall back to
+    catalog resolution by ``model_ref`` otherwise. ``extra`` round-trips
+    auxiliary IR attributes (e.g. the tensor device) through the memo.
     """
 
     child: LogicalOp
@@ -263,6 +273,10 @@ class Predict(LogicalOp):
     output_columns: tuple[tuple[str, DataType], ...]
     alias: str | None = None
     batch_size: int | None = field(default=None, compare=False)
+    flavor: str | None = field(default=None, compare=False)
+    payload: object = field(default=None, compare=False)
+    feature_names: tuple[str, ...] | None = field(default=None, compare=False)
+    extra: tuple[tuple[str, object], ...] = field(default=(), compare=False)
 
     @property
     def schema(self) -> Schema:
@@ -279,7 +293,15 @@ class Predict(LogicalOp):
     def with_children(self, children: Sequence[LogicalOp]) -> "Predict":
         (child,) = children
         return Predict(
-            child, self.model_ref, self.output_columns, self.alias, self.batch_size
+            child,
+            self.model_ref,
+            self.output_columns,
+            self.alias,
+            self.batch_size,
+            self.flavor,
+            self.payload,
+            self.feature_names,
+            self.extra,
         )
 
 

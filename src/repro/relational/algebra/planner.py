@@ -1,71 +1,84 @@
 """Statistics-driven physical planning over logical plans.
 
-The binder produces a syntax-shaped plan: one ``Filter`` above a
-left-deep join chain in FROM order. This planner rewrites it using the
-catalog's :mod:`~repro.relational.statistics`:
+Since the memo refactor, plan *search* lives in the unified Cascades
+engine (:mod:`repro.core.optimizer.search`): predicate pushdown, DP
+join ordering, and the catalog-model rewrites are memo rules shared
+with the cross-IR optimizer. This module is the SQL-side shim around
+it — it wires the catalog and execution options into a search context,
+keeps the cardinality-estimation entry points the rest of the
+relational layer uses, and renders ``EXPLAIN`` output (per-operator
+row/cost estimates, zone-map pruning outcomes, and the memo's search
+statistics).
 
-* **Predicate pushdown** — WHERE conjuncts sink to the deepest operator
-  whose schema resolves them (onto scan leaves, or into INNER join
-  conditions), so selective filters run before joins and zone-map
-  pruning sees them at the scan.
-* **Greedy cost-based join reordering** — chains of 3..6 INNER/CROSS
-  joins are re-ordered: start from the smallest estimated relation,
-  repeatedly attach the connected relation that minimizes the estimated
-  intermediate cardinality (equi-join selectivity ``1/max(NDV)``).
-* **Cardinality estimation** — histogram-based selectivity for filters,
-  NDV-based estimates for joins and aggregates; these annotations are
-  what ``EXPLAIN`` renders, together with zone-map partition pruning
-  counts for filtered scans.
+``join_search`` selects the search mode:
 
-The same statistics feed the cross-IR cost model
-(:mod:`repro.core.optimizer.cost`), so engine assignment decisions and
-SQL-side physical planning price plans from one source of truth.
+* ``"dp"`` (default) — Selinger DP inside the memo for 3..10-relation
+  INNER/CROSS chains (bushy allowed), greedy seed beyond;
+* ``"greedy"`` — the greedy seed for any chain size (ablations);
+* ``"legacy"`` — the PR 2 behavior: greedy up to 6 relations, FROM
+  order beyond (the benchmark baseline).
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 from repro.relational import statistics as table_stats
 from repro.relational.algebra import logical
-from repro.relational.expressions import (
-    ColumnRef,
-    Expression,
-    conjoin,
-    conjuncts,
-)
+from repro.relational.expressions import Expression
 from repro.relational.statistics import (
     DEFAULT_ROW_ESTIMATE,
-    ColumnStatistics,
     TableStatistics,
-    column_stats_resolver,
-    combine_aggregate_estimate,
-    combine_join_estimate,
     estimate_predicate_selectivity,
-    group_keys_cardinality,
-    join_condition_selectivity,
 )
-from repro.relational.types import Schema
 
 DEFAULT_ROWS = DEFAULT_ROW_ESTIMATE
-MAX_REORDER_RELATIONS = 6
+
+
+def _search():
+    """The memo search engine, imported lazily.
+
+    ``repro.core.optimizer`` transitively imports the relational layer
+    (IR schemas use relational types), so a module-level import here
+    would close an import cycle through ``repro.relational.database``.
+    """
+    from repro.core.optimizer import search
+
+    return search
 
 
 class PhysicalPlanner:
-    """Plans logical operator trees against catalog statistics.
+    """Plans logical operator trees through the shared memo engine.
 
-    ``catalog`` needs ``get_table(name)`` and ``table_statistics(name)``
-    (:class:`repro.relational.catalog.Catalog` provides both); lookups
-    failing (virtual tables like ``scoring_models``) degrade to default
-    estimates.
+    ``catalog`` needs ``get_table(name)``, ``table_statistics(name)``
+    and ``get_model(name)`` (:class:`repro.relational.catalog.Catalog`
+    provides all three); lookups failing (virtual tables like
+    ``scoring_models``) degrade to default estimates.
     """
 
-    def __init__(self, catalog, execution_options=None):
+    def __init__(self, catalog, execution_options=None, join_search="dp"):
         self._catalog = catalog
         # The executor's knobs (zone-map pruning on/off, copy
         # threshold), so EXPLAIN reports the plan that will actually
         # execute rather than an idealized one.
         self._execution_options = execution_options
+        self.join_search = join_search
+        #: The memo report of the most recent ``optimize`` call — a
+        #: single-threaded diagnostic (like the executor's
+        #: ``last_scan_pruning``) that EXPLAIN renders.
+        self.last_report = None
+
+    # -- plan optimization ---------------------------------------------------
+
+    def optimize(self, plan: logical.LogicalOp) -> logical.LogicalOp:
+        """Search the memo for the cheapest equivalent plan."""
+        search = _search()
+        context = search.SearchContext(
+            catalog=self._catalog,
+            join_search=self.join_search,
+        )
+        optimizer = search.MemoOptimizer(search.sql_rules(), context)
+        best, report = optimizer.optimize(plan)
+        self.last_report = report
+        return best
 
     # -- statistics access ---------------------------------------------------
 
@@ -75,371 +88,46 @@ class PhysicalPlanner:
         except Exception:
             return None
 
-    def _stats_resolver(
-        self, plan: logical.LogicalOp
-    ) -> Callable[[str], ColumnStatistics | None]:
-        """Column-stats lookup over every base table scanned by ``plan``."""
-        sources: list[tuple[TableStatistics, str | None]] = []
-        for op in plan.walk():
-            if not isinstance(op, logical.Scan):
-                continue
-            stats = self._table_statistics(op.table_name)
-            if stats is not None:
-                sources.append((stats, op.alias))
-        return column_stats_resolver(sources)
+    def _estimation_context(self, plan: logical.LogicalOp):
+        context = _search().SearchContext(catalog=self._catalog)
+        context.prepare(plan)
+        return context
 
     # -- cardinality estimation ----------------------------------------------
 
-    def estimate_rows(
-        self,
-        plan: logical.LogicalOp,
-        _memo: dict[int, float] | None = None,
-        _resolve=None,
-    ) -> float:
-        """Estimated output rows, memoized per node within one call tree.
+    def estimate_rows(self, plan: logical.LogicalOp) -> float:
+        """Estimated output rows (the memo's shared estimator).
 
-        Without the memo, every parent re-estimates its whole subtree
-        and EXPLAIN/reorder costing turns quadratic in plan size. The
-        column-stats resolver is likewise built once per call tree (it
-        covers every scan under ``plan``) instead of per node.
+        Builds a fresh estimation context per call; callers estimating
+        many nodes of one plan should estimate the root (the context
+        memoizes per sub-tree internally) or use ``explain_lines``.
         """
-        memo = _memo if _memo is not None else {}
-        if _resolve is None:
-            _resolve = self._stats_resolver(plan)
-        key = id(plan)
-        cached = memo.get(key)
-        if cached is None:
-            cached = self._estimate(plan, memo, _resolve)
-            memo[key] = cached
-        return cached
-
-    def _estimate(
-        self, plan: logical.LogicalOp, memo: dict[int, float], resolve
-    ) -> float:
-        if isinstance(plan, logical.Scan):
-            stats = self._table_statistics(plan.table_name)
-            return float(stats.row_count) if stats else DEFAULT_ROWS
-        if isinstance(plan, logical.InlineTable):
-            return float(plan.table.num_rows)
-        if isinstance(plan, logical.Filter):
-            child = self.estimate_rows(plan.child, memo, resolve)
-            selectivity = estimate_predicate_selectivity(
-                plan.predicate, resolve
-            )
-            return max(1.0, child * selectivity)
-        if isinstance(plan, logical.Join):
-            left = self.estimate_rows(plan.left, memo, resolve)
-            right = self.estimate_rows(plan.right, memo, resolve)
-            if plan.kind == "CROSS" or plan.condition is None:
-                return left * right
-            return combine_join_estimate(
-                left,
-                right,
-                plan.kind,
-                join_condition_selectivity(plan.condition, resolve),
-            )
-        if isinstance(plan, logical.Aggregate):
-            return combine_aggregate_estimate(
-                self.estimate_rows(plan.child, memo, resolve),
-                group_keys_cardinality(plan.group_by, resolve),
-            )
-        if isinstance(plan, logical.Limit):
-            return min(
-                self.estimate_rows(plan.child, memo, resolve),
-                float(plan.count),
-            )
-        if isinstance(plan, logical.UnionAll):
-            return sum(
-                self.estimate_rows(b, memo, resolve) for b in plan.branches
-            )
-        if plan.children:
-            return self.estimate_rows(plan.children[0], memo, resolve)
-        return DEFAULT_ROWS
-
-    # -- plan rewriting ------------------------------------------------------
-
-    def optimize(self, plan: logical.LogicalOp) -> logical.LogicalOp:
-        """Push predicates down, then reorder INNER-join chains."""
-        if isinstance(plan, logical.Filter) and isinstance(
-            plan.child, (logical.Join, logical.Predict)
-        ):
-            residual: list[Expression] = []
-            child = plan.child
-            for conjunct in conjuncts(plan.predicate):
-                # Resolve references in the conjunct's *original* scope
-                # once; placement below only follows those stored
-                # columns, so a bare name can never re-bind to a
-                # different relation than evaluation here would pick.
-                resolved = _resolve_refs(child.schema, conjunct)
-                sunk = (
-                    self._sink(child, conjunct, resolved)
-                    if resolved is not None
-                    else None
-                )
-                if sunk is None:
-                    residual.append(conjunct)
-                else:
-                    child = sunk
-            optimized = self.optimize(child)
-            if residual:
-                return logical.Filter(optimized, conjoin(residual))
-            return optimized
-        if isinstance(plan, logical.Join):
-            reordered = self._maybe_reorder(plan)
-            if reordered is not None:
-                return reordered
-        children = tuple(self.optimize(c) for c in plan.children)
-        if not children:
-            return plan
-        return plan.with_children(children)
-
-    def _sink(
-        self,
-        plan: logical.LogicalOp,
-        conjunct: Expression,
-        resolved: frozenset,
-    ) -> logical.LogicalOp | None:
-        """Push one conjunct down, guided by its resolved stored columns.
-
-        ``resolved`` is the set of stored column names the conjunct's
-        references bind to in its original scope; a subtree may host
-        the filter only if it exposes exactly those columns, so
-        placement can never silently re-bind a reference.
-        """
-        if not resolved <= _stored_names(plan.schema):
-            return None
-        if isinstance(plan, logical.Join):
-            # LEFT joins only accept pushdown into the preserved side;
-            # filtering the null-padded side changes results.
-            allow_left = plan.kind in ("INNER", "CROSS", "LEFT")
-            allow_right = plan.kind in ("INNER", "CROSS")
-            if allow_left:
-                sunk = self._sink(plan.left, conjunct, resolved)
-                if sunk is not None:
-                    return plan.with_children((sunk, plan.right))
-            if allow_right:
-                sunk = self._sink(plan.right, conjunct, resolved)
-                if sunk is not None:
-                    return plan.with_children((plan.left, sunk))
-            if plan.kind in ("INNER", "CROSS"):
-                # Spans both sides: merge into the join condition.
-                condition = (
-                    conjunct
-                    if plan.condition is None
-                    else conjoin([plan.condition, conjunct])
-                )
-                return logical.Join(plan.left, plan.right, "INNER", condition)
-            return None
-        if isinstance(plan, logical.Predict):
-            # Score fewer rows: a conjunct that only touches input
-            # columns moves below the model call. Any reference that
-            # could mean a prediction output (its alias, or a bare name
-            # colliding with an output column) keeps the filter above.
-            output_names = {name.lower() for name, _ in plan.output_columns}
-            for ref in conjunct.columns():
-                if ref.split(".")[-1].lower() in output_names:
-                    return None
-                if plan.alias and ref.lower().startswith(
-                    plan.alias.lower() + "."
-                ):
-                    return None
-            sunk = self._sink(plan.child, conjunct, resolved)
-            if sunk is not None:
-                return plan.with_children((sunk,))
-            return None
-        if isinstance(plan, logical.Filter):
-            # Sink past this filter only when the conjunct can go
-            # strictly deeper (into a join side or below a model call);
-            # over a leaf, merge into ONE filter — stacked filters
-            # would hide the Filter(Scan) shape from zone-map pruning
-            # and the morsel-parallel PREDICT path.
-            if isinstance(plan.child, (logical.Join, logical.Predict)):
-                sunk = self._sink(plan.child, conjunct, resolved)
-                if sunk is not None:
-                    return logical.Filter(sunk, plan.predicate)
-            return logical.Filter(plan.child, plan.predicate & conjunct)
-        return logical.Filter(plan, conjunct)
-
-    # -- join reordering -----------------------------------------------------
-
-    def _maybe_reorder(self, plan: logical.Join) -> logical.LogicalOp | None:
-        """Greedy reorder of an INNER/CROSS join chain (3..6 relations).
-
-        Every ON conjunct is resolved to stored column names in the
-        scope of the join that originally carried it; re-placement
-        (onto a leaf, into another join, or a residual filter) then
-        follows those stored names only, so reordering can never
-        re-bind a bare reference to a different relation.
-        """
-        leaves: list[logical.LogicalOp] = []
-        conditions: list[tuple[Expression, frozenset | None]] = []
-
-        def collect(op: logical.LogicalOp) -> None:
-            if isinstance(op, logical.Join) and op.kind in ("INNER", "CROSS"):
-                collect(op.left)
-                collect(op.right)
-                if op.condition is not None:
-                    for conjunct in conjuncts(op.condition):
-                        mapping = _resolve_ref_mapping(op.schema, conjunct)
-                        if mapping is None:
-                            conditions.append((conjunct, None))
-                            continue
-                        # Rewrite refs to their resolved stored names:
-                        # a bare ref that was unambiguous at this join
-                        # may become ambiguous in the reordered scope
-                        # it gets placed into.
-                        qualified = conjunct.substitute(
-                            {
-                                ref: ColumnRef(stored)
-                                for ref, stored in mapping.items()
-                                if ref.lower() != stored
-                            }
-                        )
-                        conditions.append(
-                            (qualified, frozenset(mapping.values()))
-                        )
-            else:
-                leaves.append(op)
-
-        collect(plan)
-        if not (3 <= len(leaves) <= MAX_REORDER_RELATIONS):
-            return None
-        leaves = [self.optimize(leaf) for leaf in leaves]
-        leaf_names = [_stored_names(leaf.schema) for leaf in leaves]
-
-        # Single-relation conjuncts in ON clauses become leaf filters so
-        # the greedy search sees their selectivity; conjuncts that do
-        # not resolve cleanly stay in a residual filter on top (where
-        # evaluation reports the same error the original plan would).
-        unused: list[tuple[Expression, frozenset]] = []
-        unplaceable: list[Expression] = []
-        for conjunct, resolved in conditions:
-            if resolved is None:
-                unplaceable.append(conjunct)
-                continue
-            for i, names in enumerate(leaf_names):
-                if resolved <= names:
-                    leaf = leaves[i]
-                    if isinstance(leaf, logical.Filter):
-                        # Merge, keeping a single Filter(Scan) so the
-                        # executor's pruning fast path still matches.
-                        leaves[i] = logical.Filter(
-                            leaf.child, leaf.predicate & conjunct
-                        )
-                    else:
-                        leaves[i] = logical.Filter(leaf, conjunct)
-                    break
-            else:
-                unused.append((conjunct, resolved))
-
-        resolve = self._stats_resolver(plan)
-        memo: dict[int, float] = {}
-        estimates = [
-            self.estimate_rows(leaf, memo, resolve) for leaf in leaves
-        ]
-        remaining = set(range(len(leaves)))
-
-        def applicable_between(
-            names_a: frozenset, names_b: frozenset
-        ) -> list[tuple[Expression, frozenset]]:
-            return [
-                (conjunct, resolved)
-                for conjunct, resolved in unused
-                if resolved <= (names_a | names_b)
-                and not resolved <= names_a
-                and not resolved <= names_b
-            ]
-
-        def joined_estimate(
-            rows_a: float,
-            rows_b: float,
-            applicable: list[tuple[Expression, frozenset]],
-        ) -> float:
-            joined = rows_a * rows_b
-            for condition, _resolved in applicable:
-                selectivity = join_condition_selectivity(condition, resolve)
-                joined *= (
-                    selectivity
-                    if selectivity is not None
-                    else table_stats.DEFAULT_SELECTIVITY
-                )
-            return joined
-
-        # Seed with the cheapest connected *pair* — starting from the
-        # single smallest relation can force an expensive first join
-        # when the small relation only connects to a big one.
-        seed = None
-        for i in range(len(leaves)):
-            for j in range(i + 1, len(leaves)):
-                applicable = applicable_between(leaf_names[i], leaf_names[j])
-                joined = joined_estimate(estimates[i], estimates[j], applicable)
-                key = (0 if applicable else 1, joined)
-                if seed is None or key < seed[0]:
-                    seed = (key, i, j, applicable)
-        assert seed is not None
-        (_seed_rank, seed_rows), left_i, right_i, seed_conditions = seed
-        # Hash joins build on the right input: put the smaller side there.
-        if estimates[left_i] < estimates[right_i]:
-            left_i, right_i = right_i, left_i
-
-        def attach(
-            left: logical.LogicalOp,
-            right: logical.LogicalOp,
-            applicable: list[tuple[Expression, frozenset]],
-        ) -> logical.LogicalOp:
-            if applicable:
-                for used in applicable:
-                    unused.remove(used)
-                return logical.Join(
-                    left, right, "INNER",
-                    conjoin([conjunct for conjunct, _ in applicable]),
-                )
-            return logical.Join(left, right, "CROSS", None)
-
-        tree = attach(leaves[left_i], leaves[right_i], seed_conditions)
-        tree_names = leaf_names[left_i] | leaf_names[right_i]
-        tree_rows = max(1.0, seed_rows)
-        remaining -= {left_i, right_i}
-        while remaining:
-            best = None
-            for i in remaining:
-                applicable = applicable_between(tree_names, leaf_names[i])
-                joined = joined_estimate(tree_rows, estimates[i], applicable)
-                # Connected candidates strictly outrank cross joins.
-                key = (0 if applicable else 1, joined)
-                if best is None or key < best[0]:
-                    best = (key, i, applicable)
-            assert best is not None
-            (_rank, joined_rows), chosen, applicable = best
-            tree = attach(tree, leaves[chosen], applicable)
-            tree_names |= leaf_names[chosen]
-            tree_rows = max(1.0, joined_rows)
-            remaining.remove(chosen)
-        leftover = unplaceable + [conjunct for conjunct, _ in unused]
-        if leftover:
-            tree = logical.Filter(tree, conjoin(leftover))
-        return tree
+        return self._estimation_context(plan).estimate_tree(plan)
 
     # -- EXPLAIN rendering ---------------------------------------------------
 
     def explain_lines(self, plan: logical.LogicalOp) -> list[str]:
         """The optimized plan, one indented line per operator.
 
-        Filters over scans additionally report how many partitions the
-        zone maps keep, e.g. ``partitions=2/13 (zone-map)``.
+        Each line carries the estimated rows and (after the bracket)
+        the operator's estimated cost; filters over scans additionally
+        report how many partitions the zone maps keep, e.g.
+        ``partitions=2/13 (zone-map)``. When a memo search ran
+        (``optimize`` was called), its statistics — groups created,
+        expressions explored, branches pruned, DP subset counts — and
+        the rules that fired are appended as footer lines.
         """
         lines: list[str] = []
-        memo: dict[int, float] = {}
-        resolve = self._stats_resolver(plan)
+        context = self._estimation_context(plan)
+        resolve = context.resolver
 
         def walk(
             op: logical.LogicalOp,
             depth: int,
             parent: logical.LogicalOp | None,
         ) -> None:
-            annotations = [
-                f"est_rows={self.estimate_rows(op, memo, resolve):.0f}"
-            ]
+            rows = context.estimate_tree(op)
+            annotations = [f"est_rows={rows:.0f}"]
             if isinstance(op, logical.Filter):
                 selectivity = estimate_predicate_selectivity(
                     op.predicate, resolve
@@ -487,13 +175,52 @@ class PhysicalPlanner:
                 stats = self._table_statistics(op.table_name)
                 if stats is not None:
                     annotations[0] = f"rows={stats.row_count}"
+            child_rows = [context.estimate_tree(c) for c in op.children]
+            cost = _search().operator_cost(op, rows, child_rows, context)
             lines.append(
-                "  " * depth + _describe(op) + " [" + ", ".join(annotations) + "]"
+                "  " * depth
+                + _describe(op)
+                + " ["
+                + ", ".join(annotations)
+                + "]"
+                + f" cost={cost:.0f}"
             )
             for child in op.children:
                 walk(child, depth + 1, op)
 
         walk(plan, 0, None)
+        lines.extend(self._memo_footer())
+        return lines
+
+    def _memo_footer(self) -> list[str]:
+        """Search statistics of the last ``optimize`` call, as text.
+
+        Rule names render as lowercase slugs so the footer never
+        collides with operator-line assertions (``Filter``, ``Join``).
+        """
+        report = self.last_report
+        if report is None:
+            return []
+        stats = report.stats
+        lines = [
+            "memo: groups={} expressions={} explored={} pruned={} "
+            "dedup={}".format(
+                stats.groups_created,
+                stats.expressions_added,
+                stats.expressions_explored,
+                stats.branches_pruned,
+                stats.dedup_hits,
+            )
+        ]
+        if stats.dp_relations or stats.dp_fallbacks:
+            lines.append(
+                "memo: dp relations={} subsets={} fallbacks={}".format(
+                    stats.dp_relations, stats.dp_subsets, stats.dp_fallbacks
+                )
+            )
+        fired = stats.fired_rule_names()
+        if fired:
+            lines.append("memo rules: " + ", ".join(_slug(n) for n in fired))
         return lines
 
     def _pruning_counts(
@@ -515,49 +242,13 @@ class PhysicalPlanner:
         return int(keep.sum()), int(len(keep)), table.num_rows
 
 
-def _stored_names(schema: Schema) -> frozenset:
-    return frozenset(column.name.lower() for column in schema)
-
-
-def _resolve_ref_mapping(
-    schema: Schema, expr: Expression
-) -> dict[str, str] | None:
-    """Map each column reference to the stored name it binds to in scope.
-
-    Mirrors the executor's resolution order (exact, unique suffix,
-    qualified fallback) so placement decisions follow exactly the
-    columns evaluation would read. ``None`` when any reference fails or
-    is ambiguous — such a conjunct must stay where it is, preserving
-    the runtime error instead of silently picking a side.
-    """
-    names = [stored.lower() for stored in schema.names]
-    mapping: dict[str, str] = {}
-    for ref in expr.columns():
-        key = ref.lower()
-        if key in names:
-            mapping[ref] = key
-            continue
-        suffix_matches = [
-            stored for stored in names if stored.endswith("." + key)
-        ]
-        if len(suffix_matches) == 1:
-            mapping[ref] = suffix_matches[0]
-            continue
-        if suffix_matches:
-            return None  # ambiguous
-        if "." in key:
-            short = key.rsplit(".", 1)[-1]
-            if short in names:
-                mapping[ref] = short
-                continue
-        return None
-    return mapping
-
-
-def _resolve_refs(schema: Schema, expr: Expression) -> frozenset | None:
-    """Stored column names the expression's references bind to in scope."""
-    mapping = _resolve_ref_mapping(schema, expr)
-    return frozenset(mapping.values()) if mapping is not None else None
+def _slug(name: str) -> str:
+    out = []
+    for i, char in enumerate(name):
+        if char.isupper() and i > 0 and not name[i - 1].isupper():
+            out.append("_")
+        out.append(char.lower())
+    return "".join(out)
 
 
 def _describe(op: logical.LogicalOp) -> str:

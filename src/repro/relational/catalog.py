@@ -39,6 +39,10 @@ DEFAULT_PARTITION_SIZE = 8_192
 #: writes must not stampede plan re-preparation across the serving tier.
 STATS_DRIFT_THRESHOLD = 0.1
 
+#: Sentinel for :meth:`Catalog._stats_drifted_columns`: the write moved
+#: the whole table (row-count drift, or nothing cached to compare to).
+ALL_COLUMNS = object()
+
 
 @dataclass(frozen=True)
 class ModelEntry:
@@ -86,8 +90,17 @@ class Catalog:
         # keeps stats/epoch updates atomic: a serving worker collecting
         # lazily must not install stats from a table a concurrent
         # writer just replaced under a fresh epoch.
+        #
+        # Epochs are tracked at two granularities. ``_stats_epochs`` is
+        # the per-table any-change epoch (PR 2 semantics). For writes
+        # that drift only specific columns, ``_column_epochs`` records
+        # per-column override epochs on top of ``_full_epochs`` (the
+        # last whole-table bump), so plan caches that know which
+        # columns a plan reads stay hot when untouched columns move.
         self._stats: dict[str, TableStatistics] = {}
         self._stats_epochs: dict[str, int] = {}
+        self._column_epochs: dict[str, dict[str, int]] = {}
+        self._full_epochs: dict[str, int] = {}
         self._epoch_counter = 0
         self._stats_lock = threading.RLock()
 
@@ -153,8 +166,11 @@ class Catalog:
         else:
             table = _auto_partition(table)
         self._tables[key] = table
-        if self._stats_drifted(key, table):
+        drifted = self._stats_drifted_columns(key, table)
+        if drifted is ALL_COLUMNS:
             self._invalidate_stats(key)
+        elif drifted:
+            self._invalidate_stats_columns(key, drifted)
         self._log("set_table", name, f"{table.num_rows} rows")
 
     def drop_table(self, name: str) -> None:
@@ -162,9 +178,7 @@ class Catalog:
         if key not in self._tables:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[key]
-        with self._stats_lock:
-            self._stats.pop(key, None)
-            self._stats_epochs.pop(key, None)
+        self._drop_epochs(key)
         self._log("drop_table", name)
 
     # -- statistics -----------------------------------------------------------
@@ -212,6 +226,9 @@ class Catalog:
                     self._stats[key] = stats
                     self._epoch_counter += 1
                     epoch = self._stats_epochs[key] = self._epoch_counter
+                    # ANALYZE refreshes every column: full bump.
+                    self._full_epochs[key] = self._epoch_counter
+                    self._column_epochs.pop(key, None)
                     break
         self._log("analyze", name, f"epoch {epoch}")
         return stats
@@ -221,26 +238,81 @@ class Catalog:
         with self._stats_lock:
             return self._stats_epochs.get(name.lower(), 0)
 
+    def column_stats_epoch(self, name: str, column: str) -> int:
+        """Epoch of the last statistics change affecting ``column``.
+
+        Whole-table events (registration, ANALYZE, row-count drift,
+        rollback) move every column; a write that only drifts specific
+        columns moves theirs alone. Plans that record the epochs of
+        exactly the columns they read stay hot while untouched columns
+        churn (the ROADMAP's "stats-epoch granularity" item).
+        """
+        key = name.lower()
+        with self._stats_lock:
+            full = self._full_epochs.get(key, self._stats_epochs.get(key, 0))
+            override = self._column_epochs.get(key, {}).get(column.lower(), 0)
+            return max(full, override)
+
     def set_table_statistics(self, name: str, stats: TableStatistics) -> None:
         """Install externally persisted statistics (database load path)."""
+        key = name.lower()
         with self._stats_lock:
-            self._stats[name.lower()] = stats
+            self._stats[key] = stats
+            # Anchor the column-epoch baseline so later per-column
+            # drift bumps are measured against this install, not
+            # against whatever epoch the table reaches afterwards.
+            self._full_epochs.setdefault(key, self._stats_epochs.get(key, 0))
 
     def _invalidate_stats(self, key: str) -> None:
+        """Whole-table bump: every column's epoch moves."""
         with self._stats_lock:
             self._stats.pop(key, None)
             self._epoch_counter += 1
             self._stats_epochs[key] = self._epoch_counter
+            self._full_epochs[key] = self._epoch_counter
+            self._column_epochs.pop(key, None)
 
-    def _stats_drifted(self, key: str, table: Table) -> bool:
-        """Whether a write moved the data enough to stale cached plans.
+    def _invalidate_stats_columns(self, key: str, columns: set[str]) -> None:
+        """Partial bump: only the drifted columns' epochs move.
 
-        Checks the row count and, because an UPDATE can rewrite every
-        value without changing it, the min/max of each numeric column
-        against the cached statistics (a cheap vectorized pass —
-        writes already copy whole columns). Value shuffles within the
-        old range keep the stats: range- and NDV-based estimates stay
-        approximately valid.
+        The cached table statistics are still dropped (they describe
+        the old values of those columns); the table-level epoch moves
+        too, preserving PR 2 semantics for table-granular consumers.
+        """
+        with self._stats_lock:
+            self._stats.pop(key, None)
+            # Seed the whole-table baseline from the *pre-bump* epoch
+            # if it was never recorded (statistics installed externally
+            # via set_table_statistics / load_database): otherwise the
+            # column_stats_epoch fallback would read the bumped table
+            # epoch for every column, silently degrading column-granular
+            # invalidation to table-granular.
+            self._full_epochs.setdefault(key, self._stats_epochs.get(key, 0))
+            self._epoch_counter += 1
+            self._stats_epochs[key] = self._epoch_counter
+            overrides = self._column_epochs.setdefault(key, {})
+            for column in columns:
+                overrides[column.lower()] = self._epoch_counter
+
+    def _drop_epochs(self, key: str) -> None:
+        with self._stats_lock:
+            self._stats.pop(key, None)
+            self._stats_epochs.pop(key, None)
+            self._column_epochs.pop(key, None)
+            self._full_epochs.pop(key, None)
+
+    def _stats_drifted_columns(self, key: str, table: Table):
+        """Which columns a write moved enough to stale cached plans.
+
+        Returns :data:`ALL_COLUMNS` for whole-table drift (row count
+        moved, or no cached stats to compare against), a set of column
+        names for per-column drift, or an empty set when the write is
+        within tolerance. Checks the row count and, because an UPDATE
+        can rewrite every value without changing it, the min/max of
+        each numeric column against the cached statistics (a cheap
+        vectorized pass — writes already copy whole columns). Value
+        shuffles within the old range keep the stats: range- and
+        NDV-based estimates stay approximately valid.
         """
         stats = self._stats.get(key)
         if stats is None:
@@ -248,13 +320,14 @@ class Catalog:
             # closes a race — a lazy collection snapshotting the old
             # table must see the epoch move so its snapshot-and-compare
             # rejects installing stale statistics for the new contents.
-            return True
+            return ALL_COLUMNS
         baseline = max(stats.row_count, 1)
         if (
             abs(table.num_rows - stats.row_count) / baseline
             > STATS_DRIFT_THRESHOLD
         ):
-            return True
+            return ALL_COLUMNS
+        drifted: set[str] = set()
         for column in table.schema:
             cached = stats.column(column.name)
             if cached is None or cached.min_value is None:
@@ -265,18 +338,21 @@ class Catalog:
             kind = values.dtype.kind
             if kind in ("f", "i", "u", "b"):
                 if not isinstance(cached.min_value, (int, float)):
-                    return True  # column type changed under the stats
+                    drifted.add(column.name)  # type changed under stats
+                    continue
                 if kind == "f":
                     present = values[~np.isnan(values)]
                     if len(present) == 0:
-                        return True  # had values before, all NaN now
+                        drifted.add(column.name)  # all values now NaN
+                        continue
                     new_min = float(present.min())
                     new_max = float(present.max())
                 else:
                     new_min, new_max = float(values.min()), float(values.max())
             elif kind in ("U", "S"):
                 if not isinstance(cached.min_value, str):
-                    return True  # column type changed under the stats
+                    drifted.add(column.name)  # type changed under stats
+                    continue
                 # Strings have no distance metric: any change to the
                 # lexicographic bounds counts as drift. Vectorized O(n)
                 # checks — expansion past a bound, or a bound value
@@ -284,11 +360,12 @@ class Catalog:
                 if (values < cached.min_value).any() or (
                     values > cached.max_value
                 ).any():
-                    return True
+                    drifted.add(column.name)
+                    continue
                 if not (values == cached.min_value).any() or not (
                     values == cached.max_value
                 ).any():
-                    return True
+                    drifted.add(column.name)
                 continue
             else:
                 continue
@@ -298,14 +375,14 @@ class Catalog:
                 # Infinite span swallows every shift ratio; with an
                 # inf sentinel in the bounds, any bound change counts.
                 if new_min != cached_min or new_max != cached_max:
-                    return True
+                    drifted.add(column.name)
                 continue
             span = max(cached_max - cached_min, 1e-12)
             low_shift = abs(new_min - cached_min)
             high_shift = abs(new_max - cached_max)
             if max(low_shift, high_shift) / span > STATS_DRIFT_THRESHOLD:
-                return True
-        return False
+                drifted.add(column.name)
+        return drifted
 
     # -- models ---------------------------------------------------------------
 
@@ -393,9 +470,7 @@ class Catalog:
         key = name.lower()
         if table is None:
             self._tables.pop(key, None)
-            with self._stats_lock:
-                self._stats.pop(key, None)
-                self._stats_epochs.pop(key, None)
+            self._drop_epochs(key)
         else:
             self._tables[key] = table
             # A rollback can revert arbitrary churn; always re-epoch.

@@ -479,6 +479,32 @@ class Database:
         output_names = [name for name, _ in output_columns]
         return _bind_output_names(scorer, output_names)
 
+    def resolve_inline_scorer(
+        self,
+        payload: object,
+        feature_names: Sequence[str] | None,
+        output_columns: tuple[tuple[str, DataType], ...],
+    ) -> Callable[[Table], dict[str, np.ndarray]]:
+        """Scorer for a plan-embedded (memo-rewritten) model pipeline.
+
+        Rewritten pipelines (pruned trees, narrowed feature sets) are
+        plan-local — they are not in the catalog and not session-cached;
+        the closure itself is cheap and the plan object pins the payload.
+
+        ``feature_names`` distinguishes empty from unknown: ``()`` means
+        the model consumes *zero* columns (fully pruned to a constant —
+        WHERE facts pinned every feature), while ``None`` means the
+        consumed columns are unspecified and the whole table is passed.
+        """
+        features = list(feature_names) if feature_names is not None else None
+
+        def score_inline(table: Table) -> np.ndarray:
+            matrix = table.to_matrix(features)
+            return np.asarray(payload.predict(matrix), dtype=np.float64)
+
+        output_names = [name for name, _ in output_columns]
+        return _bind_output_names(score_inline, output_names)
+
     @staticmethod
     def _build_scorer(entry: ModelEntry) -> Callable[[Table], np.ndarray]:
         """Create the raw scorer for a model entry (cache-miss path)."""

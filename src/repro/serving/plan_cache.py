@@ -40,6 +40,15 @@ class CachedPlan:
     #: epoch, which stales this plan so the next execution replans with
     #: fresh cardinalities.
     stats_epochs: tuple[tuple[str, int], ...] = ()
+    #: Per (table, column) the plan actually references, the column's
+    #: stats epoch at prepare time. Staleness checks prefer these over
+    #: the table-level epochs: a write that only drifts columns the
+    #: plan never reads keeps the plan hot. Tables with no attributable
+    #: column references fall back to their ``stats_epochs`` entry.
+    column_epochs: tuple[tuple[str, str, int], ...] = ()
+    #: Which memo rules fired while optimizing this plan (the memo
+    #: search's exploration log) — serving introspection/debugging.
+    rules_fired: tuple[str, ...] = ()
     prepare_seconds: float = 0.0
     executions: int = field(default=0)
 

@@ -87,6 +87,7 @@ class PreparedQuery:
         graph = self._session.analyze(self.sql, dict(self._template_data))
         model_refs = _collect_model_refs(graph, self._session.database)
         stats_epochs = _collect_stats_epochs(graph, self._session.database)
+        column_epochs = _collect_column_epochs(graph, self._session.database)
         optimized, report = self._session.optimize(graph)
         generated = self._session.generate_sql(optimized)
         entry = CachedPlan(
@@ -98,6 +99,8 @@ class PreparedQuery:
             data_names=_collect_data_names(optimized),
             model_refs=model_refs,
             stats_epochs=stats_epochs,
+            column_epochs=column_epochs,
+            rules_fired=tuple(getattr(report, "applied", ()) or ()),
             prepare_seconds=time.perf_counter() - start,
         )
         if self._plan_cache is not None:
@@ -107,8 +110,24 @@ class PreparedQuery:
     def _is_current(self, entry: CachedPlan) -> bool:
         database = self._session.database
         # Statistics moved (ANALYZE or a large write): the plan was
-        # priced on stale cardinalities, so replan before reuse.
+        # priced on stale cardinalities, so replan before reuse. The
+        # check is column-granular where possible — only the columns
+        # the plan references are compared, so a write drifting other
+        # columns of the same table keeps this plan hot. Tables with no
+        # attributable column references (e.g. bare COUNT(*)) fall back
+        # to the conservative table-level epoch.
+        column_covered = {table for table, _col, _e in entry.column_epochs}
+        for table_name, column, epoch in entry.column_epochs:
+            try:
+                if database.catalog.column_stats_epoch(
+                    table_name, column
+                ) != epoch:
+                    return False
+            except Exception:
+                return False
         for table_name, epoch in entry.stats_epochs:
+            if table_name in column_covered:
+                continue
             try:
                 if database.catalog.stats_epoch(table_name) != epoch:
                     return False
@@ -415,6 +434,48 @@ def _collect_stats_epochs(
         except Exception:
             continue
     return tuple(sorted(epochs.items()))
+
+
+def _collect_column_epochs(
+    graph: IRGraph, database
+) -> tuple[tuple[str, str, int], ...]:
+    """``(table, column, epoch)`` for every column the plan references.
+
+    A column reference is attributed to every scanned table whose
+    schema exposes its unqualified name — over-attribution only makes
+    invalidation more conservative, never stale. Model feature columns
+    (``feature_names`` on scoring nodes) count as references: a drift
+    in a feature column must replan even if no SQL expression names it.
+    """
+    referenced: set[str] = set()
+    for expr in _walk_expressions(graph):
+        for ref in expr.columns():
+            referenced.add(ref.split(".")[-1].lower())
+    for node in graph.nodes():
+        for feature in node.attrs.get("feature_names") or ():
+            referenced.add(str(feature).split(".")[-1].lower())
+    entries: dict[tuple[str, str], int] = {}
+    for node in graph.nodes():
+        if node.op != "ra.scan":
+            continue
+        table = str(node.attrs.get("table", "")).lower()
+        schema = node.attrs.get("schema")
+        if not table or schema is None:
+            continue
+        for column in schema:
+            suffix = column.name.split(".")[-1].lower()
+            if suffix not in referenced or (table, suffix) in entries:
+                continue
+            try:
+                entries[(table, suffix)] = database.catalog.column_stats_epoch(
+                    table, suffix
+                )
+            except Exception:
+                continue
+    return tuple(
+        (table, column, epoch)
+        for (table, column), epoch in sorted(entries.items())
+    )
 
 
 def _normalize_data(

@@ -644,3 +644,71 @@ class TestStatsEpochReplan:
         assert dict(second._entry.stats_epochs)["applicants"] == (
             database.catalog.stats_epoch("applicants")
         )
+
+    def test_cached_plan_records_memo_rules(self, session, serving_setup):
+        prepared = session.prepare(FILTER_SQL)
+        fired = " ".join(prepared._entry.rules_fired)
+        # The memo search's exploration log rides on the cached plan.
+        assert "PushFilterBelowPredict" in fired
+
+
+class TestColumnEpochReplan:
+    """Plan invalidation is column-granular: a drift in a column the
+    plan never references keeps the plan hot; a drift in a referenced
+    column replans."""
+
+    @pytest.fixture()
+    def profile_session(self):
+        database = Database()
+        rng = np.random.default_rng(4)
+        n = 500
+        database.register_table(
+            "profiles",
+            Table.from_dict(
+                {
+                    "id": np.arange(n, dtype=np.int64),
+                    "age": rng.uniform(18.0, 90.0, n),
+                    "extra": rng.uniform(0.0, 1.0, n),
+                }
+            ),
+        )
+        return database, RavenSession(database)
+
+    def test_untouched_column_drift_keeps_plan_hot(self, profile_session):
+        database, session = profile_session
+        prepared = session.prepare(
+            "SELECT id FROM profiles WHERE age > ? ORDER BY id"
+        )
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 0
+        epochs = {
+            column: epoch
+            for _t, column, epoch in prepared._entry.column_epochs
+        }
+        assert set(epochs) == {"id", "age"}  # `extra` is not referenced
+        # Rewrite `extra` far outside its old range: per-column drift.
+        database.catalog.table_statistics("profiles")
+        table_epoch = database.catalog.stats_epoch("profiles")
+        database.execute("UPDATE profiles SET extra = extra + 1000000")
+        assert database.catalog.stats_epoch("profiles") > table_epoch
+        assert database.catalog.column_stats_epoch(
+            "profiles", "extra"
+        ) > epochs["age"]
+        assert database.catalog.column_stats_epoch(
+            "profiles", "age"
+        ) == epochs["age"]
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 0  # plan never read `extra`: stays hot
+
+    def test_referenced_column_drift_replans(self, profile_session):
+        database, session = profile_session
+        prepared = session.prepare(
+            "SELECT id FROM profiles WHERE age > ? ORDER BY id"
+        )
+        prepared.execute(params=(40.0,))
+        database.catalog.table_statistics("profiles")
+        database.execute("UPDATE profiles SET age = age + 1000000")
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 1
+        prepared.execute(params=(40.0,))
+        assert prepared.replans == 1  # refreshed plan is stable

@@ -96,6 +96,58 @@ class TestStatistics:
         assert both > a * (1 / 8)  # but dampened vs full independence
 
 
+class TestSamplingNDV:
+    """Sampling-based NDV (GEE) above the exact-count threshold."""
+
+    def test_exact_below_threshold(self):
+        from repro.relational.statistics import estimate_ndv
+
+        values = np.random.default_rng(0).integers(0, 1000, 50_000)
+        assert estimate_ndv(values) == len(np.unique(values))
+
+    def test_skewed_data_within_gee_error_bound(self):
+        from repro.relational.statistics import (
+            NDV_SAMPLE_SIZE,
+            NDV_SAMPLE_THRESHOLD,
+            estimate_ndv,
+        )
+
+        rng = np.random.default_rng(7)
+        # Synthetic skew: 500 heavy hitters cover 150k rows; 50k
+        # singletons form the long tail. True NDV = 50_500.
+        heavy = rng.integers(0, 500, 150_000).astype(np.float64)
+        tail = np.arange(1_000_000, 1_050_000, dtype=np.float64)
+        values = rng.permutation(np.concatenate([heavy, tail]))
+        assert len(values) > NDV_SAMPLE_THRESHOLD
+        true_ndv = len(np.unique(values))
+        estimate = estimate_ndv(values)
+        # GEE's guaranteed ratio error is sqrt(n / sample).
+        bound = np.sqrt(len(values) / NDV_SAMPLE_SIZE) * 1.1
+        assert true_ndv / bound <= estimate <= true_ndv * bound
+
+    def test_estimate_is_deterministic(self):
+        from repro.relational.statistics import estimate_ndv
+
+        values = np.random.default_rng(3).integers(0, 10_000, 200_000)
+        assert estimate_ndv(values) == estimate_ndv(values)
+
+    def test_collect_statistics_uses_estimator_on_large_columns(self):
+        from repro.relational import statistics as stats_module
+
+        n = stats_module.NDV_SAMPLE_THRESHOLD + 1
+        table = Table.from_dict(
+            {"x": np.arange(n, dtype=np.float64)}
+        )
+        stats = collect_statistics(table)
+        x = stats.column("x")
+        # Sampled: every sampled value is a singleton, so the GEE
+        # estimate is sqrt(n/r) * r — well below n but within bound.
+        assert 0 < x.ndv <= n
+        assert x.min_value == 0.0 and x.max_value == float(n - 1)
+        # Histograms remain exact regardless of NDV sampling.
+        assert sum(x.histogram_counts) == n
+
+
 class TestPartitionedTable:
     def test_partition_accessors(self):
         table = _events_table(5000).with_partitioning(1000)
