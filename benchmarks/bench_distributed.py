@@ -1,0 +1,238 @@
+"""Distributed shard execution benchmark: scatter-gather vs one process.
+
+Claims measured (printed as JSON for the bench trajectory):
+
+* **shard-parallel PREDICT-over-scan** — scoring a tree-ensemble
+  pipeline over a hash-sharded table through the multi-process worker
+  pool is >= 2x faster than the single-process executor (which is
+  itself morsel-*threaded*, so the win is specifically escaping the
+  GIL: ensemble tree traversal is Python/NumPy-indexing bound and does
+  not scale on threads).
+* **scatter-gather aggregate** — a GROUP BY over the sharded table
+  runs as shard-local partial aggregates combined by a final aggregate,
+  so only group rows cross the process boundary.
+* **zone-map shard routing** — an equality predicate on the shard key
+  routes to exactly one shard; the runtime's counters prove untouched
+  shards were never dispatched.
+
+The parallel-speedup assertions require real cores: on boxes with
+fewer than 4 usable CPUs (``os.sched_getaffinity``) the fan-out is
+physically serialized and the numbers are recorded but not asserted.
+
+Run:  PYTHONPATH=src python benchmarks/bench_distributed.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+import numpy as np
+
+from harness import measure, speedup
+from repro.concurrency import default_max_workers
+from repro.ml.ensemble import GradientBoostingRegressor
+from repro.ml.pipeline import Pipeline
+from repro.ml.preprocessing import StandardScaler
+from repro.relational.algebra.executor import ExecutionOptions
+from repro.relational.database import Database
+from repro.relational.table import Table
+
+PREDICT_SQL = """
+DECLARE @m varbinary(max) = (
+    SELECT model FROM scoring_models WHERE model_name = 'score');
+SELECT id, p.out
+FROM PREDICT(MODEL = @m, DATA = events AS d) WITH (out float) AS p
+WHERE d.grp < {cutoff}
+"""
+
+AGGREGATE_SQL = (
+    "SELECT grp, COUNT(*) AS c, AVG(v) AS m, MAX(v) AS hi "
+    "FROM events GROUP BY grp"
+)
+
+ROUTED_SQL = "SELECT COUNT(*) AS c, AVG(v) AS m FROM events WHERE grp = 7"
+
+
+def make_events(num_rows: int, num_groups: int, seed: int = 11) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "id": np.arange(num_rows, dtype=np.int64),
+            "grp": rng.integers(0, num_groups, num_rows).astype(np.int64),
+            "v": rng.normal(size=num_rows),
+        }
+    )
+
+
+def train_model(table: Table, estimators: int, depth: int) -> Pipeline:
+    X = np.column_stack(
+        [table.column("grp").astype(np.float64), table.column("v")]
+    )
+    y = table.column("v") * 2.0 + np.sin(table.column("grp"))
+    sample = min(4_000, len(y))
+    return Pipeline(
+        [
+            ("scale", StandardScaler()),
+            (
+                "gb",
+                GradientBoostingRegressor(
+                    n_estimators=estimators, max_depth=depth
+                ),
+            ),
+        ]
+    ).fit(X[:sample], y[:sample])
+
+
+def build_databases(
+    table: Table, model: Pipeline, shards: int
+) -> tuple[Database, Database]:
+    """(single-process baseline, sharded multi-process) over one table."""
+    metadata = {"feature_names": ["grp", "v"]}
+    single = Database(options=ExecutionOptions(enable_distributed=False))
+    single.register_table("events", table)
+    single.store_model("score", model, metadata=metadata)
+    # At least 4 assumed workers so the optimizer actually chooses the
+    # fan-out plans being measured — on a 1-2 core box the pool is
+    # physically serialized (the speedup assertions are gated on real
+    # cores below) but the mechanism still runs end to end.
+    sharded = Database(
+        options=ExecutionOptions(
+            max_workers=max(4, default_max_workers()),
+            distributed_mode="process",
+        )
+    )
+    sharded.register_table("events", table)
+    sharded.shard_table("events", "grp", shards)
+    sharded.store_model("score", model, metadata=metadata)
+    single.catalog.table_statistics("events")
+    sharded.catalog.table_statistics("events")
+    return single, sharded
+
+
+def bench_predict(
+    single: Database, sharded: Database, num_groups: int
+) -> dict:
+    sql = PREDICT_SQL.format(cutoff=int(num_groups * 0.8))
+    sort = lambda t: t.take(np.argsort(t.column("id")))  # noqa: E731
+    base_rows = sort(single.execute(sql))
+    dist_rows = sort(sharded.execute(sql))
+    assert base_rows.num_rows == dist_rows.num_rows
+    assert np.allclose(base_rows.column("out"), dist_rows.column("out"))
+    single_seconds = measure(lambda: single.execute(sql), repeats=5, warmup=2)
+    sharded_seconds = measure(
+        lambda: sharded.execute(sql), repeats=5, warmup=2
+    )
+    routing = sharded._executor.last_shard_routing or {}
+    return {
+        "result_rows": base_rows.num_rows,
+        "shards_scanned": routing.get("shards_scanned"),
+        "shards_total": routing.get("shards_total"),
+        "single_process_seconds": round(single_seconds, 5),
+        "shard_parallel_seconds": round(sharded_seconds, 5),
+        "speedup": round(speedup(single_seconds, sharded_seconds), 2),
+    }
+
+
+def bench_aggregate(single: Database, sharded: Database) -> dict:
+    sort = lambda t: t.take(np.argsort(t.column("grp")))  # noqa: E731
+    assert sort(single.execute(AGGREGATE_SQL)).equals(
+        sort(sharded.execute(AGGREGATE_SQL))
+    )
+    single_seconds = measure(
+        lambda: single.execute(AGGREGATE_SQL), repeats=5, warmup=2
+    )
+    sharded_seconds = measure(
+        lambda: sharded.execute(AGGREGATE_SQL), repeats=5, warmup=2
+    )
+    return {
+        "single_process_seconds": round(single_seconds, 5),
+        "scatter_gather_seconds": round(sharded_seconds, 5),
+        "speedup": round(speedup(single_seconds, sharded_seconds), 2),
+    }
+
+
+def bench_routing(single: Database, sharded: Database) -> dict:
+    assert single.execute(ROUTED_SQL).equals(sharded.execute(ROUTED_SQL))
+    before = sharded.distributed.stats()
+    sharded.execute(ROUTED_SQL)
+    after = sharded.distributed.stats()
+    single_seconds = measure(
+        lambda: single.execute(ROUTED_SQL), repeats=5, warmup=2
+    )
+    sharded_seconds = measure(
+        lambda: sharded.execute(ROUTED_SQL), repeats=5, warmup=2
+    )
+    return {
+        "shards_scanned_per_query": after["shards_scanned"]
+        - before["shards_scanned"],
+        "shards_pruned_per_query": after["shards_pruned"]
+        - before["shards_pruned"],
+        "single_process_seconds": round(single_seconds, 5),
+        "routed_seconds": round(sharded_seconds, 5),
+        "speedup": round(speedup(single_seconds, sharded_seconds), 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny row counts; exercises the path without timing claims",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        num_rows, num_groups, shards = 8_000, 40, 4
+        estimators, depth = 8, 2
+    else:
+        num_rows, num_groups, shards = 240_000, 400, 8
+        estimators, depth = 60, 4
+
+    table = make_events(num_rows, num_groups)
+    model = train_model(table, estimators, depth)
+    single, sharded = build_databases(table, model, shards)
+    try:
+        predict = bench_predict(single, sharded, num_groups)
+        aggregate = bench_aggregate(single, sharded)
+        routed = bench_routing(single, sharded)
+        runtime_stats = sharded.distributed.stats()
+    finally:
+        sharded.close()
+
+    cpus = default_max_workers()
+    parallel_hardware = cpus >= 4
+    results = {
+        "smoke": args.smoke,
+        "table_rows": num_rows,
+        "shards": shards,
+        "usable_cpus": cpus,
+        "runtime": runtime_stats,
+        "predict_over_sharded_scan": predict,
+        "scatter_gather_aggregate": aggregate,
+        "zone_map_shard_routing": routed,
+        "claims": {
+            "predict_speedup_target": 2.0,
+            "predict_speedup_measured": predict["speedup"],
+            "predict_pass": predict["speedup"] >= 2.0,
+            "routing_prunes_shards": routed["shards_pruned_per_query"]
+            >= shards - 1,
+            "parallel_hardware": parallel_hardware,
+        },
+    }
+    print(json.dumps(results, indent=2))
+    assert results["claims"]["routing_prunes_shards"], (
+        "shard-key equality should route to a single shard; scanned "
+        f"{routed['shards_scanned_per_query']} of {shards}"
+    )
+    if not args.smoke and parallel_hardware:
+        assert results["claims"]["predict_pass"], (
+            "shard-parallel PREDICT speedup "
+            f"{predict['speedup']}x below the 2x claim"
+        )
+
+
+if __name__ == "__main__":
+    main()

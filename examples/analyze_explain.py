@@ -142,6 +142,27 @@ def main() -> None:
         database.execute(sql_prefix + PREDICT_EXPLAIN),
     )
 
+    # Distributed execution: shard a full-size copy of the table on
+    # carrier and EXPLAIN a query with an equality predicate on the
+    # shard key. The Gather line reports shards scanned vs. total —
+    # the hash router pins `carrier = 3` to exactly one shard, so 7 of
+    # 8 fragments are never dispatched, and the fragment below it is
+    # the plan each worker runs against its shard. (max_workers makes
+    # the cost model assume a real worker pool; on a large box it is
+    # sized automatically.)
+    database.executor_options.max_workers = max(
+        8, database.executor_options.max_workers
+    )
+    database.register_table("all_flights", dataset.flights)
+    database.shard_table("all_flights", "carrier", 8)
+    show(
+        "sharded EXPLAIN (zone-map shard routing: 1 of 8 shards scanned)",
+        database.execute(
+            "EXPLAIN SELECT COUNT(*) AS c, AVG(distance) AS d "
+            "FROM all_flights WHERE carrier = 3"
+        ),
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -18,10 +18,22 @@ MAX_AUTO_WORKERS = 16
 
 
 def default_max_workers(cap: int = MAX_AUTO_WORKERS) -> int:
-    """Pool width derived from the machine: ``cpu_count`` capped at ``cap``.
+    """Pool width derived from the machine, capped at ``cap``.
 
-    Falls back to 4 when the CPU count is undetectable (containers with
-    restricted procfs).
+    Prefers the *scheduling affinity* (``os.sched_getaffinity``) over
+    the raw CPU count: containerized deployments routinely pin a
+    process to a subset of the host's cores (cgroup cpusets), and
+    sizing pools from ``os.cpu_count()`` there over-subscribes the
+    actual allowance. Falls back to ``cpu_count``, then to 4 when
+    neither is detectable (restricted procfs).
     """
-    detected = os.cpu_count() or 4
+    detected: int | None = None
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            detected = len(getaffinity(0)) or None
+        except OSError:
+            detected = None
+    if detected is None:
+        detected = os.cpu_count() or 4
     return max(1, min(detected, cap))

@@ -44,6 +44,8 @@ RA_OPS = frozenset(
         "ra.limit",
         "ra.distinct",
         "ra.union_all",
+        "ra.gather",  # distributed scatter-gather exchange (leaf)
+        "ra.repartition",  # local hash exchange (key-disjoint buckets)
     }
 )
 

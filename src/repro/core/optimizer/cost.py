@@ -120,9 +120,51 @@ def _estimate_node(
             node.attrs.get("group_by") or (), resolve
         )
         return combine_aggregate_estimate(child_rows(0), groups)
+    if op == "ra.gather":
+        gather, search_context = _gather_context(node, context)
+        return search_context.estimate_tree(gather)
     if node.inputs:
         return child_rows(0)
     return float(DEFAULT_ROWS)
+
+
+#: (node, gather, search_context) per ra.gather node, identity-checked.
+#: Costing passes estimate and cost each node repeatedly; rebuilding
+#: the search context (and re-fetching table statistics) every time
+#: would multiply planning latency for distributed plans.
+_GATHER_CONTEXTS: dict[int, tuple] = {}
+_GATHER_CONTEXT_CAP = 128
+
+
+def _gather_context(node: IRNode, context: "RuleContext"):
+    """Rebuild the logical Gather + a search context to price it.
+
+    Gather fragments are logical subtrees, so the memo's own estimator
+    and cost function price them — keeping the legacy IR coster and
+    the memo consistent on distributed plans.
+    """
+    cached = _GATHER_CONTEXTS.get(id(node))
+    if cached is not None and cached[0] is node:
+        return cached[1], cached[2]
+    from repro.core.optimizer import search as memo_search
+
+    gather = memo_search.Gather(
+        node.attrs["table"],
+        node.attrs["fragment"],
+        node.attrs["shard_key"],
+        tuple(node.attrs["shard_ids"]),
+        node.attrs["total_shards"],
+        node.attrs.get("pruned_by", "none"),
+    )
+    database = getattr(context, "database", None)
+    search_context = memo_search.SearchContext(
+        catalog=getattr(database, "catalog", None), models=database
+    )
+    search_context.prepare(gather)
+    if len(_GATHER_CONTEXTS) >= _GATHER_CONTEXT_CAP:
+        _GATHER_CONTEXTS.clear()
+    _GATHER_CONTEXTS[id(node)] = (node, gather, search_context)
+    return gather, search_context
 
 
 def _expression_cost(expression) -> float:
@@ -185,6 +227,13 @@ def node_cost(
         return (left + right) * 1.0 + rows * 0.5
     if op in ("ra.order_by", "ra.distinct"):
         return rows * 2.0
+    if op == "ra.aggregate" and node.attrs.get("group_by"):
+        # Mirrors the memo's grouped-aggregate pricing: the executor's
+        # grouping loops are per input row, not per output group.
+        input_rows = estimate_rows(
+            graph, graph.node(node.inputs[0]), context, _resolve, memo
+        )
+        return input_rows * 0.6 + rows * 0.2
     if op in ("ra.limit", "ra.union_all", "ra.aggregate"):
         return rows * 0.2
     if op == "mld.pipeline":
@@ -199,6 +248,16 @@ def node_cost(
         return ENGINE_SWITCH_COST + rows * per_row
     if op == "udf.python":
         return ENGINE_SWITCH_COST * 4 + rows * 20.0
+    if op == "ra.gather":
+        from repro.core.optimizer import search as memo_search
+
+        gather, search_context = _gather_context(node, context)
+        return memo_search.operator_cost(gather, rows, [], search_context)
+    if op == "ra.repartition":
+        input_rows = estimate_rows(
+            graph, graph.node(node.inputs[0]), context, _resolve, memo
+        )
+        return input_rows * 0.5
     return rows
 
 

@@ -34,6 +34,13 @@ from typing import Callable
 
 from repro.core.ir.graph import IRGraph
 from repro.core.optimizer.memo import Memo, MemoStats
+from repro.distributed.operators import (
+    Gather,
+    Repartition,
+    ShardScan,
+)
+from repro.distributed.routing import surviving_shards
+from repro.distributed.serialize import fragment_is_serializable
 from repro.core.optimizer.ml_rewrites import (
     ColumnFacts,
     UnsupportedRewrite,
@@ -45,9 +52,11 @@ from repro.core.optimizer.ml_rewrites import (
 from repro.errors import OptimizerError
 from repro.relational.algebra import logical
 from repro.relational.expressions import (
+    BinaryOp,
     CaseWhen,
     ColumnRef,
     Expression,
+    Literal,
     conjoin,
     conjuncts,
     equality_constants,
@@ -87,6 +96,15 @@ ENGINE_SWITCH_COST = 500.0  # hand a batch across engines (see cost.py)
 FEATURE_COST = 0.2  # per row, per feature a scoring operator consumes
 CASE_NODE_WEIGHT = 0.02  # vectorized CASE evaluation, per expression node
 COLUMN_ITEM_COST = 0.05  # projecting an existing column is a dict re-pick
+
+# Distributed execution weights. A fragment dispatch pays plan
+# serialization + IPC round-trip regardless of data size; gathered rows
+# pay a per-row pickle/concat toll. Together they make scatter-gather
+# lose on small tables and cheap fragments (where the in-process morsel
+# path is already optimal) and win when per-row fragment work dominates.
+FRAGMENT_DISPATCH_COST = 2_000.0  # per dispatched fragment
+GATHER_ROW_COST = 0.3  # per gathered result row (IPC + concat)
+REPARTITION_ROW_COST = 0.5  # hash + stable reorder, per input row
 
 
 def _node_count(expr: Expression) -> int:
@@ -182,9 +200,24 @@ def operator_cost(
     Relational weights match :func:`repro.core.optimizer.cost.node_cost`
     so the memo and the legacy IR coster rank plans consistently.
     """
-    if isinstance(op, (logical.Scan, logical.InlineTable)):
+    if isinstance(op, (logical.Scan, logical.InlineTable, ShardScan)):
         return rows * 0.1
+    if isinstance(op, Gather):
+        # Per-shard fragment cost is priced over the fragment tree
+        # (whose ShardScan leaf already carries per-shard cardinality);
+        # shards run concurrently on the worker pool, so the fragment
+        # cost is paid once per wave, not once per shard.
+        fragment_cost = ctx.cost_tree(op.fragment)
+        workers = max(1, ctx.shard_workers())
+        waves = -(-max(1, op.shards_scanned) // workers)
+        return (
+            FRAGMENT_DISPATCH_COST * op.shards_scanned
+            + fragment_cost * waves
+            + rows * GATHER_ROW_COST
+        )
     input_rows = child_rows[0] if child_rows else rows
+    if isinstance(op, Repartition):
+        return input_rows * REPARTITION_ROW_COST
     if isinstance(op, logical.Filter):
         return input_rows * 0.3 * len(conjuncts(op.predicate))
     if isinstance(op, logical.Project):
@@ -195,6 +228,13 @@ def operator_cost(
         return hash_join_cost(left, right, op.kind, op.condition, ctx.resolver)
     if isinstance(op, (logical.OrderBy, logical.Distinct)):
         return rows * 2.0
+    if isinstance(op, logical.Aggregate) and op.group_by:
+        # Grouped aggregation walks every input row in Python (the
+        # composite-key and group-representative loops), so it is
+        # priced per *input* row — which is what makes shard-local
+        # partial aggregation (touching 1/Nth of the rows per worker)
+        # worth a fan-out.
+        return input_rows * 0.6 + rows * 0.2
     if isinstance(op, (logical.Limit, logical.UnionAll, logical.Aggregate)):
         return rows * 0.2
     if isinstance(op, logical.Predict):
@@ -214,6 +254,15 @@ def estimate_operator_rows(
     if isinstance(op, logical.Scan):
         stats = ctx.table_statistics(op.table_name)
         return float(stats.row_count) if stats else DEFAULT_ROW_ESTIMATE
+    if isinstance(op, ShardScan):
+        stats = ctx.table_statistics(op.table_name)
+        total = float(stats.row_count) if stats else DEFAULT_ROW_ESTIMATE
+        return max(1.0, total / max(1, op.total_shards))
+    if isinstance(op, Gather):
+        per_shard = ctx.estimate_tree(op.fragment)
+        return max(1.0, per_shard * max(1, op.shards_scanned))
+    if isinstance(op, Repartition):
+        return child_rows[0] if child_rows else DEFAULT_ROW_ESTIMATE
     if isinstance(op, logical.InlineTable):
         return float(op.table.num_rows)
     if isinstance(op, logical.Filter):
@@ -336,11 +385,17 @@ class SearchContext:
     def prepare(self, plan: logical.LogicalOp) -> None:
         """Build per-search state from the input plan (scans, models)."""
         sources: list[tuple[TableStatistics, str | None]] = []
-        for op in plan.walk():
-            if isinstance(op, logical.Scan):
-                stats = self.table_statistics(op.table_name)
-                if stats is not None:
-                    sources.append((stats, op.alias))
+
+        def collect(root: logical.LogicalOp) -> None:
+            for op in root.walk():
+                if isinstance(op, (logical.Scan, ShardScan)):
+                    stats = self.table_statistics(op.table_name)
+                    if stats is not None:
+                        sources.append((stats, op.alias))
+                elif isinstance(op, Gather):
+                    collect(op.fragment)
+
+        collect(plan)
         self.resolver = column_stats_resolver(sources)
         self.dp_seen = set()
         self._estimate_cache = {}
@@ -370,6 +425,26 @@ class SearchContext:
             return self.models.get_model(ref)
         except Exception:
             return None
+
+    def sharding(self, table_name: str):
+        """The table's :class:`ShardedTable`, or ``None`` (not sharded,
+        no catalog, or any lookup failure — never an error)."""
+        if not self.options.get("enable_distributed", True):
+            return None
+        lookup = getattr(self.catalog, "sharding", None)
+        if lookup is None:
+            return None
+        try:
+            return lookup(table_name)
+        except Exception:
+            return None
+
+    def shard_workers(self) -> int:
+        """Worker-pool width the cost model assumes for fan-out plans."""
+        from repro.concurrency import default_max_workers
+
+        configured = self.options.get("shard_workers")
+        return int(configured) if configured else default_max_workers()
 
     def column_constants(self, table_name: str) -> dict[str, float]:
         """Columns holding a single distinct value (derived predicates)."""
@@ -1214,6 +1289,257 @@ class ModelInliningRule(MemoRule):
         return [logical.Project(child, tuple(items))]
 
 
+class ShardedExecutionRule(MemoRule):
+    """Scatter-gather alternatives for plans over sharded tables.
+
+    Three shapes gain a distributed alternative, all built from the
+    same single-table pipeline fragment (``Filter``/``Project``/
+    ``Predict`` over a ``Scan`` of a sharded table, rebuilt around a
+    :class:`ShardScan` leaf):
+
+    * ``Filter(Scan)`` / ``Predict(...(Scan))`` → ``Gather(fragment)``
+      — the fragment runs once per surviving shard on the process
+      pool; PREDICT-over-scan escapes the in-process GIL ceiling.
+    * ``Aggregate(...)`` → ``Project(AggregateFinal(Gather(
+      AggregatePartial(fragment))))`` — the classic partial→final
+      split: shards pre-aggregate locally (COUNT/SUM/MIN/MAX combine
+      directly; AVG decomposes into SUM+COUNT re-divided above), so
+      only group rows cross the process boundary. Large gathered
+      intermediates additionally get a :class:`Repartition` exchange
+      below the final aggregate, whose key-disjoint buckets the
+      executor aggregates in parallel.
+
+    Routing happens here, at plan time: shard statistics (zone maps
+    one level up) plus exact hash/range routing on shard-key equality
+    prune shards before anything is dispatched, and the pruned
+    ``shard_ids`` are recorded on the ``Gather`` — EXPLAIN, the
+    executor, and serving plan caches all report that decision.
+    """
+
+    name = "ShardedScatterGather"
+
+    #: Gathered-row estimate above which the final aggregate gets a
+    #: Repartition exchange (overridable via ``repartition_min_rows``).
+    REPARTITION_MIN_ROWS = 50_000
+
+    #: Allowed fragment interior operators (leaf must be a Scan).
+    _PIPELINE_OPS = (logical.Filter, logical.Project, logical.Predict)
+
+    def apply(self, plan, ctx):
+        if not ctx.options.get("enable_distributed", True):
+            return []
+        if isinstance(plan, logical.Aggregate):
+            return self._aggregate_alternative(plan, ctx)
+        if isinstance(plan, (logical.Predict, logical.Filter)):
+            return self._pipeline_alternative(plan, ctx)
+        return []
+
+    # -- fragment construction ---------------------------------------------
+
+    def _fragmentize(self, plan, ctx):
+        """``(fragment, sharded, predicate)`` for a distributable
+        single-table pipeline, else ``None``."""
+        scan = plan
+        predicates: list[Expression] = []
+        while isinstance(scan, self._PIPELINE_OPS):
+            if isinstance(scan, logical.Filter):
+                predicates.append(scan.predicate)
+            scan = scan.child
+        if not isinstance(scan, logical.Scan):
+            return None
+        sharded = ctx.sharding(scan.table_name)
+        if sharded is None or sharded.num_shards < 2:
+            return None
+        leaf = ShardScan(
+            scan.table_name,
+            scan.base_schema,
+            scan.alias,
+            sharded.num_shards,
+        )
+
+        def rebuild(op):
+            if op is scan:
+                return leaf
+            return op.with_children(tuple(rebuild(c) for c in op.children))
+
+        fragment = rebuild(plan)
+        if not fragment_is_serializable(fragment, ctx.predict_flavor):
+            return None
+        predicate = conjoin(predicates) if predicates else None
+        return fragment, sharded, predicate
+
+    def _route(self, sharded, predicate):
+        """``(shard_ids, pruned_by)`` under shard statistics."""
+        keep = None
+        if predicate is not None:
+            try:
+                keep = surviving_shards(sharded, predicate)
+            except Exception:
+                keep = None
+        if keep is None:
+            return tuple(range(sharded.num_shards)), "none"
+        shard_ids = tuple(int(i) for i in range(len(keep)) if keep[i])
+        pruned = "zone-map" if len(shard_ids) < sharded.num_shards else "none"
+        return shard_ids, pruned
+
+    def _gather(self, fragment, sharded, predicate, ctx):
+        shard_ids, pruned_by = self._route(sharded, predicate)
+        gather = Gather(
+            sharded.table_name,
+            fragment,
+            sharded.spec.key,
+            shard_ids,
+            sharded.num_shards,
+            pruned_by,
+        )
+        ctx.record(
+            self.name,
+            f"{sharded.table_name}: {len(shard_ids)}/{sharded.num_shards} "
+            f"shards ({pruned_by})",
+        )
+        return gather
+
+    # -- pipeline shapes ----------------------------------------------------
+
+    def _pipeline_alternative(self, plan, ctx):
+        result = self._fragmentize(plan, ctx)
+        if result is None:
+            return []
+        fragment, sharded, predicate = result
+        return [self._gather(fragment, sharded, predicate, ctx)]
+
+    # -- partial→final aggregates -------------------------------------------
+
+    def _aggregate_alternative(self, plan, ctx):
+        if any(
+            func not in logical.AGGREGATE_FUNCTIONS
+            for func, _arg, _alias in plan.aggregates
+        ):
+            return []
+        result = self._fragmentize(plan.child, ctx)
+        if result is None:
+            return []
+        fragment_child, sharded, predicate = result
+        split = _split_aggregates(plan.aggregates, bool(plan.group_by))
+        if split is None:
+            return []
+        partial_aggs, final_aggs, items = split
+        partial = logical.Aggregate(
+            fragment_child, plan.group_by, partial_aggs
+        )
+        if not fragment_is_serializable(partial, ctx.predict_flavor):
+            return []
+        gathered: logical.LogicalOp = self._gather(
+            partial, sharded, predicate, ctx
+        )
+        if not plan.group_by:
+            # Empty shards emit identity partial rows (COUNT 0, MIN
+            # +inf); drop them before the final combine so sentinel
+            # values cannot leak through integer casts.
+            gathered = logical.Filter(
+                gathered,
+                BinaryOp(">", ColumnRef(_PARTIAL_ROWS), Literal(0)),
+            )
+        final_group_by = tuple(
+            (ColumnRef(name), name) for _expr, name in plan.group_by
+        )
+        final_child = self._maybe_repartition(
+            gathered, plan.group_by, ctx
+        )
+        final = logical.Aggregate(final_child, final_group_by, final_aggs)
+        project_items = tuple(
+            [(ColumnRef(name), name) for _expr, name in plan.group_by]
+            + items
+        )
+        return [logical.Project(final, project_items)]
+
+    def _maybe_repartition(self, gathered, group_by, ctx):
+        """Insert a hash exchange under big grouped final aggregates.
+
+        Buckets on the first plain-column grouping key: every row of a
+        group shares that value, so buckets are group-disjoint and the
+        executor can aggregate them independently in parallel.
+        """
+        key = next(
+            (
+                alias
+                for expr, alias in group_by
+                if isinstance(expr, ColumnRef)
+            ),
+            None,
+        )
+        if key is None:
+            return gathered
+        threshold = float(
+            ctx.options.get("repartition_min_rows", self.REPARTITION_MIN_ROWS)
+        )
+        if ctx.estimate_tree(gathered) < threshold:
+            return gathered
+        ctx.record("RepartitionExchange", f"on {key}")
+        return Repartition(gathered, key, ctx.shard_workers())
+
+
+#: Guard column global partial aggregates append (see the rule).
+_PARTIAL_ROWS = "__partial_rows"
+
+
+def _split_aggregates(aggregates, grouped: bool):
+    """Partial + final aggregate lists and final projection items.
+
+    Returns ``None`` if any aggregate cannot be decomposed. ``COUNT``
+    re-combines with SUM, ``SUM``/``MIN``/``MAX`` with themselves, and
+    ``AVG`` splits into ``SUM``+``COUNT`` re-divided in the projection
+    (guarded against all-empty groups). Global (ungrouped) partials
+    additionally carry a ``COUNT(*)`` row guard.
+    """
+    partial: list[tuple] = []
+    final: list[tuple] = []
+    items: list[tuple] = []
+    for func, arg, alias in aggregates:
+        if func in ("COUNT", "SUM"):
+            partial.append((func, arg, alias))
+            final.append(("SUM", ColumnRef(alias), alias))
+            items.append((ColumnRef(alias), alias))
+        elif func in ("MIN", "MAX"):
+            partial.append((func, arg, alias))
+            final.append((func, ColumnRef(alias), alias))
+            items.append((ColumnRef(alias), alias))
+        elif func == "AVG":
+            if arg is None:
+                return None
+            psum = f"{alias}__psum"
+            pcnt = f"{alias}__pcnt"
+            partial.append(("SUM", arg, psum))
+            partial.append(("COUNT", arg, pcnt))
+            final.append(("SUM", ColumnRef(psum), psum))
+            final.append(("SUM", ColumnRef(pcnt), pcnt))
+            items.append(
+                (
+                    CaseWhen(
+                        (
+                            (
+                                BinaryOp(
+                                    ">", ColumnRef(pcnt), Literal(0)
+                                ),
+                                BinaryOp(
+                                    "/",
+                                    ColumnRef(psum),
+                                    ColumnRef(pcnt),
+                                ),
+                            ),
+                        ),
+                        Literal(0.0),
+                    ),
+                    alias,
+                )
+            )
+        else:
+            return None
+    if not grouped:
+        partial.append(("COUNT", None, _PARTIAL_ROWS))
+    return tuple(partial), tuple(final), items
+
+
 # -- rule sets ---------------------------------------------------------------
 
 
@@ -1235,6 +1561,7 @@ def sql_rules(options: dict | None = None) -> list[MemoRule]:
         PredicatePushdownRule(),
         JoinOrderRule(),
         PredicateBasedModelPruningRule(),
+        ShardedExecutionRule(),
     ]
 
 
@@ -1247,6 +1574,7 @@ def cross_ir_rules(options: dict | None = None) -> list[MemoRule]:
         JoinOrderRule(),
         PredicateBasedModelPruningRule(),
         ModelProjectionPushdownRule(insert_projection=True),
+        ShardedExecutionRule(),
     ]
     if options.get("enable_inlining", True):
         rules.append(
@@ -1500,6 +1828,19 @@ def ir_to_logical(graph: IRGraph) -> logical.LogicalOp:
             return logical.Distinct(children[0])
         if op == "ra.union_all":
             return logical.UnionAll(tuple(children))
+        if op == "ra.gather":
+            return Gather(
+                attrs["table"],
+                attrs["fragment"],
+                attrs["shard_key"],
+                tuple(attrs["shard_ids"]),
+                attrs["total_shards"],
+                attrs.get("pruned_by", "none"),
+            )
+        if op == "ra.repartition":
+            return Repartition(
+                children[0], attrs["key"], attrs["num_buckets"]
+            )
         if op in ("mld.pipeline", "la.tensor_graph", "udf.python"):
             if op == "mld.pipeline":
                 flavor, payload, extra = (
@@ -1588,6 +1929,29 @@ def logical_to_ir(plan: logical.LogicalOp) -> IRGraph:
         if isinstance(op, logical.UnionAll):
             branches = [lower(b) for b in op.branches]
             return graph.add("ra.union_all", branches).id
+        if isinstance(op, Gather):
+            # The fragment stays a logical subtree attribute — it is
+            # dispatched (and JSON-serialized) whole, never executed
+            # operator-by-operator by the IR runtime.
+            return graph.add(
+                "ra.gather",
+                [],
+                table=op.table_name,
+                fragment=op.fragment,
+                shard_key=op.shard_key,
+                shard_ids=tuple(op.shard_ids),
+                total_shards=op.total_shards,
+                pruned_by=op.pruned_by,
+                schema=op.schema,
+            ).id
+        if isinstance(op, Repartition):
+            child = lower(op.child)
+            return graph.add(
+                "ra.repartition",
+                [child],
+                key=op.key,
+                num_buckets=op.num_buckets,
+            ).id
         if isinstance(op, logical.Predict):
             child = lower(op.child)
             common = dict(

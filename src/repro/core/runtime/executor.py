@@ -141,6 +141,31 @@ class RavenExecutor:
             logical.Distinct(logical.InlineTable(inputs[0]))
         )
 
+    def _run_ra_gather(self, node: IRNode, inputs: list[Table]) -> Table:
+        from repro.distributed.operators import Gather
+
+        return self._relational(
+            Gather(
+                node.attrs["table"],
+                node.attrs["fragment"],
+                node.attrs["shard_key"],
+                tuple(node.attrs["shard_ids"]),
+                node.attrs["total_shards"],
+                node.attrs.get("pruned_by", "none"),
+            )
+        )
+
+    def _run_ra_repartition(self, node: IRNode, inputs: list[Table]) -> Table:
+        from repro.distributed.operators import Repartition
+
+        return self._relational(
+            Repartition(
+                logical.InlineTable(inputs[0]),
+                node.attrs["key"],
+                node.attrs["num_buckets"],
+            )
+        )
+
     def _run_ra_aggregate(self, node: IRNode, inputs: list[Table]) -> Table:
         return self._relational(
             logical.Aggregate(

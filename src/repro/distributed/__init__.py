@@ -1,0 +1,43 @@
+"""Distributed shard execution: zone-map-routed scatter-gather.
+
+The ROADMAP's "distributed partitions" item delivered: a table can be
+split into hash- or range-keyed *shards* (each a full partitioned
+:class:`~repro.relational.table.Table` with its own zone maps and
+statistics), plan fragments run on a multi-process worker pool (escaping
+the in-process GIL ceiling), and results come back through ``Gather``
+exchange operators. The same zone-map metadata that prunes partitions
+inside one process prunes whole shards before any fragment is
+dispatched.
+
+Layers:
+
+* :mod:`repro.distributed.shards` — :class:`ShardedTable` and the
+  hash/range :class:`ShardingSpec`;
+* :mod:`repro.distributed.routing` — shard pruning from per-shard
+  statistics (the zone-map logic one level up);
+* :mod:`repro.distributed.operators` — ``ShardScan``/``Gather``/
+  ``Repartition`` logical operators (exchange operators in the memo);
+* :mod:`repro.distributed.serialize` — the data-not-code JSON codec for
+  plan fragments (expressions, operators, model bundles);
+* :mod:`repro.distributed.worker` — the per-process fragment executor
+  with shard/model caches;
+* :mod:`repro.distributed.runtime` — the coordinator: a lazy
+  ``ProcessPoolExecutor``, the ship-on-miss shard protocol, fan-out
+  statistics, and the in-process fallback used by tests.
+"""
+
+from repro.distributed.operators import Gather, Repartition, ShardScan
+from repro.distributed.routing import surviving_shards
+from repro.distributed.runtime import DistributedRuntime
+from repro.distributed.shards import ShardedTable, ShardingSpec, hash_buckets
+
+__all__ = [
+    "DistributedRuntime",
+    "Gather",
+    "Repartition",
+    "ShardScan",
+    "ShardedTable",
+    "ShardingSpec",
+    "hash_buckets",
+    "surviving_shards",
+]

@@ -1,0 +1,210 @@
+"""Exchange operators for distributed execution.
+
+Three new logical operators extend the algebra in
+:mod:`repro.relational.algebra.logical`:
+
+* :class:`ShardScan` — the leaf of a *plan fragment*: "the current
+  shard of table T". It only ever appears inside a fragment template,
+  never in a coordinator plan.
+* :class:`Gather` — the scatter-gather exchange. A leaf in the
+  coordinator plan that carries a fragment template plus the routing
+  decision (which shards to run it on); execution runs the fragment
+  once per surviving shard on the worker pool and concatenates the
+  results in shard order.
+* :class:`Repartition` — a local hash exchange: rows are re-clustered
+  into key-disjoint buckets (explicit partition bounds), so a
+  downstream ``Aggregate`` can run bucket-at-a-time in parallel with
+  no cross-bucket merge.
+
+All three are frozen dataclasses like the rest of the algebra, so the
+memo can hash and deduplicate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import BindError
+from repro.relational.algebra import logical
+from repro.relational.expressions import Expression
+from repro.relational.types import Schema
+
+#: The table name a fragment's shard resolves to at execution time —
+#: the worker's table provider serves the shipped (or cached) shard
+#: under this name.
+SHARD_TABLE = "__shard__"
+
+
+@dataclass(frozen=True)
+class ShardScan(logical.LogicalOp):
+    """Read the current shard of a sharded table (fragment leaf)."""
+
+    table_name: str
+    base_schema: Schema
+    alias: str | None = None
+    total_shards: int = 1
+
+    @property
+    def schema(self) -> Schema:
+        if self.alias:
+            return self.base_schema.prefixed(self.alias)
+        return self.base_schema
+
+
+@dataclass(frozen=True)
+class Gather(logical.LogicalOp):
+    """Scatter a fragment across shards; gather results in shard order.
+
+    ``fragment`` is a logical subtree whose leaf is a :class:`ShardScan`
+    of ``table_name``. ``shard_ids`` is the routing decision — the
+    shards the fragment will actually run on; ``total_shards`` is the
+    table's shard count at plan time, and ``pruned_by`` records what
+    made the routing selective (``"zone-map"``) so EXPLAIN and the
+    serving layer can report shards scanned vs. pruned.
+
+    A leaf operator: the fragment is a *template* attribute, not a
+    child, so memo exploration does not descend into it (fragments are
+    already-optimized single-table pipelines).
+    """
+
+    table_name: str
+    fragment: logical.LogicalOp
+    shard_key: str
+    shard_ids: tuple[int, ...]
+    total_shards: int
+    pruned_by: str = "none"
+
+    @property
+    def schema(self) -> Schema:
+        return self.fragment.schema
+
+    @property
+    def shards_scanned(self) -> int:
+        return len(self.shard_ids)
+
+    @property
+    def shards_pruned(self) -> int:
+        return self.total_shards - len(self.shard_ids)
+
+
+@dataclass(frozen=True)
+class Repartition(logical.LogicalOp):
+    """Hash-recluster rows into ``num_buckets`` key-disjoint buckets."""
+
+    child: logical.LogicalOp
+    key: str
+    num_buckets: int
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    @property
+    def children(self) -> tuple[logical.LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(
+        self, children: Sequence[logical.LogicalOp]
+    ) -> "Repartition":
+        (child,) = children
+        return Repartition(child, self.key, self.num_buckets)
+
+
+# -- fragment helpers --------------------------------------------------------
+
+
+def fragment_expressions(op: logical.LogicalOp) -> Iterator[Expression]:
+    """Every scalar expression a fragment evaluates (params live here)."""
+    for node in op.walk():
+        if isinstance(node, logical.Filter):
+            yield node.predicate
+        elif isinstance(node, logical.Project):
+            for expr, _name in node.items:
+                yield expr
+        elif isinstance(node, logical.Join) and node.condition is not None:
+            yield node.condition
+        elif isinstance(node, logical.Aggregate):
+            for expr, _name in node.group_by:
+                yield expr
+            for _func, arg, _alias in node.aggregates:
+                if arg is not None:
+                    yield arg
+        elif isinstance(node, logical.OrderBy):
+            for expr, _asc in node.keys:
+                yield expr
+
+
+def substitute_fragment(
+    op: logical.LogicalOp, mapping: Mapping[str, Expression]
+) -> logical.LogicalOp:
+    """Rebuild a fragment with parameters substituted in every expression.
+
+    Mirrors :meth:`Expression.substitute` over the operator tree; used
+    by prepared queries to bind ``?``/``@name`` parameters into the
+    fragment template of a cached ``Gather`` plan.
+    """
+    children = tuple(
+        substitute_fragment(child, mapping) for child in op.children
+    )
+    if isinstance(op, logical.Filter):
+        return logical.Filter(children[0], op.predicate.substitute(mapping))
+    if isinstance(op, logical.Project):
+        return logical.Project(
+            children[0],
+            tuple(
+                (expr.substitute(mapping), name) for expr, name in op.items
+            ),
+        )
+    if isinstance(op, logical.Join):
+        condition = (
+            op.condition.substitute(mapping)
+            if op.condition is not None
+            else None
+        )
+        return logical.Join(children[0], children[1], op.kind, condition)
+    if isinstance(op, logical.Aggregate):
+        return logical.Aggregate(
+            children[0],
+            tuple(
+                (expr.substitute(mapping), name)
+                for expr, name in op.group_by
+            ),
+            tuple(
+                (
+                    func,
+                    arg.substitute(mapping) if arg is not None else None,
+                    alias,
+                )
+                for func, arg, alias in op.aggregates
+            ),
+        )
+    if isinstance(op, logical.OrderBy):
+        return logical.OrderBy(
+            children[0],
+            tuple((expr.substitute(mapping), asc) for expr, asc in op.keys),
+        )
+    if children:
+        return op.with_children(children)
+    return op
+
+
+def localize_fragment(op: logical.LogicalOp) -> logical.LogicalOp:
+    """The fragment with its :class:`ShardScan` leaf turned into a plain
+    ``Scan`` of :data:`SHARD_TABLE` — the executable form a worker (or
+    the in-process fallback) runs against one shard table."""
+    if isinstance(op, ShardScan):
+        return logical.Scan(SHARD_TABLE, op.base_schema, op.alias)
+    children = tuple(localize_fragment(child) for child in op.children)
+    return op.with_children(children) if children else op
+
+
+def fragment_leaf(op: logical.LogicalOp) -> ShardScan:
+    """The fragment's (single) :class:`ShardScan` leaf."""
+    leaves = [n for n in op.walk() if isinstance(n, ShardScan)]
+    if len(leaves) != 1:
+        raise BindError(
+            f"fragment must have exactly one ShardScan leaf, "
+            f"found {len(leaves)}"
+        )
+    return leaves[0]

@@ -1,0 +1,194 @@
+"""Zone-map shard routing: prune shards a predicate cannot match.
+
+The same metadata that prunes in-process partitions — per-chunk min/max
+— prunes whole shards here, one level up: a shard's column statistics
+are its zone map. Routing is conservative in the same sense as
+partition pruning (a shard is kept unless its statistics *prove* no row
+can match) with two extra safe cases the satellite audit calls out:
+
+* **empty shards** contribute no rows, so they are always prunable once
+  any routing constraint applies;
+* **all-NULL columns** (``null_count == row_count``) can never satisfy
+  a comparison or membership constraint, so a constraint on such a
+  column prunes the shard — but a column whose statistics carry no
+  bounds for any *other* reason (opaque dtype) never prunes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.distributed.shards import ShardedTable
+from repro.relational.expressions import (
+    Expression,
+    equality_constants,
+    range_bounds,
+)
+from repro.relational.statistics import (
+    ColumnStatistics,
+    TableStatistics,
+    membership_constraints,
+)
+
+
+def surviving_shards(
+    sharded: ShardedTable, predicate: Expression | None
+) -> np.ndarray | None:
+    """Boolean keep-mask over shards, or ``None`` when nothing constrains.
+
+    ``None`` means the predicate yields no shard-prunable facts (or
+    there is no predicate at all): the caller should scan every shard.
+    """
+    if predicate is None:
+        return None
+    bounds = range_bounds(predicate)
+    memberships = membership_constraints(predicate)
+    key_shards = _key_routing(sharded, predicate)
+    if not bounds and not memberships and key_shards is None:
+        return None
+    keep = np.ones(sharded.num_shards, dtype=bool)
+    if key_shards is not None:
+        keep &= key_shards
+    for shard_id in range(sharded.num_shards):
+        if not keep[shard_id]:
+            continue
+        stats = sharded.shard_statistics(shard_id)
+        if stats.row_count == 0:
+            keep[shard_id] = False
+            continue
+        keep[shard_id] = _shard_can_match(stats, bounds, memberships)
+    return keep
+
+
+def effective_shard_ids(gather, sharded: ShardedTable) -> list[int]:
+    """The shards a Gather actually runs on, re-routed at execution time.
+
+    The plan's recorded ``shard_ids`` are the optimize-time decision.
+    Two things can change by execution time: the shard *layout* (a
+    reshard raced a cached plan — fall back to every shard, correctness
+    over stale pruning) and the fragment's *predicates* (prepared
+    queries bind ``?`` parameters after planning, so an equality on the
+    shard key that was unroutable at prepare time routes exactly now).
+    """
+    from repro.relational.algebra import logical
+    from repro.relational.expressions import conjoin
+
+    if gather.total_shards != sharded.num_shards:
+        ids = list(range(sharded.num_shards))
+    else:
+        ids = [i for i in gather.shard_ids if 0 <= i < sharded.num_shards]
+    predicates = [
+        op.predicate
+        for op in gather.fragment.walk()
+        if isinstance(op, logical.Filter)
+    ]
+    if not predicates:
+        return ids
+    try:
+        keep = surviving_shards(sharded, conjoin(predicates))
+    except Exception:
+        return ids
+    if keep is None:
+        return ids
+    return [i for i in ids if keep[i]]
+
+
+def _key_routing(
+    sharded: ShardedTable, predicate: Expression
+) -> np.ndarray | None:
+    """Exact routing for equality/IN facts on the shard key itself.
+
+    Hash sharding destroys ranges, so shard statistics cannot prune a
+    hash layout on a range predicate — but an equality (or IN) fact on
+    the shard key pins each value's shard exactly through the same
+    assignment function that placed the rows.
+    """
+    key = sharded.spec.key.split(".")[-1].lower()
+    values: tuple | None = None
+    for name, value in equality_constants(predicate).items():
+        if name.split(".")[-1].lower() == key:
+            values = (value,)
+            break
+    if values is None:
+        for name, membership in membership_constraints(predicate).items():
+            if name.split(".")[-1].lower() == key:
+                values = membership
+                break
+    if values is None:
+        return None
+    keep = np.zeros(sharded.num_shards, dtype=bool)
+    try:
+        # Probe values must hash exactly as the rows were placed: cast
+        # them to the key column's storage dtype first (an int literal
+        # probing a float key column would otherwise take the integer
+        # hash path and land in a different bucket — silently routing
+        # to an empty shard).
+        probe = np.asarray(values, dtype=_key_dtype(sharded))
+        targets = sharded.spec.assign(probe)
+    except Exception:
+        return None  # value/key dtype mismatch: no exact routing
+    for target in targets:
+        if 0 <= int(target) < sharded.num_shards:
+            keep[int(target)] = True
+    return keep
+
+
+def _key_dtype(sharded: ShardedTable) -> np.dtype:
+    """The shard-key column's storage dtype (from the shard schema)."""
+    shard = sharded.shard(0)
+    return shard.column(shard.resolve_name(sharded.spec.key)).dtype
+
+
+def _shard_can_match(
+    stats: TableStatistics,
+    bounds: dict[str, tuple[float, float]],
+    memberships: dict[str, tuple],
+) -> bool:
+    for name, (low, high) in bounds.items():
+        column = stats.column(name)
+        if column is None:
+            continue  # unknown column here: cannot prune on it
+        if _all_null(column, stats.row_count):
+            return False  # comparison never matches NULL
+        if not isinstance(column.min_value, (int, float)):
+            continue  # no numeric bounds (string/opaque): no pruning
+        if not math.isinf(high) and float(column.min_value) > high:
+            return False
+        if not math.isinf(low) and float(column.max_value) < low:
+            return False
+    for name, values in memberships.items():
+        if name in bounds:
+            continue  # range facts already cover `col = numeric_lit`
+        column = stats.column(name)
+        if column is None:
+            continue
+        if _all_null(column, stats.row_count):
+            return False
+        if column.min_value is None or column.max_value is None:
+            continue
+        if not _any_value_in_bounds(
+            values, column.min_value, column.max_value
+        ):
+            return False
+    return True
+
+
+def _all_null(column: ColumnStatistics, row_count: int) -> bool:
+    """True only for the provable every-value-is-NULL case."""
+    return (
+        column.min_value is None
+        and row_count > 0
+        and column.null_count >= row_count
+    )
+
+
+def _any_value_in_bounds(values: tuple, low, high) -> bool:
+    for value in values:
+        try:
+            if low <= value <= high:
+                return True
+        except TypeError:
+            return True  # dtype mismatch: cannot prove, keep the shard
+    return False

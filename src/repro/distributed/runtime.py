@@ -1,0 +1,298 @@
+"""The scatter-gather coordinator: worker pool, routing stats, fallback.
+
+``DistributedRuntime`` owns one lazy ``ProcessPoolExecutor`` per
+database (amortizing process start-up across queries), encodes each
+``Gather``'s fragment once (identity-cached — cached plans re-dispatch
+the same fragment object for every execution), and drives the
+ship-on-miss shard protocol: tasks go out carrying only the shard
+token; a worker that has not cached that shard replies ``missing`` and
+the task is re-sent with the columns attached. Steady state moves plan
+JSON and result columns only.
+
+Every gather reports ``(shards scanned, shards pruned, per-fragment
+latencies)`` to registered observers — the serving layer's
+:class:`~repro.serving.stats.ServingStats` subscribes here — and to the
+runtime's own counters (benchmarks read those).
+
+If the process pool cannot be created or breaks (restricted
+environments, fork bombs protection), execution degrades permanently to
+in-process fragment execution: still correct, still pruned, just not
+parallel across processes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.concurrency import default_max_workers
+from repro.distributed import serialize, worker
+from repro.distributed.operators import Gather
+from repro.distributed.shards import ShardedTable
+from repro.errors import RuntimeDispatchError
+from repro.relational.table import Table
+
+#: An encoded-fragment identity cache larger than any plan cache is
+#: pointless; stale entries pin model bundles, so keep it modest.
+MAX_CACHED_FRAGMENTS = 64
+
+
+def _pool_failures() -> tuple:
+    """Exception types that mean "the pool is unusable", not "the
+    fragment is buggy" — only these trigger the in-process fallback."""
+    import pickle
+
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError:  # pragma: no cover - ancient stdlib
+        BrokenProcessPool = OSError
+    from concurrent.futures import TimeoutError as FuturesTimeout
+
+    return (
+        BrokenProcessPool,
+        FuturesTimeout,
+        OSError,
+        PermissionError,
+        pickle.PicklingError,
+    )
+
+
+_POOL_FAILURES = _pool_failures()
+
+
+class DistributedRuntime:
+    """Runs ``Gather`` operators for one database."""
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        mode: str = "process",
+        fragment_timeout: float = 120.0,
+        model_resolver: Callable[[str], object] | None = None,
+    ):
+        if mode not in ("process", "inprocess"):
+            raise RuntimeDispatchError(
+                f"unknown distributed mode {mode!r}"
+            )
+        self.max_workers = max_workers or default_max_workers()
+        self.mode = mode
+        self.fragment_timeout = fragment_timeout
+        self.model_resolver = model_resolver
+        self._pool = None
+        self._pool_broken = False
+        self._lock = threading.Lock()
+        self._fragment_specs: "dict[int, tuple[object, dict]]" = {}
+        self._observers: list[Callable[[int, int, list[float]], None]] = []
+        # Counters (guarded by the lock; benchmarks and stats read them).
+        self.queries = 0
+        self.shards_scanned = 0
+        self.shards_pruned = 0
+        self.fragments_run = 0
+        self.shard_ships = 0
+
+    # -- observers ---------------------------------------------------------
+
+    def add_observer(
+        self, fn: Callable[[int, int, list[float]], None]
+    ) -> None:
+        """Register ``fn(shards_scanned, shards_pruned, fragment_seconds)``."""
+        with self._lock:
+            self._observers.append(fn)
+
+    def remove_observer(self, fn) -> None:
+        with self._lock:
+            try:
+                self._observers.remove(fn)
+            except ValueError:
+                pass
+
+    def _notify(
+        self, scanned: int, pruned: int, latencies: list[float]
+    ) -> None:
+        with self._lock:
+            self.queries += 1
+            self.shards_scanned += scanned
+            self.shards_pruned += pruned
+            self.fragments_run += len(latencies)
+            observers = list(self._observers)
+        for fn in observers:
+            fn(scanned, pruned, latencies)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "mode": self.effective_mode,
+                "queries": self.queries,
+                "shards_scanned": self.shards_scanned,
+                "shards_pruned": self.shards_pruned,
+                "fragments_run": self.fragments_run,
+                "shard_ships": self.shard_ships,
+            }
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    @property
+    def effective_mode(self) -> str:
+        return "inprocess" if self._pool_broken else self.mode
+
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is not None:
+                return self._pool
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the worker pool (idempotent; a later gather restarts it)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- gather execution --------------------------------------------------
+
+    def run_gather(
+        self, op: Gather, sharded: ShardedTable
+    ) -> list[Table]:
+        """Fragment results for each routed shard, in shard order.
+
+        Routing is re-derived here against the *bound* fragment: a
+        prepared query's ``?`` shard-key parameter — unroutable at
+        optimize time — prunes exactly at execution time.
+        """
+        from repro.distributed.routing import effective_shard_ids
+
+        shard_ids = effective_shard_ids(op, sharded)
+        spec = self._fragment_spec(op)
+        start_mode = self.effective_mode
+        latencies: list[float] = []
+        if start_mode == "process":
+            try:
+                results = self._run_pooled(spec, sharded, shard_ids, latencies)
+            except _POOL_FAILURES:
+                # A broken/unavailable pool (restricted environments,
+                # killed workers) must not fail queries; degrade to
+                # in-process for the rest of this runtime's life.
+                # Fragment-level errors (a bug in the plan itself) are
+                # NOT caught — they would fail identically in-process.
+                self._pool_broken = True
+                latencies = []
+                results = self._run_inprocess(
+                    spec, sharded, shard_ids, latencies
+                )
+        else:
+            results = self._run_inprocess(spec, sharded, shard_ids, latencies)
+        self._notify(
+            len(shard_ids), sharded.num_shards - len(shard_ids), latencies
+        )
+        return results
+
+    def _fragment_spec(self, op: Gather) -> dict:
+        key = id(op.fragment)
+        with self._lock:
+            cached = self._fragment_specs.get(key)
+            if cached is not None and cached[0] is op.fragment:
+                return cached[1]
+        spec = serialize.encode_fragment(op.fragment, self.model_resolver)
+        with self._lock:
+            if len(self._fragment_specs) >= MAX_CACHED_FRAGMENTS:
+                self._fragment_specs.clear()
+            self._fragment_specs[key] = (op.fragment, spec)
+        return spec
+
+    def _task(
+        self,
+        spec: dict,
+        sharded: ShardedTable,
+        shard_id: int,
+        with_data: bool,
+    ) -> dict:
+        task = {
+            "fragment": spec,
+            "shard_token": list(sharded.shard_token(shard_id)),
+        }
+        if with_data:
+            shard = sharded.shard(shard_id)
+            task["shard_schema"] = serialize.encode_schema(shard.schema)
+            task["columns"] = shard.to_dict()
+            task["partition_size"] = shard.partition_size
+            with self._lock:
+                self.shard_ships += 1
+        return task
+
+    def _run_pooled(
+        self,
+        spec: dict,
+        sharded: ShardedTable,
+        shard_ids: list[int],
+        latencies: list[float],
+    ) -> list[Table]:
+        pool = self._ensure_pool()
+        started = {
+            shard_id: (
+                time.perf_counter(),
+                pool.submit(
+                    worker.run_fragment,
+                    self._task(spec, sharded, shard_id, with_data=False),
+                ),
+            )
+            for shard_id in shard_ids
+        }
+        results: dict[int, Table] = {}
+        retries: list[int] = []
+        for shard_id, (start, future) in started.items():
+            reply = future.result(timeout=self.fragment_timeout)
+            if reply["status"] == worker.MISSING_SHARD:
+                retries.append(shard_id)
+                continue
+            latencies.append(time.perf_counter() - start)
+            results[shard_id] = _decode_result(reply)
+        retried = {
+            shard_id: (
+                time.perf_counter(),
+                pool.submit(
+                    worker.run_fragment,
+                    self._task(spec, sharded, shard_id, with_data=True),
+                ),
+            )
+            for shard_id in retries
+        }
+        for shard_id, (start, future) in retried.items():
+            reply = future.result(timeout=self.fragment_timeout)
+            if reply["status"] != worker.OK:
+                raise RuntimeDispatchError(
+                    f"worker failed shard {shard_id} of "
+                    f"{sharded.table_name!r} even with shipped data"
+                )
+            latencies.append(time.perf_counter() - start)
+            results[shard_id] = _decode_result(reply)
+        return [results[shard_id] for shard_id in shard_ids]
+
+    def _run_inprocess(
+        self,
+        spec: dict,
+        sharded: ShardedTable,
+        shard_ids: list[int],
+        latencies: list[float],
+    ) -> list[Table]:
+        results = []
+        # One decode for every shard: the decoded fragment is immutable
+        # and shard-independent.
+        fragment = serialize.decode_fragment(spec, worker._load_model)
+        for shard_id in shard_ids:
+            start = time.perf_counter()
+            result = worker.execute_fragment(
+                fragment, sharded.shard(shard_id)
+            )
+            latencies.append(time.perf_counter() - start)
+            results.append(result)
+        return results
+
+
+def _decode_result(reply: dict) -> Table:
+    return Table(
+        serialize.decode_schema(reply["schema"]), reply["columns"]
+    )

@@ -1,0 +1,158 @@
+"""The per-process fragment executor (runs inside pool workers).
+
+Each worker process keeps two module-level caches:
+
+* ``_SHARD_CACHE`` — shard tables keyed by their catalog token
+  ``(table, shard_id, epoch)``. The coordinator ships shard columns
+  only when a worker reports a miss (the ship-on-miss protocol in
+  :mod:`repro.distributed.runtime`), so steady-state queries move plan
+  JSON and results, not data.
+* ``_MODEL_CACHE`` — decoded model bundles keyed by content hash, so a
+  hot PREDICT fragment deserializes its model once per process, not
+  once per call.
+
+Fragments execute through the ordinary relational
+:class:`~repro.relational.algebra.executor.Executor` with intra-worker
+parallelism disabled — the process pool *is* the parallelism, and
+nested thread pools would oversubscribe the machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.distributed import serialize
+from repro.errors import ExecutionError
+from repro.ml import model_format
+from repro.relational.table import Table
+
+#: Worker-side cache caps. Shards dominate memory (a cached shard is
+#: 1/num_shards of its table), so the cap bounds worker growth when
+#: many tables are sharded.
+MAX_CACHED_SHARDS = 64
+MAX_CACHED_MODELS = 16
+
+_SHARD_CACHE: "OrderedDict[tuple, Table]" = OrderedDict()
+_MODEL_CACHE: "OrderedDict[str, object]" = OrderedDict()
+
+#: Status markers in the worker reply.
+OK = "ok"
+MISSING_SHARD = "missing_shard"
+
+
+def run_fragment(task: dict) -> dict:
+    """Execute one plan fragment against one shard; returns a reply dict.
+
+    ``task`` carries the fragment JSON spec, the shard token, and —
+    only when the coordinator is answering a miss — the shard's schema,
+    columns, and partition size.
+    """
+    token = tuple(task["shard_token"])
+    shard = _resolve_shard(task, token)
+    if shard is None:
+        return {"status": MISSING_SHARD, "shard_token": list(token)}
+    fragment = serialize.decode_fragment(task["fragment"], _load_model)
+    result = execute_fragment(fragment, shard)
+    return {
+        "status": OK,
+        "shard_token": list(token),
+        "schema": serialize.encode_schema(result.schema),
+        "columns": result.to_dict(),
+    }
+
+
+def execute_fragment(fragment, shard: Table) -> Table:
+    """Run a decoded fragment over one shard table, single-threaded."""
+    from repro.relational.algebra.executor import ExecutionOptions, Executor
+
+    executor = Executor(
+        table_provider=lambda name: _provide_shard(name, shard),
+        model_resolver=_WorkerModelResolver(),
+        options=ExecutionOptions(
+            parallel_predict=False,
+            morsel_parallel_predict=False,
+            max_workers=1,
+        ),
+    )
+    return executor.execute(fragment)
+
+
+def _provide_shard(name: str, shard: Table) -> Table:
+    if name != serialize.SHARD_TABLE:
+        raise ExecutionError(
+            f"fragment scanned {name!r}; only the shipped shard "
+            f"({serialize.SHARD_TABLE!r}) is visible to a worker"
+        )
+    return shard
+
+
+def _resolve_shard(task: dict, token: tuple) -> Table | None:
+    columns = task.get("columns")
+    if columns is None:
+        cached = _SHARD_CACHE.get(token)
+        if cached is not None:
+            _SHARD_CACHE.move_to_end(token)
+        return cached
+    schema = serialize.decode_schema(task["shard_schema"])
+    shard = Table(schema, columns, task.get("partition_size"))
+    _SHARD_CACHE[token] = shard
+    _SHARD_CACHE.move_to_end(token)
+    while len(_SHARD_CACHE) > MAX_CACHED_SHARDS:
+        _SHARD_CACHE.popitem(last=False)
+    return shard
+
+
+def _load_model(bundle_json: str) -> object:
+    key = hashlib.sha1(bundle_json.encode("utf-8")).hexdigest()
+    cached = _MODEL_CACHE.get(key)
+    if cached is not None:
+        _MODEL_CACHE.move_to_end(key)
+        return cached
+    model = model_format.loads(bundle_json)
+    _MODEL_CACHE[key] = model
+    while len(_MODEL_CACHE) > MAX_CACHED_MODELS:
+        _MODEL_CACHE.popitem(last=False)
+    return model
+
+
+def clear_caches() -> None:
+    """Drop both worker caches (tests use this for isolation)."""
+    _SHARD_CACHE.clear()
+    _MODEL_CACHE.clear()
+
+
+class _WorkerModelResolver:
+    """Scores the payload shipped with the fragment; no catalog exists."""
+
+    def resolve_scorer(self, model_ref: str, output_columns):
+        raise ExecutionError(
+            f"fragment references catalog model {model_ref!r} without a "
+            "shipped payload; workers have no model catalog"
+        )
+
+    def resolve_inline_scorer(
+        self,
+        payload: object,
+        feature_names: Sequence[str] | None,
+        output_columns,
+    ) -> Callable[[Table], dict[str, np.ndarray]]:
+        features = list(feature_names) if feature_names is not None else None
+        output_names = [name for name, _dtype in output_columns]
+
+        def score(table: Table) -> dict[str, np.ndarray]:
+            matrix = table.to_matrix(features)
+            raw = np.asarray(payload.predict(matrix), dtype=np.float64)
+            if raw.ndim == 1:
+                raw = raw.reshape(-1, 1)
+            if raw.shape[1] < len(output_names):
+                raise ExecutionError(
+                    f"model produced {raw.shape[1]} outputs, fragment "
+                    f"declared {len(output_names)}"
+                )
+            return {name: raw[:, i] for i, name in enumerate(output_names)}
+
+        return score

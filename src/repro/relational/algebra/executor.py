@@ -51,6 +51,8 @@ class ExecutionOptions:
         default_batch_size: int | None = None,
         enable_zone_map_pruning: bool = True,
         morsel_parallel_predict: bool = True,
+        enable_distributed: bool = True,
+        distributed_mode: str = "process",
     ):
         self.parallel_predict = parallel_predict
         self.parallel_row_threshold = parallel_row_threshold
@@ -60,6 +62,13 @@ class ExecutionOptions:
         self.default_batch_size = default_batch_size
         self.enable_zone_map_pruning = enable_zone_map_pruning
         self.morsel_parallel_predict = morsel_parallel_predict
+        #: Whether the optimizer may choose scatter-gather plans over
+        #: sharded tables, and how their fragments run (``"process"``
+        #: for the multi-process pool, ``"inprocess"`` for a serial
+        #: in-coordinator fallback useful in tests and restricted
+        #: environments).
+        self.enable_distributed = enable_distributed
+        self.distributed_mode = distributed_mode
 
 
 class Executor:
@@ -70,9 +79,17 @@ class Executor:
         table_provider: Callable[[str], Table],
         model_resolver: ModelResolver | None = None,
         options: ExecutionOptions | None = None,
+        shard_provider: Callable[[str], object] | None = None,
+        fragment_runner: Callable | None = None,
     ):
         self._table_provider = table_provider
         self._model_resolver = model_resolver
+        #: ``shard_provider(table) -> ShardedTable | None`` and
+        #: ``fragment_runner(gather_op, sharded) -> list[Table]`` wire
+        #: the distributed runtime in; tests inject recording runners
+        #: here to prove pruned shards are never dispatched.
+        self._shard_provider = shard_provider
+        self._fragment_runner = fragment_runner
         self.options = options or ExecutionOptions()
         #: Zone-map outcome of the most recent pruned scan:
         #: {"table", "partitions_total", "partitions_scanned"}. A
@@ -80,6 +97,9 @@ class Executor:
         #: it is unsynchronized and persists across queries that prune
         #: nothing, so read it immediately after the query of interest.
         self.last_scan_pruning: dict | None = None
+        #: Same diagnostic for the most recent Gather: {"table",
+        #: "shards_total", "shards_scanned"}.
+        self.last_shard_routing: dict | None = None
 
     def execute(self, plan: logical.LogicalOp) -> Table:
         method = getattr(self, f"_execute_{type(plan).__name__.lower()}", None)
@@ -340,6 +360,45 @@ class Executor:
         table = self.execute(op.child)
         if not op.group_by:
             return self._global_aggregate(op, table)
+        bucketed = self._bucket_parallel_aggregate(op, table)
+        if bucketed is not None:
+            return bucketed
+        return self._aggregate_table(op, table)
+
+    def _bucket_parallel_aggregate(
+        self, op: logical.Aggregate, table: Table
+    ) -> Table | None:
+        """Aggregate a hash-bucketed input bucket-at-a-time in parallel.
+
+        Only a ``Repartition`` child produces explicit partition bounds,
+        and it only fires when its key is one of the grouping columns —
+        so buckets are group-disjoint and per-bucket aggregation needs
+        no cross-bucket merge. ``None`` falls back to the one-pass path.
+        """
+        from repro.distributed.operators import Repartition
+
+        # Explicit bounds only ever come from a Repartition exchange
+        # (possibly via the IR runtime, which re-feeds the repartitioned
+        # table as an InlineTable), whose bucket key is always one of
+        # the grouping columns.
+        if not isinstance(op.child, (Repartition, logical.InlineTable)):
+            return None
+        if not table.has_explicit_partitions or table.num_partitions < 2:
+            return None
+        buckets = [
+            table.slice(start, stop)
+            for start, stop in table.partition_bounds()
+            if stop > start
+        ]
+        if len(buckets) < 2:
+            return None
+        with ThreadPoolExecutor(max_workers=self.options.max_workers) as pool:
+            parts = list(
+                pool.map(lambda chunk: self._aggregate_table(op, chunk), buckets)
+            )
+        return Table.concat_rows(parts)
+
+    def _aggregate_table(self, op: logical.Aggregate, table: Table) -> Table:
         key_arrays = [expr.evaluate(table) for expr, _ in op.group_by]
         # Build group ids from the composite key.
         composite = np.empty(table.num_rows, dtype=object)
@@ -413,6 +472,101 @@ class Executor:
                 table = table.rename(mapping)
             aligned.append(table)
         return Table.concat_rows(aligned)
+
+    # -- exchange operators (distributed execution) -----------------------
+
+    def _execute_gather(self, op) -> Table:
+        """Scatter a fragment across shards, gather in shard order.
+
+        Dispatch goes through the injected ``fragment_runner`` (the
+        database's :class:`~repro.distributed.runtime.DistributedRuntime`
+        by default; tests inject recording runners). A table that is no
+        longer sharded — or a missing runner — degrades to executing
+        the fragment once over the full base table, which is equivalent
+        for every fragment shape the optimizer emits (filters, scoring,
+        and *partial* aggregates are all union-compatible).
+        """
+        sharded = (
+            self._shard_provider(op.table_name)
+            if self._shard_provider is not None
+            else None
+        )
+        if sharded is None:
+            base = self._table_provider(op.table_name)
+            self.last_shard_routing = {
+                "table": op.table_name,
+                "shards_total": 1,
+                "shards_scanned": 1,
+            }
+            return self._execute_fragment_locally(op.fragment, base)
+        if self._fragment_runner is not None:
+            parts = self._fragment_runner(op, sharded)
+        else:
+            from repro.distributed.routing import effective_shard_ids
+
+            parts = [
+                self._execute_fragment_locally(
+                    op.fragment, sharded.shard(shard_id)
+                )
+                for shard_id in effective_shard_ids(op, sharded)
+            ]
+        self.last_shard_routing = {
+            "table": op.table_name,
+            "shards_total": sharded.num_shards,
+            "shards_scanned": len(parts),
+        }
+        if not parts:
+            return Table.empty(op.schema)
+        return Table.concat_rows(parts)
+
+    def _execute_fragment_locally(self, fragment, shard: Table) -> Table:
+        """Run a fragment over one shard *inside this process*.
+
+        Unlike a pool worker, the coordinator still has the model
+        catalog, so catalog-referenced models resolve normally — this
+        is the no-runner / table-no-longer-sharded degradation path.
+        """
+        from repro.distributed.operators import SHARD_TABLE, localize_fragment
+
+        sub = Executor(
+            table_provider=lambda name: (
+                shard if name == SHARD_TABLE else self._table_provider(name)
+            ),
+            model_resolver=self._model_resolver,
+            options=self.options,
+        )
+        return sub.execute(localize_fragment(fragment))
+
+    def _execute_repartition(self, op) -> Table:
+        """Hash-recluster rows into key-disjoint contiguous buckets."""
+        from repro.distributed.shards import hash_buckets
+
+        table = self.execute(op.child)
+        if table.num_rows == 0 or op.num_buckets < 2:
+            return table
+        values = table.column(op.key)
+        buckets = hash_buckets(values, op.num_buckets)
+        order = np.argsort(buckets, kind="stable")
+        clustered = table.take(order)
+        counts = np.bincount(buckets, minlength=op.num_buckets)
+        edges = np.concatenate(([0], np.cumsum(counts)))
+        bounds = [
+            (int(edges[i]), int(edges[i + 1]))
+            for i in range(op.num_buckets)
+            if edges[i + 1] > edges[i]
+        ]
+        if len(bounds) < 2:
+            return clustered
+        # Dropping empty buckets keeps the bounds contiguous (an empty
+        # bucket spans zero rows), so the explicit-bounds validation
+        # accepts them as-is.
+        return clustered.with_partition_bounds(bounds)
+
+    def _execute_shardscan(self, op) -> Table:
+        raise ExecutionError(
+            f"ShardScan of {op.table_name!r} escaped its fragment; "
+            "shard scans only execute inside Gather fragments"
+        )
 
     # -- model scoring ----------------------------------------------------
 

@@ -21,6 +21,7 @@ statistics).
 
 from __future__ import annotations
 
+from repro.distributed.operators import Gather, Repartition, ShardScan
 from repro.relational import statistics as table_stats
 from repro.relational.algebra import logical
 from repro.relational.expressions import Expression
@@ -74,11 +75,23 @@ class PhysicalPlanner:
         context = search.SearchContext(
             catalog=self._catalog,
             join_search=self.join_search,
+            options=self._search_options(),
         )
         optimizer = search.MemoOptimizer(search.sql_rules(), context)
         best, report = optimizer.optimize(plan)
         self.last_report = report
         return best
+
+    def _search_options(self) -> dict:
+        """Executor knobs the memo rules honor (distribution on/off,
+        assumed worker-pool width for fan-out costing)."""
+        options = self._execution_options
+        if options is None:
+            return {}
+        return {
+            "enable_distributed": options.enable_distributed,
+            "shard_workers": options.max_workers,
+        }
 
     # -- statistics access ---------------------------------------------------
 
@@ -89,7 +102,9 @@ class PhysicalPlanner:
             return None
 
     def _estimation_context(self, plan: logical.LogicalOp):
-        context = _search().SearchContext(catalog=self._catalog)
+        context = _search().SearchContext(
+            catalog=self._catalog, options=self._search_options()
+        )
         context.prepare(plan)
         return context
 
@@ -175,6 +190,13 @@ class PhysicalPlanner:
                 stats = self._table_statistics(op.table_name)
                 if stats is not None:
                     annotations[0] = f"rows={stats.row_count}"
+            if isinstance(op, Gather):
+                suffix = (
+                    " (zone-map)" if op.pruned_by == "zone-map" else ""
+                )
+                annotations.append(
+                    f"shards={op.shards_scanned}/{op.total_shards}{suffix}"
+                )
             child_rows = [context.estimate_tree(c) for c in op.children]
             cost = _search().operator_cost(op, rows, child_rows, context)
             lines.append(
@@ -185,6 +207,9 @@ class PhysicalPlanner:
                 + "]"
                 + f" cost={cost:.0f}"
             )
+            if isinstance(op, Gather):
+                # The per-shard fragment, rendered as a sub-plan.
+                walk(op.fragment, depth + 1, op)
             for child in op.children:
                 walk(child, depth + 1, op)
 
@@ -253,10 +278,14 @@ def _slug(name: str) -> str:
 
 def _describe(op: logical.LogicalOp) -> str:
     label = type(op).__name__
-    if isinstance(op, logical.Scan):
+    if isinstance(op, (logical.Scan, ShardScan)):
         return f"{label} {op.table_name}" + (
             f" AS {op.alias}" if op.alias else ""
         )
+    if isinstance(op, Gather):
+        return f"{label} {op.table_name} key={op.shard_key}"
+    if isinstance(op, Repartition):
+        return f"{label} key={op.key} buckets={op.num_buckets}"
     if isinstance(op, logical.Filter):
         return f"{label} [{op.predicate!r}]"
     if isinstance(op, logical.Project):

@@ -103,6 +103,13 @@ class Catalog:
         self._full_epochs: dict[str, int] = {}
         self._epoch_counter = 0
         self._stats_lock = threading.RLock()
+        # Sharding: per-table split specs plus lazily materialized
+        # shards. Shard epochs move whenever the shard layout or the
+        # underlying data does, so cached plans (which record their
+        # routing decision) replan instead of scanning a stale layout.
+        self._shard_specs: dict[str, object] = {}
+        self._sharded: dict[str, object] = {}
+        self._shard_epochs: dict[str, int] = {}
 
     # -- model-change observers ----------------------------------------------
 
@@ -150,6 +157,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         self._tables[key] = _auto_partition(table)
         self._invalidate_stats(key)
+        self._invalidate_shards(key)
         self._log("create_table", name, f"{table.num_rows} rows")
 
     def set_table(self, name: str, table: Table) -> None:
@@ -171,6 +179,9 @@ class Catalog:
             self._invalidate_stats(key)
         elif drifted:
             self._invalidate_stats_columns(key, drifted)
+        # Any write to a sharded table moves rows relative to the
+        # materialized shards; the split is redone lazily.
+        self._invalidate_shards(key)
         self._log("set_table", name, f"{table.num_rows} rows")
 
     def drop_table(self, name: str) -> None:
@@ -179,7 +190,110 @@ class Catalog:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[key]
         self._drop_epochs(key)
+        with self._stats_lock:
+            self._shard_specs.pop(key, None)
+            self._sharded.pop(key, None)
+            self._shard_epochs.pop(key, None)
         self._log("drop_table", name)
+
+    # -- sharding -------------------------------------------------------------
+
+    def shard_table(
+        self,
+        name: str,
+        key: str,
+        num_shards: int,
+        kind: str = "hash",
+        boundaries=(),
+    ) -> None:
+        """Declare a table sharded on ``key`` into ``num_shards`` shards.
+
+        The shards themselves materialize lazily on first
+        :meth:`sharding` access (so loading a persisted database stays
+        cheap). Re-sharding replaces the spec and bumps the shard
+        epoch, staling every cached routing decision.
+        """
+        table = self.get_table(name)
+        stored_key = table.resolve_name(key)
+        from repro.distributed.shards import ShardingSpec
+
+        spec = ShardingSpec(
+            key=stored_key,
+            num_shards=num_shards,
+            kind=kind,
+            boundaries=tuple(boundaries),
+        )
+        table_key = name.lower()
+        with self._stats_lock:
+            self._shard_specs[table_key] = spec
+            self._sharded.pop(table_key, None)
+            self._epoch_counter += 1
+            self._shard_epochs[table_key] = self._epoch_counter
+        self._log(
+            "shard_table", name, f"{kind} on {stored_key} x{num_shards}"
+        )
+
+    def unshard_table(self, name: str) -> None:
+        """Drop a table's sharding (the table itself is untouched)."""
+        key = name.lower()
+        with self._stats_lock:
+            if key not in self._shard_specs:
+                return
+            del self._shard_specs[key]
+            self._sharded.pop(key, None)
+            self._epoch_counter += 1
+            self._shard_epochs[key] = self._epoch_counter
+        self._log("unshard_table", name)
+
+    def is_sharded(self, name: str) -> bool:
+        with self._stats_lock:
+            return name.lower() in self._shard_specs
+
+    def sharding_spec(self, name: str):
+        """The table's :class:`ShardingSpec`, or ``None``."""
+        with self._stats_lock:
+            return self._shard_specs.get(name.lower())
+
+    def shard_epoch(self, name: str) -> int:
+        """Epoch of the last shard-layout or sharded-data change (0 =
+        never sharded)."""
+        with self._stats_lock:
+            return self._shard_epochs.get(name.lower(), 0)
+
+    def sharding(self, name: str):
+        """The table's :class:`ShardedTable`, built lazily, or ``None``.
+
+        Uses the same snapshot-and-compare as :meth:`table_statistics`:
+        the O(rows) split runs outside the lock, and the result is
+        installed only if no write raced it.
+        """
+        key = name.lower()
+        with self._stats_lock:
+            spec = self._shard_specs.get(key)
+            if spec is None:
+                return None
+            cached = self._sharded.get(key)
+            epoch_before = self._shard_epochs.get(key, 0)
+        if cached is not None:
+            return cached
+        from repro.distributed.shards import ShardedTable
+
+        built = ShardedTable.build(
+            key, self.get_table(name), spec, epoch=epoch_before
+        )
+        with self._stats_lock:
+            if self._shard_epochs.get(key, 0) == epoch_before:
+                return self._sharded.setdefault(key, built)
+        return built
+
+    def _invalidate_shards(self, key: str) -> None:
+        """A data change under a sharded table: rebuild lazily, re-epoch."""
+        with self._stats_lock:
+            if key not in self._shard_specs:
+                return
+            self._sharded.pop(key, None)
+            self._epoch_counter += 1
+            self._shard_epochs[key] = self._epoch_counter
 
     # -- statistics -----------------------------------------------------------
 
@@ -471,10 +585,15 @@ class Catalog:
         if table is None:
             self._tables.pop(key, None)
             self._drop_epochs(key)
+            with self._stats_lock:
+                self._shard_specs.pop(key, None)
+                self._sharded.pop(key, None)
+                self._shard_epochs.pop(key, None)
         else:
             self._tables[key] = table
             # A rollback can revert arbitrary churn; always re-epoch.
             self._invalidate_stats(key)
+            self._invalidate_shards(key)
         self._log("restore_table", name, "rollback")
 
     def snapshot_model_versions(self, name: str) -> list[ModelEntry] | None:

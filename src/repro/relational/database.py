@@ -124,8 +124,18 @@ class Database:
             table_provider=self._provide_table,
             model_resolver=self,
             options=options,
+            shard_provider=self._provide_shards,
+            fragment_runner=self._run_gather,
         )
         self._planner = PhysicalPlanner(self.catalog, self._executor.options)
+        self._distributed = None
+        self._distributed_lock = threading.Lock()
+        # Canonical shard-query observer list. The runtime is
+        # disposable (close() drops it, the next gather rebuilds it),
+        # so observers register here and are re-attached to every
+        # runtime instance — a server's fan-out metrics survive a
+        # close()/restart cycle.
+        self._shard_observers: list[Callable] = []
         self._external_runtimes: dict[str, Callable] = {}
         self._model_listeners: list[Callable[[str, str], None]] = []
         # Every model mutation path (store, drop, transaction rollback)
@@ -147,6 +157,86 @@ class Database:
 
     def table(self, name: str) -> Table:
         return self.catalog.get_table(name)
+
+    def shard_table(
+        self,
+        name: str,
+        key: str,
+        num_shards: int,
+        kind: str = "hash",
+        boundaries=(),
+    ) -> None:
+        """Shard a stored table on ``key``; see :meth:`Catalog.shard_table`.
+
+        Once declared, the optimizer may route eligible plans (scans,
+        PREDICT pipelines, aggregates over this table) through the
+        multi-process scatter-gather runtime, pruning shards whose
+        statistics prove a predicate cannot match.
+        """
+        self.catalog.shard_table(name, key, num_shards, kind, boundaries)
+
+    # -- distributed runtime ----------------------------------------------
+
+    @property
+    def distributed(self):
+        """The scatter-gather coordinator (created on first use)."""
+        with self._distributed_lock:
+            if self._distributed is None:
+                from repro.distributed.runtime import DistributedRuntime
+
+                options = self._executor.options
+                runtime = DistributedRuntime(
+                    max_workers=options.max_workers,
+                    mode=options.distributed_mode,
+                    model_resolver=self._resolve_fragment_model,
+                )
+                for observer in self._shard_observers:
+                    runtime.add_observer(observer)
+                self._distributed = runtime
+            return self._distributed
+
+    def add_shard_observer(self, fn: Callable) -> None:
+        """Register ``fn(shards_scanned, shards_pruned, fragment_seconds)``.
+
+        Observers outlive individual runtime instances (see
+        :meth:`close`); the serving layer's fan-out metrics subscribe
+        here.
+        """
+        with self._distributed_lock:
+            self._shard_observers.append(fn)
+            runtime = self._distributed
+        if runtime is not None:
+            runtime.add_observer(fn)
+
+    def remove_shard_observer(self, fn: Callable) -> None:
+        with self._distributed_lock:
+            try:
+                self._shard_observers.remove(fn)
+            except ValueError:
+                pass
+            runtime = self._distributed
+        if runtime is not None:
+            runtime.remove_observer(fn)
+
+    def close(self) -> None:
+        """Release process-pool resources (idempotent)."""
+        with self._distributed_lock:
+            runtime, self._distributed = self._distributed, None
+        if runtime is not None:
+            runtime.shutdown()
+
+    def _resolve_fragment_model(self, model_ref: str) -> object:
+        """The catalog entry for a fragment's model (payload + metadata)."""
+        return self.catalog.get_model(model_ref)
+
+    def _provide_shards(self, name: str):
+        try:
+            return self.catalog.sharding(name)
+        except CatalogError:
+            return None
+
+    def _run_gather(self, op, sharded) -> list[Table]:
+        return self.distributed.run_gather(op, sharded)
 
     def store_model(
         self,

@@ -30,13 +30,17 @@ from repro.relational.types import Column, DataType, Schema
 from repro.tensor import serialize as tensor_serialize
 from repro.tensor.graph import Graph
 
-#: Version 2 adds per-table ``partition_size`` and persisted
-#: ``statistics`` (row count, min/max, NDV, histograms). Version 1
-#: manifests still load; their statistics are rebuilt lazily on first
-#: use by the catalog.
-MANIFEST_VERSION = 2
+#: Version 2 added per-table ``partition_size`` and persisted
+#: ``statistics`` (row count, min/max, NDV, histograms). Version 3
+#: adds the per-table ``sharding`` spec (key, shard count, hash/range
+#: boundaries); the shards themselves are *not* persisted — they are a
+#: deterministic function of the table and the spec, so loading
+#: re-declares the sharding and the catalog rebuilds shard tables (and
+#: their statistics) lazily on first distributed access. Version 1 and
+#: 2 manifests still load; missing statistics rebuild lazily.
+MANIFEST_VERSION = 3
 
-_SUPPORTED_MANIFEST_VERSIONS = (1, 2)
+_SUPPORTED_MANIFEST_VERSIONS = (1, 2, 3)
 
 
 def save_database(database: Database, path: str | Path) -> Path:
@@ -53,7 +57,7 @@ def save_database(database: Database, path: str | Path) -> Path:
         table = database.table(name)
         file_name = f"{name}.npz"
         np.savez(path / "tables" / file_name, **table.to_dict())
-        manifest["tables"][name] = {
+        spec: dict = {
             "file": file_name,
             "schema": [
                 [column.name, column.dtype.value] for column in table.schema
@@ -63,6 +67,10 @@ def save_database(database: Database, path: str | Path) -> Path:
             # full fidelity immediately — no warm-up ANALYZE pass.
             "statistics": database.catalog.table_statistics(name).to_dict(),
         }
+        sharding = database.catalog.sharding_spec(name)
+        if sharding is not None:
+            spec["sharding"] = sharding.to_dict()
+        manifest["tables"][name] = spec
     for model_name in database.catalog.model_names():
         for entry in database.catalog.model_versions(model_name):
             stem = f"{model_name}_v{entry.version}"
@@ -128,10 +136,24 @@ def load_database(path: str | Path) -> Database:
         )
         stats_spec = spec.get("statistics")
         if stats_spec:
-            # v2: reuse the persisted statistics. v1 manifests have
+            # v2+: reuse the persisted statistics. v1 manifests have
             # none; the catalog rebuilds them lazily on first use.
             database.catalog.set_table_statistics(
                 name, TableStatistics.from_dict(stats_spec)
+            )
+        sharding_spec = spec.get("sharding")
+        if sharding_spec:
+            # v3: re-declare the sharding; shard tables and their
+            # statistics materialize lazily on first distributed use.
+            from repro.distributed.shards import ShardingSpec
+
+            sharding = ShardingSpec.from_dict(sharding_spec)
+            database.catalog.shard_table(
+                name,
+                sharding.key,
+                sharding.num_shards,
+                sharding.kind,
+                sharding.boundaries,
             )
     # Versions were appended in order; re-storing in order recreates them.
     for spec in sorted(

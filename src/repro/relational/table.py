@@ -46,6 +46,9 @@ class Table:
                 f"partition_size must be >= 1, got {partition_size}"
             )
         self._partition_size = partition_size
+        # Explicit row-range partitioning (set by with_partition_bounds):
+        # used by exchange operators whose buckets are variable-sized.
+        self._explicit_bounds: list[tuple[int, int]] | None = None
         self._zone_maps: dict[str, tuple[np.ndarray, np.ndarray] | None] = {}
         self._schema = schema
         data: dict[str, np.ndarray] = {}
@@ -167,9 +170,16 @@ class Table:
 
     @property
     def num_partitions(self) -> int:
+        if self._explicit_bounds is not None:
+            return max(1, len(self._explicit_bounds))
         if not self._partition_size or self._num_rows == 0:
             return 1
         return -(-self._num_rows // self._partition_size)
+
+    @property
+    def has_explicit_partitions(self) -> bool:
+        """True when partitioning came from an exchange's bucket bounds."""
+        return self._explicit_bounds is not None
 
     def with_partitioning(self, partition_size: int | None) -> "Table":
         """The same data as a (re)partitioned table (arrays are shared)."""
@@ -177,8 +187,36 @@ class Table:
             return self
         return Table(self._schema, self._columns, partition_size)
 
+    def with_partition_bounds(
+        self, bounds: Sequence[tuple[int, int]]
+    ) -> "Table":
+        """The same data under explicit ``[start, stop)`` partition bounds.
+
+        Exchange operators (``Repartition``) produce variable-sized,
+        key-disjoint buckets that fixed-size partitioning cannot
+        express. Bounds must be ascending and contiguous over all rows.
+        """
+        bounds = [(int(start), int(stop)) for start, stop in bounds]
+        expected = 0
+        for start, stop in bounds:
+            if start != expected or stop < start:
+                raise SchemaError(
+                    f"partition bounds must be contiguous; got {bounds}"
+                )
+            expected = stop
+        if expected != self._num_rows:
+            raise SchemaError(
+                f"partition bounds cover {expected} rows, table has "
+                f"{self._num_rows}"
+            )
+        table = Table(self._schema, self._columns)
+        table._explicit_bounds = bounds
+        return table
+
     def partition_bounds(self) -> list[tuple[int, int]]:
         """``[start, stop)`` row ranges, one per partition."""
+        if self._explicit_bounds is not None:
+            return list(self._explicit_bounds)
         if not self._partition_size:
             return [(0, self._num_rows)]
         size = self._partition_size

@@ -88,6 +88,7 @@ class PreparedQuery:
         model_refs = _collect_model_refs(graph, self._session.database)
         stats_epochs = _collect_stats_epochs(graph, self._session.database)
         column_epochs = _collect_column_epochs(graph, self._session.database)
+        shard_epochs = _collect_shard_epochs(graph, self._session.database)
         optimized, report = self._session.optimize(graph)
         generated = self._session.generate_sql(optimized)
         entry = CachedPlan(
@@ -101,6 +102,8 @@ class PreparedQuery:
             stats_epochs=stats_epochs,
             column_epochs=column_epochs,
             rules_fired=tuple(getattr(report, "applied", ()) or ()),
+            shard_routing=_collect_shard_routing(optimized),
+            shard_epochs=shard_epochs,
             prepare_seconds=time.perf_counter() - start,
         )
         if self._plan_cache is not None:
@@ -130,6 +133,15 @@ class PreparedQuery:
                 continue
             try:
                 if database.catalog.stats_epoch(table_name) != epoch:
+                    return False
+            except Exception:
+                return False
+        # Shard layout moved (reshard, or a write that re-splits the
+        # table): the plan's recorded routing may name shards that no
+        # longer hold the matching rows, so re-route before reuse.
+        for table_name, epoch in entry.shard_epochs:
+            try:
+                if database.catalog.shard_epoch(table_name) != epoch:
                     return False
             except Exception:
                 return False
@@ -347,6 +359,14 @@ def _bind_template(
                     )
                     for func, arg, alias in aggregates
                 ]
+        if node.op == "ra.gather" and mapping:
+            # The per-shard fragment is a logical subtree attribute;
+            # its filter/projection expressions carry parameters too.
+            from repro.distributed.operators import substitute_fragment
+
+            attrs["fragment"] = substitute_fragment(
+                attrs["fragment"], mapping
+            )
         if node.op == "ra.inline_table" and data:
             source = attrs.get("source_name")
             if source and source.lower() in data:
@@ -367,6 +387,10 @@ def _walk_expressions(graph: IRGraph) -> Iterator[Expression]:
         for _func, arg, _alias in attrs.get("aggregates") or ():
             if arg is not None:
                 yield arg
+        if node.op == "ra.gather":
+            from repro.distributed.operators import fragment_expressions
+
+            yield from fragment_expressions(attrs["fragment"])
 
 
 def _collect_parameters(graph: IRGraph) -> tuple[str, ...]:
@@ -476,6 +500,54 @@ def _collect_column_epochs(
         (table, column, epoch)
         for (table, column), epoch in sorted(entries.items())
     )
+
+
+def _collect_shard_routing(
+    graph: IRGraph,
+) -> tuple[tuple[str, int, int, str], ...]:
+    """``(table, scanned, total, pruned_by)`` per distributed scan.
+
+    Collected from the *optimized* graph — routing is an optimizer
+    decision, it does not exist before the memo search.
+    """
+    routing = []
+    for node in graph.nodes():
+        if node.op != "ra.gather":
+            continue
+        routing.append(
+            (
+                str(node.attrs.get("table", "")).lower(),
+                len(node.attrs.get("shard_ids", ())),
+                int(node.attrs.get("total_shards", 0)),
+                str(node.attrs.get("pruned_by", "none")),
+            )
+        )
+    return tuple(routing)
+
+
+def _collect_shard_epochs(
+    graph: IRGraph, database
+) -> tuple[tuple[str, int], ...]:
+    """``(table, shard_epoch)`` for every *sharded* table the plan scans.
+
+    Collected from the analysis graph (like the stats epochs) so the
+    dependency survives whatever shape the optimizer rewrites the scan
+    into — including not distributing at all: if the layout changes, a
+    replan may now choose (or re-route) a scatter-gather plan.
+    """
+    epochs: dict[str, int] = {}
+    for node in graph.nodes():
+        if node.op not in ("ra.scan", "ra.gather"):
+            continue
+        name = str(node.attrs.get("table", "")).lower()
+        if not name or name in epochs:
+            continue
+        try:
+            if database.catalog.is_sharded(name):
+                epochs[name] = database.catalog.shard_epoch(name)
+        except Exception:
+            continue
+    return tuple(sorted(epochs.items()))
 
 
 def _normalize_data(

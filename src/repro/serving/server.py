@@ -77,6 +77,13 @@ class RavenServer:
         # A new model version (or rollback) must drop stale predictions;
         # the plan cache subscribes separately via the session.
         session.database.add_model_listener(self._on_model_event)
+        # Shard fan-out metrics: every Gather the database dispatches
+        # on behalf of this server's requests reports (scanned, pruned,
+        # fragment latencies) into ServingStats. Registration is
+        # database-level so it survives runtime restarts (close()).
+        self._observes_shards = hasattr(session.database, "add_shard_observer")
+        if self._observes_shards:
+            session.database.add_shard_observer(self._on_shard_query)
         self._prepared: dict[str, _PreparedSpec] = {}
         self._batchers: dict[tuple, MicroBatcher] = {}
         self._lock = threading.Lock()
@@ -104,6 +111,8 @@ class RavenServer:
         # Stop receiving model events; a shut-down server must not stay
         # reachable from (and invalidated by) a long-lived database.
         self.session.database.remove_model_listener(self._on_model_event)
+        if self._observes_shards:
+            self.session.database.remove_shard_observer(self._on_shard_query)
         for batcher in batchers:
             batcher.close()
         for _ in self._workers:
@@ -387,9 +396,17 @@ class RavenServer:
     def _on_model_event(self, event: str, name: str) -> None:
         self.result_cache.invalidate_model(name)
 
+    def _on_shard_query(
+        self, scanned: int, pruned: int, fragment_seconds: list[float]
+    ) -> None:
+        self.stats.record_shard_query(scanned, pruned, fragment_seconds)
+
     def stats_snapshot(self) -> dict:
         """One dict with request, latency, and cache metrics."""
         snapshot = self.stats.snapshot()
+        runtime = getattr(self.session.database, "distributed", None)
+        if runtime is not None:
+            snapshot["distributed_runtime"] = runtime.stats()
         plan_cache = getattr(self.session, "plan_cache", None)
         if plan_cache is not None:
             snapshot["plan_cache"] = plan_cache.stats()

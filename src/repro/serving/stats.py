@@ -30,6 +30,14 @@ class ServingStats:
         self.rejected = 0
         self.batched_requests = 0
         self.batches = 0
+        # Distributed fan-out: per query routed through a Gather, how
+        # many shards ran vs. were pruned, plus a latency reservoir of
+        # individual fragment executions (dispatch -> result).
+        self.shard_queries = 0
+        self.shards_scanned = 0
+        self.shards_pruned = 0
+        self._fragment_latencies: list[float] = []
+        self._fragment_cursor = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -56,6 +64,34 @@ class ServingStats:
             self.batches += 1
             self.batched_requests += size
             self._batch_sizes[size] += 1
+
+    def record_shard_query(
+        self,
+        shards_scanned: int,
+        shards_pruned: int,
+        fragment_seconds: list[float] | None = None,
+    ) -> None:
+        """One query's shard fan-out (the distributed runtime calls this)."""
+        with self._lock:
+            self.shard_queries += 1
+            self.shards_scanned += shards_scanned
+            self.shards_pruned += shards_pruned
+            for latency in fragment_seconds or ():
+                if len(self._fragment_latencies) < self._max_samples:
+                    self._fragment_latencies.append(latency)
+                else:
+                    self._fragment_latencies[self._fragment_cursor] = latency
+                    self._fragment_cursor = (
+                        self._fragment_cursor + 1
+                    ) % self._max_samples
+
+    def fragment_latency_percentile(self, fraction: float) -> float:
+        with self._lock:
+            samples = sorted(self._fragment_latencies)
+        if not samples:
+            return 0.0
+        index = min(len(samples) - 1, int(fraction * len(samples)))
+        return samples[index]
 
     def _record_latency(self, latency_seconds: float) -> None:
         if len(self._latencies) < self._max_samples:
@@ -94,6 +130,24 @@ class ServingStats:
                     self.batched_requests / self.batches if self.batches else 0.0
                 ),
             }
+        with self._lock:
+            shard_queries = self.shard_queries
+            snapshot["distributed"] = {
+                "shard_queries": shard_queries,
+                "shards_scanned": self.shards_scanned,
+                "shards_pruned": self.shards_pruned,
+                "mean_fanout": (
+                    self.shards_scanned / shard_queries
+                    if shard_queries
+                    else 0.0
+                ),
+            }
+        snapshot["distributed"]["fragment_p50_ms"] = (
+            self.fragment_latency_percentile(0.50) * 1e3
+        )
+        snapshot["distributed"]["fragment_p95_ms"] = (
+            self.fragment_latency_percentile(0.95) * 1e3
+        )
         snapshot["latency_p50_ms"] = self.latency_percentile(0.50) * 1e3
         snapshot["latency_p95_ms"] = self.latency_percentile(0.95) * 1e3
         snapshot["batch_size_histogram"] = self.batch_size_histogram()

@@ -1,0 +1,767 @@
+"""Tests for distributed shard execution (scatter-gather over shards)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.distributed import routing, serialize, worker
+from repro.distributed.operators import Gather, Repartition, ShardScan
+from repro.distributed.shards import ShardedTable, ShardingSpec, hash_buckets
+from repro.errors import CatalogError
+from repro.ml.ensemble import GradientBoostingRegressor
+from repro.ml.pipeline import Pipeline
+from repro.ml.preprocessing import StandardScaler
+from repro.relational.algebra import logical
+from repro.relational.algebra.executor import ExecutionOptions
+from repro.relational.database import Database
+from repro.relational.expressions import BinaryOp, InList, col, lit
+from repro.relational.statistics import collect_statistics
+from repro.relational.storage import load_database, save_database
+from repro.relational.table import Table
+
+N_ROWS = 60_000
+N_GROUPS = 50
+
+
+def make_table(n=N_ROWS, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "grp": rng.integers(0, N_GROUPS, n).astype(np.int64),
+            "v": rng.normal(size=n),
+        }
+    )
+
+
+def train_pipeline(table, n_estimators=40, max_depth=3):
+    X = np.column_stack(
+        [table.column("grp").astype(float), table.column("v")]
+    )
+    y = table.column("v") * 2.0 + table.column("grp") * 0.1
+    return Pipeline(
+        [
+            ("scale", StandardScaler()),
+            (
+                "gb",
+                GradientBoostingRegressor(
+                    n_estimators=n_estimators, max_depth=max_depth
+                ),
+            ),
+        ]
+    ).fit(X[:2000], y[:2000])
+
+
+@pytest.fixture(scope="module")
+def base_table():
+    return make_table()
+
+
+@pytest.fixture(scope="module")
+def pipeline(base_table):
+    return train_pipeline(base_table)
+
+
+def distributed_db(table, pipeline=None, shards=8, key="grp", **shard_kw):
+    """A database with the table sharded and in-process fragment dispatch.
+
+    ``max_workers=8`` makes the cost model assume a real worker pool,
+    so fan-out plans win whenever they should — while execution stays
+    deterministic and fork-free for tests.
+    """
+    db = Database(
+        options=ExecutionOptions(max_workers=8, distributed_mode="inprocess")
+    )
+    db.register_table("t", table)
+    db.shard_table("t", key, shards, **shard_kw)
+    if pipeline is not None:
+        db.store_model(
+            "m", pipeline, metadata={"feature_names": ["grp", "v"]}
+        )
+    return db
+
+
+def baseline_db(table, pipeline=None):
+    db = Database(options=ExecutionOptions(enable_distributed=False))
+    db.register_table("t", table)
+    if pipeline is not None:
+        db.store_model(
+            "m", pipeline, metadata={"feature_names": ["grp", "v"]}
+        )
+    return db
+
+
+PREDICT_SQL = """
+DECLARE @m varbinary(max) = (
+    SELECT model FROM scoring_models WHERE model_name = 'm');
+SELECT id, p.out
+FROM PREDICT(MODEL = @m, DATA = t AS d) WITH (out float) AS p
+WHERE d.grp = {value}
+ORDER BY id
+"""
+
+
+class TestSharding:
+    def test_hash_split_preserves_rows(self, base_table):
+        spec = ShardingSpec(key="grp", num_shards=8)
+        sharded = ShardedTable.build("t", base_table, spec)
+        assert sharded.num_shards == 8
+        assert sharded.num_rows == base_table.num_rows
+        rebuilt = np.sort(
+            np.concatenate([s.column("id") for s in sharded.shards])
+        )
+        assert np.array_equal(rebuilt, np.sort(base_table.column("id")))
+
+    def test_hash_shards_are_key_disjoint(self, base_table):
+        spec = ShardingSpec(key="grp", num_shards=4)
+        sharded = ShardedTable.build("t", base_table, spec)
+        seen: dict[int, int] = {}
+        for shard_id, shard in enumerate(sharded.shards):
+            for value in np.unique(shard.column("grp")):
+                assert seen.setdefault(int(value), shard_id) == shard_id
+
+    def test_range_split_respects_boundaries(self, base_table):
+        spec = ShardingSpec(
+            key="id", num_shards=4, kind="range",
+            boundaries=(15_000, 30_000, 45_000),
+        )
+        sharded = ShardedTable.build("t", base_table, spec)
+        assert sharded.shard(0).column("id").max() < 15_000
+        assert sharded.shard(3).column("id").min() >= 45_000
+
+    def test_hash_buckets_deterministic_across_dtypes(self):
+        ints = np.array([-5, 0, 7, 123456789], dtype=np.int64)
+        assert np.array_equal(hash_buckets(ints, 4), hash_buckets(ints, 4))
+        assert (hash_buckets(ints, 4) >= 0).all()
+        strings = np.array(["a", "bb", "a", "ccc"])
+        buckets = hash_buckets(strings, 3)
+        assert buckets[0] == buckets[2]  # equal values, equal bucket
+        floats = np.array([1.5, -2.25, np.nan])
+        assert (hash_buckets(floats, 4) >= 0).all()
+
+    def test_spec_validation(self):
+        with pytest.raises(CatalogError):
+            ShardingSpec(key="k", num_shards=0)
+        with pytest.raises(CatalogError):
+            ShardingSpec(key="k", num_shards=3, kind="range", boundaries=(1,))
+        with pytest.raises(CatalogError):
+            ShardingSpec(
+                key="k", num_shards=3, kind="range", boundaries=(5, 1)
+            )
+        with pytest.raises(CatalogError):
+            ShardingSpec(key="k", num_shards=2, kind="mystery")
+
+    def test_spec_json_roundtrip(self):
+        spec = ShardingSpec(
+            key="id", num_shards=3, kind="range", boundaries=(10, 20)
+        )
+        assert ShardingSpec.from_dict(spec.to_dict()) == spec
+
+    def test_write_bumps_shard_epoch_and_resplits(self, base_table):
+        db = distributed_db(base_table)
+        before = db.catalog.shard_epoch("t")
+        assert db.catalog.sharding("t").num_rows == base_table.num_rows
+        db.register_table("t", make_table(n=1000, seed=3))
+        assert db.catalog.shard_epoch("t") > before
+        assert db.catalog.sharding("t").num_rows == 1000
+
+
+class TestRouting:
+    def test_range_predicate_prunes_range_shards(self, base_table):
+        spec = ShardingSpec(
+            key="id", num_shards=4, kind="range",
+            boundaries=(15_000, 30_000, 45_000),
+        )
+        sharded = ShardedTable.build("t", base_table, spec)
+        keep = routing.surviving_shards(
+            sharded, BinaryOp("<", col("id"), lit(10_000))
+        )
+        assert keep.tolist() == [True, False, False, False]
+
+    def test_hash_key_equality_routes_exactly(self, base_table):
+        spec = ShardingSpec(key="grp", num_shards=8)
+        sharded = ShardedTable.build("t", base_table, spec)
+        keep = routing.surviving_shards(
+            sharded, BinaryOp("=", col("grp"), lit(7))
+        )
+        assert keep.sum() == 1
+        expected = int(spec.assign(np.array([7]))[0])
+        assert keep[expected]
+
+    def test_in_list_routes_to_value_shards(self, base_table):
+        spec = ShardingSpec(key="grp", num_shards=8)
+        sharded = ShardedTable.build("t", base_table, spec)
+        keep = routing.surviving_shards(
+            sharded, InList(col("grp"), (3, 7, 11))
+        )
+        targets = set(int(s) for s in spec.assign(np.array([3, 7, 11])))
+        assert set(np.nonzero(keep)[0].tolist()) == targets
+
+    def test_routing_never_drops_matching_rows(self, base_table):
+        """Anti-over-pruning: surviving shards hold every matching row."""
+        spec = ShardingSpec(key="grp", num_shards=8)
+        sharded = ShardedTable.build("t", base_table, spec)
+        predicate = BinaryOp("=", col("grp"), lit(13))
+        keep = routing.surviving_shards(sharded, predicate)
+        survivors = sum(
+            int((sharded.shard(i).column("grp") == 13).sum())
+            for i in np.nonzero(keep)[0]
+        )
+        assert survivors == int((base_table.column("grp") == 13).sum())
+
+    def test_empty_shards_are_pruned(self):
+        table = Table.from_dict(
+            {"id": np.arange(10, dtype=np.int64), "v": np.ones(10)}
+        )
+        spec = ShardingSpec(
+            key="id", num_shards=3, kind="range", boundaries=(100, 200)
+        )
+        sharded = ShardedTable.build("t", table, spec)  # shards 1,2 empty
+        keep = routing.surviving_shards(
+            sharded, BinaryOp(">", col("v"), lit(0.0))
+        )
+        assert keep.tolist() == [True, False, False]
+
+    def test_all_null_column_constraint_prunes(self):
+        table = Table.from_dict(
+            {
+                "id": np.arange(8, dtype=np.int64),
+                "v": np.full(8, np.nan),
+            }
+        )
+        spec = ShardingSpec(
+            key="id", num_shards=2, kind="range", boundaries=(4,)
+        )
+        sharded = ShardedTable.build("t", table, spec)
+        keep = routing.surviving_shards(
+            sharded, BinaryOp(">", col("v"), lit(1.0))
+        )
+        # NaN never satisfies a comparison: both shards provably empty.
+        assert keep.tolist() == [False, False]
+
+    def test_key_routing_casts_probe_to_column_dtype(self):
+        """An int literal probing a *float* shard key must hash the way
+        the rows were placed — not via the integer hash path."""
+        rng = np.random.default_rng(4)
+        table = Table.from_dict(
+            {
+                "k": rng.integers(0, 10, 5_000).astype(np.float64),
+                "v": rng.normal(size=5_000),
+            }
+        )
+        sharded = ShardedTable.build(
+            "t", table, ShardingSpec(key="k", num_shards=7)
+        )
+        predicate = BinaryOp("=", col("k"), lit(3))  # int literal
+        keep = routing.surviving_shards(sharded, predicate)
+        matching = sum(
+            int((sharded.shard(i).column("k") == 3.0).sum())
+            for i in np.nonzero(keep)[0]
+        )
+        assert matching == int((table.column("k") == 3.0).sum())
+        assert matching > 0
+
+    def test_unconstrained_predicate_routes_nowhere(self, base_table):
+        spec = ShardingSpec(key="grp", num_shards=4)
+        sharded = ShardedTable.build("t", base_table, spec)
+        assert routing.surviving_shards(sharded, None) is None
+
+
+class TestSerialization:
+    def test_expression_roundtrip(self):
+        from repro.relational.expressions import (
+            CaseWhen,
+            FunctionCall,
+            Parameter,
+            UnaryOp,
+        )
+
+        exprs = [
+            BinaryOp("AND", BinaryOp("<", col("a"), lit(3.5)),
+                     BinaryOp("=", col("b"), lit("x"))),
+            UnaryOp("NOT", InList(col("a"), (1, 2, 3))),
+            CaseWhen(((BinaryOp(">", col("a"), lit(0)), lit(1.0)),), lit(0.0)),
+            FunctionCall("ABS", (col("a"),)),
+            Parameter("@cutoff"),
+        ]
+        for expr in exprs:
+            decoded = serialize.decode_expression(
+                json.loads(json.dumps(serialize.encode_expression(expr)))
+            )
+            assert decoded == expr
+
+    def test_fragment_roundtrip_executes(self, base_table, pipeline):
+        fragment = logical.Predict(
+            logical.Filter(
+                ShardScan("t", base_table.schema, None, 4),
+                BinaryOp("=", col("grp"), lit(3)),
+            ),
+            "m",
+            (("out", __import__("repro.relational.types",
+                                fromlist=["DataType"]).DataType.FLOAT),),
+            payload=pipeline,
+            flavor="ml.pipeline",
+            feature_names=("grp", "v"),
+        )
+        spec = json.loads(json.dumps(serialize.encode_fragment(fragment)))
+        decoded = serialize.decode_fragment(spec)
+        shard = ShardedTable.build(
+            "t", base_table, ShardingSpec(key="grp", num_shards=4)
+        ).shard(0)
+        result = worker.execute_fragment(decoded, shard)
+        expected = int((shard.column("grp") == 3).sum())
+        assert result.num_rows == expected
+        assert "out" in result.schema.names
+
+    def test_unserializable_shapes_are_rejected(self, base_table):
+        join = logical.Join(
+            ShardScan("t", base_table.schema, None, 2),
+            ShardScan("t", base_table.schema, None, 2),
+            "CROSS",
+            None,
+        )
+        assert not serialize.fragment_is_serializable(
+            join, lambda _op: "ml.pipeline"
+        )
+        predict = logical.Predict(
+            ShardScan("t", base_table.schema, None, 2),
+            "m",
+            (),
+        )
+        assert not serialize.fragment_is_serializable(
+            predict, lambda _op: "tensor.graph"
+        )
+
+    def test_worker_model_cache_reuses_decoded_bundle(self, pipeline):
+        from repro.ml import model_format
+
+        worker.clear_caches()
+        bundle = model_format.dumps(pipeline)
+        first = worker._load_model(bundle)
+        second = worker._load_model(bundle)
+        assert first is second
+
+
+class TestGatherExecution:
+    def test_distributed_aggregate_matches_baseline(self, base_table):
+        db = distributed_db(base_table)
+        db0 = baseline_db(base_table)
+        sql = (
+            "SELECT grp, COUNT(*) AS c, SUM(v) AS s, AVG(v) AS m, "
+            "MIN(v) AS lo, MAX(v) AS hi FROM t GROUP BY grp ORDER BY grp"
+        )
+        result = db.execute(sql)
+        assert db._executor.last_shard_routing is not None
+        assert db._executor.last_shard_routing["shards_total"] == 8
+        assert result.equals(db0.execute(sql))
+
+    def test_global_aggregate_matches_baseline(self, base_table):
+        db = distributed_db(base_table)
+        db0 = baseline_db(base_table)
+        sql = "SELECT COUNT(*) AS c, AVG(v) AS m FROM t WHERE grp = 9"
+        assert db.execute(sql).equals(db0.execute(sql))
+
+    def test_empty_result_aggregate(self, base_table):
+        db = distributed_db(base_table)
+        db0 = baseline_db(base_table)
+        # No row has grp = 999: every shard's partial is the identity
+        # row, and the row-guard must keep sentinel values out.
+        sql = "SELECT COUNT(*) AS c, AVG(v) AS m FROM t WHERE grp = 999"
+        result = db.execute(sql)
+        assert result.equals(db0.execute(sql))
+        assert result.column("c")[0] == 0
+
+    def test_distributed_predict_matches_baseline(
+        self, base_table, pipeline
+    ):
+        db = distributed_db(base_table, pipeline)
+        db0 = baseline_db(base_table, pipeline)
+        sql = PREDICT_SQL.format(value=7)
+        result = db.execute(sql)
+        routing_info = db._executor.last_shard_routing
+        assert routing_info["table"] == "t"
+        assert routing_info["shards_scanned"] < routing_info["shards_total"]
+        assert result.equals(db0.execute(sql))
+
+    def test_pruned_shards_never_dispatch(self, base_table, pipeline):
+        """The acceptance-criterion test: fragment runners are only
+        invoked for surviving shards."""
+        db = distributed_db(base_table, pipeline)
+        dispatched: list[int] = []
+        real_runner = db.distributed.run_gather
+
+        def recording_runner(op, sharded):
+            dispatched.extend(op.shard_ids)
+            return real_runner(op, sharded)
+
+        db._executor._fragment_runner = recording_runner
+        db.execute(PREDICT_SQL.format(value=7))
+        sharded = db.catalog.sharding("t")
+        expected = int(sharded.spec.assign(np.array([7]))[0])
+        assert dispatched == [expected]
+
+    def test_explain_reports_shards_scanned(self, base_table, pipeline):
+        db = distributed_db(base_table, pipeline)
+        lines = "\n".join(
+            db.execute(
+                "EXPLAIN SELECT COUNT(*) AS c FROM t WHERE grp = 7"
+            ).column("plan")
+        )
+        assert "shards=1/8 (zone-map)" in lines
+        assert "Gather t key=grp" in lines
+        assert "ShardScan t" in lines
+
+    def test_gather_falls_back_when_table_unsharded(self, base_table):
+        db = distributed_db(base_table)
+        plan = db.bind("SELECT id, grp, v FROM t WHERE grp = 5")
+        plan = db._planner.optimize(plan)
+        db.catalog.unshard_table("t")
+        fragment = logical.Filter(
+            ShardScan("t", base_table.schema, None, 8),
+            BinaryOp("=", col("grp"), lit(5)),
+        )
+        gather = Gather("t", fragment, "grp", (0, 3), 8, "zone-map")
+        result = db.execute_plan(gather)
+        assert result.num_rows == int((base_table.column("grp") == 5).sum())
+
+    def test_order_only_differs_without_order_by(self, base_table):
+        db = distributed_db(base_table)
+        db0 = baseline_db(base_table)
+        sql = "SELECT id FROM t WHERE grp = 3"
+        distributed = np.sort(db.execute(sql).column("id"))
+        sequential = np.sort(db0.execute(sql).column("id"))
+        assert np.array_equal(distributed, sequential)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_PROCESS_TESTS") == "1",
+    reason="process pool disabled in this environment",
+)
+class TestProcessPool:
+    def test_process_pool_predict_and_shard_cache(self):
+        table = make_table(n=4_000, seed=2)
+        pipeline = train_pipeline(table, n_estimators=5, max_depth=2)
+        db = Database(
+            options=ExecutionOptions(
+                max_workers=2, distributed_mode="process"
+            )
+        )
+        db.register_table("t", table)
+        db.shard_table("t", "grp", 2)
+        db.store_model("m", pipeline, metadata={"feature_names": ["grp", "v"]})
+        db0 = baseline_db(table, pipeline)
+        try:
+            fragment = logical.Predict(
+                logical.Filter(
+                    ShardScan("t", table.schema, None, 2),
+                    BinaryOp("<", col("grp"), lit(40)),
+                ),
+                "m",
+                (("out", __import__("repro.relational.types",
+                                    fromlist=["DataType"]).DataType.FLOAT),),
+            )
+            gather = Gather("t", fragment, "grp", (0, 1), 2, "none")
+            first = db.execute_plan(logical.OrderBy(
+                gather, ((col("id"), True),)
+            ))
+            second = db.execute_plan(logical.OrderBy(
+                gather, ((col("id"), True),)
+            ))
+            assert first.equals(second)
+            stats = db.distributed.stats()
+            if stats["mode"] == "process":
+                # Ship-on-miss: data crossed at most once per
+                # (worker, shard); with the caches warm the second
+                # query moved no shard data at all.
+                assert stats["shard_ships"] <= 2 * 2
+            expected = db0.execute(
+                """
+                DECLARE @m varbinary(max) = (
+                    SELECT model FROM scoring_models WHERE model_name = 'm');
+                SELECT id, grp, v, out FROM PREDICT(
+                    MODEL = @m, DATA = t) WITH (out float)
+                WHERE grp < 40 ORDER BY id
+                """
+            )
+            assert np.allclose(
+                first.column("out"), expected.column("out")
+            )
+        finally:
+            db.close()
+
+
+class TestRepartition:
+    def test_repartition_buckets_are_key_disjoint(self, base_table):
+        db = distributed_db(base_table)
+        plan = Repartition(
+            logical.InlineTable(base_table), "grp", 4
+        )
+        result = db.execute_plan(plan)
+        assert result.num_rows == base_table.num_rows
+        assert result.has_explicit_partitions
+        seen: dict[int, int] = {}
+        for index, (start, stop) in enumerate(result.partition_bounds()):
+            for value in np.unique(result.column("grp")[start:stop]):
+                assert seen.setdefault(int(value), index) == index
+
+    def test_repartitioned_final_aggregate_matches(self, base_table):
+        from repro.core.optimizer import search
+
+        db = distributed_db(base_table)
+        db0 = baseline_db(base_table)
+        sql = "SELECT grp, AVG(v) AS m, COUNT(*) AS c FROM t GROUP BY grp"
+        plan = db.bind(sql)
+        context = search.SearchContext(
+            catalog=db.catalog,
+            options={"shard_workers": 8, "repartition_min_rows": 10},
+        )
+        optimizer = search.MemoOptimizer(search.sql_rules(), context)
+        best, _report = optimizer.optimize(plan)
+        assert any(isinstance(op, Repartition) for op in best.walk())
+        result = db.execute_plan(best)
+        expected = db0.execute(sql)
+
+        def by_grp(table):
+            return table.take(np.argsort(table.column("grp")))
+
+        assert by_grp(result).equals(by_grp(expected))
+
+
+class TestServingIntegration:
+    def _session(self, db):
+        from repro.core.raven import RavenSession
+
+        return RavenSession(
+            db,
+            optimizer="heuristic",
+            options={"shard_workers": 8, "enable_inlining": False},
+        )
+
+    def test_prepared_query_records_routing_and_reroutes(
+        self, base_table, pipeline
+    ):
+        from repro.serving.prepared import PreparedQuery
+
+        db = distributed_db(base_table, pipeline)
+        db0 = baseline_db(base_table, pipeline)
+        session = self._session(db)
+        sql = """
+        DECLARE @m varbinary(max) = (
+            SELECT model FROM scoring_models WHERE model_name = 'm');
+        SELECT id, p.out
+        FROM PREDICT(MODEL = @m, DATA = t AS d) WITH (out float) AS p
+        WHERE d.grp = ?
+        ORDER BY id
+        """
+        prepared = PreparedQuery(session, sql)
+        entry = prepared._entry
+        assert entry.shard_routing, "plan should contain a Gather"
+        table_name, scanned, total, _pruned_by = entry.shard_routing[0]
+        assert (table_name, total) == ("t", 8)
+        assert entry.shard_epochs and entry.shard_epochs[0][0] == "t"
+        assert "?1" in entry.param_names  # parameter lives in the fragment
+        result = prepared.execute([7])
+        assert result.equals(db0.execute(PREDICT_SQL.format(value=7)))
+        # Same plan, different binding: parameters re-bind per request.
+        assert prepared.execute([9]).equals(
+            db0.execute(PREDICT_SQL.format(value=9))
+        )
+        assert prepared.replans == 0
+        # Resharding moves the layout: the next execution replans and
+        # re-routes against the new shard count.
+        db.shard_table("t", "grp", 4)
+        rerouted = prepared.execute([7])
+        assert prepared.replans == 1
+        assert prepared._entry.shard_routing[0][2] == 4
+        assert rerouted.equals(result)
+
+    def test_parameter_binding_routes_at_execution_time(
+        self, base_table, pipeline
+    ):
+        """A `?` on the shard key cannot prune at prepare time, but the
+        bound fragment re-routes exactly at each execution."""
+        from repro.serving.prepared import PreparedQuery
+
+        db = distributed_db(base_table, pipeline)
+        session = self._session(db)
+        prepared = PreparedQuery(
+            session,
+            """
+            DECLARE @m varbinary(max) = (
+                SELECT model FROM scoring_models WHERE model_name = 'm');
+            SELECT id, p.out
+            FROM PREDICT(MODEL = @m, DATA = t AS d) WITH (out float) AS p
+            WHERE d.grp = ?
+            ORDER BY id
+            """,
+        )
+        # Plan-time routing is necessarily unpruned.
+        assert prepared._entry.shard_routing[0][1] == 8
+        before = db.distributed.stats()
+        prepared.execute([7])
+        after = db.distributed.stats()
+        assert after["shards_scanned"] - before["shards_scanned"] == 1
+        assert after["shards_pruned"] - before["shards_pruned"] == 7
+
+    def test_server_stats_surface_shard_fanout(self, base_table, pipeline):
+        from repro.serving.server import RavenServer
+
+        db = distributed_db(base_table, pipeline)
+        session = self._session(db)
+        server = RavenServer(session, workers=2, max_queue=16)
+        try:
+            server.prepare("score", PREDICT_SQL.format(value=7))
+            for _ in range(3):
+                server.query("score")
+            snapshot = server.stats_snapshot()
+            fanout = snapshot["distributed"]
+            assert fanout["shard_queries"] >= 3
+            assert fanout["shards_pruned"] > 0
+            assert fanout["fragment_p95_ms"] >= fanout["fragment_p50_ms"]
+            assert snapshot["distributed_runtime"]["queries"] >= 3
+        finally:
+            server.shutdown()
+
+
+class TestStorageV3:
+    def _sharded_db(self, table):
+        db = Database()
+        db.register_table("t", table)
+        db.shard_table("t", "grp", 4)
+        return db
+
+    def test_v3_roundtrip_restores_sharding_lazily(
+        self, tmp_path, base_table, monkeypatch
+    ):
+        saved = save_database(self._sharded_db(base_table), tmp_path / "db")
+        manifest = json.loads((saved / "manifest.json").read_text())
+        assert manifest["manifest_version"] == 3
+        assert manifest["tables"]["t"]["sharding"]["num_shards"] == 4
+
+        # Loading must not materialize shards (lazy rebuild).
+        calls = []
+        original = ShardedTable.build.__func__
+
+        def counting_build(cls, *args, **kwargs):
+            calls.append(1)
+            return original(cls, *args, **kwargs)
+
+        monkeypatch.setattr(
+            ShardedTable, "build", classmethod(counting_build)
+        )
+        restored = load_database(saved)
+        assert restored.catalog.is_sharded("t")
+        assert not calls
+        sharded = restored.catalog.sharding("t")
+        assert calls and sharded.num_shards == 4
+        assert sharded.num_rows == base_table.num_rows
+
+    def test_v2_manifest_still_loads(self, tmp_path, base_table):
+        saved = save_database(self._sharded_db(base_table), tmp_path / "db")
+        manifest_path = saved / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["manifest_version"] = 2
+        for spec in manifest["tables"].values():
+            spec.pop("sharding", None)
+        manifest_path.write_text(json.dumps(manifest))
+        restored = load_database(saved)
+        assert restored.table("t").num_rows == base_table.num_rows
+        assert not restored.catalog.is_sharded("t")
+
+    def test_v1_manifest_still_loads(self, tmp_path, base_table):
+        saved = save_database(self._sharded_db(base_table), tmp_path / "db")
+        manifest_path = saved / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["manifest_version"] = 1
+        for spec in manifest["tables"].values():
+            spec.pop("sharding", None)
+            spec.pop("statistics", None)
+            spec.pop("partition_size", None)
+        manifest_path.write_text(json.dumps(manifest))
+        restored = load_database(saved)
+        assert restored.table("t").num_rows == base_table.num_rows
+        # Stats rebuild lazily, exactly as before v3.
+        assert (
+            restored.catalog.table_statistics("t").row_count
+            == base_table.num_rows
+        )
+
+
+class TestStatisticsEdgeCases:
+    """The shard-pruning audit: empty/all-NULL/single-value inputs."""
+
+    def test_empty_shard_statistics(self):
+        table = Table.from_dict(
+            {"a": np.empty(0, dtype=np.int64), "s": np.empty(0, dtype="U4")}
+        )
+        stats = collect_statistics(table)
+        assert stats.row_count == 0
+        assert stats.column("a").ndv == 0
+        assert stats.column("a").min_value is None
+        assert stats.column("s").min_value is None
+
+    def test_all_null_column_statistics_and_selectivity(self):
+        table = Table.from_dict({"a": np.full(16, np.nan)})
+        stats = collect_statistics(table)
+        column = stats.column("a")
+        assert column.null_count == 16
+        assert column.ndv == 0
+        # No division by zero; degrade to defaults, never crash.
+        assert 0.0 <= column.equality_selectivity(3.0) <= 1.0
+        assert column.fraction_below(3.0, inclusive=True) is None
+
+    def test_single_value_histogram_selectivity(self):
+        table = Table.from_dict({"a": np.full(100, 5.0)})
+        column = collect_statistics(table).column("a")
+        assert column.histogram_edges == ()
+        assert column.fraction_below(5.0, inclusive=True) == 1.0
+        assert column.fraction_below(5.0, inclusive=False) == 0.0
+        assert column.fraction_below(4.0, inclusive=True) == 0.0
+        assert column.equality_selectivity(5.0) == 1.0
+
+    def test_all_nan_partition_prunes_without_selecting_nan(self):
+        from repro.relational.statistics import surviving_partitions
+
+        values = np.concatenate([np.full(4, np.nan), np.arange(4.0)])
+        table = Table.from_dict(
+            {"v": values, "id": np.arange(8, dtype=np.int64)}
+        ).with_partitioning(4)
+        keep = surviving_partitions(
+            table, BinaryOp("<", col("v"), lit(100.0))
+        )
+        assert keep.tolist() == [False, True]
+
+    def test_empty_sharded_table_routes_safely(self):
+        table = Table.from_dict(
+            {"id": np.empty(0, dtype=np.int64), "v": np.empty(0)}
+        )
+        sharded = ShardedTable.build(
+            "t", table, ShardingSpec(key="id", num_shards=2)
+        )
+        keep = routing.surviving_shards(
+            sharded, BinaryOp("=", col("id"), lit(1))
+        )
+        assert not keep.any()
+
+
+class TestConcurrencyAffinity:
+    def test_prefers_sched_getaffinity(self, monkeypatch):
+        from repro import concurrency
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda _pid: {0, 1}, raising=False
+        )
+        assert concurrency.default_max_workers() == 2
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        from repro import concurrency
+
+        def boom(_pid):
+            raise OSError("no affinity syscall")
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+        assert concurrency.default_max_workers() == 6

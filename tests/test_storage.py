@@ -9,7 +9,11 @@ from repro import Database, RavenSession, Table
 from repro.data import hospital
 from repro.errors import CatalogError
 from repro.ml import DecisionTreeRegressor, Pipeline
-from repro.relational.storage import load_database, save_database
+from repro.relational.storage import (
+    MANIFEST_VERSION,
+    load_database,
+    save_database,
+)
 from repro.tensor import convert
 
 
@@ -129,7 +133,7 @@ class TestStatisticsPersistence:
         stats = db.catalog.table_statistics("events")
         saved = save_database(db, tmp_path / "db")
         manifest = json.loads((saved / "manifest.json").read_text())
-        assert manifest["manifest_version"] == 2
+        assert manifest["manifest_version"] == MANIFEST_VERSION
         spec = manifest["tables"]["events"]
         assert spec["partition_size"] == 512
         assert spec["statistics"]["row_count"] == 4000
