@@ -8,7 +8,6 @@ Knobs isolated here, each mapped to a Fig. 3 observation:
   investigated".
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.harness import measure, report

@@ -7,7 +7,6 @@ with the optimizer disabled (in-process pipeline scoring over the full
 join). The paper headlines "up to 24x from cross-optimizations".
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.harness import measure, report, speedup

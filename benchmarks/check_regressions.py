@@ -1,0 +1,172 @@
+"""The benchmark regression gate (CI's ``bench-gate`` job).
+
+Runs every benchmark in smoke mode, collects each one's JSON report
+into a single ``BENCH_PR<N>.json`` artifact, and fails (exit 1) when
+any recorded metric drops below the floor committed in
+``benchmarks/baselines.json`` — turning the benchmark trajectory from
+one-off claims into a tracked, regression-gated series (in the spirit
+of reproducibility studies: numbers that cannot silently rot).
+
+Baselines format (per benchmark)::
+
+    {
+      "bench_planning": {
+        "checks": [
+          {"path": "zone_map_pruning.speedup", "floor": 1.5},
+          {"path": "claims.pruning_pass", "expect": true}
+        ]
+      }
+    }
+
+``floor`` is a numeric minimum (chosen well below warm-run smoke
+numbers, so shared-runner noise does not flake the gate, while
+catastrophic regressions — a pruning path silently disabled, a join
+strategy never chosen — still fail); ``expect`` is exact equality for
+structural claims.
+
+Run:  PYTHONPATH=src python benchmarks/check_regressions.py \
+          [--smoke] [--out BENCH_PR5.json] [--bench name ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+BENCHMARKS = (
+    "bench_serving",
+    "bench_planning",
+    "bench_memo",
+    "bench_distributed",
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+
+
+def run_benchmark(name: str, smoke: bool) -> tuple[dict | None, str]:
+    """``(report, error)`` — the benchmark's JSON output, or why not."""
+    command = [sys.executable, os.path.join(HERE, f"{name}.py")]
+    if smoke:
+        command.append("--smoke")
+    env = dict(os.environ)
+    src = os.path.join(ROOT, "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    proc = subprocess.run(
+        command, capture_output=True, text=True, env=env, cwd=ROOT
+    )
+    report = extract_json(proc.stdout)
+    if proc.returncode != 0:
+        tail = (proc.stderr or proc.stdout).strip().splitlines()[-8:]
+        return report, f"exit code {proc.returncode}: " + " | ".join(tail)
+    if report is None:
+        return None, "no JSON object found in benchmark output"
+    return report, ""
+
+
+def extract_json(stdout: str) -> dict | None:
+    """The last JSON object a benchmark printed (reports come last)."""
+    lines = stdout.splitlines()
+    for index in range(len(lines) - 1, -1, -1):
+        if not lines[index].startswith("{"):
+            continue
+        try:
+            return json.loads("\n".join(lines[index:]))
+        except json.JSONDecodeError:
+            continue
+    return None
+
+
+def lookup(report: dict, path: str):
+    node = report
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def evaluate(name: str, report: dict, checks: list[dict]) -> list[str]:
+    failures = []
+    for check in checks:
+        path = check["path"]
+        value = lookup(report, path)
+        if "floor" in check:
+            if not isinstance(value, (int, float)) or value < check["floor"]:
+                failures.append(
+                    f"{name}: {path} = {value!r} below floor {check['floor']}"
+                )
+        if "expect" in check:
+            if value != check["expect"]:
+                failures.append(
+                    f"{name}: {path} = {value!r}, expected {check['expect']!r}"
+                )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the combined benchmark reports to this JSON file",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=BENCHMARKS,
+        help="benchmark(s) to run (default: all)",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(HERE, "baselines.json"),
+    )
+    args = parser.parse_args()
+
+    with open(args.baselines) as fh:
+        baselines = json.load(fh)
+
+    combined: dict[str, object] = {"smoke": args.smoke, "benchmarks": {}}
+    failures: list[str] = []
+    for name in args.bench or BENCHMARKS:
+        print(f"== {name} ==", flush=True)
+        report, error = run_benchmark(name, args.smoke)
+        combined["benchmarks"][name] = (
+            report if report is not None else {"error": error}
+        )
+        if error:
+            failures.append(f"{name}: {error}")
+            continue
+        checks = baselines.get(name, {}).get("checks", [])
+        bench_failures = evaluate(name, report, checks)
+        failures.extend(bench_failures)
+        for line in bench_failures:
+            print("  REGRESSION " + line)
+        if not bench_failures:
+            print(f"  ok ({len(checks)} checks)")
+
+    combined["regressions"] = failures
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(combined, fh, indent=2)
+        print(f"wrote {args.out}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print("\nall benchmarks within recorded floors")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -163,6 +163,41 @@ def main() -> None:
         ),
     )
 
+    # Distributed joins. Shard a small carrier-dimension table by the
+    # same key under the same spec: the join becomes CO-LOCATED —
+    # shard i ⋈ shard i runs on one worker, the whole join rides in
+    # the fragment, and EXPLAIN marks the Gather with join=colocated.
+    carriers = Table.from_dict(
+        {
+            "carrier": np.arange(8, dtype=np.int64),
+            "hub_distance": np.linspace(100.0, 800.0, 8),
+        }
+    )
+    database.register_table("carriers", carriers)
+    database.shard_table("carriers", "carrier", 8)
+    show(
+        "co-located shard join (compatible layouts: join=colocated)",
+        database.execute(
+            "EXPLAIN SELECT f.flight_id, f.distance, c.hub_distance "
+            "FROM all_flights f JOIN carriers c "
+            "ON f.carrier = c.carrier WHERE f.carrier = 3"
+        ),
+    )
+
+    # Reshard the dimension to an incompatible shard count and the
+    # equality can no longer align shard-for-shard: on a big enough
+    # join the optimizer switches to the hash SHUFFLE exchange
+    # (join=shuffle, both Shuffle sides indented), and on a small one
+    # it correctly falls back to the coordinator hash join.
+    database.shard_table("carriers", "carrier", 5)
+    show(
+        "after resharding carriers 8 -> 5 (incompatible: no co-location)",
+        database.execute(
+            "EXPLAIN SELECT f.flight_id, f.distance, c.hub_distance "
+            "FROM all_flights f JOIN carriers c ON f.carrier = c.carrier"
+        ),
+    )
+
 
 if __name__ == "__main__":
     main()

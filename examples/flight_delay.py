@@ -15,11 +15,7 @@ import time
 import numpy as np
 
 from repro import RavenSession
-from repro.core.optimizer.ml_rewrites import (
-    ColumnFacts,
-    apply_predicate_pruning,
-    apply_projection_pushdown,
-)
+from repro.core.optimizer.ml_rewrites import apply_projection_pushdown
 from repro.core.optimizer.rules.clustering import compile_clustered_pipeline
 from repro.data import flights
 from repro.ml.metrics import roc_auc_score

@@ -9,7 +9,6 @@ projection pruning, and join elimination.
 Run with:  python examples/hospital_stay.py
 """
 
-import numpy as np
 
 from repro import RavenSession
 from repro.data import hospital

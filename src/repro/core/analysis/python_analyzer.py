@@ -23,7 +23,6 @@ from dataclasses import dataclass, field
 from repro.errors import StaticAnalysisError
 from repro.core.analysis.knowledge_base import DEFAULT_KNOWLEDGE_BASE, KnowledgeBase
 from repro.core.ir.graph import IRGraph
-from repro.core.ir.nodes import IRNode
 from repro.relational.expressions import BinaryOp, ColumnRef, Expression, Literal
 
 
@@ -276,7 +275,11 @@ class _AnalysisState:
                 and isinstance(left.payload, (Expression, int, float))
                 and isinstance(right.payload, (Expression, int, float))
             ):
-                to_expr = lambda v: v if isinstance(v, Expression) else Literal(v)
+                def to_expr(v):
+                    if isinstance(v, Expression):
+                        return v
+                    return Literal(v)
+
                 return AnalyzedValue(
                     "literal",
                     BinaryOp(op, to_expr(left.payload), to_expr(right.payload)),

@@ -46,6 +46,7 @@ RA_OPS = frozenset(
         "ra.union_all",
         "ra.gather",  # distributed scatter-gather exchange (leaf)
         "ra.repartition",  # local hash exchange (key-disjoint buckets)
+        "ra.shuffle_join",  # distributed hash-shuffle equi-join (leaf)
     }
 )
 

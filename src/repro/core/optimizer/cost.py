@@ -123,6 +123,9 @@ def _estimate_node(
     if op == "ra.gather":
         gather, search_context = _gather_context(node, context)
         return search_context.estimate_tree(gather)
+    if op == "ra.shuffle_join":
+        exchange, search_context = _exchange_context(node, context)
+        return search_context.estimate_tree(exchange)
     if node.inputs:
         return child_rows(0)
     return float(DEFAULT_ROWS)
@@ -143,28 +146,54 @@ def _gather_context(node: IRNode, context: "RuleContext"):
     and cost function price them — keeping the legacy IR coster and
     the memo consistent on distributed plans.
     """
+    from repro.core.optimizer import search as memo_search
+
+    def build():
+        return memo_search.Gather(
+            node.attrs["table"],
+            node.attrs["fragment"],
+            node.attrs["shard_key"],
+            tuple(node.attrs["shard_ids"]),
+            node.attrs["total_shards"],
+            node.attrs.get("pruned_by", "none"),
+            node.attrs.get("join", "none"),
+        )
+
+    return _priced_exchange(node, context, build)
+
+
+def _exchange_context(node: IRNode, context: "RuleContext"):
+    """Same as :func:`_gather_context`, for ``ra.shuffle_join`` nodes."""
+    from repro.core.optimizer import search as memo_search
+
+    def build():
+        return memo_search.ShuffleJoin(
+            node.attrs["left"],
+            node.attrs["right"],
+            node.attrs.get("kind", "INNER"),
+            node.attrs["condition"],
+            node.attrs["num_buckets"],
+        )
+
+    return _priced_exchange(node, context, build)
+
+
+def _priced_exchange(node: IRNode, context: "RuleContext", build):
     cached = _GATHER_CONTEXTS.get(id(node))
     if cached is not None and cached[0] is node:
         return cached[1], cached[2]
     from repro.core.optimizer import search as memo_search
 
-    gather = memo_search.Gather(
-        node.attrs["table"],
-        node.attrs["fragment"],
-        node.attrs["shard_key"],
-        tuple(node.attrs["shard_ids"]),
-        node.attrs["total_shards"],
-        node.attrs.get("pruned_by", "none"),
-    )
+    exchange = build()
     database = getattr(context, "database", None)
     search_context = memo_search.SearchContext(
         catalog=getattr(database, "catalog", None), models=database
     )
-    search_context.prepare(gather)
+    search_context.prepare(exchange)
     if len(_GATHER_CONTEXTS) >= _GATHER_CONTEXT_CAP:
         _GATHER_CONTEXTS.clear()
-    _GATHER_CONTEXTS[id(node)] = (node, gather, search_context)
-    return gather, search_context
+    _GATHER_CONTEXTS[id(node)] = (node, exchange, search_context)
+    return exchange, search_context
 
 
 def _expression_cost(expression) -> float:
@@ -253,6 +282,11 @@ def node_cost(
 
         gather, search_context = _gather_context(node, context)
         return memo_search.operator_cost(gather, rows, [], search_context)
+    if op == "ra.shuffle_join":
+        from repro.core.optimizer import search as memo_search
+
+        exchange, search_context = _exchange_context(node, context)
+        return memo_search.operator_cost(exchange, rows, [], search_context)
     if op == "ra.repartition":
         input_rows = estimate_rows(
             graph, graph.node(node.inputs[0]), context, _resolve, memo

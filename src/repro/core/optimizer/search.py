@@ -38,9 +38,19 @@ from repro.distributed.operators import (
     Gather,
     Repartition,
     ShardScan,
+    Shuffle,
+    ShuffleJoin,
 )
-from repro.distributed.routing import surviving_shards
-from repro.distributed.serialize import fragment_is_serializable
+from repro.distributed.routing import (
+    colocated_shard_ids,
+    compatible_layouts,
+    hash_class,
+    surviving_shards,
+)
+from repro.distributed.serialize import (
+    expression_is_serializable,
+    fragment_is_serializable,
+)
 from repro.core.optimizer.ml_rewrites import (
     ColumnFacts,
     UnsupportedRewrite,
@@ -105,6 +115,16 @@ COLUMN_ITEM_COST = 0.05  # projecting an existing column is a dict re-pick
 FRAGMENT_DISPATCH_COST = 2_000.0  # per dispatched fragment
 GATHER_ROW_COST = 0.3  # per gathered result row (IPC + concat)
 REPARTITION_ROW_COST = 0.5  # hash + stable reorder, per input row
+
+# Shuffle-join weights. The map side hash-partitions vectorized
+# (cheaper than the local Repartition's stable reorder) and every row
+# crosses the coordinator once on its way to the owning bucket worker;
+# the bucket joins then run the executor's per-row hash-join loop in
+# parallel. Together: a shuffle loses to the coordinator join on small
+# inputs (dispatch + tolls dominate) and wins once the Python join
+# loop over hundreds of thousands of rows is the bottleneck.
+SHUFFLE_PARTITION_ROW_COST = 0.2  # per map-output row (hash + split)
+SHUFFLE_TRANSFER_ROW_COST = 0.2  # per row routed through the coordinator
 
 
 def _node_count(expr: Expression) -> int:
@@ -204,9 +224,11 @@ def operator_cost(
         return rows * 0.1
     if isinstance(op, Gather):
         # Per-shard fragment cost is priced over the fragment tree
-        # (whose ShardScan leaf already carries per-shard cardinality);
+        # (whose ShardScan leaves already carry per-shard cardinality);
         # shards run concurrently on the worker pool, so the fragment
-        # cost is paid once per wave, not once per shard.
+        # cost is paid once per wave, not once per shard. Co-located
+        # join fragments price identically — the join inside the
+        # fragment runs over 1/K-sized inputs per worker.
         fragment_cost = ctx.cost_tree(op.fragment)
         workers = max(1, ctx.shard_workers())
         waves = -(-max(1, op.shards_scanned) // workers)
@@ -215,6 +237,10 @@ def operator_cost(
             + fragment_cost * waves
             + rows * GATHER_ROW_COST
         )
+    if isinstance(op, ShuffleJoin):
+        return shuffle_join_cost(op, rows, ctx)
+    if isinstance(op, Shuffle):
+        return _shuffle_side_cost(op, ctx)
     input_rows = child_rows[0] if child_rows else rows
     if isinstance(op, Repartition):
         return input_rows * REPARTITION_ROW_COST
@@ -245,6 +271,48 @@ def operator_cost(
     return rows
 
 
+def _shuffle_side_cost(shuffle: Shuffle, ctx: "SearchContext") -> float:
+    """Map-phase cost of one shuffle side (fragment + partition + route)."""
+    rows = ctx.estimate_tree(shuffle)
+    fragment_cost = ctx.cost_tree(shuffle.fragment)
+    workers = max(1, ctx.shard_workers())
+    if shuffle.is_sharded and shuffle.shard_ids:
+        waves = -(-max(1, len(shuffle.shard_ids)) // workers)
+        map_cost = (
+            FRAGMENT_DISPATCH_COST * len(shuffle.shard_ids)
+            + fragment_cost * waves
+        )
+    else:
+        map_cost = fragment_cost  # the coordinator runs the map itself
+    return map_cost + rows * (
+        SHUFFLE_PARTITION_ROW_COST + SHUFFLE_TRANSFER_ROW_COST
+    )
+
+
+def shuffle_join_cost(
+    op: ShuffleJoin, rows: float, ctx: "SearchContext"
+) -> float:
+    """Total cost of a shuffle join: maps + bucket joins + gather.
+
+    The bucket joins run the executor's hash join concurrently over
+    key-disjoint buckets, so the join work divides by the effective
+    parallelism; every result row still pays the gather toll home.
+    """
+    left_rows = ctx.estimate_tree(op.left)
+    right_rows = ctx.estimate_tree(op.right)
+    join_work = hash_join_cost(
+        left_rows, right_rows, op.kind, op.condition, ctx.resolver
+    )
+    parallelism = max(1, min(op.num_buckets, ctx.shard_workers()))
+    return (
+        _shuffle_side_cost(op.left, ctx)
+        + _shuffle_side_cost(op.right, ctx)
+        + FRAGMENT_DISPATCH_COST * op.num_buckets
+        + join_work / parallelism
+        + rows * GATHER_ROW_COST
+    )
+
+
 def estimate_operator_rows(
     op: logical.LogicalOp,
     child_rows: list[float],
@@ -261,6 +329,18 @@ def estimate_operator_rows(
     if isinstance(op, Gather):
         per_shard = ctx.estimate_tree(op.fragment)
         return max(1.0, per_shard * max(1, op.shards_scanned))
+    if isinstance(op, Shuffle):
+        per_shard = ctx.estimate_tree(op.fragment)
+        if op.is_sharded:
+            return max(1.0, per_shard * max(1, len(op.shard_ids)))
+        return max(1.0, per_shard)
+    if isinstance(op, ShuffleJoin):
+        return combine_join_estimate(
+            ctx.estimate_tree(op.left),
+            ctx.estimate_tree(op.right),
+            op.kind,
+            join_condition_selectivity(op.condition, ctx.resolver),
+        )
     if isinstance(op, Repartition):
         return child_rows[0] if child_rows else DEFAULT_ROW_ESTIMATE
     if isinstance(op, logical.InlineTable):
@@ -394,6 +474,9 @@ class SearchContext:
                         sources.append((stats, op.alias))
                 elif isinstance(op, Gather):
                     collect(op.fragment)
+                elif isinstance(op, ShuffleJoin):
+                    collect(op.left.fragment)
+                    collect(op.right.fragment)
 
         collect(plan)
         self.resolver = column_stats_resolver(sources)
@@ -1479,6 +1562,312 @@ class ShardedExecutionRule(MemoRule):
         return Repartition(gathered, key, ctx.shard_workers())
 
 
+class ShardJoinRule(MemoRule):
+    """Distributed alternatives for equi-joins over sharded tables.
+
+    Two strategies, chosen by layout compatibility:
+
+    * **co-located** — both sides are sharded *by the equi-join key*
+      under compatible specs (same hash modulus and key hash class, or
+      identical range boundaries), so shard *i* of the left can only
+      match shard *i* of the right: the rule offers a
+      ``Gather(join fragment, join="colocated")`` where each worker
+      joins its shard pair locally. The whole pipeline *above* the join
+      (filters, projections, PREDICT) rides inside the fragment when it
+      serializes, so model scoring runs inside the joined pipeline on
+      the workers.
+    * **shuffle** — layouts are incompatible (different shard counts,
+      range⋈hash, key mismatch, or one side unsharded): the rule
+      offers a :class:`ShuffleJoin` whose sides hash-partition on the
+      join key into worker-owned buckets; bucket *k* ⋈ bucket *k* runs
+      in parallel. Offered only when at least one side is genuinely
+      sharded (otherwise the in-process join is already optimal).
+
+    Both strategies require an INNER join with at least one
+    column-to-column equality conjunct; residual conjuncts evaluate
+    inside the per-worker joins exactly as the coordinator's hash join
+    would evaluate them.
+    """
+
+    name = "ShardJoin"
+
+    _PIPELINE_OPS = (logical.Filter, logical.Project, logical.Predict)
+
+    def apply(self, plan, ctx):
+        if not ctx.options.get("enable_distributed", True):
+            return []
+        chain: list[logical.LogicalOp] = []
+        node = plan
+        while isinstance(node, self._PIPELINE_OPS):
+            chain.append(node)
+            node = node.child
+        if not isinstance(node, logical.Join):
+            return []
+        join = node
+        if join.kind != "INNER" or join.condition is None:
+            return []
+        keys = self._equi_keys(join)
+        if keys is None:
+            return []
+        left_key, right_key = keys
+        left_side = self._side(join.left, ctx)
+        right_side = self._side(join.right, ctx)
+        if left_side is None or right_side is None:
+            return []
+        colocated = self._colocated(
+            chain, join, left_side, right_side, left_key, right_key, ctx
+        )
+        if colocated is not None:
+            return [colocated]
+        if plan is join:
+            # The shuffle alternative lives in the bare join's group;
+            # pipelines above it compose through the memo.
+            shuffled = self._shuffle(
+                join, left_side, right_side, left_key, right_key, ctx
+            )
+            if shuffled is not None:
+                return [shuffled]
+        return []
+
+    # -- shared analysis ---------------------------------------------------
+
+    def _side(self, op, ctx):
+        """``(pipeline root, scan, sharded|None)`` for a join side that
+        is a single-table pipeline, else ``None``."""
+        node = op
+        while isinstance(node, self._PIPELINE_OPS):
+            node = node.child
+        if not isinstance(node, logical.Scan) or isinstance(node, ShardScan):
+            return None
+        sharded = ctx.sharding(node.table_name)
+        if sharded is not None and sharded.num_shards < 2:
+            sharded = None
+        return op, node, sharded
+
+    def _equi_keys(self, join):
+        """One ``left.col = right.col`` conjunct's stored column names,
+        resolved in each side's output schema, or ``None``."""
+        for conjunct in conjuncts(join.condition):
+            if not (
+                isinstance(conjunct, BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                continue
+            a = self._resolve_side(join, conjunct.left.name)
+            b = self._resolve_side(join, conjunct.right.name)
+            if a is None or b is None:
+                continue
+            (side_a, stored_a), (side_b, stored_b) = a, b
+            if side_a == "left" and side_b == "right":
+                return stored_a, stored_b
+            if side_a == "right" and side_b == "left":
+                return stored_b, stored_a
+        return None
+
+    @staticmethod
+    def _resolve_side(join, ref: str):
+        """Which side a reference binds to (unambiguously), plus the
+        stored column name it resolves to there."""
+        expr = ColumnRef(ref)
+        left = resolve_ref_mapping(join.left.schema, expr)
+        right = resolve_ref_mapping(join.right.schema, expr)
+        if left and not right:
+            return "left", next(iter(left.values()))
+        if right and not left:
+            return "right", next(iter(right.values()))
+        return None
+
+    @staticmethod
+    def _base_column(scan: logical.Scan, stored: str):
+        """``(base column name, numpy dtype)`` for a stored output name
+        of a scan (alias prefix stripped), or ``None``."""
+        name = stored
+        if scan.alias and name.lower().startswith(scan.alias.lower() + "."):
+            name = name[len(scan.alias) + 1:]
+        lowered = name.lower()
+        for column in scan.base_schema:
+            if column.name.lower() == lowered:
+                return column.name, column.dtype.numpy_dtype
+        return None
+
+    @staticmethod
+    def _schema_dtype(schema: Schema, stored: str):
+        for column in schema:
+            if column.name.lower() == stored.lower():
+                return column.dtype.numpy_dtype
+        return None
+
+    @staticmethod
+    def _replace_leaf(pipeline, scan, leaf):
+        def rebuild(op):
+            if op is scan:
+                return leaf
+            return op.with_children(tuple(rebuild(c) for c in op.children))
+
+        return rebuild(pipeline)
+
+    @staticmethod
+    def _route_side(fragment, sharded):
+        """Plan-time shard routing for one side's fragment."""
+        predicates = [
+            n.predicate
+            for n in fragment.walk()
+            if isinstance(n, logical.Filter)
+        ]
+        keep = None
+        if predicates:
+            try:
+                keep = surviving_shards(sharded, conjoin(predicates))
+            except Exception:
+                keep = None
+        if keep is None:
+            return tuple(range(sharded.num_shards)), "none"
+        ids = tuple(int(i) for i in range(len(keep)) if keep[i])
+        pruned = "zone-map" if len(ids) < sharded.num_shards else "none"
+        return ids, pruned
+
+    # -- co-located joins --------------------------------------------------
+
+    def _colocated(
+        self, chain, join, left_side, right_side, left_key, right_key, ctx
+    ):
+        left_pipe, left_scan, left_sharded = left_side
+        right_pipe, right_scan, right_sharded = right_side
+        if left_sharded is None or right_sharded is None:
+            return None
+        left_base = self._base_column(left_scan, left_key)
+        right_base = self._base_column(right_scan, right_key)
+        if left_base is None or right_base is None:
+            return None
+        (left_col, left_dtype) = left_base
+        (right_col, right_dtype) = right_base
+        if (
+            left_sharded.spec.key.split(".")[-1].lower()
+            != left_col.lower()
+            or right_sharded.spec.key.split(".")[-1].lower()
+            != right_col.lower()
+        ):
+            return None
+        if not compatible_layouts(
+            left_sharded.spec, left_dtype, right_sharded.spec, right_dtype
+        ):
+            return None
+        total = left_sharded.num_shards
+        left_leaf = ShardScan(
+            left_scan.table_name,
+            left_scan.base_schema,
+            left_scan.alias,
+            total,
+            left_col,
+        )
+        right_leaf = ShardScan(
+            right_scan.table_name,
+            right_scan.base_schema,
+            right_scan.alias,
+            total,
+            right_col,
+        )
+        fragment: logical.LogicalOp = logical.Join(
+            self._replace_leaf(left_pipe, left_scan, left_leaf),
+            self._replace_leaf(right_pipe, right_scan, right_leaf),
+            "INNER",
+            join.condition,
+        )
+        for node in reversed(chain):
+            fragment = node.with_children((fragment,))
+        if not fragment_is_serializable(fragment, ctx.predict_flavor):
+            return None
+        shardeds = {
+            left_scan.table_name.lower(): left_sharded,
+            right_scan.table_name.lower(): right_sharded,
+        }
+        try:
+            shard_ids, pruned_by = colocated_shard_ids(fragment, shardeds)
+        except Exception:
+            shard_ids = list(range(total))
+            pruned_by = "none"
+        gather = Gather(
+            left_scan.table_name,
+            fragment,
+            left_col,
+            tuple(shard_ids),
+            total,
+            pruned_by,
+            join="colocated",
+        )
+        ctx.record(
+            self.name,
+            f"colocated {left_scan.table_name}⋈{right_scan.table_name}: "
+            f"{len(shard_ids)}/{total} shards ({pruned_by})",
+        )
+        return gather
+
+    # -- shuffle joins -----------------------------------------------------
+
+    def _shuffle(
+        self, join, left_side, right_side, left_key, right_key, ctx
+    ):
+        left_dtype = self._schema_dtype(join.left.schema, left_key)
+        right_dtype = self._schema_dtype(join.right.schema, right_key)
+        if left_dtype is None or right_dtype is None:
+            return None
+        left_class = hash_class(left_dtype)
+        if left_class is None or left_class != hash_class(right_dtype):
+            return None  # equal values would bucket differently
+        if not expression_is_serializable(join.condition):
+            return None
+        num_buckets = max(2, ctx.shard_workers())
+        shuffles: list[Shuffle] = []
+        any_sharded = False
+        for (pipe, scan, sharded), key in (
+            (left_side, left_key),
+            (right_side, right_key),
+        ):
+            if sharded is not None:
+                leaf = ShardScan(
+                    scan.table_name,
+                    scan.base_schema,
+                    scan.alias,
+                    sharded.num_shards,
+                )
+                fragment = self._replace_leaf(pipe, scan, leaf)
+                if fragment_is_serializable(fragment, ctx.predict_flavor):
+                    shard_ids, pruned_by = self._route_side(
+                        fragment, sharded
+                    )
+                    shuffles.append(
+                        Shuffle(
+                            scan.table_name,
+                            fragment,
+                            key,
+                            shard_ids,
+                            sharded.num_shards,
+                            num_buckets,
+                            pruned_by,
+                        )
+                    )
+                    any_sharded = True
+                    continue
+            # The coordinator maps unsharded (or unshippable) sides
+            # locally over the original pipeline.
+            shuffles.append(
+                Shuffle(scan.table_name, pipe, key, (), 1, num_buckets)
+            )
+        if not any_sharded:
+            return None
+        shuffle_join = ShuffleJoin(
+            shuffles[0], shuffles[1], join.kind, join.condition, num_buckets
+        )
+        ctx.record(
+            self.name,
+            f"shuffle {shuffles[0].table_name}⋈{shuffles[1].table_name}: "
+            f"{num_buckets} buckets",
+        )
+        return shuffle_join
+
+
 #: Guard column global partial aggregates append (see the rule).
 _PARTIAL_ROWS = "__partial_rows"
 
@@ -1562,6 +1951,7 @@ def sql_rules(options: dict | None = None) -> list[MemoRule]:
         JoinOrderRule(),
         PredicateBasedModelPruningRule(),
         ShardedExecutionRule(),
+        ShardJoinRule(),
     ]
 
 
@@ -1575,6 +1965,7 @@ def cross_ir_rules(options: dict | None = None) -> list[MemoRule]:
         PredicateBasedModelPruningRule(),
         ModelProjectionPushdownRule(insert_projection=True),
         ShardedExecutionRule(),
+        ShardJoinRule(),
     ]
     if options.get("enable_inlining", True):
         rules.append(
@@ -1836,6 +2227,15 @@ def ir_to_logical(graph: IRGraph) -> logical.LogicalOp:
                 tuple(attrs["shard_ids"]),
                 attrs["total_shards"],
                 attrs.get("pruned_by", "none"),
+                attrs.get("join", "none"),
+            )
+        if op == "ra.shuffle_join":
+            return ShuffleJoin(
+                attrs["left"],
+                attrs["right"],
+                attrs.get("kind", "INNER"),
+                attrs["condition"],
+                attrs["num_buckets"],
             )
         if op == "ra.repartition":
             return Repartition(
@@ -1942,6 +2342,20 @@ def logical_to_ir(plan: logical.LogicalOp) -> IRGraph:
                 shard_ids=tuple(op.shard_ids),
                 total_shards=op.total_shards,
                 pruned_by=op.pruned_by,
+                join=op.join,
+                schema=op.schema,
+            ).id
+        if isinstance(op, ShuffleJoin):
+            # Like Gather, the side templates stay logical attributes:
+            # the exchange dispatches them whole.
+            return graph.add(
+                "ra.shuffle_join",
+                [],
+                left=op.left,
+                right=op.right,
+                kind=op.kind,
+                condition=op.condition,
+                num_buckets=op.num_buckets,
                 schema=op.schema,
             ).id
         if isinstance(op, Repartition):

@@ -152,6 +152,20 @@ class RavenExecutor:
                 tuple(node.attrs["shard_ids"]),
                 node.attrs["total_shards"],
                 node.attrs.get("pruned_by", "none"),
+                node.attrs.get("join", "none"),
+            )
+        )
+
+    def _run_ra_shuffle_join(self, node: IRNode, inputs: list[Table]) -> Table:
+        from repro.distributed.operators import ShuffleJoin
+
+        return self._relational(
+            ShuffleJoin(
+                node.attrs["left"],
+                node.attrs["right"],
+                node.attrs.get("kind", "INNER"),
+                node.attrs["condition"],
+                node.attrs["num_buckets"],
             )
         )
 

@@ -9,7 +9,6 @@ constant overhead Fig. 3 attributes to Raven Ext.
 
 from __future__ import annotations
 
-import json
 import subprocess
 import sys
 import tempfile

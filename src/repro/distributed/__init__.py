@@ -26,8 +26,17 @@ Layers:
   statistics, and the in-process fallback used by tests.
 """
 
-from repro.distributed.operators import Gather, Repartition, ShardScan
-from repro.distributed.routing import surviving_shards
+from repro.distributed.operators import (
+    Gather,
+    Repartition,
+    ShardScan,
+    Shuffle,
+    ShuffleJoin,
+)
+from repro.distributed.routing import (
+    compatible_layouts,
+    surviving_shards,
+)
 from repro.distributed.runtime import DistributedRuntime
 from repro.distributed.shards import ShardedTable, ShardingSpec, hash_buckets
 
@@ -38,6 +47,9 @@ __all__ = [
     "ShardScan",
     "ShardedTable",
     "ShardingSpec",
+    "Shuffle",
+    "ShuffleJoin",
+    "compatible_layouts",
     "hash_buckets",
     "surviving_shards",
 ]

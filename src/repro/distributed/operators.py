@@ -1,6 +1,6 @@
 """Exchange operators for distributed execution.
 
-Three new logical operators extend the algebra in
+The logical operators extending the algebra in
 :mod:`repro.relational.algebra.logical`:
 
 * :class:`ShardScan` — the leaf of a *plan fragment*: "the current
@@ -10,14 +10,23 @@ Three new logical operators extend the algebra in
   coordinator plan that carries a fragment template plus the routing
   decision (which shards to run it on); execution runs the fragment
   once per surviving shard on the worker pool and concatenates the
-  results in shard order.
+  results in shard order. With ``join="colocated"`` the fragment is a
+  *join* whose sides read compatibly-sharded tables: task *i* runs
+  shard *i* ⋈ shard *i* locally on one worker.
 * :class:`Repartition` — a local hash exchange: rows are re-clustered
   into key-disjoint buckets (explicit partition bounds), so a
   downstream ``Aggregate`` can run bucket-at-a-time in parallel with
   no cross-bucket merge.
+* :class:`Shuffle` / :class:`ShuffleJoin` — the distributed hash
+  shuffle: each side's pipeline is hash-partitioned on its join key
+  into ``num_buckets`` buckets (on the owning workers for sharded
+  sides, at the coordinator otherwise), the coordinator routes bucket
+  *k* of both sides to one worker, and the workers join their buckets
+  independently — so equi-joins over *incompatibly* sharded layouts
+  still run shard-parallel.
 
-All three are frozen dataclasses like the rest of the algebra, so the
-memo can hash and deduplicate them.
+All of them are frozen dataclasses like the rest of the algebra, so
+the memo can hash and deduplicate them.
 """
 
 from __future__ import annotations
@@ -25,25 +34,36 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
-from repro.errors import BindError
 from repro.relational.algebra import logical
 from repro.relational.expressions import Expression
 from repro.relational.types import Schema
 
-#: The table name a fragment's shard resolves to at execution time —
-#: the worker's table provider serves the shipped (or cached) shard
-#: under this name.
+#: The table-name prefix a fragment's shards resolve to at execution
+#: time — the worker's table provider serves the shipped (or cached)
+#: shards under these names.
 SHARD_TABLE = "__shard__"
+
+
+def shard_target(table_name: str) -> str:
+    """The localized scan name one table's shard is served under."""
+    return f"{SHARD_TABLE}:{table_name.lower()}"
 
 
 @dataclass(frozen=True)
 class ShardScan(logical.LogicalOp):
-    """Read the current shard of a sharded table (fragment leaf)."""
+    """Read the current shard of a sharded table (fragment leaf).
+
+    ``shard_key`` records the base column the plan assumes the table is
+    sharded on (set for co-located join fragments); execution verifies
+    the live layout still matches before dispatching shard-aligned
+    work.
+    """
 
     table_name: str
     base_schema: Schema
     alias: str | None = None
     total_shards: int = 1
+    shard_key: str | None = None
 
     @property
     def schema(self) -> Schema:
@@ -56,16 +76,22 @@ class ShardScan(logical.LogicalOp):
 class Gather(logical.LogicalOp):
     """Scatter a fragment across shards; gather results in shard order.
 
-    ``fragment`` is a logical subtree whose leaf is a :class:`ShardScan`
-    of ``table_name``. ``shard_ids`` is the routing decision — the
-    shards the fragment will actually run on; ``total_shards`` is the
-    table's shard count at plan time, and ``pruned_by`` records what
-    made the routing selective (``"zone-map"``) so EXPLAIN and the
-    serving layer can report shards scanned vs. pruned.
+    ``fragment`` is a logical subtree whose leaves are
+    :class:`ShardScan`\\ s; for single-table pipelines there is one, of
+    ``table_name``. ``shard_ids`` is the routing decision — the shards
+    the fragment will actually run on; ``total_shards`` is the table's
+    shard count at plan time, and ``pruned_by`` records what made the
+    routing selective (``"zone-map"``) so EXPLAIN and the serving layer
+    can report shards scanned vs. pruned.
+
+    ``join="colocated"`` marks a co-located shard join: the fragment
+    contains an INNER equi-join whose sides read tables sharded by the
+    join key under *compatible* specs, so task *i* ships shard *i* of
+    every fragment table to one worker and joins them there.
 
     A leaf operator: the fragment is a *template* attribute, not a
     child, so memo exploration does not descend into it (fragments are
-    already-optimized single-table pipelines).
+    already-optimized pipelines).
     """
 
     table_name: str
@@ -74,6 +100,7 @@ class Gather(logical.LogicalOp):
     shard_ids: tuple[int, ...]
     total_shards: int
     pruned_by: str = "none"
+    join: str = "none"
 
     @property
     def schema(self) -> Schema:
@@ -109,6 +136,67 @@ class Repartition(logical.LogicalOp):
     ) -> "Repartition":
         (child,) = children
         return Repartition(child, self.key, self.num_buckets)
+
+
+@dataclass(frozen=True)
+class Shuffle(logical.LogicalOp):
+    """One side of a shuffle join: a pipeline hash-partitioned on a key.
+
+    ``fragment`` is the side's pipeline; its leaf is a
+    :class:`ShardScan` for a sharded side (the map tasks run on the
+    shard owners) or a plain ``Scan`` for an unsharded side (the
+    coordinator runs the map locally). ``key`` is the join-key column
+    *in the fragment's output schema*; equal key values of the two
+    sides land in the same of the ``num_buckets`` buckets.
+
+    Only ever appears as an attribute of a :class:`ShuffleJoin` — never
+    as a standalone plan node.
+    """
+
+    table_name: str
+    fragment: logical.LogicalOp
+    key: str
+    shard_ids: tuple[int, ...]
+    total_shards: int
+    num_buckets: int
+    pruned_by: str = "none"
+
+    @property
+    def schema(self) -> Schema:
+        return self.fragment.schema
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.total_shards > 1
+
+
+@dataclass(frozen=True)
+class ShuffleJoin(logical.LogicalOp):
+    """A distributed hash-shuffle equi-join (the real exchange).
+
+    Both sides are :class:`Shuffle` templates bucketed on their join
+    keys; execution routes bucket *k* of each side to one worker, which
+    joins its pair independently (the buckets are key-disjoint, so no
+    cross-bucket merge exists). Empty buckets are never dispatched —
+    an INNER join over an empty bucket is provably empty.
+
+    A leaf operator like :class:`Gather`: the sides are template
+    attributes, not children, so the memo does not descend into them.
+    """
+
+    left: Shuffle
+    right: Shuffle
+    kind: str
+    condition: Expression
+    num_buckets: int
+
+    @property
+    def schema(self) -> Schema:
+        return self.left.schema.concat(self.right.schema)
+
+    @property
+    def sides(self) -> tuple[Shuffle, Shuffle]:
+        return (self.left, self.right)
 
 
 # -- fragment helpers --------------------------------------------------------
@@ -189,22 +277,79 @@ def substitute_fragment(
     return op
 
 
+def substitute_shuffle_join(
+    op: ShuffleJoin, mapping: Mapping[str, Expression]
+) -> ShuffleJoin:
+    """A :class:`ShuffleJoin` with parameters bound into both side
+    fragments and the join condition (prepared-query binding)."""
+    from dataclasses import replace
+
+    return ShuffleJoin(
+        replace(
+            op.left, fragment=substitute_fragment(op.left.fragment, mapping)
+        ),
+        replace(
+            op.right, fragment=substitute_fragment(op.right.fragment, mapping)
+        ),
+        op.kind,
+        op.condition.substitute(mapping),
+        op.num_buckets,
+    )
+
+
+def shuffle_join_expressions(op: ShuffleJoin) -> Iterator[Expression]:
+    """Every scalar expression a shuffle join evaluates anywhere."""
+    yield op.condition
+    for side in op.sides:
+        yield from fragment_expressions(side.fragment)
+
+
 def localize_fragment(op: logical.LogicalOp) -> logical.LogicalOp:
-    """The fragment with its :class:`ShardScan` leaf turned into a plain
-    ``Scan`` of :data:`SHARD_TABLE` — the executable form a worker (or
-    the in-process fallback) runs against one shard table."""
+    """The fragment with every :class:`ShardScan` leaf turned into a
+    plain ``Scan`` of its :func:`shard_target` name — the executable
+    form a worker (or the in-process fallback) runs against the shard
+    tables served under those names."""
     if isinstance(op, ShardScan):
-        return logical.Scan(SHARD_TABLE, op.base_schema, op.alias)
+        return logical.Scan(
+            shard_target(op.table_name), op.base_schema, op.alias
+        )
     children = tuple(localize_fragment(child) for child in op.children)
     return op.with_children(children) if children else op
 
 
-def fragment_leaf(op: logical.LogicalOp) -> ShardScan:
-    """The fragment's (single) :class:`ShardScan` leaf."""
-    leaves = [n for n in op.walk() if isinstance(n, ShardScan)]
-    if len(leaves) != 1:
-        raise BindError(
-            f"fragment must have exactly one ShardScan leaf, "
-            f"found {len(leaves)}"
-        )
-    return leaves[0]
+def fragment_shard_scans(op: logical.LogicalOp) -> list[ShardScan]:
+    """Every :class:`ShardScan` leaf of a fragment, in tree order."""
+    return [n for n in op.walk() if isinstance(n, ShardScan)]
+
+
+def fragment_tables(op: logical.LogicalOp) -> list[str]:
+    """Distinct (lowercased) table names a fragment's shards come from."""
+    names: dict[str, None] = {}
+    for scan in fragment_shard_scans(op):
+        names.setdefault(scan.table_name.lower(), None)
+    return list(names)
+
+
+def side_predicates(
+    fragment: logical.LogicalOp,
+) -> list[tuple[ShardScan, Expression | None]]:
+    """Per :class:`ShardScan` leaf, the conjoined filters on its direct
+    path — only ``Filter`` chains are accumulated (a predicate above a
+    ``Project``/``Predict``/``Join`` may reference computed columns, so
+    it is conservatively dropped for routing purposes)."""
+    from repro.relational.expressions import conjoin
+
+    out: list[tuple[ShardScan, Expression | None]] = []
+
+    def walk(op: logical.LogicalOp, preds: list[Expression]) -> None:
+        if isinstance(op, ShardScan):
+            out.append((op, conjoin(preds) if preds else None))
+            return
+        if isinstance(op, logical.Filter):
+            walk(op.child, preds + [op.predicate])
+            return
+        for child in op.children:
+            walk(child, [])
+
+    walk(fragment, [])
+    return out

@@ -71,6 +71,10 @@ def effective_shard_ids(gather, sharded: ShardedTable) -> list[int]:
     over stale pruning) and the fragment's *predicates* (prepared
     queries bind ``?`` parameters after planning, so an equality on the
     shard key that was unroutable at prepare time routes exactly now).
+
+    Also used for one :class:`~repro.distributed.operators.Shuffle`
+    side of a shuffle join — it carries the same
+    ``fragment``/``shard_ids``/``total_shards`` trio.
     """
     from repro.relational.algebra import logical
     from repro.relational.expressions import conjoin
@@ -93,6 +97,131 @@ def effective_shard_ids(gather, sharded: ShardedTable) -> list[int]:
     if keep is None:
         return ids
     return [i for i in ids if keep[i]]
+
+
+# -- co-located joins ---------------------------------------------------------
+
+
+def hash_class(dtype: np.dtype) -> str | None:
+    """The hash-compatibility class of a shard-key dtype.
+
+    :func:`~repro.distributed.shards.hash_buckets` takes a different
+    path per dtype kind, so two layouts only agree on equal values when
+    their key columns hash the same way: integers/bools together,
+    floats together, strings together.
+    """
+    kind = np.dtype(dtype).kind
+    if kind in ("i", "u", "b"):
+        return "int"
+    if kind == "f":
+        return "float"
+    if kind in ("U", "S"):
+        return "str"
+    return None
+
+
+def compatible_layouts(
+    left_spec, left_dtype, right_spec, right_dtype
+) -> bool:
+    """Whether two sharding specs place equal key values on one shard.
+
+    Hash layouts need the same shard count *and* the same hash class
+    (an int key and a float key hash through different paths, so equal
+    values can land on different shards). Range layouts need identical
+    boundaries; numeric dtypes compare interchangeably against the
+    boundaries, strings only against string boundaries.
+    """
+    if left_spec.kind != right_spec.kind:
+        return False
+    if left_spec.num_shards != right_spec.num_shards:
+        return False
+    left_class = hash_class(left_dtype)
+    right_class = hash_class(right_dtype)
+    if left_class is None or right_class is None:
+        return False
+    if left_spec.kind == "hash":
+        return left_class == right_class
+    if tuple(left_spec.boundaries) != tuple(right_spec.boundaries):
+        return False
+    numeric = ("int", "float")
+    return (left_class in numeric) == (right_class in numeric)
+
+
+def colocated_layouts_ok(
+    gather, shardeds: dict[str, ShardedTable]
+) -> bool:
+    """Whether a co-located join Gather's layout assumptions still hold.
+
+    Verified at execution time (a reshard may race a cached plan):
+    every fragment table must still be sharded, with the planned shard
+    count, keyed on the column the plan aligned shards by, and the
+    specs must be pairwise compatible. Any mismatch degrades execution
+    to a coordinator-local join over the full base tables.
+    """
+    from repro.distributed.operators import fragment_shard_scans
+
+    seen: list[tuple] = []
+    for scan in fragment_shard_scans(gather.fragment):
+        sharded = shardeds.get(scan.table_name.lower())
+        if sharded is None:
+            return False
+        if sharded.num_shards != gather.total_shards:
+            return False
+        if (
+            scan.shard_key is not None
+            and sharded.spec.key.split(".")[-1].lower()
+            != scan.shard_key.split(".")[-1].lower()
+        ):
+            return False
+        try:
+            dtype = _key_dtype(sharded)
+        except Exception:
+            return False
+        seen.append((sharded.spec, dtype))
+    if not seen:
+        return False
+    first_spec, first_dtype = seen[0]
+    return all(
+        compatible_layouts(first_spec, first_dtype, spec, dtype)
+        for spec, dtype in seen[1:]
+    )
+
+
+def colocated_shard_ids(
+    fragment, shardeds: dict[str, ShardedTable]
+) -> tuple[list[int], str]:
+    """``(shard ids, pruned_by)`` for a co-located join fragment.
+
+    Shard *i* survives only if every side's shard *i* can produce rows:
+    each side's own filters prune through that side's shard statistics
+    (zone maps one level up, exactly like single-table routing), and an
+    empty shard on either side of an INNER join prunes the pair — the
+    empty-shard ⋈ populated-shard case dispatches nothing.
+    """
+    from repro.distributed.operators import side_predicates
+
+    sides = side_predicates(fragment)
+    total = max(
+        (shardeds[s.table_name.lower()].num_shards for s, _p in sides),
+        default=0,
+    )
+    keep = np.ones(total, dtype=bool)
+    pruned_by = "none"
+    for scan, predicate in sides:
+        sharded = shardeds[scan.table_name.lower()]
+        if predicate is not None:
+            try:
+                side_keep = surviving_shards(sharded, predicate)
+            except Exception:
+                side_keep = None
+            if side_keep is not None:
+                keep &= side_keep
+                pruned_by = "zone-map"
+        for shard_id in range(sharded.num_shards):
+            if keep[shard_id] and sharded.shard(shard_id).num_rows == 0:
+                keep[shard_id] = False
+                pruned_by = "zone-map"
+    return [int(i) for i in np.nonzero(keep)[0]], pruned_by
 
 
 def _key_routing(

@@ -28,7 +28,11 @@ from typing import Callable
 
 from repro.concurrency import default_max_workers
 from repro.distributed import serialize, worker
-from repro.distributed.operators import Gather
+from repro.distributed.operators import (
+    Gather,
+    ShuffleJoin,
+    fragment_tables,
+)
 from repro.distributed.shards import ShardedTable
 from repro.errors import RuntimeDispatchError
 from repro.relational.table import Table
@@ -90,6 +94,9 @@ class DistributedRuntime:
         self.shards_pruned = 0
         self.fragments_run = 0
         self.shard_ships = 0
+        self.shuffle_joins = 0
+        self.buckets_joined = 0
+        self.buckets_skipped = 0
 
     # -- observers ---------------------------------------------------------
 
@@ -128,6 +135,9 @@ class DistributedRuntime:
                 "shards_pruned": self.shards_pruned,
                 "fragments_run": self.fragments_run,
                 "shard_ships": self.shard_ships,
+                "shuffle_joins": self.shuffle_joins,
+                "buckets_joined": self.buckets_joined,
+                "buckets_skipped": self.buckets_skipped,
             }
 
     # -- pool lifecycle ----------------------------------------------------
@@ -154,24 +164,162 @@ class DistributedRuntime:
 
     # -- gather execution --------------------------------------------------
 
-    def run_gather(
-        self, op: Gather, sharded: ShardedTable
-    ) -> list[Table]:
+    def run_gather(self, op: Gather, shardeds) -> list[Table]:
         """Fragment results for each routed shard, in shard order.
+
+        ``shardeds`` maps each fragment table (lowercased) to its
+        :class:`ShardedTable`; a bare :class:`ShardedTable` is accepted
+        for single-table fragments (the pre-join calling convention).
 
         Routing is re-derived here against the *bound* fragment: a
         prepared query's ``?`` shard-key parameter — unroutable at
-        optimize time — prunes exactly at execution time.
+        optimize time — prunes exactly at execution time. Co-located
+        join fragments route through every side's shard statistics and
+        skip shard pairs where either side is empty.
+        """
+        from repro.distributed.routing import (
+            colocated_shard_ids,
+            effective_shard_ids,
+        )
+
+        if isinstance(shardeds, ShardedTable):
+            shardeds = {op.table_name.lower(): shardeds}
+        if op.join == "colocated":
+            shard_ids, _pruned = colocated_shard_ids(op.fragment, shardeds)
+            total = op.total_shards
+        else:
+            sharded = shardeds[op.table_name.lower()]
+            shard_ids = effective_shard_ids(op, sharded)
+            total = sharded.num_shards
+        spec = self._fragment_spec(op.fragment)
+        tables = fragment_tables(op.fragment)
+        tasks = [
+            (shard_id, [(name, shardeds[name], shard_id) for name in tables])
+            for shard_id in shard_ids
+        ]
+        latencies: list[float] = []
+        results = self._dispatch(worker.run_fragment, spec, tasks, latencies)
+        self._notify(len(shard_ids), total - len(shard_ids), latencies)
+        return [_decode_result(results[shard_id]) for shard_id in shard_ids]
+
+    # -- shuffle joins -----------------------------------------------------
+
+    def run_shuffle_join(self, op: ShuffleJoin, sides) -> list[Table]:
+        """Bucket-pair join results, in bucket order (empties skipped).
+
+        ``sides`` is ``[(shuffle, sharded_or_none, local_table_or_none),
+        ...]`` for the left and right side: sharded sides map on the
+        worker pool (fragment → hash-partition, reusing the
+        ship-on-miss shard caches), unsharded sides arrive pre-executed
+        as a local table the coordinator partitions itself. Bucket *k*
+        of both sides then joins on one worker; a bucket empty on
+        either side is never dispatched (the empty-bucket guard — an
+        INNER join over an empty input is provably empty).
         """
         from repro.distributed.routing import effective_shard_ids
 
-        shard_ids = effective_shard_ids(op, sharded)
-        spec = self._fragment_spec(op)
-        start_mode = self.effective_mode
+        num_buckets = op.num_buckets
         latencies: list[float] = []
+        scanned = 0
+        pruned = 0
+        side_buckets: list[list[Table | None]] = []
+        for shuffle, sharded, local in sides:
+            if sharded is not None:
+                shard_ids = effective_shard_ids(shuffle, sharded)
+                scanned += len(shard_ids)
+                pruned += sharded.num_shards - len(shard_ids)
+                side_buckets.append(
+                    self._map_side(
+                        shuffle, sharded, shard_ids, num_buckets, latencies
+                    )
+                )
+            else:
+                side_buckets.append(
+                    worker.bucketize(local, shuffle.key, num_buckets)
+                )
+        left_buckets, right_buckets = side_buckets
+        condition_spec = serialize.encode_expression(op.condition)
+        join_tasks = []
+        skipped = 0
+        for bucket_id in range(num_buckets):
+            left = left_buckets[bucket_id]
+            right = right_buckets[bucket_id]
+            if left is None or right is None:
+                skipped += 1
+                continue
+            join_tasks.append(
+                (
+                    bucket_id,
+                    {
+                        "kind": op.kind,
+                        "condition": condition_spec,
+                        "left": _encode_table(left),
+                        "right": _encode_table(right),
+                    },
+                )
+            )
+        results = self._run_tasks(worker.run_bucket_join, join_tasks, latencies)
+        with self._lock:
+            self.shuffle_joins += 1
+            self.buckets_joined += len(join_tasks)
+            self.buckets_skipped += skipped
+        self._notify(scanned, pruned, latencies)
+        return [
+            _decode_result(results[bucket_id])
+            for bucket_id, _task in join_tasks
+        ]
+
+    def _map_side(
+        self,
+        shuffle,
+        sharded: ShardedTable,
+        shard_ids: list[int],
+        num_buckets: int,
+        latencies: list[float],
+    ) -> "list[Table | None]":
+        """Shard-parallel map phase of one side: per-shard bucket lists,
+        merged bucket-wise at the coordinator (the routing point)."""
+        spec = self._fragment_spec(shuffle.fragment)
+        extra = {"key": shuffle.key, "num_buckets": num_buckets}
+        name = shuffle.table_name.lower()
+        tasks = [
+            (shard_id, [(name, sharded, shard_id)]) for shard_id in shard_ids
+        ]
+        replies = self._dispatch(
+            worker.run_shuffle_map, spec, tasks, latencies, extra
+        )
+        pieces: list[list[Table]] = [[] for _ in range(num_buckets)]
+        for shard_id in shard_ids:
+            reply = replies[shard_id]
+            schema = serialize.decode_schema(reply["schema"])
+            for bucket_id, columns in enumerate(reply["buckets"]):
+                if columns is not None:
+                    pieces[bucket_id].append(Table(schema, columns))
+        # One concat per bucket: pairwise merging inside the shard loop
+        # would re-copy accumulated rows once per contributing shard.
+        return [
+            Table.concat_rows(bucket) if bucket else None
+            for bucket in pieces
+        ]
+
+    # -- dispatch machinery ------------------------------------------------
+
+    def _dispatch(
+        self, fn, spec, tasks, latencies, extra=None
+    ) -> dict[int, dict]:
+        """Run one shard-addressed task set with ship-on-miss per table.
+
+        ``tasks`` is ``[(task_key, [(table, sharded, shard_id), ...])]``
+        — each task carries one cache token per shard it reads, and a
+        worker that misses any of them replies with the missing table
+        names so the retry ships only those columns.
+        """
+        extra = extra or {}
+        start_mode = self.effective_mode
+        recorded = len(latencies)
         if start_mode == "process":
             try:
-                results = self._run_pooled(spec, sharded, shard_ids, latencies)
+                return self._dispatch_pooled(fn, spec, tasks, latencies, extra)
             except _POOL_FAILURES:
                 # A broken/unavailable pool (restricted environments,
                 # killed workers) must not fail queries; degrade to
@@ -179,120 +327,141 @@ class DistributedRuntime:
                 # Fragment-level errors (a bug in the plan itself) are
                 # NOT caught — they would fail identically in-process.
                 self._pool_broken = True
-                latencies = []
-                results = self._run_inprocess(
-                    spec, sharded, shard_ids, latencies
-                )
-        else:
-            results = self._run_inprocess(spec, sharded, shard_ids, latencies)
-        self._notify(
-            len(shard_ids), sharded.num_shards - len(shard_ids), latencies
-        )
-        return results
+                # Every task re-runs below; drop this call's partial
+                # timings (earlier phases sharing the list keep theirs).
+                del latencies[recorded:]
+        return self._dispatch_inprocess(fn, spec, tasks, latencies, extra)
 
-    def _fragment_spec(self, op: Gather) -> dict:
-        key = id(op.fragment)
-        with self._lock:
-            cached = self._fragment_specs.get(key)
-            if cached is not None and cached[0] is op.fragment:
-                return cached[1]
-        spec = serialize.encode_fragment(op.fragment, self.model_resolver)
-        with self._lock:
-            if len(self._fragment_specs) >= MAX_CACHED_FRAGMENTS:
-                self._fragment_specs.clear()
-            self._fragment_specs[key] = (op.fragment, spec)
-        return spec
+    def _task(self, spec, shards, ship, extra, transient=False) -> dict:
+        """One worker task. ``transient`` marks in-process execution:
+        the shard data rides along but must NOT enter the module-level
+        worker cache — the coordinator process would otherwise seed
+        every future forked pool worker with entries whose tokens can
+        collide across databases."""
+        entries = []
+        for table_name, sharded, shard_id in shards:
+            entry = {
+                "table": table_name,
+                "token": list(sharded.shard_token(shard_id)),
+            }
+            if table_name in ship:
+                shard = sharded.shard(shard_id)
+                entry["schema"] = serialize.encode_schema(shard.schema)
+                entry["columns"] = shard.to_dict()
+                entry["partition_size"] = shard.partition_size
+                if transient:
+                    entry["transient"] = True
+                else:
+                    with self._lock:
+                        self.shard_ships += 1
+            entries.append(entry)
+        return {"fragment": spec, "shards": entries, **extra}
 
-    def _task(
-        self,
-        spec: dict,
-        sharded: ShardedTable,
-        shard_id: int,
-        with_data: bool,
-    ) -> dict:
-        task = {
-            "fragment": spec,
-            "shard_token": list(sharded.shard_token(shard_id)),
-        }
-        if with_data:
-            shard = sharded.shard(shard_id)
-            task["shard_schema"] = serialize.encode_schema(shard.schema)
-            task["columns"] = shard.to_dict()
-            task["partition_size"] = shard.partition_size
-            with self._lock:
-                self.shard_ships += 1
-        return task
-
-    def _run_pooled(
-        self,
-        spec: dict,
-        sharded: ShardedTable,
-        shard_ids: list[int],
-        latencies: list[float],
-    ) -> list[Table]:
+    def _dispatch_pooled(
+        self, fn, spec, tasks, latencies, extra
+    ) -> dict[int, dict]:
         pool = self._ensure_pool()
         started = {
-            shard_id: (
+            key: (
                 time.perf_counter(),
-                pool.submit(
-                    worker.run_fragment,
-                    self._task(spec, sharded, shard_id, with_data=False),
-                ),
+                pool.submit(fn, self._task(spec, shards, set(), extra)),
             )
-            for shard_id in shard_ids
+            for key, shards in tasks
         }
-        results: dict[int, Table] = {}
-        retries: list[int] = []
-        for shard_id, (start, future) in started.items():
+        shards_by_key = dict(tasks)
+        results: dict[int, dict] = {}
+        retries: list[tuple[int, set]] = []
+        for key, (start, future) in started.items():
             reply = future.result(timeout=self.fragment_timeout)
             if reply["status"] == worker.MISSING_SHARD:
-                retries.append(shard_id)
+                retries.append((key, set(reply.get("missing", ()))))
                 continue
             latencies.append(time.perf_counter() - start)
-            results[shard_id] = _decode_result(reply)
+            results[key] = reply
         retried = {
-            shard_id: (
+            key: (
                 time.perf_counter(),
                 pool.submit(
-                    worker.run_fragment,
-                    self._task(spec, sharded, shard_id, with_data=True),
+                    fn, self._task(spec, shards_by_key[key], ship, extra)
                 ),
             )
-            for shard_id in retries
+            for key, ship in retries
         }
-        for shard_id, (start, future) in retried.items():
+        for key, (start, future) in retried.items():
             reply = future.result(timeout=self.fragment_timeout)
             if reply["status"] != worker.OK:
                 raise RuntimeDispatchError(
-                    f"worker failed shard {shard_id} of "
-                    f"{sharded.table_name!r} even with shipped data"
+                    f"worker failed task {key} even with shipped data"
                 )
             latencies.append(time.perf_counter() - start)
-            results[shard_id] = _decode_result(reply)
-        return [results[shard_id] for shard_id in shard_ids]
-
-    def _run_inprocess(
-        self,
-        spec: dict,
-        sharded: ShardedTable,
-        shard_ids: list[int],
-        latencies: list[float],
-    ) -> list[Table]:
-        results = []
-        # One decode for every shard: the decoded fragment is immutable
-        # and shard-independent.
-        fragment = serialize.decode_fragment(spec, worker._load_model)
-        for shard_id in shard_ids:
-            start = time.perf_counter()
-            result = worker.execute_fragment(
-                fragment, sharded.shard(shard_id)
-            )
-            latencies.append(time.perf_counter() - start)
-            results.append(result)
+            results[key] = reply
         return results
+
+    def _dispatch_inprocess(
+        self, fn, spec, tasks, latencies, extra
+    ) -> dict[int, dict]:
+        results: dict[int, dict] = {}
+        for key, shards in tasks:
+            ship = {name for name, _sharded, _sid in shards}
+            start = time.perf_counter()
+            reply = fn(self._task(spec, shards, ship, extra, transient=True))
+            latencies.append(time.perf_counter() - start)
+            if reply["status"] != worker.OK:
+                raise RuntimeDispatchError(
+                    f"in-process fragment failed task {key}"
+                )
+            results[key] = reply
+        return results
+
+    def _run_tasks(self, fn, tasks, latencies) -> dict[int, dict]:
+        """Run self-contained (data-carrying) tasks; no miss protocol."""
+        recorded = len(latencies)
+        if self.effective_mode == "process":
+            try:
+                pool = self._ensure_pool()
+                started = {
+                    key: (time.perf_counter(), pool.submit(fn, task))
+                    for key, task in tasks
+                }
+                results = {}
+                for key, (start, future) in started.items():
+                    reply = future.result(timeout=self.fragment_timeout)
+                    latencies.append(time.perf_counter() - start)
+                    results[key] = reply
+                return results
+            except _POOL_FAILURES:
+                self._pool_broken = True
+                # Every task re-runs below; keep only one timing each.
+                del latencies[recorded:]
+        results = {}
+        for key, task in tasks:
+            start = time.perf_counter()
+            results[key] = fn(task)
+            latencies.append(time.perf_counter() - start)
+        return results
+
+    def _fragment_spec(self, fragment) -> dict:
+        key = id(fragment)
+        with self._lock:
+            cached = self._fragment_specs.get(key)
+            if cached is not None and cached[0] is fragment:
+                return cached[1]
+        spec = serialize.encode_fragment(fragment, self.model_resolver)
+        with self._lock:
+            if len(self._fragment_specs) >= MAX_CACHED_FRAGMENTS:
+                self._fragment_specs.clear()
+            self._fragment_specs[key] = (fragment, spec)
+        return spec
 
 
 def _decode_result(reply: dict) -> Table:
     return Table(
         serialize.decode_schema(reply["schema"]), reply["columns"]
     )
+
+
+def _encode_table(table: Table) -> dict:
+    return {
+        "schema": serialize.encode_schema(table.schema),
+        "columns": table.to_dict(),
+    }

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import RuntimeDispatchError
-from repro.distributed.operators import SHARD_TABLE, ShardScan
+from repro.distributed.operators import ShardScan, shard_target
 from repro.ml import model_format
 from repro.ml.base import BaseEstimator
 from repro.relational.algebra import logical
@@ -153,6 +153,19 @@ def encode_fragment(
             "schema": encode_schema(op.base_schema),
             "alias": op.alias,
         }
+    if isinstance(op, logical.Join):
+        if op.kind != "INNER" or op.condition is None:
+            raise FragmentSerializationError(
+                f"only INNER equi-joins have a fragment form, "
+                f"got {op.kind}"
+            )
+        return {
+            "op": "join",
+            "kind": op.kind,
+            "left": encode_fragment(op.left, model_resolver),
+            "right": encode_fragment(op.right, model_resolver),
+            "condition": encode_expression(op.condition),
+        }
     if isinstance(op, logical.Filter):
         return {
             "op": "filter",
@@ -259,11 +272,22 @@ def decode_fragment(
 ) -> logical.LogicalOp:
     kind = spec["op"]
     if kind == "shard_scan":
-        # The worker scans its shard through the normal Scan operator,
-        # so intra-shard zone maps and the morsel-parallel fast path
-        # still apply inside each worker process.
+        # The worker scans its shard through the normal Scan operator
+        # (under the table's localized shard_target name, so join
+        # fragments address each table's shard distinctly), keeping
+        # intra-shard zone maps and the morsel-parallel fast path alive
+        # inside each worker process.
         return logical.Scan(
-            SHARD_TABLE, decode_schema(spec["schema"]), spec.get("alias")
+            shard_target(spec["table"]),
+            decode_schema(spec["schema"]),
+            spec.get("alias"),
+        )
+    if kind == "join":
+        return logical.Join(
+            decode_fragment(spec["left"], model_loader),
+            decode_fragment(spec["right"], model_loader),
+            spec.get("kind", "INNER"),
+            decode_expression(spec["condition"]),
         )
     if kind == "filter":
         return logical.Filter(
@@ -330,6 +354,7 @@ _SERIALIZABLE_OPS = (
     logical.Distinct,
     logical.Limit,
     logical.Predict,
+    logical.Join,
 )
 
 _SERIALIZABLE_EXPRS = (
@@ -360,16 +385,29 @@ def fragment_is_serializable(
         if isinstance(node, logical.Predict):
             if model_flavor_of(node) != "ml.pipeline":
                 return False
+        if isinstance(node, logical.Join):
+            # Only INNER equi-joins cross the wire (co-located shard
+            # joins); CROSS products and outer joins stay coordinator
+            # operators.
+            if node.kind != "INNER" or node.condition is None:
+                return False
     for expr in fragment_expressions(op):
-        for part in expr.walk():
-            if not isinstance(part, _SERIALIZABLE_EXPRS):
-                return False
-            if isinstance(part, Literal) and not _json_safe(part.value):
-                return False
-            if isinstance(part, InList) and not all(
-                _json_safe(v) for v in part.values
-            ):
-                return False
+        if not expression_is_serializable(expr):
+            return False
+    return True
+
+
+def expression_is_serializable(expr: Expression) -> bool:
+    """Whether one scalar expression survives the JSON codec."""
+    for part in expr.walk():
+        if not isinstance(part, _SERIALIZABLE_EXPRS):
+            return False
+        if isinstance(part, Literal) and not _json_safe(part.value):
+            return False
+        if isinstance(part, InList) and not all(
+            _json_safe(v) for v in part.values
+        ):
+            return False
     return True
 
 

@@ -6,10 +6,19 @@ Each worker process keeps two module-level caches:
   ``(table, shard_id, epoch)``. The coordinator ships shard columns
   only when a worker reports a miss (the ship-on-miss protocol in
   :mod:`repro.distributed.runtime`), so steady-state queries move plan
-  JSON and results, not data.
+  JSON and results, not data. Co-located join tasks resolve *several*
+  shards (one per fragment table) through the same cache.
 * ``_MODEL_CACHE`` — decoded model bundles keyed by content hash, so a
   hot PREDICT fragment deserializes its model once per process, not
   once per call.
+
+Besides plain fragments, workers run the two halves of the shuffle
+exchange: :func:`run_shuffle_map` executes a side's fragment over its
+shard and hash-partitions the result into key-disjoint buckets, and
+:func:`run_bucket_join` joins one bucket pair shipped back by the
+coordinator. Empty buckets are represented as ``None`` and are never
+dispatched for joining — an INNER join over an empty input is provably
+empty (the empty-bucket guard).
 
 Fragments execute through the ordinary relational
 :class:`~repro.relational.algebra.executor.Executor` with intra-worker
@@ -21,11 +30,13 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.distributed import serialize
+from repro.distributed.operators import SHARD_TABLE, shard_target
+from repro.distributed.shards import hash_buckets
 from repro.errors import ExecutionError
 from repro.ml import model_format
 from repro.relational.table import Table
@@ -35,42 +46,164 @@ from repro.relational.table import Table
 #: many tables are sharded.
 MAX_CACHED_SHARDS = 64
 MAX_CACHED_MODELS = 16
+MAX_CACHED_FRAGMENTS = 16
 
 _SHARD_CACHE: "OrderedDict[tuple, Table]" = OrderedDict()
 _MODEL_CACHE: "OrderedDict[str, object]" = OrderedDict()
+#: Decoded fragments keyed by spec-dict identity (identity-checked on
+#: read). The coordinator's in-process path passes the same cached spec
+#: object for every shard of a gather, so the JSON→logical decode runs
+#: once per plan instead of once per shard. Pool workers receive a
+#: fresh unpickled dict per task, so the cache is a no-op there.
+_FRAGMENT_CACHE: "OrderedDict[int, tuple[dict, object]]" = OrderedDict()
 
 #: Status markers in the worker reply.
 OK = "ok"
 MISSING_SHARD = "missing_shard"
 
 
-def run_fragment(task: dict) -> dict:
-    """Execute one plan fragment against one shard; returns a reply dict.
+def _shard_entries(task: dict) -> list[dict]:
+    """The task's shard descriptors (new multi-shard or legacy form)."""
+    entries = task.get("shards")
+    if entries is not None:
+        return entries
+    entry = {"token": task["shard_token"]}
+    if "columns" in task:
+        entry["schema"] = task["shard_schema"]
+        entry["columns"] = task["columns"]
+        entry["partition_size"] = task.get("partition_size")
+    return [entry]
 
-    ``task`` carries the fragment JSON spec, the shard token, and —
-    only when the coordinator is answering a miss — the shard's schema,
-    columns, and partition size.
+
+def _resolve_entries(task: dict) -> tuple[dict[str, Table], list[str]]:
+    """``(shards by localized name, missing table names)`` for a task."""
+    shards: dict[str, Table] = {}
+    missing: list[str] = []
+    for entry in _shard_entries(task):
+        token = tuple(entry["token"])
+        table_name = str(entry.get("table") or token[0])
+        shard = _resolve_shard(entry, token)
+        if shard is None:
+            missing.append(table_name)
+        else:
+            shards[shard_target(table_name)] = shard
+    return shards, missing
+
+
+def run_fragment(task: dict) -> dict:
+    """Execute one plan fragment against its shard(s); returns a reply.
+
+    ``task`` carries the fragment JSON spec and one shard descriptor
+    per fragment table — each a token, plus (only when the coordinator
+    is answering a miss) the shard's schema, columns, and partition
+    size.
     """
-    token = tuple(task["shard_token"])
-    shard = _resolve_shard(task, token)
-    if shard is None:
-        return {"status": MISSING_SHARD, "shard_token": list(token)}
-    fragment = serialize.decode_fragment(task["fragment"], _load_model)
-    result = execute_fragment(fragment, shard)
+    shards, missing = _resolve_entries(task)
+    if missing:
+        return {"status": MISSING_SHARD, "missing": missing}
+    result = execute_fragment(_decode_cached(task["fragment"]), shards)
     return {
         "status": OK,
-        "shard_token": list(token),
         "schema": serialize.encode_schema(result.schema),
         "columns": result.to_dict(),
     }
 
 
-def execute_fragment(fragment, shard: Table) -> Table:
-    """Run a decoded fragment over one shard table, single-threaded."""
+def _decode_cached(spec: dict):
+    key = id(spec)
+    cached = _FRAGMENT_CACHE.get(key)
+    if cached is not None and cached[0] is spec:
+        _FRAGMENT_CACHE.move_to_end(key)
+        return cached[1]
+    fragment = serialize.decode_fragment(spec, _load_model)
+    _FRAGMENT_CACHE[key] = (spec, fragment)
+    while len(_FRAGMENT_CACHE) > MAX_CACHED_FRAGMENTS:
+        _FRAGMENT_CACHE.popitem(last=False)
+    return fragment
+
+
+def run_shuffle_map(task: dict) -> dict:
+    """Map half of the shuffle: fragment over one shard, then bucket.
+
+    The result rows are hash-partitioned on ``task["key"]`` into
+    ``task["num_buckets"]`` key-disjoint buckets; empty buckets reply
+    as ``None`` so the coordinator never routes (or joins) them.
+    """
+    shards, missing = _resolve_entries(task)
+    if missing:
+        return {"status": MISSING_SHARD, "missing": missing}
+    result = execute_fragment(_decode_cached(task["fragment"]), shards)
+    buckets = bucketize(result, task["key"], int(task["num_buckets"]))
+    return {
+        "status": OK,
+        "schema": serialize.encode_schema(result.schema),
+        "buckets": [
+            bucket.to_dict() if bucket is not None else None
+            for bucket in buckets
+        ],
+    }
+
+
+def run_bucket_join(task: dict) -> dict:
+    """Reduce half of the shuffle: join one bucket pair locally."""
+    from repro.relational.algebra import logical
+
+    left = Table(
+        serialize.decode_schema(task["left"]["schema"]),
+        task["left"]["columns"],
+    )
+    right = Table(
+        serialize.decode_schema(task["right"]["schema"]),
+        task["right"]["columns"],
+    )
+    condition = serialize.decode_expression(task["condition"])
+    plan = logical.Join(
+        logical.InlineTable(left),
+        logical.InlineTable(right),
+        task.get("kind", "INNER"),
+        condition,
+    )
+    result = _single_threaded_executor(lambda _name: _no_table(_name)).execute(
+        plan
+    )
+    return {
+        "status": OK,
+        "schema": serialize.encode_schema(result.schema),
+        "columns": result.to_dict(),
+    }
+
+
+def bucketize(table: Table, key: str, num_buckets: int) -> list[Table | None]:
+    """Hash-partition rows on ``key`` into ``num_buckets`` buckets.
+
+    Empty buckets come back as ``None`` — the caller must guard its
+    dispatch on them (an empty bucket has no rows to join or ship).
+    """
+    if num_buckets < 1:
+        raise ExecutionError(f"num_buckets must be >= 1, got {num_buckets}")
+    if table.num_rows == 0:
+        return [None] * num_buckets
+    values = table.column(table.resolve_name(key))
+    assignment = hash_buckets(values, num_buckets)
+    buckets: list[Table | None] = []
+    for bucket_id in range(num_buckets):
+        indices = np.nonzero(assignment == bucket_id)[0]
+        buckets.append(table.take(indices) if len(indices) else None)
+    return buckets
+
+
+def _no_table(name: str) -> Table:
+    raise ExecutionError(
+        f"bucket-join plan scanned {name!r}; bucket joins only read their "
+        "shipped inline inputs"
+    )
+
+
+def _single_threaded_executor(table_provider):
     from repro.relational.algebra.executor import ExecutionOptions, Executor
 
-    executor = Executor(
-        table_provider=lambda name: _provide_shard(name, shard),
+    return Executor(
+        table_provider=table_provider,
         model_resolver=_WorkerModelResolver(),
         options=ExecutionOptions(
             parallel_predict=False,
@@ -78,27 +211,60 @@ def execute_fragment(fragment, shard: Table) -> Table:
             max_workers=1,
         ),
     )
-    return executor.execute(fragment)
 
 
-def _provide_shard(name: str, shard: Table) -> Table:
-    if name != serialize.SHARD_TABLE:
+def execute_fragment(
+    fragment, shards: Table | Mapping[str, Table]
+) -> Table:
+    """Run a decoded fragment over its shard table(s), single-threaded.
+
+    ``shards`` is either a mapping from localized scan name
+    (:func:`~repro.distributed.operators.shard_target`) to shard table,
+    or — the single-table convenience used by tests and the legacy
+    protocol — one bare :class:`Table` served under any shard name.
+    """
+    if isinstance(shards, Table):
+        single = shards
+        provider = lambda name: _provide_single(name, single)  # noqa: E731
+    else:
+        mapping = dict(shards)
+        provider = lambda name: _provide_mapped(name, mapping)  # noqa: E731
+    return _single_threaded_executor(provider).execute(fragment)
+
+
+def _provide_single(name: str, shard: Table) -> Table:
+    if name == SHARD_TABLE or name.startswith(SHARD_TABLE + ":"):
+        return shard
+    raise ExecutionError(
+        f"fragment scanned {name!r}; only the shipped shard is visible "
+        "to a worker"
+    )
+
+
+def _provide_mapped(name: str, shards: Mapping[str, Table]) -> Table:
+    shard = shards.get(name)
+    if shard is None:
         raise ExecutionError(
-            f"fragment scanned {name!r}; only the shipped shard "
-            f"({serialize.SHARD_TABLE!r}) is visible to a worker"
+            f"fragment scanned {name!r}; shipped shards are "
+            f"{sorted(shards)}"
         )
     return shard
 
 
-def _resolve_shard(task: dict, token: tuple) -> Table | None:
-    columns = task.get("columns")
+def _resolve_shard(entry: dict, token: tuple) -> Table | None:
+    columns = entry.get("columns")
     if columns is None:
         cached = _SHARD_CACHE.get(token)
         if cached is not None:
             _SHARD_CACHE.move_to_end(token)
         return cached
-    schema = serialize.decode_schema(task["shard_schema"])
-    shard = Table(schema, columns, task.get("partition_size"))
+    schema = serialize.decode_schema(entry["schema"])
+    shard = Table(schema, columns, entry.get("partition_size"))
+    if entry.get("transient"):
+        # In-process (coordinator) execution: never seed the module
+        # cache — forked pool workers would inherit entries whose
+        # tokens can collide across databases.
+        return shard
     _SHARD_CACHE[token] = shard
     _SHARD_CACHE.move_to_end(token)
     while len(_SHARD_CACHE) > MAX_CACHED_SHARDS:
@@ -120,9 +286,10 @@ def _load_model(bundle_json: str) -> object:
 
 
 def clear_caches() -> None:
-    """Drop both worker caches (tests use this for isolation)."""
+    """Drop the worker caches (tests use this for isolation)."""
     _SHARD_CACHE.clear()
     _MODEL_CACHE.clear()
+    _FRAGMENT_CACHE.clear()
 
 
 class _WorkerModelResolver:

@@ -71,6 +71,27 @@ class ExecutionOptions:
         self.distributed_mode = distributed_mode
 
 
+def _shuffle_tables(shuffle) -> list[str]:
+    """Base tables a shuffle side's ShardScan leaves read (none for a
+    coordinator-local side whose leaf is a plain Scan)."""
+    from repro.distributed.operators import fragment_tables
+
+    return fragment_tables(shuffle.fragment)
+
+
+def _side_gather(shuffle):
+    """A Gather view of one shuffle side (for the inline map phase)."""
+    from repro.distributed.operators import Gather
+
+    return Gather(
+        shuffle.table_name,
+        shuffle.fragment,
+        shuffle.key,
+        shuffle.shard_ids,
+        shuffle.total_shards,
+    )
+
+
 class Executor:
     """Interprets logical plans against a table provider + model resolver."""
 
@@ -81,15 +102,19 @@ class Executor:
         options: ExecutionOptions | None = None,
         shard_provider: Callable[[str], object] | None = None,
         fragment_runner: Callable | None = None,
+        shuffle_runner: Callable | None = None,
     ):
         self._table_provider = table_provider
         self._model_resolver = model_resolver
-        #: ``shard_provider(table) -> ShardedTable | None`` and
-        #: ``fragment_runner(gather_op, sharded) -> list[Table]`` wire
-        #: the distributed runtime in; tests inject recording runners
-        #: here to prove pruned shards are never dispatched.
+        #: ``shard_provider(table) -> ShardedTable | None``,
+        #: ``fragment_runner(gather_op, {table: ShardedTable}) ->
+        #: list[Table]`` and ``shuffle_runner(shuffle_join_op, sides)
+        #: -> list[Table]`` wire the distributed runtime in; tests
+        #: inject recording runners here to prove pruned shards (and
+        #: empty buckets) are never dispatched.
         self._shard_provider = shard_provider
         self._fragment_runner = fragment_runner
+        self._shuffle_runner = shuffle_runner
         self.options = options or ExecutionOptions()
         #: Zone-map outcome of the most recent pruned scan:
         #: {"table", "partitions_total", "partitions_scanned"}. A
@@ -482,60 +507,213 @@ class Executor:
         database's :class:`~repro.distributed.runtime.DistributedRuntime`
         by default; tests inject recording runners). A table that is no
         longer sharded — or a missing runner — degrades to executing
-        the fragment once over the full base table, which is equivalent
-        for every fragment shape the optimizer emits (filters, scoring,
-        and *partial* aggregates are all union-compatible).
+        the fragment once over the full base table(s), which is
+        equivalent for every fragment shape the optimizer emits
+        (filters, scoring, joins, and *partial* aggregates are all
+        union-compatible). A co-located join whose layout assumptions
+        no longer hold (a reshard raced a cached plan) degrades the
+        same way — joining the full base tables locally is always
+        correct.
         """
-        sharded = (
-            self._shard_provider(op.table_name)
-            if self._shard_provider is not None
-            else None
-        )
-        if sharded is None:
-            base = self._table_provider(op.table_name)
+        from repro.distributed.operators import fragment_tables
+        from repro.distributed.routing import colocated_layouts_ok
+
+        tables = fragment_tables(op.fragment)
+        shardeds = {}
+        for name in tables:
+            sharded = (
+                self._shard_provider(name)
+                if self._shard_provider is not None
+                else None
+            )
+            if sharded is None:
+                break
+            shardeds[name] = sharded
+        layout_ok = len(shardeds) == len(tables)
+        if layout_ok and op.join == "colocated":
+            layout_ok = colocated_layouts_ok(op, shardeds)
+        if not layout_ok:
             self.last_shard_routing = {
                 "table": op.table_name,
                 "shards_total": 1,
                 "shards_scanned": 1,
+                "join": op.join,
             }
-            return self._execute_fragment_locally(op.fragment, base)
+            return self._execute_fragment_locally(
+                op.fragment,
+                {name: self._table_provider(name) for name in tables},
+            )
         if self._fragment_runner is not None:
-            parts = self._fragment_runner(op, sharded)
+            parts = self._fragment_runner(op, shardeds)
         else:
-            from repro.distributed.routing import effective_shard_ids
-
-            parts = [
-                self._execute_fragment_locally(
-                    op.fragment, sharded.shard(shard_id)
-                )
-                for shard_id in effective_shard_ids(op, sharded)
-            ]
+            parts = self._gather_inline(op, shardeds)
         self.last_shard_routing = {
             "table": op.table_name,
-            "shards_total": sharded.num_shards,
+            "shards_total": op.total_shards,
             "shards_scanned": len(parts),
+            "join": op.join,
         }
         if not parts:
             return Table.empty(op.schema)
         return Table.concat_rows(parts)
 
-    def _execute_fragment_locally(self, fragment, shard: Table) -> Table:
-        """Run a fragment over one shard *inside this process*.
+    def _gather_inline(self, op, shardeds) -> list[Table]:
+        """No-runner gather: run the fragment per shard in this process."""
+        from repro.distributed.operators import shard_target
+        from repro.distributed.routing import (
+            colocated_shard_ids,
+            effective_shard_ids,
+        )
 
-        Unlike a pool worker, the coordinator still has the model
-        catalog, so catalog-referenced models resolve normally — this
-        is the no-runner / table-no-longer-sharded degradation path.
+        if op.join == "colocated":
+            shard_ids, _pruned = colocated_shard_ids(op.fragment, shardeds)
+        else:
+            shard_ids = effective_shard_ids(
+                op, shardeds[op.table_name.lower()]
+            )
+        parts = []
+        for shard_id in shard_ids:
+            shards = {
+                shard_target(name): sharded.shard(shard_id)
+                for name, sharded in shardeds.items()
+            }
+            parts.append(
+                self._execute_fragment_locally(
+                    op.fragment, shards, localized=True
+                )
+            )
+        return parts
+
+    def _execute_fragment_locally(
+        self, fragment, tables: dict, localized: bool = False
+    ) -> Table:
+        """Run a fragment over its shard (or base) tables *in-process*.
+
+        ``tables`` maps either base table names (``localized=False``,
+        the degradation path over full tables) or localized
+        :func:`~repro.distributed.operators.shard_target` names to the
+        tables each ShardScan should read. Unlike a pool worker, the
+        coordinator still has the model catalog, so catalog-referenced
+        models resolve normally.
         """
-        from repro.distributed.operators import SHARD_TABLE, localize_fragment
+        from repro.distributed.operators import (
+            localize_fragment,
+            shard_target,
+        )
+
+        if not localized:
+            tables = {
+                shard_target(name): table for name, table in tables.items()
+            }
+
+        def provide(name: str) -> Table:
+            shard = tables.get(name)
+            if shard is not None:
+                return shard
+            return self._table_provider(name)
 
         sub = Executor(
-            table_provider=lambda name: (
-                shard if name == SHARD_TABLE else self._table_provider(name)
-            ),
+            table_provider=provide,
             model_resolver=self._model_resolver,
             options=self.options,
         )
         return sub.execute(localize_fragment(fragment))
+
+    def _execute_shufflejoin(self, op) -> Table:
+        """Distributed hash-shuffle join (see ``ShuffleJoin``).
+
+        Sharded sides map on the worker pool; unsharded (or no longer
+        sharded) sides are executed here and partitioned by the
+        runtime. Without an injected ``shuffle_runner`` the whole
+        exchange degrades to an in-process bucket-by-bucket join —
+        identical results, same bucket order, no pool.
+        """
+        from repro.distributed.routing import effective_shard_ids
+
+        sides = []
+        scanned = 0
+        total = 0
+        for shuffle in op.sides:
+            sharded = (
+                self._shard_provider(shuffle.table_name)
+                if self._shard_provider is not None and shuffle.is_sharded
+                else None
+            )
+            if sharded is not None and sharded.num_shards < 2:
+                sharded = None
+            local = None
+            if sharded is None:
+                local = self._execute_fragment_locally(
+                    shuffle.fragment,
+                    {
+                        name: self._table_provider(name)
+                        for name in _shuffle_tables(shuffle)
+                    },
+                )
+                scanned += 1
+                total += 1
+            else:
+                # Mirror the runtime's execution-time routing so the
+                # diagnostic agrees with the live layout and with
+                # DistributedRuntime.stats() for the same query.
+                scanned += len(effective_shard_ids(shuffle, sharded))
+                total += sharded.num_shards
+            sides.append((shuffle, sharded, local))
+        if self._shuffle_runner is not None:
+            parts = self._shuffle_runner(op, sides)
+        else:
+            parts = self._shuffle_inline(op, sides)
+        self.last_shard_routing = {
+            "table": op.left.table_name,
+            "shards_total": total,
+            "shards_scanned": scanned,
+            "join": "shuffle",
+        }
+        if not parts:
+            return Table.empty(op.schema)
+        return Table.concat_rows(parts)
+
+    def _shuffle_inline(self, op, sides) -> list[Table]:
+        """No-runner shuffle join: bucket and join inside this process.
+
+        Mirrors the runtime's bucket order (and its empty-bucket
+        guard), so results are row-for-row identical to the pooled
+        path.
+        """
+        from repro.distributed import worker
+
+        bucket_lists = []
+        for shuffle, sharded, local in sides:
+            if local is None:
+                parts = self._gather_inline(
+                    _side_gather(shuffle), {shuffle.table_name.lower(): sharded}
+                )
+                local = (
+                    Table.concat_rows(parts)
+                    if parts
+                    else Table.empty(shuffle.schema)
+                )
+            bucket_lists.append(
+                worker.bucketize(local, shuffle.key, op.num_buckets)
+            )
+        left_buckets, right_buckets = bucket_lists
+        parts = []
+        for bucket_id in range(op.num_buckets):
+            left = left_buckets[bucket_id]
+            right = right_buckets[bucket_id]
+            if left is None or right is None:
+                continue  # the empty-bucket guard
+            parts.append(
+                self.execute(
+                    logical.Join(
+                        logical.InlineTable(left),
+                        logical.InlineTable(right),
+                        op.kind,
+                        op.condition,
+                    )
+                )
+            )
+        return parts
 
     def _execute_repartition(self, op) -> Table:
         """Hash-recluster rows into key-disjoint contiguous buckets."""
@@ -566,6 +744,12 @@ class Executor:
         raise ExecutionError(
             f"ShardScan of {op.table_name!r} escaped its fragment; "
             "shard scans only execute inside Gather fragments"
+        )
+
+    def _execute_shuffle(self, op) -> Table:
+        raise ExecutionError(
+            f"Shuffle of {op.table_name!r} escaped its exchange; "
+            "shuffles only execute inside ShuffleJoin operators"
         )
 
     # -- model scoring ----------------------------------------------------

@@ -21,7 +21,13 @@ statistics).
 
 from __future__ import annotations
 
-from repro.distributed.operators import Gather, Repartition, ShardScan
+from repro.distributed.operators import (
+    Gather,
+    Repartition,
+    ShardScan,
+    Shuffle,
+    ShuffleJoin,
+)
 from repro.relational import statistics as table_stats
 from repro.relational.algebra import logical
 from repro.relational.expressions import Expression
@@ -194,9 +200,27 @@ class PhysicalPlanner:
                 suffix = (
                     " (zone-map)" if op.pruned_by == "zone-map" else ""
                 )
-                annotations.append(
+                shards = (
                     f"shards={op.shards_scanned}/{op.total_shards}{suffix}"
                 )
+                if op.join == "colocated":
+                    shards = f"join=colocated {shards}"
+                annotations.append(shards)
+            if isinstance(op, ShuffleJoin):
+                annotations.append(
+                    f"join=shuffle buckets={op.num_buckets}"
+                )
+            if isinstance(op, Shuffle):
+                if op.is_sharded:
+                    suffix = (
+                        " (zone-map)" if op.pruned_by == "zone-map" else ""
+                    )
+                    annotations.append(
+                        f"shards={len(op.shard_ids)}/{op.total_shards}"
+                        f"{suffix}"
+                    )
+                else:
+                    annotations.append("local")
             child_rows = [context.estimate_tree(c) for c in op.children]
             cost = _search().operator_cost(op, rows, child_rows, context)
             lines.append(
@@ -209,6 +233,11 @@ class PhysicalPlanner:
             )
             if isinstance(op, Gather):
                 # The per-shard fragment, rendered as a sub-plan.
+                walk(op.fragment, depth + 1, op)
+            if isinstance(op, ShuffleJoin):
+                walk(op.left, depth + 1, op)
+                walk(op.right, depth + 1, op)
+            if isinstance(op, Shuffle):
                 walk(op.fragment, depth + 1, op)
             for child in op.children:
                 walk(child, depth + 1, op)
@@ -284,6 +313,10 @@ def _describe(op: logical.LogicalOp) -> str:
         )
     if isinstance(op, Gather):
         return f"{label} {op.table_name} key={op.shard_key}"
+    if isinstance(op, Shuffle):
+        return f"{label} {op.table_name} key={op.key}"
+    if isinstance(op, ShuffleJoin):
+        return f"{label} {op.kind} [{op.condition!r}]"
     if isinstance(op, Repartition):
         return f"{label} key={op.key} buckets={op.num_buckets}"
     if isinstance(op, logical.Filter):

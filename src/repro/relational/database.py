@@ -126,6 +126,7 @@ class Database:
             options=options,
             shard_provider=self._provide_shards,
             fragment_runner=self._run_gather,
+            shuffle_runner=self._run_shuffle,
         )
         self._planner = PhysicalPlanner(self.catalog, self._executor.options)
         self._distributed = None
@@ -235,8 +236,11 @@ class Database:
         except CatalogError:
             return None
 
-    def _run_gather(self, op, sharded) -> list[Table]:
-        return self.distributed.run_gather(op, sharded)
+    def _run_gather(self, op, shardeds) -> list[Table]:
+        return self.distributed.run_gather(op, shardeds)
+
+    def _run_shuffle(self, op, sides) -> list[Table]:
+        return self.distributed.run_shuffle_join(op, sides)
 
     def store_model(
         self,

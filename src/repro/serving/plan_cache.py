@@ -49,11 +49,14 @@ class CachedPlan:
     #: Which memo rules fired while optimizing this plan (the memo
     #: search's exploration log) — serving introspection/debugging.
     rules_fired: tuple[str, ...] = ()
-    #: Per distributed scan the plan performs, the routing decision:
-    #: ``(table, shards_scanned, shards_total, pruned_by)``. Recorded
-    #: so serving introspection can see the fan-out a cached plan
-    #: commits to without re-deriving it.
-    shard_routing: tuple[tuple[str, int, int, str], ...] = ()
+    #: Per distributed exchange the plan performs, the routing
+    #: decision: ``(table, shards_scanned, shards_total, pruned_by,
+    #: strategy)`` where ``strategy`` is ``scan`` (single-table
+    #: gather), ``colocated`` (co-located shard join) or ``shuffle``
+    #: (hash-shuffle join side). Recorded so serving introspection can
+    #: see the fan-out — and the join strategy — a cached plan commits
+    #: to without re-deriving it.
+    shard_routing: tuple[tuple[str, int, int, str, str], ...] = ()
     #: Per sharded table the plan touches, the catalog shard epoch at
     #: prepare time. A reshard — or any write that moves rows between
     #: shards — bumps the epoch, staling this plan so the next

@@ -367,6 +367,17 @@ def _bind_template(
             attrs["fragment"] = substitute_fragment(
                 attrs["fragment"], mapping
             )
+        if node.op == "ra.shuffle_join" and mapping:
+            # Both side fragments and the join condition re-bind; the
+            # rebuilt op re-routes each side at execution time.
+            from repro.distributed.operators import substitute_shuffle_join
+
+            bound = substitute_shuffle_join(
+                _shuffle_join_of(attrs), mapping
+            )
+            attrs["left"] = bound.left
+            attrs["right"] = bound.right
+            attrs["condition"] = bound.condition
         if node.op == "ra.inline_table" and data:
             source = attrs.get("source_name")
             if source and source.lower() in data:
@@ -391,6 +402,10 @@ def _walk_expressions(graph: IRGraph) -> Iterator[Expression]:
             from repro.distributed.operators import fragment_expressions
 
             yield from fragment_expressions(attrs["fragment"])
+        if node.op == "ra.shuffle_join":
+            from repro.distributed.operators import shuffle_join_expressions
+
+            yield from shuffle_join_expressions(_shuffle_join_of(attrs))
 
 
 def _collect_parameters(graph: IRGraph) -> tuple[str, ...]:
@@ -502,26 +517,56 @@ def _collect_column_epochs(
     )
 
 
+def _shuffle_join_of(attrs: dict):
+    """The logical ShuffleJoin an ``ra.shuffle_join`` node's attrs hold."""
+    from repro.distributed.operators import ShuffleJoin
+
+    return ShuffleJoin(
+        attrs["left"],
+        attrs["right"],
+        attrs.get("kind", "INNER"),
+        attrs["condition"],
+        attrs["num_buckets"],
+    )
+
+
 def _collect_shard_routing(
     graph: IRGraph,
-) -> tuple[tuple[str, int, int, str], ...]:
-    """``(table, scanned, total, pruned_by)`` per distributed scan.
+) -> tuple[tuple[str, int, int, str, str], ...]:
+    """``(table, scanned, total, pruned_by, strategy)`` per exchange.
 
+    ``strategy`` is the join strategy the plan committed to — ``scan``
+    for single-table gathers, ``colocated`` for co-located shard
+    joins, ``shuffle`` (one entry per sharded side) for shuffle joins.
     Collected from the *optimized* graph — routing is an optimizer
     decision, it does not exist before the memo search.
     """
     routing = []
     for node in graph.nodes():
-        if node.op != "ra.gather":
-            continue
-        routing.append(
-            (
-                str(node.attrs.get("table", "")).lower(),
-                len(node.attrs.get("shard_ids", ())),
-                int(node.attrs.get("total_shards", 0)),
-                str(node.attrs.get("pruned_by", "none")),
+        if node.op == "ra.gather":
+            join = str(node.attrs.get("join", "none"))
+            routing.append(
+                (
+                    str(node.attrs.get("table", "")).lower(),
+                    len(node.attrs.get("shard_ids", ())),
+                    int(node.attrs.get("total_shards", 0)),
+                    str(node.attrs.get("pruned_by", "none")),
+                    "colocated" if join == "colocated" else "scan",
+                )
             )
-        )
+        elif node.op == "ra.shuffle_join":
+            for side in (node.attrs["left"], node.attrs["right"]):
+                if not side.is_sharded:
+                    continue
+                routing.append(
+                    (
+                        side.table_name.lower(),
+                        len(side.shard_ids),
+                        side.total_shards,
+                        side.pruned_by,
+                        "shuffle",
+                    )
+                )
     return tuple(routing)
 
 

@@ -191,17 +191,17 @@ def tree_gemm_matrices(
     paths = tree.paths()
     # paths() and leaves_dfs() enumerate leaves in the same DFS order.
     for leaf_node, conditions in zip(leaves, paths):
-        l = leaf_pos[leaf_node]
+        leaf = leaf_pos[leaf_node]
         # Recover internal node ids along the path by replaying it.
         node = 0
         for feature, threshold, goes_left in conditions:
             i = internal_pos[node]
             if goes_left:
-                C[i, l] = 1.0
-                D[0, l] += 1.0
+                C[i, leaf] = 1.0
+                D[0, leaf] += 1.0
                 node = int(tree.children_left[node])
             else:
-                C[i, l] = -1.0
+                C[i, leaf] = -1.0
                 node = int(tree.children_right[node])
     V = np.vstack([value_matrix[node] for node in leaves])
     return A, B, C, D, V

@@ -13,7 +13,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.errors import TensorError
-from repro.tensor.device import CPUDevice, Device, RunStats, get_device
+from repro.tensor.device import Device, RunStats, get_device
 from repro.tensor.graph import Graph
 from repro.tensor.optimizer import optimize
 

@@ -16,7 +16,6 @@ from repro.errors import (
 )
 from repro.ml import DecisionTreeRegressor, Pipeline
 from repro.relational.algebra import logical
-from repro.relational.expressions import BinaryOp, col, lit
 from repro.relational.types import DataType, Schema
 
 

@@ -7,7 +7,13 @@ import numpy as np
 import pytest
 
 from repro.distributed import routing, serialize, worker
-from repro.distributed.operators import Gather, Repartition, ShardScan
+from repro.distributed.operators import (
+    Gather,
+    Repartition,
+    ShardScan,
+    Shuffle,
+    ShuffleJoin,
+)
 from repro.distributed.shards import ShardedTable, ShardingSpec, hash_buckets
 from repro.errors import CatalogError
 from repro.ml.ensemble import GradientBoostingRegressor
@@ -558,8 +564,8 @@ class TestServingIntegration:
         prepared = PreparedQuery(session, sql)
         entry = prepared._entry
         assert entry.shard_routing, "plan should contain a Gather"
-        table_name, scanned, total, _pruned_by = entry.shard_routing[0]
-        assert (table_name, total) == ("t", 8)
+        table_name, scanned, total, _pruned_by, strategy = entry.shard_routing[0]
+        assert (table_name, total, strategy) == ("t", 8, "scan")
         assert entry.shard_epochs and entry.shard_epochs[0][0] == "t"
         assert "?1" in entry.param_names  # parameter lives in the fragment
         result = prepared.execute([7])
@@ -744,6 +750,583 @@ class TestStatisticsEdgeCases:
             sharded, BinaryOp("=", col("id"), lit(1))
         )
         assert not keep.any()
+
+
+JOIN_SQL = (
+    "SELECT e.id, e.v, g.w FROM events e JOIN groups g "
+    "ON e.grp = g.grp{where} ORDER BY e.id"
+)
+
+
+def make_events(n=N_ROWS, groups=N_GROUPS, seed=0):
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "grp": rng.integers(0, groups, n).astype(np.int64),
+            "v": rng.normal(size=n),
+        }
+    )
+
+
+def make_groups(groups=N_GROUPS, seed=1):
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "grp": np.arange(groups, dtype=np.int64),
+            "w": rng.normal(size=groups),
+        }
+    )
+
+
+def join_db(
+    events,
+    groups,
+    events_sharding=None,
+    groups_sharding=None,
+    distributed=True,
+):
+    """``(kind, key, num_shards, boundaries)``-style sharding per table."""
+    db = Database(
+        options=ExecutionOptions(
+            max_workers=8,
+            distributed_mode="inprocess",
+            enable_distributed=distributed,
+        )
+    )
+    db.register_table("events", events)
+    db.register_table("groups", groups)
+    for name, sharding in (
+        ("events", events_sharding),
+        ("groups", groups_sharding),
+    ):
+        if sharding is not None:
+            db.shard_table(name, **sharding)
+    db.catalog.table_statistics("events")
+    db.catalog.table_statistics("groups")
+    return db
+
+
+class TestDistributedJoins:
+    """The cross-layout matrix for co-located and shuffle joins."""
+
+    @pytest.fixture(scope="class")
+    def events(self):
+        return make_events()
+
+    @pytest.fixture(scope="class")
+    def groups(self):
+        return make_groups()
+
+    @pytest.fixture(scope="class")
+    def expected(self, events, groups):
+        db0 = join_db(events, groups, distributed=False)
+        return {
+            "all": db0.execute(JOIN_SQL.format(where="")),
+            "filtered": db0.execute(
+                JOIN_SQL.format(where=" WHERE e.grp = 7")
+            ),
+        }
+
+    def _explain(self, db, where=""):
+        return "\n".join(
+            db.execute(
+                "EXPLAIN " + JOIN_SQL.format(where=where)
+            ).column("plan")
+        )
+
+    def test_compatible_hash_layouts_join_colocated(
+        self, events, groups, expected
+    ):
+        db = join_db(
+            events,
+            groups,
+            {"key": "grp", "num_shards": 8},
+            {"key": "grp", "num_shards": 8},
+        )
+        lines = self._explain(db)
+        assert "join=colocated" in lines
+        assert "shards=8/8" in lines
+        assert db.execute(JOIN_SQL.format(where="")).equals(expected["all"])
+
+    def test_colocated_join_routes_on_shard_key_equality(
+        self, events, groups, expected
+    ):
+        db = join_db(
+            events,
+            groups,
+            {"key": "grp", "num_shards": 8},
+            {"key": "grp", "num_shards": 8},
+        )
+        before = db.distributed.stats()
+        result = db.execute(JOIN_SQL.format(where=" WHERE e.grp = 7"))
+        after = db.distributed.stats()
+        assert result.equals(expected["filtered"])
+        assert after["shards_scanned"] - before["shards_scanned"] == 1
+        assert after["shards_pruned"] - before["shards_pruned"] == 7
+
+    # -- big⋈big shuffle shapes (the Python join loop dominates, so
+    # the cost model flips to the shuffle above ~50k⋈50k rows) --------
+
+    @pytest.fixture(scope="class")
+    def mirror(self, events):
+        rng = np.random.default_rng(9)
+        return Table.from_dict(
+            {
+                "id": rng.permutation(events.num_rows).astype(np.int64),
+                "w": rng.normal(size=events.num_rows),
+            }
+        )
+
+    BIG_SQL = (
+        "SELECT a.id, a.v, b.w FROM events AS a JOIN mirror AS b "
+        "ON a.id = b.id ORDER BY a.id"
+    )
+
+    def _big_db(self, events, mirror, left_sharding, right_sharding):
+        db = Database(
+            options=ExecutionOptions(
+                max_workers=8, distributed_mode="inprocess"
+            )
+        )
+        db.register_table("events", events)
+        db.register_table("mirror", mirror)
+        if left_sharding:
+            db.shard_table("events", **left_sharding)
+        if right_sharding:
+            db.shard_table("mirror", **right_sharding)
+        db.catalog.table_statistics("events")
+        db.catalog.table_statistics("mirror")
+        return db
+
+    @pytest.fixture(scope="class")
+    def big_expected(self, events, mirror):
+        db0 = Database(options=ExecutionOptions(enable_distributed=False))
+        db0.register_table("events", events)
+        db0.register_table("mirror", mirror)
+        return db0.execute(self.BIG_SQL)
+
+    def test_incompatible_hash_counts_force_shuffle(
+        self, events, mirror, big_expected
+    ):
+        db = self._big_db(
+            events,
+            mirror,
+            {"key": "id", "num_shards": 8},
+            {"key": "id", "num_shards": 5},
+        )
+        lines = "\n".join(
+            db.execute("EXPLAIN " + self.BIG_SQL).column("plan")
+        )
+        assert "join=shuffle" in lines
+        assert "join=colocated" not in lines
+        assert db.execute(self.BIG_SQL).equals(big_expected)
+        assert db.distributed.stats()["shuffle_joins"] >= 1
+
+    def test_range_vs_hash_forces_shuffle(
+        self, events, mirror, big_expected
+    ):
+        db = self._big_db(
+            events,
+            mirror,
+            {"key": "id", "num_shards": 8},
+            {
+                "key": "id",
+                "num_shards": 4,
+                "kind": "range",
+                "boundaries": (15_000, 30_000, 45_000),
+            },
+        )
+        lines = "\n".join(
+            db.execute("EXPLAIN " + self.BIG_SQL).column("plan")
+        )
+        assert "join=shuffle" in lines
+        assert db.execute(self.BIG_SQL).equals(big_expected)
+
+    def test_compatible_range_layouts_join_colocated(
+        self, events, groups, expected
+    ):
+        sharding = {
+            "key": "grp",
+            "num_shards": 4,
+            "kind": "range",
+            "boundaries": (12, 25, 38),
+        }
+        db = join_db(events, groups, dict(sharding), dict(sharding))
+        lines = self._explain(db)
+        assert "join=colocated" in lines
+        assert "shards=4/4" in lines
+        assert db.execute(JOIN_SQL.format(where="")).equals(expected["all"])
+
+    def test_unsharded_side_joins_via_shuffle(
+        self, events, mirror, big_expected
+    ):
+        db = self._big_db(
+            events, mirror, {"key": "id", "num_shards": 8}, None
+        )
+        lines = "\n".join(
+            db.execute("EXPLAIN " + self.BIG_SQL).column("plan")
+        )
+        assert "join=shuffle" in lines
+        assert "local" in lines  # the mirror side maps at the coordinator
+        assert db.execute(self.BIG_SQL).equals(big_expected)
+
+    def test_key_hash_class_mismatch_declines_distribution(
+        self, events, mirror
+    ):
+        """An int key joined to a float key must not distribute — the
+        two dtypes hash through different paths, so equal values would
+        land on different shards/buckets."""
+        float_mirror = Table.from_dict(
+            {
+                "id": mirror.column("id").astype(np.float64),
+                "w": mirror.column("w"),
+            }
+        )
+        db = self._big_db(
+            events,
+            float_mirror,
+            {"key": "id", "num_shards": 8},
+            {"key": "id", "num_shards": 8},
+        )
+        lines = "\n".join(
+            db.execute("EXPLAIN " + self.BIG_SQL).column("plan")
+        )
+        assert "join=shuffle" not in lines
+        assert "join=colocated" not in lines
+
+    @staticmethod
+    def _nan_tables():
+        rng = np.random.default_rng(5)
+        n = 4_000
+        keys = rng.integers(0, 20, n).astype(np.float64)
+        keys[::7] = np.nan
+        left = Table.from_dict(
+            {
+                "id": np.arange(n, dtype=np.int64),
+                "grp": keys,
+                "v": rng.normal(size=n),
+            }
+        )
+        right = Table.from_dict(
+            {
+                "grp": np.concatenate(
+                    [np.arange(20, dtype=np.float64), [np.nan]]
+                ),
+                "w": rng.normal(size=21),
+            }
+        )
+        return left, right
+
+    def test_null_join_keys_never_match(self):
+        """NaN keys bucket deterministically but match nothing — SQL
+        NULL = NULL semantics, identical on every distributed path."""
+        left, right = self._nan_tables()
+        condition = BinaryOp("=", col("e.grp"), col("g.grp"))
+        db0 = join_db(left, right, distributed=False)
+        expected = db0.execute(JOIN_SQL.format(where=""))
+        valid = ~np.isnan(left.column("grp"))
+        assert expected.num_rows == int(valid.sum())  # NaNs matched nothing
+
+        db = join_db(
+            left,
+            right,
+            {"key": "grp", "num_shards": 4},
+            {"key": "grp", "num_shards": 4},
+        )
+        fragment = logical.Join(
+            ShardScan("events", left.schema, "e", 4, "grp"),
+            ShardScan("groups", right.schema, "g", 4, "grp"),
+            "INNER",
+            condition,
+        )
+        gather = Gather(
+            "events", fragment, "grp", (0, 1, 2, 3), 4, "none", "colocated"
+        )
+        colocated = db.execute_plan(gather)
+        assert colocated.num_rows == expected.num_rows
+        assert np.array_equal(
+            np.sort(colocated.column("e.id")),
+            np.sort(expected.column("id")),
+        )
+        shuffled = db.execute_plan(
+            ShuffleJoin(
+                Shuffle(
+                    "events",
+                    ShardScan("events", left.schema, "e", 4),
+                    "e.grp",
+                    (0, 1, 2, 3),
+                    4,
+                    4,
+                ),
+                Shuffle(
+                    "groups",
+                    ShardScan("groups", right.schema, "g", 4),
+                    "g.grp",
+                    (0, 1, 2, 3),
+                    4,
+                    4,
+                ),
+                "INNER",
+                condition,
+                4,
+            )
+        )
+        assert shuffled.num_rows == expected.num_rows
+        assert np.array_equal(
+            np.sort(shuffled.column("e.id")),
+            np.sort(expected.column("id")),
+        )
+
+    def test_empty_shard_joined_against_populated_one(self):
+        """The empty-shard regression: provably empty shard pairs are
+        never dispatched and the join still returns every match."""
+        left = Table.from_dict(
+            {
+                "id": np.arange(10, dtype=np.int64),
+                "grp": np.arange(10, dtype=np.int64),
+                "v": np.ones(10),
+            }
+        )
+        # The right side only populates shard 0's key range too, but
+        # with fewer keys — shard 0 is a populated⋈populated pair,
+        # shards 1 and 2 are empty⋈empty, and the boundary case of an
+        # empty right shard against a populated left one comes from
+        # pruning: every pair with an empty side must be skipped.
+        right = Table.from_dict(
+            {"grp": np.arange(5, dtype=np.int64), "w": np.ones(5)}
+        )
+        sharding = dict(
+            key="grp", num_shards=3, kind="range", boundaries=(7, 200)
+        )
+        # left: shard 0 holds grp 0..6, shard 1 holds 7..9, shard 2
+        # empty; right: shard 0 holds 0..4, shards 1 and 2 empty. The
+        # pair (1, 1) is populated⋈empty and must be pruned.
+        db = join_db(left, right, dict(sharding), dict(sharding))
+        fragment = logical.Join(
+            ShardScan("events", left.schema, "e", 3, "grp"),
+            ShardScan("groups", right.schema, "g", 3, "grp"),
+            "INNER",
+            BinaryOp("=", col("e.grp"), col("g.grp")),
+        )
+        gather = Gather(
+            "events", fragment, "grp", (0, 1, 2), 3, "none", "colocated"
+        )
+        before = db.distributed.stats()
+        result = db.execute_plan(gather)
+        after = db.distributed.stats()
+        assert after["shards_scanned"] - before["shards_scanned"] == 1
+        assert after["shards_pruned"] - before["shards_pruned"] == 2
+        assert result.num_rows == 5
+        assert np.array_equal(np.sort(result.column("e.grp")), np.arange(5.0))
+
+    def test_shuffle_skips_empty_buckets(self):
+        """Filtering one side to a single key leaves most buckets empty
+        on that side; the empty-bucket guard must skip their dispatch."""
+        events = make_events(n=4_000)
+        groups = make_groups()
+        db = join_db(
+            events,
+            groups,
+            {"key": "grp", "num_shards": 4},
+            {"key": "grp", "num_shards": 3},
+        )
+        left_fragment = logical.Filter(
+            ShardScan("events", events.schema, "e", 4),
+            BinaryOp("=", col("grp"), lit(7)),
+        )
+        shuffle_join = ShuffleJoin(
+            Shuffle(
+                "events", left_fragment, "e.grp", (0, 1, 2, 3), 4, 8
+            ),
+            Shuffle(
+                "groups",
+                ShardScan("groups", groups.schema, "g", 3),
+                "g.grp",
+                (0, 1, 2),
+                3,
+                8,
+            ),
+            "INNER",
+            BinaryOp("=", col("e.grp"), col("g.grp")),
+            8,
+        )
+        before = db.distributed.stats()
+        result = db.execute_plan(shuffle_join)
+        after = db.distributed.stats()
+        assert result.num_rows == int((events.column("grp") == 7).sum())
+        assert after["buckets_joined"] - before["buckets_joined"] == 1
+        assert after["buckets_skipped"] - before["buckets_skipped"] == 7
+
+    def test_distributed_modes_agree_with_runnerless_executor(
+        self, events, mirror, big_expected
+    ):
+        """The injected-runner path and the no-runner inline path must
+        produce row-identical results (acceptance criterion)."""
+        from repro.relational.algebra.executor import Executor
+
+        db = self._big_db(
+            events,
+            mirror,
+            {"key": "id", "num_shards": 8},
+            {"key": "id", "num_shards": 5},
+        )
+        plan = db.bind(self.BIG_SQL)
+        best = db._planner.optimize(plan)
+        assert any(isinstance(op, ShuffleJoin) for op in best.walk())
+        with_runner = db.execute_plan(best)
+        inline = Executor(
+            table_provider=db._provide_table,
+            model_resolver=db,
+            options=db.executor_options,
+            shard_provider=db._provide_shards,
+        ).execute(best)
+        assert with_runner.equals(inline)
+        assert with_runner.equals(big_expected)
+
+    def test_predict_rides_inside_colocated_join_fragment(
+        self, events, groups
+    ):
+        pipe = train_pipeline(events)
+        db = join_db(
+            events,
+            groups,
+            {"key": "grp", "num_shards": 8},
+            {"key": "grp", "num_shards": 8},
+        )
+        db.store_model(
+            "m", pipe, metadata={"feature_names": ["grp", "v"]}
+        )
+        db0 = join_db(events, groups, distributed=False)
+        db0.store_model(
+            "m", pipe, metadata={"feature_names": ["grp", "v"]}
+        )
+        sql = """
+        DECLARE @m varbinary(max) = (
+            SELECT model FROM scoring_models WHERE model_name = 'm');
+        SELECT e.id, g.w, p.out
+        FROM PREDICT(MODEL = @m, DATA = (
+            SELECT e.id, e.grp, e.v, g.w FROM events e
+            JOIN groups g ON e.grp = g.grp) AS j)
+        WITH (out float) AS p
+        ORDER BY id
+        """
+        plan = db._planner.optimize(db.bind(sql))
+        gathers = [op for op in plan.walk() if isinstance(op, Gather)]
+        assert gathers and gathers[0].join == "colocated"
+        assert any(
+            isinstance(op, logical.Predict)
+            for op in gathers[0].fragment.walk()
+        ), "PREDICT should ride inside the join fragment"
+        assert db.execute(sql).equals(db0.execute(sql))
+
+    def test_prepared_join_reroutes_after_reshard_and_unshard(
+        self, events, groups, expected
+    ):
+        from repro.core.raven import RavenSession
+        from repro.serving.prepared import PreparedQuery
+
+        db = join_db(
+            events,
+            groups,
+            {"key": "grp", "num_shards": 8},
+            {"key": "grp", "num_shards": 8},
+        )
+        session = RavenSession(
+            db,
+            optimizer="heuristic",
+            options={"shard_workers": 8, "enable_inlining": False},
+        )
+        prepared = PreparedQuery(
+            session, JOIN_SQL.format(where=" WHERE e.grp = ?")
+        )
+        routing = prepared._entry.shard_routing
+        assert routing and routing[0][4] == "colocated"
+        assert "?1" in prepared._entry.param_names
+        result = prepared.execute([7])
+        assert result.equals(expected["filtered"])
+        # The bound `?` routes at execution time: one shard pair runs.
+        before = db.distributed.stats()
+        prepared.execute([7])
+        after = db.distributed.stats()
+        assert after["shards_scanned"] - before["shards_scanned"] == 1
+        assert after["shards_pruned"] - before["shards_pruned"] == 7
+        # Incompatible reshard stales the plan; results stay identical.
+        db.shard_table("groups", "grp", 5)
+        assert prepared.execute([7]).equals(expected["filtered"])
+        assert prepared.replans == 1
+        assert all(
+            strategy != "colocated"
+            for _t, _s, _n, _p, strategy in prepared._entry.shard_routing
+        )
+        # Unsharding re-plans again; still identical.
+        db.catalog.unshard_table("groups")
+        assert prepared.execute([7]).equals(expected["filtered"])
+        assert prepared.replans == 2
+
+    def test_colocated_gather_degrades_when_layout_drifts(
+        self, events, groups, expected
+    ):
+        """A cached colocated plan raced by a reshard executes the
+        fragment over the full base tables — correct, just local."""
+        db = join_db(
+            events,
+            groups,
+            {"key": "grp", "num_shards": 8},
+            {"key": "grp", "num_shards": 8},
+        )
+        plan = db.bind(JOIN_SQL.format(where=""))
+        best = db._planner.optimize(plan)
+        assert any(
+            isinstance(op, Gather) and op.join == "colocated"
+            for op in best.walk()
+        )
+        db.shard_table("groups", "grp", 4)  # stale layout assumption
+        assert db.execute_plan(best).equals(expected["all"])
+        db.catalog.unshard_table("events")
+        db.catalog.unshard_table("groups")
+        assert db.execute_plan(best).equals(expected["all"])
+
+
+class TestRepartitionEmptyBuckets:
+    def test_repartition_empty_table_is_noop(self):
+        db = baseline_db(make_table(n=16))
+        empty = Table.from_dict(
+            {"grp": np.empty(0, dtype=np.int64), "v": np.empty(0)}
+        )
+        plan = Repartition(logical.InlineTable(empty), "grp", 4)
+        result = db._executor.execute(plan)
+        assert result.num_rows == 0
+
+    def test_repartition_with_empty_buckets_keeps_bounds_contiguous(self):
+        # Every row hashes to the same bucket of 8: six buckets empty.
+        table = Table.from_dict(
+            {
+                "grp": np.full(32, 8, dtype=np.int64),
+                "v": np.arange(32, dtype=np.float64),
+            }
+        )
+        db = baseline_db(make_table(n=16))
+        plan = Repartition(logical.InlineTable(table), "grp", 8)
+        result = db._executor.execute(plan)
+        assert result.num_rows == 32
+        # One non-empty bucket: no explicit bounds worth keeping, but
+        # the rows must all survive in hash-cluster order.
+        assert np.array_equal(
+            np.sort(result.column("v")), np.arange(32, dtype=np.float64)
+        )
+
+    def test_bucketize_marks_empty_buckets_none(self):
+        table = Table.from_dict(
+            {"grp": np.array([3, 3, 3], dtype=np.int64), "v": np.ones(3)}
+        )
+        buckets = worker.bucketize(table, "grp", 4)
+        assert sum(b is not None for b in buckets) == 1
+        assert buckets[3 % 4].num_rows == 3
+        empty = Table.from_dict(
+            {"grp": np.empty(0, dtype=np.int64), "v": np.empty(0)}
+        )
+        assert worker.bucketize(empty, "grp", 4) == [None] * 4
 
 
 class TestConcurrencyAffinity:

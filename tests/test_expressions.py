@@ -9,7 +9,6 @@ from repro.errors import ExecutionError
 from repro.relational.expressions import (
     BinaryOp,
     CaseWhen,
-    ColumnRef,
     FunctionCall,
     InList,
     Literal,

@@ -12,7 +12,7 @@ from repro.core.analysis.type_inference import (
     narrow_with_schema,
 )
 from repro.core.ir import IRGraph, OpCategory, columns_required_above, infer_schema
-from repro.ml import DecisionTreeClassifier, Pipeline, StandardScaler
+from repro.ml import Pipeline, StandardScaler
 from repro.relational.expressions import BinaryOp, col, lit
 from repro.relational.types import DataType, Schema
 

@@ -27,7 +27,7 @@ from repro.ml import (
     Pipeline,
     StandardScaler,
 )
-from repro.relational.expressions import BinaryOp, CaseWhen, col, conjoin, lit
+from repro.relational.expressions import BinaryOp, col, conjoin, lit
 from repro.relational.sql.parser import parse_expression
 from repro.relational.table import Table
 from repro.tensor import InferenceSession, convert

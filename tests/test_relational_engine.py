@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import BindError, CatalogError, TransactionError
-from repro import Database, Table
+from repro import Table
 from repro.ml import DecisionTreeRegressor, Pipeline
 
 

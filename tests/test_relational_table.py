@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import SchemaError
 from repro.relational.table import Table
-from repro.relational.types import Column, DataType, Schema
+from repro.relational.types import DataType, Schema
 
 
 class TestDataType:

@@ -4,7 +4,7 @@ runtime code generator, plus RavenSession end-to-end behaviour."""
 import numpy as np
 import pytest
 
-from repro import Database, RavenSession, Table
+from repro import RavenSession, Table
 from repro.core.codegen import generate_sql
 from repro.core.runtime import ContainerRuntime, ModelServer, OutOfProcessRuntime
 from repro.data import hospital
