@@ -37,7 +37,7 @@ import json
 
 import numpy as np
 
-from harness import measure, speedup
+from harness import capture_metrics, counter_rate, measure, speedup
 from repro.concurrency import default_max_workers
 from repro.ml.ensemble import GradientBoostingRegressor
 from repro.ml.pipeline import Pipeline
@@ -240,9 +240,11 @@ def bench_routing(single: Database, sharded: Database) -> dict:
     single_seconds = measure(
         lambda: single.execute(ROUTED_SQL), repeats=5, warmup=2
     )
-    sharded_seconds = measure(
-        lambda: sharded.execute(ROUTED_SQL), repeats=5, warmup=2
-    )
+    with capture_metrics() as registry:
+        sharded_seconds = measure(
+            lambda: sharded.execute(ROUTED_SQL), repeats=5, warmup=2
+        )
+    metrics = registry.snapshot()
     return {
         "shards_scanned_per_query": after["shards_scanned"]
         - before["shards_scanned"],
@@ -251,6 +253,22 @@ def bench_routing(single: Database, sharded: Database) -> dict:
         "single_process_seconds": round(single_seconds, 5),
         "routed_seconds": round(sharded_seconds, 5),
         "speedup": round(speedup(single_seconds, sharded_seconds), 2),
+        # Event-bus-derived routing metrics over the measured runs —
+        # the regression gate floors the prune rate so zone-map routing
+        # can never silently stop pruning.
+        "metrics": {
+            "shard_queries": metrics.get("distributed.shard_queries", 0),
+            "shards_scanned": metrics.get("distributed.shards_scanned", 0),
+            "shards_pruned": metrics.get("distributed.shards_pruned", 0),
+            "shard_prune_rate": round(
+                counter_rate(
+                    metrics,
+                    "distributed.shards_pruned",
+                    "distributed.shards_scanned",
+                ),
+                4,
+            ),
+        },
     }
 
 

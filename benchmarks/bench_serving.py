@@ -10,6 +10,15 @@ Claims measured (printed as JSON for the bench trajectory):
   vectorized batches yields >= 2x the throughput of one-row-at-a-time
   prepared execution for the same requests.
 
+* **observability overhead** — the always-compiled-in instrumentation
+  (event emission + span guards) costs <= 5% of per-request latency
+  when nothing subscribes (the "enabled-but-unsubscribed" default),
+  measured by primitive-cost accounting: (calls per request) x (cost
+  per unsubscribed call) against the request's wall time.
+
+Also writes one sample query trace to ``TRACE_SAMPLE.json`` (override
+with ``TRACE_SAMPLE_PATH``) for the CI artifact.
+
 Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 
 ``--smoke`` shrinks row counts so CI can exercise the full code path in
@@ -20,13 +29,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from concurrent.futures import wait
 
 import numpy as np
 
+from harness import capture_metrics, counter_rate
 from repro import Database, RavenSession, Table
 from repro.ml import DecisionTreeClassifier, Pipeline, StandardScaler
+from repro.observability import events
+from repro.observability import trace as qtrace
 from repro.serving import MicroBatcher
 
 FILTER_SQL = """
@@ -81,11 +94,17 @@ def bench_plan_cache(session: RavenSession, num_requests: int) -> dict:
         session.execute(FILTER_SQL.replace("?", repr(cutoff)))
     baseline_seconds = time.perf_counter() - start
 
-    prepared = session.prepare(FILTER_SQL)
-    start = time.perf_counter()
-    for cutoff in cutoffs:
-        prepared.execute(params=(cutoff,))
-    prepared_seconds = time.perf_counter() - start
+    with capture_metrics() as registry:
+        prepared = session.prepare(FILTER_SQL)
+        start = time.perf_counter()
+        for cutoff in cutoffs:
+            prepared.execute(params=(cutoff,))
+        prepared_seconds = time.perf_counter() - start
+        # Each re-prepare of the same SQL (a new client session arriving)
+        # resolves against the shared normalized-plan cache.
+        for _ in range(20):
+            session.prepare(FILTER_SQL)
+    metrics = registry.snapshot()
 
     return {
         "requests": num_requests,
@@ -95,6 +114,15 @@ def bench_plan_cache(session: RavenSession, num_requests: int) -> dict:
         "prepared_rps": round(num_requests / prepared_seconds, 1),
         "speedup": round(baseline_seconds / max(prepared_seconds, 1e-9), 2),
         "plan_cache": session.plan_cache.stats(),
+        # Event-bus-derived view of the same scenario, for the
+        # metrics-based regression gates.
+        "metrics": {
+            "plan_cache_hits": metrics.get("plan_cache.hit", 0),
+            "plan_cache_misses": metrics.get("plan_cache.miss", 0),
+            "plan_cache_hit_rate": round(
+                counter_rate(metrics, "plan_cache.hit", "plan_cache.miss"), 4
+            ),
+        },
     }
 
 
@@ -144,6 +172,72 @@ def bench_micro_batching(
     }
 
 
+def bench_observability_overhead(
+    session: RavenSession, num_requests: int
+) -> dict:
+    """Instrumentation cost with nobody subscribed (the serving default).
+
+    The tracing/event hooks are compiled into the hot path, so "off"
+    cannot be measured by removing them; instead the overhead is
+    accounted directly: count the emit/span call sites one request
+    passes through (via a probe request with a subscriber and a trace
+    attached), microbenchmark the *unsubscribed* cost of each primitive,
+    and compare their product against the request's measured wall time.
+    """
+    prepared = session.prepare(FILTER_SQL)
+    cutoffs = [25.0 + (i % 50) for i in range(num_requests)]
+
+    start = time.perf_counter()
+    for cutoff in cutoffs:
+        prepared.execute(params=(cutoff,))
+    per_request_seconds = (time.perf_counter() - start) / num_requests
+
+    # Probe: how many events / spans does one request produce?
+    with events.BUS.subscribe_queue() as sub:
+        with qtrace.trace_query("probe") as trace:
+            prepared.execute(params=(30.0,))
+        events_per_request = len(sub.drain())
+    spans_per_request = trace.span_count
+
+    # Primitive costs in the unsubscribed / untraced state.
+    probes = 200_000
+    start = time.perf_counter()
+    for _ in range(probes):
+        events.emit("bench.noop", value=1)
+    emit_seconds = (time.perf_counter() - start) / probes
+    start = time.perf_counter()
+    for _ in range(probes):
+        with qtrace.span("noop", value=1):
+            pass
+    span_seconds = (time.perf_counter() - start) / probes
+
+    overhead_seconds = (
+        events_per_request * emit_seconds + spans_per_request * span_seconds
+    )
+    overhead_fraction = overhead_seconds / max(per_request_seconds, 1e-12)
+    return {
+        "requests": num_requests,
+        "per_request_seconds": round(per_request_seconds, 7),
+        "events_per_request": events_per_request,
+        "spans_per_request": spans_per_request,
+        "emit_unsubscribed_ns": round(emit_seconds * 1e9, 1),
+        "span_untraced_ns": round(span_seconds * 1e9, 1),
+        "overhead_seconds_per_request": round(overhead_seconds, 9),
+        "overhead_fraction": round(overhead_fraction, 5),
+    }
+
+
+def write_trace_sample(session: RavenSession) -> str:
+    """One real traced request, dumped as JSON for the CI artifact."""
+    prepared = session.prepare(FILTER_SQL)
+    with qtrace.trace_query("bench_serving.sample") as trace:
+        prepared.execute(params=(40.0,))
+    path = os.environ.get("TRACE_SAMPLE_PATH", "TRACE_SAMPLE.json")
+    with open(path, "w") as fh:
+        fh.write(trace.to_json(indent=2))
+    return path
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -158,12 +252,20 @@ def main() -> None:
     num_requests = args.requests or (60 if args.smoke else 1_000)
 
     session = build_session(table_rows)
+    # Smoke workloads are tiny (sub-millisecond requests over a 200-row
+    # table), which inflates the instrumentation *fraction*; the 5%
+    # claim is asserted at full size, smoke gets a noise-tolerant bound.
+    overhead_target = 0.15 if args.smoke else 0.05
     results = {
         "table_rows": table_rows,
         "smoke": args.smoke,
         "plan_cache": bench_plan_cache(session, num_requests),
         "micro_batching": bench_micro_batching(session, num_requests),
+        "observability_overhead": bench_observability_overhead(
+            session, num_requests
+        ),
     }
+    results["trace_sample_path"] = write_trace_sample(session)
     results["claims"] = {
         "plan_cache_speedup_target": 3.0,
         "plan_cache_speedup_measured": results["plan_cache"]["speedup"],
@@ -171,8 +273,21 @@ def main() -> None:
         "micro_batch_speedup_target": 2.0,
         "micro_batch_speedup_measured": results["micro_batching"]["speedup"],
         "micro_batch_pass": results["micro_batching"]["speedup"] >= 2.0,
+        "overhead_target": overhead_target,
+        "overhead_measured": results["observability_overhead"][
+            "overhead_fraction"
+        ],
+        "overhead_pass": results["observability_overhead"][
+            "overhead_fraction"
+        ]
+        <= overhead_target,
     }
     print(json.dumps(results, indent=2))
+    assert results["claims"]["overhead_pass"], (
+        "unsubscribed observability overhead above "
+        f"{overhead_target:.0%}: "
+        f"{results['claims']['overhead_measured']:.2%}"
+    )
     if not args.smoke:
         assert results["claims"]["plan_cache_pass"], (
             "plan-cache speedup below 3x: "

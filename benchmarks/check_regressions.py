@@ -25,7 +25,7 @@ strategy never chosen — still fail); ``expect`` is exact equality for
 structural claims.
 
 Run:  PYTHONPATH=src python benchmarks/check_regressions.py \
-          [--smoke] [--out BENCH_PR5.json] [--bench name ...]
+          [--smoke] [--out BENCH_PR6.json] [--bench name ...]
 """
 
 from __future__ import annotations

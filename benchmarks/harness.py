@@ -14,6 +14,7 @@ EXPERIMENTS.md can be regenerated from benchmark output.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from typing import Callable
 
 
@@ -57,3 +58,33 @@ def _fmt(value) -> str:
 
 def speedup(baseline_seconds: float, optimized_seconds: float) -> float:
     return baseline_seconds / max(optimized_seconds, 1e-12)
+
+
+@contextmanager
+def capture_metrics():
+    """Fold event-bus events emitted in the block into a metrics registry.
+
+    Yields a :class:`~repro.observability.metrics.MetricsRegistry`; call
+    ``registry.snapshot()`` to embed a per-scenario metrics snapshot in
+    the benchmark's JSON report, so ``check_regressions.py`` can gate on
+    derived rates (plan-cache hit rate, shard-prune rate) instead of
+    only on wall-clock. Detaches on exit, restoring the bus to its
+    zero-cost unsubscribed state.
+    """
+    from repro.observability import events
+    from repro.observability.metrics import ServingMetrics
+
+    metrics = ServingMetrics()
+    metrics.attach(events.BUS)
+    try:
+        yield metrics.registry
+    finally:
+        metrics.detach()
+
+
+def counter_rate(snapshot: dict, numerator: str, denominator: str) -> float:
+    """``numerator / (numerator + denominator)`` over counter values."""
+    hit = float(snapshot.get(numerator, 0) or 0)
+    miss = float(snapshot.get(denominator, 0) or 0)
+    total = hit + miss
+    return hit / total if total else 0.0

@@ -10,6 +10,10 @@ The package is layered exactly as DESIGN.md describes:
 * :mod:`repro.serving` — the concurrent serving layer: prepared queries
   with ``?``/``@name`` parameters, a normalized-plan cache, adaptive
   micro-batching, a TTL prediction cache, and :class:`RavenServer`,
+* :mod:`repro.observability` — the structured event bus, per-query
+  traces (nested spans over contextvars), and the metrics registry;
+  ``EXPLAIN ANALYZE`` feeds estimate-vs-actual q-errors back into the
+  catalog,
 * :mod:`repro.data` — seeded synthetic workloads (hospital LOS, flights).
 
 Quickstart::
@@ -30,6 +34,7 @@ Serving quickstart::
 __version__ = "1.1.0"
 
 from repro.core import RavenResult, RavenSession
+from repro.observability import MetricsRegistry, QueryTrace, get_event_bus
 from repro.relational import Database, Table
 from repro.serving import (
     MicroBatcher,
@@ -42,14 +47,17 @@ from repro.serving import (
 
 __all__ = [
     "Database",
+    "MetricsRegistry",
     "MicroBatcher",
     "PlanCache",
     "PreparedQuery",
+    "QueryTrace",
     "RavenResult",
     "RavenServer",
     "RavenSession",
     "ResultCache",
     "ServingStats",
     "Table",
+    "get_event_bus",
     "__version__",
 ]

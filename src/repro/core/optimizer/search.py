@@ -1999,21 +1999,35 @@ class MemoOptimizer:
     def optimize(
         self, plan: logical.LogicalOp
     ) -> tuple[logical.LogicalOp, MemoReport]:
-        memo = Memo()
-        self.memo = memo
-        self.context.memo = memo
-        self.context.stats = memo.stats
-        self.context.prepare(plan)
-        root = memo.register(plan)
-        self._explore(root, set())
-        cost, best = self._best(root)
-        if best is None:  # defensive: extraction can never fail silently
-            best, cost = plan, float("inf")
-        report = MemoReport(
-            stats=memo.stats,
-            applied=list(memo.stats.rules_fired),
-            cost=cost,
-        )
+        from repro.observability import events
+        from repro.observability import trace as qtrace
+
+        with qtrace.span("memo_search") as sp:
+            memo = Memo()
+            self.memo = memo
+            self.context.memo = memo
+            self.context.stats = memo.stats
+            self.context.prepare(plan)
+            root = memo.register(plan)
+            self._explore(root, set())
+            cost, best = self._best(root)
+            if best is None:  # defensive: extraction can never fail silently
+                best, cost = plan, float("inf")
+            report = MemoReport(
+                stats=memo.stats,
+                applied=list(memo.stats.rules_fired),
+                cost=cost,
+            )
+            sp.set("groups", memo.stats.groups_created)
+            sp.set("expressions", memo.stats.expressions_added)
+            sp.set("pruned", memo.stats.branches_pruned)
+            sp.set("rules_fired", len(memo.stats.rules_fired))
+        if events.BUS.active:
+            events.emit(
+                "optimizer.memo_search",
+                cost=cost,
+                **memo.stats.to_dict(),
+            )
         return best, report
 
     # -- exploration --------------------------------------------------------

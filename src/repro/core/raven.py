@@ -125,8 +125,11 @@ class RavenSession:
         """Static analysis: inference query -> unified IR."""
         import time
 
+        from repro.observability import trace as qtrace
+
         start = time.perf_counter()
-        graph = self.analyzer.analyze(sql, data)
+        with qtrace.span("analyze"):
+            graph = self.analyzer.analyze(sql, data)
         self.last_analysis_seconds = time.perf_counter() - start
         return graph
 
@@ -197,6 +200,8 @@ class RavenSession:
         """Analyze, optimize, codegen, and run an inference query."""
         import time
 
+        from repro.observability import trace as qtrace
+
         timings: dict[str, float] = {}
         start = time.perf_counter()
         graph = self.analyze(sql, data)
@@ -204,7 +209,8 @@ class RavenSession:
 
         if optimize:
             start = time.perf_counter()
-            graph, report = self.optimize(graph)
+            with qtrace.span("optimize"):
+                graph, report = self.optimize(graph)
             timings["optimize"] = time.perf_counter() - start
         else:
             from repro.core.optimizer.engine import assign_engines
@@ -215,7 +221,9 @@ class RavenSession:
         generated = self.generate_sql(graph)
 
         start = time.perf_counter()
-        table = self.executor.execute(graph)
+        with qtrace.span("execute") as sp:
+            table = self.executor.execute(graph)
+            sp.set("rows", table.num_rows)
         timings["execute"] = time.perf_counter() - start
         return RavenResult(
             table=table, plan=graph, report=report, sql=generated, timings=timings

@@ -24,10 +24,13 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from typing import Callable
 
 from repro.concurrency import default_max_workers
 from repro.distributed import serialize, worker
+from repro.observability import events
+from repro.observability import trace as qtrace
 from repro.distributed.operators import (
     Gather,
     ShuffleJoin,
@@ -64,6 +67,21 @@ def _pool_failures() -> tuple:
 
 _POOL_FAILURES = _pool_failures()
 
+#: Every live runtime, weakly held — the leak check in the test suite
+#: (and any teardown audit) asks which of them still own a process
+#: pool. Entries vanish with their runtimes; no unregister needed.
+_LIVE_RUNTIMES: "weakref.WeakSet[DistributedRuntime]" = weakref.WeakSet()
+
+
+def live_pool_runtimes() -> "list[DistributedRuntime]":
+    """Runtimes currently holding a live process pool.
+
+    ``Database.close()`` (or ``DistributedRuntime.shutdown()``) must
+    leave this empty; the conftest leak fixture asserts exactly that
+    after every test.
+    """
+    return [r for r in list(_LIVE_RUNTIMES) if r._pool is not None]
+
 
 class DistributedRuntime:
     """Runs ``Gather`` operators for one database."""
@@ -97,6 +115,7 @@ class DistributedRuntime:
         self.shuffle_joins = 0
         self.buckets_joined = 0
         self.buckets_skipped = 0
+        _LIVE_RUNTIMES.add(self)
 
     # -- observers ---------------------------------------------------------
 
@@ -125,6 +144,14 @@ class DistributedRuntime:
             observers = list(self._observers)
         for fn in observers:
             fn(scanned, pruned, latencies)
+        if events.BUS.active:
+            events.emit(
+                "distributed.gather",
+                scanned=scanned,
+                pruned=pruned,
+                fragment_seconds=list(latencies),
+                mode=self.effective_mode,
+            )
 
     def stats(self) -> dict:
         with self._lock:
@@ -184,13 +211,18 @@ class DistributedRuntime:
 
         if isinstance(shardeds, ShardedTable):
             shardeds = {op.table_name.lower(): shardeds}
-        if op.join == "colocated":
-            shard_ids, _pruned = colocated_shard_ids(op.fragment, shardeds)
-            total = op.total_shards
-        else:
-            sharded = shardeds[op.table_name.lower()]
-            shard_ids = effective_shard_ids(op, sharded)
-            total = sharded.num_shards
+        with qtrace.span("routing", table=op.table_name) as sp:
+            if op.join == "colocated":
+                shard_ids, _pruned = colocated_shard_ids(
+                    op.fragment, shardeds
+                )
+                total = op.total_shards
+            else:
+                sharded = shardeds[op.table_name.lower()]
+                shard_ids = effective_shard_ids(op, sharded)
+                total = sharded.num_shards
+            sp.set("shards_scanned", len(shard_ids))
+            sp.set("shards_total", total)
         spec = self._fragment_spec(op.fragment)
         tables = fragment_tables(op.fragment)
         tasks = [
@@ -327,6 +359,7 @@ class DistributedRuntime:
                 # Fragment-level errors (a bug in the plan itself) are
                 # NOT caught — they would fail identically in-process.
                 self._pool_broken = True
+                events.emit("distributed.degraded", tasks=len(tasks))
                 # Every task re-runs below; drop this call's partial
                 # timings (earlier phases sharing the list keep theirs).
                 del latencies[recorded:]
@@ -376,8 +409,10 @@ class DistributedRuntime:
             if reply["status"] == worker.MISSING_SHARD:
                 retries.append((key, set(reply.get("missing", ()))))
                 continue
-            latencies.append(time.perf_counter() - start)
+            end = time.perf_counter()
+            latencies.append(end - start)
             results[key] = reply
+            _fragment_span(key, start, end, reply)
         retried = {
             key: (
                 time.perf_counter(),
@@ -393,8 +428,10 @@ class DistributedRuntime:
                 raise RuntimeDispatchError(
                     f"worker failed task {key} even with shipped data"
                 )
-            latencies.append(time.perf_counter() - start)
+            end = time.perf_counter()
+            latencies.append(end - start)
             results[key] = reply
+            _fragment_span(key, start, end, reply, shipped=True)
         return results
 
     def _dispatch_inprocess(
@@ -405,12 +442,14 @@ class DistributedRuntime:
             ship = {name for name, _sharded, _sid in shards}
             start = time.perf_counter()
             reply = fn(self._task(spec, shards, ship, extra, transient=True))
-            latencies.append(time.perf_counter() - start)
+            end = time.perf_counter()
+            latencies.append(end - start)
             if reply["status"] != worker.OK:
                 raise RuntimeDispatchError(
                     f"in-process fragment failed task {key}"
                 )
             results[key] = reply
+            _fragment_span(key, start, end, reply)
         return results
 
     def _run_tasks(self, fn, tasks, latencies) -> dict[int, dict]:
@@ -426,18 +465,24 @@ class DistributedRuntime:
                 results = {}
                 for key, (start, future) in started.items():
                     reply = future.result(timeout=self.fragment_timeout)
-                    latencies.append(time.perf_counter() - start)
+                    end = time.perf_counter()
+                    latencies.append(end - start)
                     results[key] = reply
+                    _fragment_span(key, start, end, reply, kind="bucket")
                 return results
             except _POOL_FAILURES:
                 self._pool_broken = True
+                events.emit("distributed.degraded", tasks=len(tasks))
                 # Every task re-runs below; keep only one timing each.
                 del latencies[recorded:]
         results = {}
         for key, task in tasks:
             start = time.perf_counter()
-            results[key] = fn(task)
-            latencies.append(time.perf_counter() - start)
+            reply = fn(task)
+            end = time.perf_counter()
+            results[key] = reply
+            latencies.append(end - start)
+            _fragment_span(key, start, end, reply, kind="bucket")
         return results
 
     def _fragment_spec(self, fragment) -> dict:
@@ -452,6 +497,28 @@ class DistributedRuntime:
                 self._fragment_specs.clear()
             self._fragment_specs[key] = (fragment, spec)
         return spec
+
+
+def _fragment_span(key, start, end, reply, kind="shard", shipped=False):
+    """Attach one dispatch→result span under the active gather span.
+
+    A pooled fragment ran in another process, so its span is recorded
+    retroactively from the coordinator-side endpoints; the worker's own
+    execute clock (shipped back in the reply's ``timings``) rides along
+    as an attribute, separating queue/IPC overhead from compute.
+    """
+    if qtrace.current_span() is None:
+        return
+    timings = reply.get("timings") or {}
+    attrs = {
+        "key": key,
+        "kind": kind,
+        "worker_seconds": timings.get("execute_seconds"),
+        "rows": timings.get("rows"),
+    }
+    if shipped:
+        attrs["shipped"] = True
+    qtrace.add_span("fragment", start, end, **attrs)
 
 
 def _decode_result(reply: dict) -> Table:

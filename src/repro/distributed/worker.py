@@ -29,6 +29,7 @@ nested thread pools would oversubscribe the machine.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from typing import Callable, Mapping, Sequence
 
@@ -101,11 +102,17 @@ def run_fragment(task: dict) -> dict:
     shards, missing = _resolve_entries(task)
     if missing:
         return {"status": MISSING_SHARD, "missing": missing}
+    start = time.perf_counter()
     result = execute_fragment(_decode_cached(task["fragment"]), shards)
+    elapsed = time.perf_counter() - start
     return {
         "status": OK,
         "schema": serialize.encode_schema(result.schema),
         "columns": result.to_dict(),
+        # Worker-side timings ride back in the reply: the coordinator
+        # cannot see this process's clock any other way, and the trace
+        # layer attaches them to the query's fragment spans.
+        "timings": {"execute_seconds": elapsed, "rows": result.num_rows},
     }
 
 
@@ -132,8 +139,10 @@ def run_shuffle_map(task: dict) -> dict:
     shards, missing = _resolve_entries(task)
     if missing:
         return {"status": MISSING_SHARD, "missing": missing}
+    start = time.perf_counter()
     result = execute_fragment(_decode_cached(task["fragment"]), shards)
     buckets = bucketize(result, task["key"], int(task["num_buckets"]))
+    elapsed = time.perf_counter() - start
     return {
         "status": OK,
         "schema": serialize.encode_schema(result.schema),
@@ -141,6 +150,7 @@ def run_shuffle_map(task: dict) -> dict:
             bucket.to_dict() if bucket is not None else None
             for bucket in buckets
         ],
+        "timings": {"execute_seconds": elapsed, "rows": result.num_rows},
     }
 
 
@@ -163,13 +173,16 @@ def run_bucket_join(task: dict) -> dict:
         task.get("kind", "INNER"),
         condition,
     )
+    start = time.perf_counter()
     result = _single_threaded_executor(lambda _name: _no_table(_name)).execute(
         plan
     )
+    elapsed = time.perf_counter() - start
     return {
         "status": OK,
         "schema": serialize.encode_schema(result.schema),
         "columns": result.to_dict(),
+        "timings": {"execute_seconds": elapsed, "rows": result.num_rows},
     }
 
 

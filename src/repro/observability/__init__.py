@@ -1,0 +1,63 @@
+"""Observability: event bus, per-query traces, metrics, EXPLAIN ANALYZE.
+
+The engine's measurement harness (ROADMAP item 2): a process-wide
+structured :mod:`event bus <repro.observability.events>`, contextvar
+:mod:`query traces <repro.observability.trace>` spanning coordinator
+and worker-side fragment timings, an explicit-bucket
+:mod:`metrics registry <repro.observability.metrics>` fed from events,
+and the :mod:`EXPLAIN ANALYZE <repro.observability.explain>`
+instrumentation producing estimate-vs-actual q-error feedback.
+"""
+
+# NOTE: ``repro.observability.explain`` is deliberately NOT imported
+# here — it depends on the relational executor, and the relational
+# database imports this package for event/trace emission; importing it
+# at package level would close that cycle. Import it as
+# ``from repro.observability.explain import InstrumentedExecutor``.
+from repro.observability.events import (
+    BUS,
+    Event,
+    EventBus,
+    Subscription,
+    emit,
+    get_event_bus,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServingMetrics,
+)
+from repro.observability.trace import (
+    QueryTrace,
+    Span,
+    add_span,
+    current_span,
+    current_trace,
+    span,
+    trace_query,
+    wrap,
+)
+
+__all__ = [
+    "BUS",
+    "Event",
+    "EventBus",
+    "Subscription",
+    "emit",
+    "get_event_bus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ServingMetrics",
+    "QueryTrace",
+    "Span",
+    "add_span",
+    "current_span",
+    "current_trace",
+    "span",
+    "trace_query",
+    "wrap",
+]

@@ -1,0 +1,209 @@
+"""A process-wide, thread-safe structured event bus.
+
+Instrumented layers (serving, plan cache, memo optimizer, batcher,
+distributed runtime) publish *typed* events — a dotted name plus a flat
+attribute dict — through :func:`emit`. Consumers either register a
+callback (:meth:`EventBus.subscribe`) or pull from a bounded queue
+(:meth:`EventBus.subscribe_queue`); queues drop the oldest event when
+full and count the drops, so a slow consumer can never wedge a server
+thread or grow memory without bound.
+
+The bus is zero-cost when nobody is listening: ``emit`` reads a single
+``active`` flag (a plain attribute, updated under the lock only when
+the subscriber set changes) and returns before building the event
+object. Hot paths may additionally guard with ``if BUS.active:`` to
+skip even the keyword-argument packing.
+
+Event taxonomy (see README "Observability"):
+
+- ``serving.submitted / completed / failed / rejected / batch / replan``
+- ``plan_cache.hit / miss / put / evict / invalidate``
+- ``optimizer.memo_search``
+- ``distributed.gather / degraded``
+- ``trace.completed``
+- ``database.closed``
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured event: a dotted name, a timestamp, flat attrs."""
+
+    name: str
+    ts: float
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ts": self.ts, **self.attrs}
+
+
+def _matches(pattern: str | None, name: str) -> bool:
+    """``None`` matches everything; ``"serving.*"`` matches the prefix
+    ``serving.``; anything else must match exactly."""
+    if pattern is None:
+        return True
+    if pattern.endswith(".*"):
+        return name.startswith(pattern[:-1])
+    return name == pattern
+
+
+class Subscription:
+    """A bounded event queue handed to a pull-style consumer."""
+
+    def __init__(self, bus: "EventBus", pattern: str | None, maxsize: int):
+        self._bus = bus
+        self.pattern = pattern
+        self._queue: deque[Event] = deque(maxlen=max(1, maxsize))
+        self._lock = threading.Lock()
+        self.dropped = 0
+        self.delivered = 0
+        self.closed = False
+
+    def _offer(self, event: Event) -> None:
+        with self._lock:
+            if len(self._queue) == self._queue.maxlen:
+                self.dropped += 1
+            self._queue.append(event)
+            self.delivered += 1
+
+    def drain(self) -> list[Event]:
+        """All queued events, oldest first (clears the queue)."""
+        with self._lock:
+            events = list(self._queue)
+            self._queue.clear()
+        return events
+
+    def close(self) -> None:
+        self._bus.unsubscribe_queue(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class EventBus:
+    """Thread-safe pub/sub with callback and bounded-queue subscribers."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._callbacks: list[tuple[str | None, Callable[[Event], None]]] = []
+        self._queues: list[Subscription] = []
+        #: Read lock-free on every ``emit``; maintained under the lock.
+        self.active = False
+        self.emitted = 0
+        self.callback_errors = 0
+
+    # -- subscription ------------------------------------------------------
+
+    def subscribe(
+        self, fn: Callable[[Event], None], pattern: str | None = None
+    ) -> Callable[[Event], None]:
+        """Register ``fn(event)`` for events matching ``pattern``."""
+        with self._lock:
+            self._callbacks.append((pattern, fn))
+            self.active = True
+        return fn
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        # Equality, not identity: ``obj.method`` builds a fresh bound
+        # method each access, so an identity check could never remove a
+        # method subscriber (bound methods compare equal by __self__ +
+        # __func__).
+        with self._lock:
+            self._callbacks = [
+                (p, cb) for p, cb in self._callbacks if cb != fn
+            ]
+            self._refresh_active()
+
+    def subscribe_queue(
+        self, pattern: str | None = None, maxsize: int = 1024
+    ) -> Subscription:
+        """A bounded queue receiving matching events (drop-oldest)."""
+        sub = Subscription(self, pattern, maxsize)
+        with self._lock:
+            self._queues.append(sub)
+            self.active = True
+        return sub
+
+    def unsubscribe_queue(self, sub: Subscription) -> None:
+        with self._lock:
+            sub.closed = True
+            self._queues = [q for q in self._queues if q is not sub]
+            self._refresh_active()
+
+    def _refresh_active(self) -> None:
+        self.active = bool(self._callbacks or self._queues)
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, name: str, **attrs) -> None:
+        """Publish one event; a no-op unless someone is subscribed."""
+        if not self.active:
+            return
+        event = Event(name, time.time(), attrs)
+        with self._lock:
+            self.emitted += 1
+            callbacks = [
+                cb for pattern, cb in self._callbacks
+                if _matches(pattern, name)
+            ]
+            queues = [
+                q for q in self._queues if _matches(q.pattern, name)
+            ]
+        for sub in queues:
+            sub._offer(event)
+        for cb in callbacks:
+            try:
+                cb(event)
+            except Exception:
+                # A broken subscriber must never fail the emitting
+                # query; count it so tests can assert cleanliness.
+                with self._lock:
+                    self.callback_errors += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "active": self.active,
+                "emitted": self.emitted,
+                "callback_errors": self.callback_errors,
+                "callback_subscribers": len(self._callbacks),
+                "queue_subscribers": len(self._queues),
+                "queue_dropped": sum(q.dropped for q in self._queues),
+            }
+
+    def reset(self) -> None:
+        """Drop every subscriber (test isolation / process teardown)."""
+        with self._lock:
+            for q in self._queues:
+                q.closed = True
+            self._callbacks.clear()
+            self._queues.clear()
+            self.active = False
+
+
+#: The process-wide default bus every instrumented layer publishes to.
+BUS = EventBus()
+
+
+def get_event_bus() -> EventBus:
+    return BUS
+
+
+def emit(name: str, **attrs) -> None:
+    """Publish to the process-wide bus (zero-cost when unsubscribed)."""
+    if BUS.active:
+        BUS.emit(name, **attrs)

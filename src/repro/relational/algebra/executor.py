@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.concurrency import default_max_workers
 from repro.errors import ExecutionError
+from repro.observability import trace as qtrace
 from repro.relational import statistics as table_stats
 from repro.relational.algebra import logical
 from repro.relational.table import Table
@@ -515,6 +516,15 @@ class Executor:
         same way — joining the full base tables locally is always
         correct.
         """
+        with qtrace.span("gather", table=op.table_name, join=op.join) as sp:
+            result = self._gather(op)
+            routing = self.last_shard_routing or {}
+            sp.set("shards_scanned", routing.get("shards_scanned"))
+            sp.set("shards_total", routing.get("shards_total"))
+            sp.set("rows", result.num_rows)
+            return result
+
+    def _gather(self, op) -> Table:
         from repro.distributed.operators import fragment_tables
         from repro.distributed.routing import colocated_layouts_ok
 
@@ -838,19 +848,20 @@ class Executor:
 
         def work(bound: tuple[int, int]) -> Table:
             start, stop = bound
-            chunk = base.slice(start, stop)
-            if scan.alias:
-                chunk = chunk.prefixed(scan.alias)
-            filtered = self._apply_predicate(chunk, filter_op.predicate)
-            if filtered.num_rows == 0:
-                return self._empty_predict_result(op, filtered)
-            if batch_size is not None and filtered.num_rows > batch_size:
-                outputs = self._score(
-                    scorer, filtered, batch_size, allow_parallel=False
-                )
-            else:
-                outputs = scorer(filtered)
-            return self._attach_outputs(op, filtered, outputs)
+            with qtrace.span("morsel", rows_in=stop - start):
+                chunk = base.slice(start, stop)
+                if scan.alias:
+                    chunk = chunk.prefixed(scan.alias)
+                filtered = self._apply_predicate(chunk, filter_op.predicate)
+                if filtered.num_rows == 0:
+                    return self._empty_predict_result(op, filtered)
+                if batch_size is not None and filtered.num_rows > batch_size:
+                    outputs = self._score(
+                        scorer, filtered, batch_size, allow_parallel=False
+                    )
+                else:
+                    outputs = scorer(filtered)
+                return self._attach_outputs(op, filtered, outputs)
 
         surviving = [b for b, kept in zip(bounds, keep) if kept]
         if not surviving:
@@ -859,8 +870,11 @@ class Executor:
                 empty = empty.prefixed(scan.alias)
             return self._empty_predict_result(op, empty)
         if len(surviving) > 1:
+            # Worker threads do not inherit the submitter's contextvars;
+            # qtrace.wrap re-installs the active span so morsel spans
+            # attribute to this query's trace (a no-op when untraced).
             with ThreadPoolExecutor(max_workers=options.max_workers) as pool:
-                parts = list(pool.map(work, surviving))
+                parts = list(pool.map(qtrace.wrap(work), surviving))
         else:
             parts = [work(surviving[0])]
         return Table.concat_rows(parts)
@@ -900,7 +914,7 @@ class Executor:
         ]
         if use_parallel and len(chunks) > 1:
             with ThreadPoolExecutor(max_workers=options.max_workers) as pool:
-                results = list(pool.map(scorer, chunks))
+                results = list(pool.map(qtrace.wrap(scorer), chunks))
         else:
             results = [scorer(chunk) for chunk in chunks]
         merged: dict[str, np.ndarray] = {}

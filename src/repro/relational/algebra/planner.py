@@ -127,7 +127,9 @@ class PhysicalPlanner:
 
     # -- EXPLAIN rendering ---------------------------------------------------
 
-    def explain_lines(self, plan: logical.LogicalOp) -> list[str]:
+    def explain_lines(
+        self, plan: logical.LogicalOp, actuals=None
+    ) -> list[str]:
         """The optimized plan, one indented line per operator.
 
         Each line carries the estimated rows and (after the bracket)
@@ -137,7 +139,16 @@ class PhysicalPlanner:
         (``optimize`` was called), its statistics — groups created,
         expressions explored, branches pruned, DP subset counts — and
         the rules that fired are appended as footer lines.
+
+        ``actuals`` (EXPLAIN ANALYZE) maps ``id(op)`` to the
+        instrumented executor's :class:`OperatorStats`; measured
+        operators additionally print actual rows, wall time, and the
+        estimate's q-error. Operators fused into a parent pipeline (or
+        executed worker-side inside a fragment) have no record and keep
+        their estimate-only line.
         """
+        from repro.observability.explain import analyze_annotations
+
         lines: list[str] = []
         context = self._estimation_context(plan)
         resolve = context.resolver
@@ -221,6 +232,10 @@ class PhysicalPlanner:
                     )
                 else:
                     annotations.append("local")
+            if actuals is not None:
+                record = actuals.get(id(op))
+                if record is not None:
+                    annotations.extend(analyze_annotations(record, rows))
             child_rows = [context.estimate_tree(c) for c in op.children]
             cost = _search().operator_cost(op, rows, child_rows, context)
             lines.append(

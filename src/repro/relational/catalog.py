@@ -110,6 +110,10 @@ class Catalog:
         self._shard_specs: dict[str, object] = {}
         self._sharded: dict[str, object] = {}
         self._shard_epochs: dict[str, int] = {}
+        # Estimate feedback: per-table q-error summaries folded in by
+        # EXPLAIN ANALYZE (the hook for adaptive re-costing). Bounded:
+        # one running summary per table, never a sample list.
+        self._q_errors: dict[str, dict] = {}
 
     # -- model-change observers ----------------------------------------------
 
@@ -285,6 +289,43 @@ class Catalog:
             if self._shard_epochs.get(key, 0) == epoch_before:
                 return self._sharded.setdefault(key, built)
         return built
+
+    # -- estimate feedback (q-error) ------------------------------------------
+
+    def record_q_error(self, name: str, q: float) -> None:
+        """Fold one measured estimate-vs-actual q-error for ``name``.
+
+        EXPLAIN ANALYZE calls this with the worst q-error among the
+        operators anchored to the table; adaptive re-costing (ROADMAP
+        item 4) will read the summary to decide when histogram
+        estimates have drifted enough to distrust.
+        """
+        value = max(float(q), 1.0)
+        key = name.lower()
+        with self._stats_lock:
+            entry = self._q_errors.get(key)
+            if entry is None:
+                entry = self._q_errors[key] = {
+                    "count": 0, "max": 1.0, "sum_log": 0.0, "last": 1.0,
+                }
+            entry["count"] += 1
+            entry["last"] = value
+            entry["max"] = max(entry["max"], value)
+            entry["sum_log"] += math.log(value)
+
+    def q_error_summary(self, name: str) -> dict | None:
+        """``{count, last, max, geo_mean}`` of recorded q-errors, or
+        ``None`` when the table has never been ANALYZE-executed."""
+        with self._stats_lock:
+            entry = self._q_errors.get(name.lower())
+            if entry is None:
+                return None
+            return {
+                "count": entry["count"],
+                "last": entry["last"],
+                "max": entry["max"],
+                "geo_mean": math.exp(entry["sum_log"] / entry["count"]),
+            }
 
     def _invalidate_shards(self, key: str) -> None:
         """A data change under a sharded table: rebuild lazily, re-epoch."""

@@ -13,12 +13,15 @@ verbatim.
 from __future__ import annotations
 
 import threading
+import time as _time
 from collections import OrderedDict
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.errors import BindError, CatalogError, ExecutionError
+from repro.observability import events
+from repro.observability import trace as qtrace
 from repro.relational.algebra.binder import BindContext, Binder
 from repro.relational.algebra.executor import ExecutionOptions, Executor
 from repro.relational.algebra.planner import PhysicalPlanner
@@ -220,11 +223,29 @@ class Database:
             runtime.remove_observer(fn)
 
     def close(self) -> None:
-        """Release process-pool resources (idempotent)."""
+        """Release process-pool resources (idempotent).
+
+        Teardown order matters: observers detach from the runtime
+        first (so no shard-query callback fires into a half-closed
+        server), the worker pool is then drained, and only after the
+        pool is provably gone does the ``database.closed`` event go
+        out — a subscriber reacting to the event can never revive or
+        race the dying runtime.
+        """
         with self._distributed_lock:
             runtime, self._distributed = self._distributed, None
-        if runtime is not None:
-            runtime.shutdown()
+        if runtime is None:
+            return
+        for observer in list(self._shard_observers):
+            runtime.remove_observer(observer)
+        runtime.shutdown()
+        events.emit("database.closed", runtime_queries=runtime.queries)
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _resolve_fragment_model(self, model_ref: str) -> object:
         """The catalog entry for a fragment's model (payload + metadata)."""
@@ -294,7 +315,8 @@ class Database:
         this batch only — the paper's "fresh data coming from an
         application" path.
         """
-        script = parse(sql)
+        with qtrace.span("parse", sql_chars=len(sql)):
+            script = parse(sql)
         context = BindContext()
         if data:
             for name, table in data.items():
@@ -316,7 +338,8 @@ class Database:
         variables are evaluated eagerly (model lookups hit the catalog)
         so the resulting plan is self-contained.
         """
-        script = parse(sql)
+        with qtrace.span("parse", sql_chars=len(sql)):
+            script = parse(sql)
         context = BindContext()
         if data:
             for name, table in data.items():
@@ -336,7 +359,8 @@ class Database:
                 )
         if select is None:
             raise BindError("bind() needs a SELECT statement")
-        return self._binder.bind_select(select, context)
+        with qtrace.span("bind"):
+            return self._binder.bind_select(select, context)
 
     @property
     def executor_options(self) -> ExecutionOptions:
@@ -346,9 +370,14 @@ class Database:
 
     def _execute_statement(self, statement, context: BindContext):
         if isinstance(statement, ast.SelectStatement):
-            plan = self._binder.bind_select(statement, context)
-            plan = self._planner.optimize(plan)
-            return self._executor.execute(plan)
+            with qtrace.span("bind"):
+                plan = self._binder.bind_select(statement, context)
+            with qtrace.span("optimize"):
+                plan = self._planner.optimize(plan)
+            with qtrace.span("execute") as sp:
+                result = self._executor.execute(plan)
+                sp.set("rows", result.num_rows)
+            return result
         if isinstance(statement, ast.AnalyzeStatement):
             return self._execute_analyze(statement)
         if isinstance(statement, ast.ExplainStatement):
@@ -404,16 +433,51 @@ class Database:
     def _execute_explain(
         self, statement: ast.ExplainStatement, context: BindContext
     ) -> Table:
-        """``EXPLAIN <select>``: the optimized plan as a one-column table.
+        """``EXPLAIN [ANALYZE] <select>``: the plan as a one-column table.
 
         Lines carry histogram-based row estimates, filter selectivities,
-        and zone-map partition pruning counts for filtered scans.
+        and zone-map partition pruning counts for filtered scans. With
+        ``ANALYZE``, the optimized plan is executed through an
+        instrumented executor and each measured operator's line gains
+        ``actual_rows / time_ms / q_error``; the worst q-error per base
+        table is folded into the catalog (the estimate-feedback hook).
         """
         plan = self._binder.bind_select(statement.select, context)
         plan = self._planner.optimize(plan)
-        lines = self._planner.explain_lines(plan)
-        # Object (BINARY) storage keeps lines unbounded; the STRING
-        # storage dtype would truncate plans at 64 characters.
+        if not statement.analyze:
+            lines = self._planner.explain_lines(plan)
+            # Object (BINARY) storage keeps lines unbounded; the STRING
+            # storage dtype would truncate plans at 64 characters.
+            return Table.from_dict({"plan": np.array(lines, dtype=object)})
+        from repro.observability.explain import (
+            InstrumentedExecutor,
+            collect_table_q_errors,
+        )
+
+        instrumented = InstrumentedExecutor.from_executor(self._executor)
+        start = _time.perf_counter()
+        result = instrumented.execute(plan)
+        total = _time.perf_counter() - start
+        lines = self._planner.explain_lines(plan, actuals=instrumented.records)
+        estimation = self._planner._estimation_context(plan)
+        table_q = collect_table_q_errors(
+            plan, instrumented.records, estimation.estimate_tree
+        )
+        for name, q in sorted(table_q.items()):
+            self.catalog.record_q_error(name, q)
+            summary = self.catalog.q_error_summary(name)
+            lines.append(
+                "analyze q-error {}: last={:.2f} max={:.2f} "
+                "geo_mean={:.2f} n={}".format(
+                    name, q, summary["max"], summary["geo_mean"],
+                    summary["count"],
+                )
+            )
+        lines.append(
+            "analyze: rows={} total_ms={:.2f} operators_timed={}".format(
+                result.num_rows, total * 1e3, len(instrumented.records)
+            )
+        )
         return Table.from_dict({"plan": np.array(lines, dtype=object)})
 
     def _execute_declare(self, statement: ast.DeclareStatement, context: BindContext):

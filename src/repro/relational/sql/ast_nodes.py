@@ -143,13 +143,17 @@ class AnalyzeStatement:
 
 @dataclass(frozen=True)
 class ExplainStatement:
-    """``EXPLAIN <select>``: render the optimized physical plan.
+    """``EXPLAIN [ANALYZE] <select>``: render the optimized physical plan.
 
     Executing it returns a one-column table of plan lines annotated with
     histogram-based row estimates and zone-map partition pruning counts.
+    With ``ANALYZE``, the plan is additionally *executed* through an
+    instrumented executor and each line carries actual rows, wall time,
+    and the q-error of the estimate.
     """
 
     select: SelectStatement
+    analyze: bool = False
 
 
 @dataclass(frozen=True)

@@ -130,7 +130,10 @@ class Parser:
             return ast.AnalyzeStatement(self._identifier())
         if token.matches(TokenType.KEYWORD, "EXPLAIN"):
             self._advance()
-            return ast.ExplainStatement(self._select_statement())
+            analyze = self._keyword("ANALYZE")
+            return ast.ExplainStatement(
+                self._select_statement(), analyze=analyze
+            )
         raise SQLSyntaxError(
             f"unexpected token {token.value!r} at statement start",
             token.line,

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.concurrency import default_max_workers
+from repro.observability import events
 from repro.errors import (
     ExecutionError,
     ServerClosedError,
@@ -223,6 +224,7 @@ class MicroBatcher:
             return
         if self._stats is not None:
             self._stats.record_batch(total_rows)
+        events.emit("serving.batch", size=total_rows, requests=len(batch))
         offset = 0
         finished = self._clock()
         for request in batch:

@@ -15,6 +15,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.ir.graph import IRGraph
+from repro.observability import events
 
 
 @dataclass
@@ -87,23 +88,30 @@ class PlanCache:
             entry = self._entries.get(fingerprint)
             if entry is None:
                 self.misses += 1
+                events.emit("plan_cache.miss", fingerprint=fingerprint)
                 return None
             self.hits += 1
             self._entries.move_to_end(fingerprint)
+            events.emit("plan_cache.hit", fingerprint=fingerprint)
             return entry
 
     def put(self, entry: CachedPlan) -> None:
         with self._lock:
             self._entries[entry.fingerprint] = entry
             self._entries.move_to_end(entry.fingerprint)
+            events.emit("plan_cache.put", fingerprint=entry.fingerprint)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
                 self.evictions += 1
+                events.emit("plan_cache.evict", fingerprint=evicted)
 
     def invalidate(self, fingerprint: str) -> None:
         with self._lock:
             if self._entries.pop(fingerprint, None) is not None:
                 self.invalidations += 1
+                events.emit(
+                    "plan_cache.invalidate", fingerprint=fingerprint, reason="stale"
+                )
 
     def invalidate_model(self, name: str) -> int:
         """Drop every cached plan that embeds model ``name``; returns count."""
@@ -116,6 +124,7 @@ class PlanCache:
             ]
             for fp in stale:
                 del self._entries[fp]
+                events.emit("plan_cache.invalidate", fingerprint=fp, reason="model")
             self.invalidations += len(stale)
         return len(stale)
 

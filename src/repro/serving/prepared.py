@@ -27,6 +27,8 @@ from typing import Iterator, Mapping, Sequence
 
 from repro.errors import ParameterBindError
 from repro.core.ir.graph import IRGraph
+from repro.observability import events
+from repro.observability import trace as qtrace
 from repro.relational.expressions import Expression, Literal, Parameter
 from repro.relational.table import Table
 from repro.serving.fingerprint import (
@@ -170,6 +172,11 @@ class PreparedQuery:
                     self._plan_cache.invalidate(self.fingerprint)
                 self._entry = self._prepare()
                 self.replans += 1
+                events.emit(
+                    "serving.replan",
+                    fingerprint=self.fingerprint,
+                    replans=self.replans,
+                )
             return self._entry
 
     # -- introspection -----------------------------------------------------
@@ -215,11 +222,14 @@ class PreparedQuery:
             if hit is not None:
                 entry.executions += 1
                 return hit
-        mapping = self._build_mapping(params, entry)
-        request_data = _normalize_data(data)
-        self._check_data_bindings(request_data, entry)
-        bound = _bind_template(entry.graph, mapping, request_data)
-        table = self._session.executor.execute(bound)
+        with qtrace.span("bind_params", fingerprint=entry.fingerprint):
+            mapping = self._build_mapping(params, entry)
+            request_data = _normalize_data(data)
+            self._check_data_bindings(request_data, entry)
+            bound = _bind_template(entry.graph, mapping, request_data)
+        with qtrace.span("execute") as sp:
+            table = self._session.executor.execute(bound)
+            sp.set("rows", table.num_rows)
         entry.executions += 1
         if cache_key is not None:
             self._result_cache.put(cache_key, table, entry.model_names)

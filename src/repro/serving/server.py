@@ -22,6 +22,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Mapping, Sequence
@@ -31,6 +32,8 @@ from repro.errors import (
     ServerOverloadedError,
     ServingError,
 )
+from repro.observability import events
+from repro.observability import trace as qtrace
 from repro.relational.table import Table
 from repro.serving.batcher import MicroBatcher
 from repro.serving.fingerprint import params_key
@@ -39,6 +42,26 @@ from repro.serving.result_cache import ResultCache
 from repro.serving.stats import ServingStats
 
 _SHUTDOWN = object()
+
+
+class _StatsView:
+    """``server.stats`` is both the live :class:`ServingStats` object
+    (attribute access, the historical surface) and *callable*:
+    ``server.stats()`` returns the server's full JSON-serializable
+    snapshot, including the opt-in metrics registry and event-bus
+    health counters."""
+
+    __slots__ = ("_server", "_stats")
+
+    def __init__(self, server: "RavenServer", stats: ServingStats):
+        self._server = server
+        self._stats = stats
+
+    def __call__(self) -> dict:
+        return self._server.stats_snapshot()
+
+    def __getattr__(self, name: str):
+        return getattr(self._stats, name)
 
 
 @dataclass
@@ -64,9 +87,18 @@ class RavenServer:
         batch_max_rows: int = 64,
         batch_max_wait_seconds: float = 0.002,
         max_batchers: int = 32,
+        trace_requests: bool = False,
+        max_traces: int = 16,
     ):
         self.session = session
-        self.stats = ServingStats()
+        self._stats = ServingStats()
+        self.stats = _StatsView(self, self._stats)
+        #: When on, every worker-path request runs under a
+        #: :class:`~repro.observability.trace.QueryTrace`; the last
+        #: ``max_traces`` trace dicts are kept (see :meth:`traces`).
+        self.trace_requests = trace_requests
+        self._traces: deque = deque(maxlen=max(1, max_traces))
+        self._metrics = None
         self.result_cache = result_cache or ResultCache(
             result_cache_capacity, result_ttl_seconds
         )
@@ -113,6 +145,7 @@ class RavenServer:
         self.session.database.remove_model_listener(self._on_model_event)
         if self._observes_shards:
             self.session.database.remove_shard_observer(self._on_shard_query)
+        self.disable_metrics()
         for batcher in batchers:
             batcher.close()
         for _ in self._workers:
@@ -132,7 +165,7 @@ class RavenServer:
                     break
                 if item is _SHUTDOWN:
                     continue
-                _fn, future, _enqueued_at = item
+                _fn, future, _enqueued_at, _label = item
                 if future.set_running_or_notify_cancel():
                     future.set_exception(
                         ServerClosedError(
@@ -213,20 +246,22 @@ class RavenServer:
         if self._closed:
             raise ServerClosedError("server has been shut down")
         spec = self._spec(name)
-        self.stats.record_submitted()
+        self._stats.record_submitted()
+        events.emit("serving.submitted", query=name)
         try:
             if spec.batch and data and spec.data_name in {
                 key.lower() for key in data
             }:
                 return self._submit_batched(name, spec, params, data)
             return self._enqueue(
-                lambda: spec.prepared.execute(params, data)
+                lambda: spec.prepared.execute(params, data), label=name
             )
         except Exception:
             # Synchronous admission failures (overload, malformed
             # request, shutdown race) count as rejected, keeping
             # submitted == completed + failed + rejected + in-flight.
-            self.stats.record_rejected()
+            self._stats.record_rejected()
+            events.emit("serving.rejected", query=name)
             raise
 
     def query(
@@ -243,13 +278,15 @@ class RavenServer:
         """Ad-hoc (unprepared) execution through the session pipeline."""
         if self._closed:
             raise ServerClosedError("server has been shut down")
-        self.stats.record_submitted()
+        self._stats.record_submitted()
+        events.emit("serving.submitted", query="sql")
         try:
             return self._enqueue(
-                lambda: self.session.execute(sql, data).table
+                lambda: self.session.execute(sql, data).table, label="sql"
             )
         except Exception:
-            self.stats.record_rejected()
+            self._stats.record_rejected()
+            events.emit("serving.rejected", query="sql")
             raise
 
     # -- batched path ------------------------------------------------------
@@ -277,7 +314,7 @@ class RavenServer:
             if hit is not None:
                 future: Future = Future()
                 future.set_result(hit)
-                self.stats.record_completed(0.0)
+                self._stats.record_completed(0.0)
                 return future
             future = self._batch_submit(name, spec, params, request_table)
             future.add_done_callback(
@@ -308,7 +345,8 @@ class RavenServer:
                     params,
                     {spec.data_name: request_table},
                     use_result_cache=False,
-                )
+                ),
+                label=name,
             )
         return batcher.submit(request_table)
 
@@ -342,7 +380,7 @@ class RavenServer:
                     # the worker queue; overload rejects instead of
                     # queueing unboundedly.
                     max_pending_requests=self.max_queue,
-                    stats=self.stats,
+                    stats=self._stats,
                 )
                 self._batchers[key] = batcher
             return batcher
@@ -356,7 +394,7 @@ class RavenServer:
 
     # -- worker pool -------------------------------------------------------
 
-    def _enqueue(self, fn) -> Future:
+    def _enqueue(self, fn, label: str = "request") -> Future:
         future: Future = Future()
         # Admission happens under the lock so it is atomic with
         # shutdown()'s closed-flag flip: a request either lands in the
@@ -366,7 +404,9 @@ class RavenServer:
             if self._closed:
                 raise ServerClosedError("server has been shut down")
             try:
-                self._queue.put_nowait((fn, future, time.perf_counter()))
+                self._queue.put_nowait(
+                    (fn, future, time.perf_counter(), label)
+                )
             except queue.Full:
                 # Callers (submit/submit_sql) count the rejection.
                 raise ServerOverloadedError(
@@ -379,19 +419,62 @@ class RavenServer:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            fn, future, enqueued_at = item
+            fn, future, enqueued_at, label = item
             if not future.set_running_or_notify_cancel():
                 continue
             try:
-                result = fn()
+                if self.trace_requests:
+                    with qtrace.trace_query(label) as trace:
+                        result = fn()
+                    self._traces.append(trace)
+                else:
+                    result = fn()
             except BaseException as exc:  # noqa: BLE001 — report to caller
-                self.stats.record_failed(time.perf_counter() - enqueued_at)
+                latency = time.perf_counter() - enqueued_at
+                self._stats.record_failed(latency)
+                events.emit(
+                    "serving.failed", query=label, latency_seconds=latency
+                )
                 future.set_exception(exc)
                 continue
-            self.stats.record_completed(time.perf_counter() - enqueued_at)
+            latency = time.perf_counter() - enqueued_at
+            self._stats.record_completed(latency)
+            events.emit(
+                "serving.completed", query=label, latency_seconds=latency
+            )
             future.set_result(result)
 
     # -- observability -----------------------------------------------------
+
+    def enable_metrics(self, registry=None):
+        """Opt in to the event-fed metrics registry (idempotent).
+
+        Attaches a :class:`~repro.observability.metrics.ServingMetrics`
+        subscriber to the process-wide event bus and returns its
+        registry; ``stats_snapshot()`` (and ``server.stats()``) include
+        its snapshot from then on. Off by default so the serving hot
+        path stays at unsubscribed (zero) cost.
+        """
+        from repro.observability.metrics import ServingMetrics
+
+        with self._lock:
+            if self._metrics is None:
+                self._metrics = ServingMetrics(registry).attach(events.BUS)
+            return self._metrics.registry
+
+    def disable_metrics(self) -> None:
+        with self._lock:
+            metrics, self._metrics = self._metrics, None
+        if metrics is not None:
+            metrics.detach()
+
+    def traces(self) -> list[dict]:
+        """The retained request traces (oldest first), as JSON dicts."""
+        return [trace.to_dict() for trace in list(self._traces)]
+
+    def last_trace(self) -> dict | None:
+        traces = list(self._traces)
+        return traces[-1].to_dict() if traces else None
 
     def _on_model_event(self, event: str, name: str) -> None:
         self.result_cache.invalidate_model(name)
@@ -399,11 +482,11 @@ class RavenServer:
     def _on_shard_query(
         self, scanned: int, pruned: int, fragment_seconds: list[float]
     ) -> None:
-        self.stats.record_shard_query(scanned, pruned, fragment_seconds)
+        self._stats.record_shard_query(scanned, pruned, fragment_seconds)
 
     def stats_snapshot(self) -> dict:
         """One dict with request, latency, and cache metrics."""
-        snapshot = self.stats.snapshot()
+        snapshot = self._stats.snapshot()
         runtime = getattr(self.session.database, "distributed", None)
         if runtime is not None:
             snapshot["distributed_runtime"] = runtime.stats()
@@ -417,6 +500,10 @@ class RavenServer:
                 "hits": session_cache.hits,
                 "misses": session_cache.misses,
             }
+        metrics = self._metrics
+        if metrics is not None:
+            snapshot["metrics"] = metrics.registry.snapshot()
+        snapshot["events"] = events.BUS.stats()
         return snapshot
 
 

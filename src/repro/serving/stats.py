@@ -9,19 +9,30 @@ the coalesced batch sizes it actually achieved.
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from collections import Counter
 
 
 class ServingStats:
-    """Thread-safe counters + a bounded latency reservoir."""
+    """Thread-safe counters + a bounded latency reservoir.
 
-    def __init__(self, max_latency_samples: int = 10_000):
+    The reservoirs use Algorithm R: once full, the *n*-th observation
+    replaces a uniformly random slot with probability ``k/n``, so the
+    sample stays uniform over the whole stream. (The previous
+    ring-buffer overwrite skewed ``p50/p95`` toward whichever mix of
+    old and new samples the cursor happened to leave behind after
+    wraparound.) The RNG is seeded so percentile reports are
+    reproducible run-to-run.
+    """
+
+    def __init__(self, max_latency_samples: int = 10_000, seed: int = 0x5EED):
         self._lock = threading.Lock()
         self._max_samples = max_latency_samples
+        self._rng = random.Random(seed)
         self._latencies: list[float] = []
-        self._sample_cursor = 0  # ring-buffer index once the reservoir fills
+        self._latencies_seen = 0
         self._batch_sizes: Counter[int] = Counter()
         self._started_at = time.perf_counter()
         self.submitted = 0
@@ -37,7 +48,7 @@ class ServingStats:
         self.shards_scanned = 0
         self.shards_pruned = 0
         self._fragment_latencies: list[float] = []
-        self._fragment_cursor = 0
+        self._fragments_seen = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -77,13 +88,10 @@ class ServingStats:
             self.shards_scanned += shards_scanned
             self.shards_pruned += shards_pruned
             for latency in fragment_seconds or ():
-                if len(self._fragment_latencies) < self._max_samples:
-                    self._fragment_latencies.append(latency)
-                else:
-                    self._fragment_latencies[self._fragment_cursor] = latency
-                    self._fragment_cursor = (
-                        self._fragment_cursor + 1
-                    ) % self._max_samples
+                self._fragments_seen += 1
+                self._reservoir_add(
+                    self._fragment_latencies, self._fragments_seen, latency
+                )
 
     def fragment_latency_percentile(self, fraction: float) -> float:
         with self._lock:
@@ -94,11 +102,21 @@ class ServingStats:
         return samples[index]
 
     def _record_latency(self, latency_seconds: float) -> None:
-        if len(self._latencies) < self._max_samples:
-            self._latencies.append(latency_seconds)
-        else:
-            self._latencies[self._sample_cursor] = latency_seconds
-            self._sample_cursor = (self._sample_cursor + 1) % self._max_samples
+        self._latencies_seen += 1
+        self._reservoir_add(
+            self._latencies, self._latencies_seen, latency_seconds
+        )
+
+    def _reservoir_add(
+        self, reservoir: list[float], seen: int, value: float
+    ) -> None:
+        """Algorithm R (caller holds the lock and has bumped ``seen``)."""
+        if len(reservoir) < self._max_samples:
+            reservoir.append(value)
+            return
+        slot = self._rng.randint(0, seen - 1)
+        if slot < self._max_samples:
+            reservoir[slot] = value
 
     # -- reporting ---------------------------------------------------------
 

@@ -15,6 +15,29 @@ from repro.ml import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_pool_runtimes():
+    """Fail any test that leaves a live worker pool behind.
+
+    ``Database.close()`` must always tear down the distributed runtime's
+    process pool; a leaked pool outlives the test and starves later
+    fork-based tests of file descriptors. The check compares *pools*,
+    not runtimes — ``database.distributed`` lazily creates a (poolless)
+    runtime for stats snapshots, which is harmless.
+    """
+    from repro.distributed.runtime import live_pool_runtimes
+
+    before = set(id(rt) for rt in live_pool_runtimes())
+    yield
+    leaked = [rt for rt in live_pool_runtimes() if id(rt) not in before]
+    for runtime in leaked:
+        runtime.shutdown()
+    assert not leaked, (
+        f"test leaked {len(leaked)} distributed pool runtime(s); "
+        "close() the Database (or use it as a context manager)"
+    )
+
+
 @pytest.fixture(scope="session")
 def hospital_small():
     """(database, dataset, pipeline) with 2000 hospital rows."""
