@@ -8,6 +8,10 @@ faster than RF-NN CPU and reaches up to 15x over scikit-learn at 1M rows
 The GPU series uses the calibrated analytical device model (DESIGN.md's
 substitution table); its *time* is simulated, its *results* are computed
 by the same kernels and asserted equal.
+
+The CPU series runs once per scoring backend: ``numpy`` (the per-node
+interpreter) and ``fused`` (stacked-GEMM tree kernel); ``numba`` joins
+when importable. All backends must agree exactly with scikit-learn.
 """
 
 import numpy as np
@@ -17,8 +21,10 @@ from benchmarks.harness import measure, report
 from repro.data import hospital
 from repro.ml import RandomForestClassifier
 from repro.tensor import InferenceSession, SimulatedGPU, convert
+from repro.tensor.backends.numba_backend import numba_available
 
 SIZES = [1_000, 10_000, 100_000]
+CPU_BACKENDS = ("numpy", "fused") + (("numba",) if numba_available() else ())
 
 
 @pytest.fixture(scope="module")
@@ -28,49 +34,59 @@ def environment():
         n_estimators=10, max_depth=8, random_state=0
     ).fit(train.features, train.length_of_stay)
     graph = convert(forest)
-    cpu_session = InferenceSession(graph, device="cpu")
+    cpu_sessions = {
+        name: InferenceSession(graph, device="cpu", backend=name)
+        for name in CPU_BACKENDS
+    }
     gpu_session = InferenceSession(graph, device=SimulatedGPU())
     datasets = {n: hospital.generate(n, seed=22).features for n in SIZES}
-    return forest, cpu_session, gpu_session, datasets
+    return forest, cpu_sessions, gpu_session, datasets
 
 
 @pytest.mark.parametrize("size", SIZES)
-@pytest.mark.parametrize("variant", ["rf_sklearn", "rf_nn_cpu"])
+@pytest.mark.parametrize(
+    "variant", ["rf_sklearn"] + [f"rf_nn_{name}" for name in CPU_BACKENDS]
+)
 def test_fig2d(benchmark, environment, variant, size):
-    forest, cpu_session, _gpu, datasets = environment
+    forest, cpu_sessions, _gpu, datasets = environment
     X = datasets[size]
     if variant == "rf_sklearn":
         benchmark.pedantic(lambda: forest.predict(X), rounds=3, iterations=1)
     else:
+        session = cpu_sessions[variant.removeprefix("rf_nn_")]
         benchmark.pedantic(
-            lambda: cpu_session.run({"X": X}), rounds=3, iterations=1
+            lambda: session.run({"X": X}), rounds=3, iterations=1
         )
 
 
 def test_fig2d_shape(environment):
-    forest, cpu_session, gpu_session, datasets = environment
+    forest, cpu_sessions, gpu_session, datasets = environment
     rows = []
     ratios_gpu = {}
     for size in SIZES:
         X = datasets[size]
         rf_time = measure(lambda: forest.predict(X), repeats=3)
-        nn_cpu_time = measure(lambda: cpu_session.run({"X": X}), repeats=3)
+        backend_times = {
+            name: measure(lambda s=session: s.run({"X": X}), repeats=3)
+            for name, session in cpu_sessions.items()
+        }
         gpu_session.run({"X": X})  # warm
         gpu_session.run({"X": X})
         nn_gpu_time = gpu_session.last_run_stats.simulated_seconds
         ratios_gpu[size] = rf_time / nn_gpu_time
-        rows.append(
-            {
-                "rows": size,
-                "rf_sklearn_s": rf_time,
-                "rf_nn_cpu_s": nn_cpu_time,
-                "rf_nn_gpu_s(simulated)": nn_gpu_time,
-                "gpu_speedup_vs_rf": rf_time / nn_gpu_time,
-            }
-        )
-        # Exactness of the translation on every size.
-        nn_prediction = cpu_session.run({"X": X})[0].ravel()
-        assert np.array_equal(nn_prediction, forest.predict(X))
+        row = {
+            "rows": size,
+            "rf_sklearn_s": rf_time,
+            "rf_nn_gpu_s(simulated)": nn_gpu_time,
+            "gpu_speedup_vs_rf": rf_time / nn_gpu_time,
+        }
+        for name, seconds in backend_times.items():
+            row[f"rf_nn_{name}_s"] = seconds
+        rows.append(row)
+        # Exactness of the translation, per backend, on every size.
+        for session in cpu_sessions.values():
+            nn_prediction = session.run({"X": X})[0].ravel()
+            assert np.array_equal(nn_prediction, forest.predict(X))
         gpu_prediction = gpu_session.run({"X": X})[0].ravel()
         assert np.array_equal(gpu_prediction, forest.predict(X))
     report(

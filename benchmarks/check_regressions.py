@@ -41,6 +41,7 @@ BENCHMARKS = (
     "bench_planning",
     "bench_memo",
     "bench_distributed",
+    "bench_backends",
 )
 
 HERE = os.path.dirname(os.path.abspath(__file__))

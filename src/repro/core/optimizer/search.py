@@ -267,7 +267,19 @@ def operator_cost(
         switch = ENGINE_SWITCH_COST
         if ctx.predict_flavor(op) == "python.script":
             switch *= 4
-        return switch + input_rows * predict_row_cost(op, ctx)
+        # A compiled backend trades a fixed setup cost (fusion pattern
+        # matching, JIT warm-up — paid per session, amortized by the
+        # session cache but real on the cold path) for a calibrated
+        # per-row discount. That is exactly the paper's batch-size
+        # crossover: the interpreter wins small batches, compiled
+        # execution wins scans.
+        backend = dict(op.extra).get("backend") if op.extra else None
+        setup, row_scale = ctx.backend_profile(backend)
+        return (
+            switch
+            + setup
+            + input_rows * predict_row_cost(op, ctx) * row_scale
+        )
     return rows
 
 
@@ -459,6 +471,7 @@ class SearchContext:
         # read; ``pin`` keeps dp_seen's leaf objects alive.
         self._estimate_cache: dict[int, tuple[logical.LogicalOp, float]] = {}
         self._pinned: list[object] = []
+        self._backend_profiles: dict[str, tuple[float, float]] | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -562,6 +575,26 @@ class SearchContext:
     def requirement_for(self, op: logical.Predict) -> set | None:
         key = (op.model_ref.lower(), (op.alias or "").lower())
         return self.predict_requirements.get(key, None)
+
+    def backend_profile(self, backend: str | None) -> tuple[float, float]:
+        """``(setup_cost, row_scale)`` for a scoring backend choice.
+
+        Calibrated lazily (and persisted in the catalog) by
+        :mod:`repro.tensor.backends.calibrate`; the interpreter is the
+        1.0 reference and any failure degrades to the defaults.
+        """
+        if not backend or backend == "numpy":
+            return (0.0, 1.0)
+        if self._backend_profiles is None:
+            try:
+                from repro.tensor.backends import calibrate
+
+                self._backend_profiles = calibrate.profiles(self.catalog)
+            except Exception:
+                from repro.tensor.backends.calibrate import DEFAULT_PROFILES
+
+                self._backend_profiles = dict(DEFAULT_PROFILES)
+        return self._backend_profiles.get(backend, (0.0, 1.0))
 
     # -- tree-level estimation (leaves inside the join-order rule) ---------
 
@@ -1242,6 +1275,73 @@ class PredicateBasedModelPruningRule(MemoRule):
                 plan.extra,
             )
         ]
+
+
+class BackendChoiceRule(MemoRule):
+    """Offer compiled scoring backends as physical Predict alternatives.
+
+    For every Predict whose model the tensor layer can execute compiled
+    (a ``tensor.graph`` payload, or a stored ``ml.pipeline`` the NN
+    translator :func:`~repro.tensor.converters.supports`), emit one
+    alternative per *available* backend, tagged in ``extra``. The
+    alternatives then compete under :meth:`SearchContext.backend_profile`
+    costs — small batches keep the untagged interpreter expression,
+    large scans flip to fused/JIT. Inline payloads (plan-embedded
+    pipelines, possibly rewritten by other rules) are eligible too: the
+    executors compile them once per resolved scorer and the plan object
+    pins the payload identity for the compiled cache.
+    """
+
+    name = "BackendChoice"
+
+    def apply(self, plan, ctx):
+        if not isinstance(plan, logical.Predict):
+            return []
+        if plan.extra and "backend" in dict(plan.extra):
+            return []
+        flavor = ctx.predict_flavor(plan)
+        if flavor == "tensor.graph":
+            eligible = True
+        elif flavor == "ml.pipeline":
+            payload = plan.payload
+            if payload is None:
+                resolved = ctx.pipeline_for(plan)
+                if resolved is None:
+                    return []
+                payload = resolved[0]
+            try:
+                from repro.tensor.converters import supports
+
+                eligible = supports(payload)
+            except Exception:
+                eligible = False
+        else:
+            eligible = False
+        if not eligible:
+            return []
+        try:
+            from repro.tensor.backends import available_compiled_backends
+
+            backends = available_compiled_backends()
+        except Exception:
+            return []
+        alternatives = []
+        for backend in backends:
+            ctx.record(self.name, f"{plan.model_ref}->{backend}")
+            alternatives.append(
+                logical.Predict(
+                    plan.child,
+                    plan.model_ref,
+                    plan.output_columns,
+                    plan.alias,
+                    plan.batch_size,
+                    plan.flavor,
+                    plan.payload,
+                    plan.feature_names,
+                    plan.extra + (("backend", backend),),
+                )
+            )
+        return alternatives
 
 
 class ModelProjectionPushdownRule(MemoRule):
@@ -1950,6 +2050,7 @@ def sql_rules(options: dict | None = None) -> list[MemoRule]:
         PredicatePushdownRule(),
         JoinOrderRule(),
         PredicateBasedModelPruningRule(),
+        BackendChoiceRule(),
         ShardedExecutionRule(),
         ShardJoinRule(),
     ]
@@ -1964,6 +2065,7 @@ def cross_ir_rules(options: dict | None = None) -> list[MemoRule]:
         JoinOrderRule(),
         PredicateBasedModelPruningRule(),
         ModelProjectionPushdownRule(insert_projection=True),
+        BackendChoiceRule(),
         ShardedExecutionRule(),
         ShardJoinRule(),
     ]
@@ -2270,6 +2372,8 @@ def ir_to_logical(graph: IRGraph) -> logical.LogicalOp:
                 flavor = "python.script"
                 payload = attrs.get("source")
                 extra = (("name", attrs.get("name")),)
+            if op != "udf.python" and attrs.get("backend"):
+                extra = extra + (("backend", attrs["backend"]),)
             features = attrs.get("feature_names")
             return logical.Predict(
                 children[0],
@@ -2395,6 +2499,8 @@ def logical_to_ir(plan: logical.LogicalOp) -> IRGraph:
                 ),
             )
             extra = dict(op.extra)
+            if extra.get("backend"):
+                common["backend"] = extra["backend"]
             if op.flavor == "tensor.graph":
                 return graph.add(
                     "la.tensor_graph",
@@ -2404,6 +2510,7 @@ def logical_to_ir(plan: logical.LogicalOp) -> IRGraph:
                     **common,
                 ).id
             if op.flavor == "python.script":
+                common.pop("backend", None)
                 return graph.add(
                     "udf.python",
                     [child],

@@ -55,7 +55,8 @@ class RavenExecutor:
         # The keyed graph object is pinned alongside the session: id()s
         # are recycled after garbage collection, and plan churn (drop,
         # rollback, re-prepare) makes graph turnover routine.
-        self._session_cache: dict[int, tuple[object, InferenceSession]] = {}
+        self._session_cache: dict[tuple, tuple[object, InferenceSession]] = {}
+        self._compiled_cache: dict[tuple, tuple[object, object]] = {}
         self._session_lock = threading.Lock()
 
     # -- entry point -----------------------------------------------------
@@ -249,10 +250,35 @@ class RavenExecutor:
     def _run_mld_pipeline(self, node: IRNode, inputs: list[Table]) -> Table:
         pipeline = node.attrs["pipeline"]
         features = node.attrs.get("feature_names")
-        predictions = self._score_chunked(
-            inputs[0], features, lambda m: pipeline.predict(m)
-        )
+        scorer = None
+        backend = (node.attrs.get("backend") or "numpy").lower()
+        if backend != "numpy":
+            scorer = self._compiled_scorer_for(node, pipeline, features, backend)
+        if scorer is None:
+            scorer = lambda m: pipeline.predict(m)  # noqa: E731
+        predictions = self._score_chunked(inputs[0], features, scorer)
         return self._append_outputs(node, inputs[0], predictions)
+
+    def _compiled_scorer_for(self, node: IRNode, pipeline, features, backend):
+        """Cached compiled scorer for a memo-chosen pipeline backend.
+
+        Cached by pipeline identity + backend (pipelines are opaque
+        payloads; plans pin them). ``None`` — and the interpreted
+        ``predict`` path — when NN translation fails.
+        """
+        from repro.tensor.backends import compiled_pipeline_scorer
+
+        key = (id(pipeline), backend)
+        with self._session_lock:
+            cached = self._compiled_cache.get(key)
+            if cached is not None and cached[0] is pipeline:
+                return cached[1]
+        scorer = compiled_pipeline_scorer(
+            pipeline, len(features) if features else None, backend
+        )
+        with self._session_lock:
+            self._compiled_cache[key] = (pipeline, scorer)
+        return scorer
 
     def _run_mld_predictor(self, node: IRNode, inputs: list[Table]) -> Table:
         model = node.attrs["model"]
@@ -285,7 +311,8 @@ class RavenExecutor:
 
     def _session_for(self, node: IRNode) -> InferenceSession:
         tensor_graph = node.attrs["graph"]
-        key = id(tensor_graph)
+        backend = (node.attrs.get("backend") or "numpy").lower()
+        key = (id(tensor_graph), backend)
         with self._session_lock:
             cached = self._session_cache.get(key)
             if (
@@ -297,7 +324,9 @@ class RavenExecutor:
         # Build outside the lock: session construction can be expensive
         # and must not stall concurrent scoring on unrelated graphs.
         session = InferenceSession(
-            tensor_graph, device=node.attrs.get("device", "cpu")
+            tensor_graph,
+            device=node.attrs.get("device", "cpu"),
+            backend=backend,
         )
         with self._session_lock:
             self._session_cache[key] = (tensor_graph, session)

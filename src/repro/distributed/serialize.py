@@ -222,6 +222,10 @@ def encode_fragment(
             "feature_names": (
                 list(feature_names) if feature_names is not None else None
             ),
+            # The memo's backend choice rides the fragment: workers
+            # score with the same compiled session the coordinator
+            # costed, not whatever their local default would be.
+            "backend": dict(op.extra).get("backend") if op.extra else None,
         }
     raise FragmentSerializationError(
         f"operator {type(op).__name__} has no fragment form"
@@ -328,6 +332,7 @@ def decode_fragment(
         loader = model_loader or model_format.loads
         payload = loader(spec["model_bundle"])
         features = spec.get("feature_names")
+        backend = spec.get("backend")
         return logical.Predict(
             decode_fragment(spec["child"], model_loader),
             spec.get("model_ref") or "",
@@ -340,6 +345,7 @@ def decode_fragment(
             "ml.pipeline",
             payload,
             tuple(features) if features is not None else None,
+            (("backend", backend),) if backend else (),
         )
     raise FragmentSerializationError(f"unknown fragment op {kind!r}")
 

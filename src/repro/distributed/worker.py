@@ -51,6 +51,9 @@ MAX_CACHED_FRAGMENTS = 16
 
 _SHARD_CACHE: "OrderedDict[tuple, Table]" = OrderedDict()
 _MODEL_CACHE: "OrderedDict[str, object]" = OrderedDict()
+#: Compiled scoring sessions keyed ``(id(payload), backend)`` — see
+#: :func:`_compiled_worker_scorer`.
+_COMPILED_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
 #: Decoded fragments keyed by spec-dict identity (identity-checked on
 #: read). The coordinator's in-process path passes the same cached spec
 #: object for every shard of a gather, so the JSON→logical decode runs
@@ -303,12 +306,38 @@ def clear_caches() -> None:
     _SHARD_CACHE.clear()
     _MODEL_CACHE.clear()
     _FRAGMENT_CACHE.clear()
+    _COMPILED_CACHE.clear()
+
+
+def _compiled_worker_scorer(payload: object, features, backend: str):
+    """Worker-side compiled session for a shipped payload, cached.
+
+    Shipped payloads are interned by :func:`_load_model` (stable
+    identity per bundle per worker process), so ``(id(payload),
+    backend)`` keys a process-level cache of compiled sessions — the
+    expensive NN translation + fusion runs once per worker, not once
+    per fragment. The payload itself is pinned in the cache entry so a
+    recycled id can never alias a different model.
+    """
+    key = (id(payload), backend)
+    cached = _COMPILED_CACHE.get(key)
+    if cached is not None and cached[0] is payload:
+        return cached[1]
+    from repro.tensor.backends import compiled_pipeline_scorer
+
+    scorer = compiled_pipeline_scorer(
+        payload, len(features) if features else None, backend
+    )
+    _COMPILED_CACHE[key] = (payload, scorer)
+    while len(_COMPILED_CACHE) > MAX_CACHED_MODELS:
+        _COMPILED_CACHE.popitem(last=False)
+    return scorer
 
 
 class _WorkerModelResolver:
     """Scores the payload shipped with the fragment; no catalog exists."""
 
-    def resolve_scorer(self, model_ref: str, output_columns):
+    def resolve_scorer(self, model_ref: str, output_columns, backend="numpy"):
         raise ExecutionError(
             f"fragment references catalog model {model_ref!r} without a "
             "shipped payload; workers have no model catalog"
@@ -319,13 +348,20 @@ class _WorkerModelResolver:
         payload: object,
         feature_names: Sequence[str] | None,
         output_columns,
+        backend: str = "numpy",
     ) -> Callable[[Table], dict[str, np.ndarray]]:
         features = list(feature_names) if feature_names is not None else None
         output_names = [name for name, _dtype in output_columns]
+        compiled = None
+        if (backend or "numpy").lower() != "numpy":
+            compiled = _compiled_worker_scorer(payload, features, backend)
 
         def score(table: Table) -> dict[str, np.ndarray]:
             matrix = table.to_matrix(features)
-            raw = np.asarray(payload.predict(matrix), dtype=np.float64)
+            if compiled is not None:
+                raw = np.asarray(compiled(matrix), dtype=np.float64)
+            else:
+                raw = np.asarray(payload.predict(matrix), dtype=np.float64)
             if raw.ndim == 1:
                 raw = raw.reshape(-1, 1)
             if raw.shape[1] < len(output_names):

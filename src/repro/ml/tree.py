@@ -54,40 +54,52 @@ class TreeStructure:
     def is_leaf(self, node: int) -> bool:
         return self.feature[node] == LEAF
 
+    def depths(self) -> np.ndarray:
+        """Depth of every node, root = 0 (vectorized level frontier)."""
+        depth = np.zeros(self.node_count, dtype=np.int64)
+        frontier = np.zeros(1, dtype=np.int64)
+        level = 0
+        while frontier.size:
+            depth[frontier] = level
+            internal = frontier[self.feature[frontier] != LEAF]
+            frontier = np.concatenate(
+                (self.children_left[internal], self.children_right[internal])
+            )
+            level += 1
+        return depth
+
     def max_depth(self) -> int:
         """Longest root-to-leaf path length."""
-        depth = np.zeros(self.node_count, dtype=np.int64)
-        best = 0
-        for node in range(self.node_count):
-            if self.is_leaf(node):
-                best = max(best, depth[node])
-                continue
-            depth[self.children_left[node]] = depth[node] + 1
-            depth[self.children_right[node]] = depth[node] + 1
-        return int(best)
+        return int(self.depths().max())
 
     def used_features(self) -> set[int]:
         """Feature indices tested anywhere in the tree."""
         return set(int(f) for f in self.feature[self.feature != LEAF])
 
     def decision_path_apply(self, X: np.ndarray) -> np.ndarray:
-        """Leaf index reached by each row (vectorized level-by-level)."""
+        """Leaf index reached by each row.
+
+        Fully vectorized: leaves are turned into self-loops (their
+        children point back at themselves, their test feature is
+        clamped to 0), so every row can be advanced ``max_depth`` times
+        with three gathers and one ``where`` per level — no boolean
+        masking or shrinking index sets, which keeps the hot arrays
+        contiguous for the whole descent.
+        """
         n = X.shape[0]
         node = np.zeros(n, dtype=np.int64)
-        while True:
-            features = self.feature[node]
-            internal = features != LEAF
-            if not internal.any():
-                return node
-            rows = np.nonzero(internal)[0]
-            f = features[rows]
-            go_left = X[rows, f] <= self.threshold[node[rows]]
-            next_nodes = np.where(
-                go_left,
-                self.children_left[node[rows]],
-                self.children_right[node[rows]],
-            )
-            node[rows] = next_nodes
+        if n == 0:
+            return node
+        idx = np.arange(self.node_count, dtype=np.int64)
+        leaf = self.feature == LEAF
+        left = np.where(leaf, idx, self.children_left)
+        right = np.where(leaf, idx, self.children_right)
+        feat = np.where(leaf, 0, self.feature)
+        rows = np.arange(n)
+        for _ in range(self.max_depth()):
+            go_left = X[rows, feat[node]] <= self.threshold[node]
+            node = np.where(go_left, left[node], right[node])
+        return node
 
     def leaf_values(self, X: np.ndarray) -> np.ndarray:
         """The ``value`` rows for each input row's leaf."""

@@ -18,6 +18,8 @@ Event taxonomy (see README "Observability"):
 
 - ``serving.submitted / completed / failed / rejected / batch / replan``
 - ``plan_cache.hit / miss / put / evict / invalidate``
+- ``session_cache.hit / miss / graph_opt_hit / graph_opt_miss``
+- ``backend.run``
 - ``optimizer.memo_search``
 - ``distributed.gather / degraded``
 - ``trace.completed``

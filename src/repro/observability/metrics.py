@@ -232,6 +232,17 @@ class ServingMetrics:
             registry.counter("serving.replans").inc()
         elif name.startswith("plan_cache."):
             registry.counter(name).inc()
+        elif name.startswith("session_cache."):
+            registry.counter(name).inc()
+        elif name == "backend.run":
+            backend = attrs.get("backend", "numpy")
+            registry.counter(f"backend.{backend}.runs").inc()
+            registry.counter(f"backend.{backend}.rows").inc(
+                attrs.get("rows", 0)
+            )
+            registry.histogram(f"backend.{backend}.seconds").observe(
+                attrs.get("seconds", 0.0)
+            )
         elif name == "distributed.gather":
             registry.counter("distributed.shard_queries").inc()
             registry.counter("distributed.shards_scanned").inc(

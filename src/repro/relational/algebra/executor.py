@@ -781,17 +781,22 @@ class Executor:
         The memo optimizer's model rewrites (pruning, projection
         pushdown) attach the rewritten pipeline to the plan; it no
         longer exists in the catalog, so it must be scored directly.
+        The memo-chosen compiled backend (in ``extra``) is forwarded
+        only when non-default so duck-typed resolvers (tests, workers
+        built before backends existed) keep their plain signature.
         """
+        backend = dict(op.extra).get("backend") if op.extra else None
+        kwargs = {"backend": backend} if backend and backend != "numpy" else {}
         if op.payload is not None and op.flavor == "ml.pipeline":
             resolve_inline = getattr(
                 self._model_resolver, "resolve_inline_scorer", None
             )
             if resolve_inline is not None:
                 return resolve_inline(
-                    op.payload, op.feature_names, op.output_columns
+                    op.payload, op.feature_names, op.output_columns, **kwargs
                 )
         return self._model_resolver.resolve_scorer(
-            op.model_ref, op.output_columns
+            op.model_ref, op.output_columns, **kwargs
         )
 
     @staticmethod

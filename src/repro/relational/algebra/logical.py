@@ -320,6 +320,9 @@ def plan_to_string(op: LogicalOp, indent: int = 0) -> str:
         detail = f" {op.kind}" + (f" [{op.condition!r}]" if op.condition else "")
     elif isinstance(op, Predict):
         detail = f" model={op.model_ref}"
+        backend = dict(op.extra).get("backend") if op.extra else None
+        if backend:
+            detail += f" backend={backend}"
     elif isinstance(op, Limit):
         detail = f" {op.count}"
     lines = [f"{pad}{label}{detail}"]

@@ -342,7 +342,11 @@ def _describe(op: logical.LogicalOp) -> str:
         detail = f" [{op.condition!r}]" if op.condition is not None else ""
         return f"{label} {op.kind}{detail}"
     if isinstance(op, logical.Predict):
-        return f"{label} model={op.model_ref}"
+        detail = f"{label} model={op.model_ref}"
+        backend = dict(op.extra).get("backend") if op.extra else None
+        if backend:
+            detail += f" backend={backend}"
+        return detail
     if isinstance(op, logical.Limit):
         return f"{label} {op.count}"
     return label

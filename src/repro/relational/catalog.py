@@ -114,6 +114,10 @@ class Catalog:
         # EXPLAIN ANALYZE (the hook for adaptive re-costing). Bounded:
         # one running summary per table, never a sample list.
         self._q_errors: dict[str, dict] = {}
+        # Calibrated per-backend scoring costs ({backend: [setup, row_scale]}),
+        # persisted by the first calibration micro-bench so later sessions
+        # (and the cost model) skip re-measuring.
+        self._backend_costs: dict[str, list] = {}
 
     # -- model-change observers ----------------------------------------------
 
@@ -326,6 +330,31 @@ class Catalog:
                 "max": entry["max"],
                 "geo_mean": math.exp(entry["sum_log"] / entry["count"]),
             }
+
+    # -- backend cost calibration ---------------------------------------------
+
+    def record_backend_costs(self, profiles: dict) -> None:
+        """Persist calibrated per-backend costs ``{backend: [setup, row_scale]}``.
+
+        Written once by the lazy calibration micro-bench
+        (:mod:`repro.tensor.backends.calibrate`); the optimizer's cost
+        model reads them back through :meth:`backend_costs` so backend
+        selection reflects this machine rather than shipped defaults.
+        """
+        with self._stats_lock:
+            self._backend_costs = {
+                str(name): [float(pair[0]), float(pair[1])]
+                for name, pair in profiles.items()
+            }
+        self._log("record_backend_costs", ",".join(sorted(profiles)))
+
+    def backend_costs(self) -> dict | None:
+        """Calibrated ``{backend: [setup, row_scale]}``, or ``None`` when
+        no calibration has been recorded yet."""
+        with self._stats_lock:
+            if not self._backend_costs:
+                return None
+            return {k: list(v) for k, v in self._backend_costs.items()}
 
     def _invalidate_shards(self, key: str) -> None:
         """A data change under a sharded table: rebuild lazily, re-epoch."""

@@ -60,8 +60,10 @@ class SessionCache:
             if key in self._entries:
                 self.hits += 1
                 self._entries.move_to_end(key)
+                events.emit("session_cache.hit", key=key)
                 return self._entries[key]
             self.misses += 1
+        events.emit("session_cache.miss", key=key)
         # Build outside the lock (double-checked): an expensive scorer
         # build on one model must not stall concurrent hits on others.
         # Concurrent misses may build twice; the factory is idempotent
@@ -621,19 +623,30 @@ class Database:
         self,
         model_ref: str,
         output_columns: tuple[tuple[str, DataType], ...],
+        backend: str = "numpy",
     ) -> Callable[[Table], dict[str, np.ndarray]]:
-        """Build (with caching) a batch scorer for a stored model."""
+        """Build (with caching) a batch scorer for a stored model.
+
+        Cache entries are keyed ``name:vN[|backend]`` — the interpreter
+        and each compiled backend are distinct sessions of the same
+        model, and ``invalidate_model``'s ``name:v`` prefix still drops
+        them all on an update.
+        """
         if model_ref.startswith("@"):
             raise ExecutionError(
                 f"model variable {model_ref} was never assigned a model"
             )
         entry = self.catalog.get_model(model_ref)
+        backend = (backend or "numpy").lower()
+        key = entry.qualified_name
+        if backend != "numpy":
+            key = f"{key}|{backend}"
         if self.session_cache is not None:
             scorer = self.session_cache.get_or_create(
-                entry.qualified_name, lambda: self._build_scorer(entry)
+                key, lambda: self._build_scorer(entry, backend)
             )
         else:
-            scorer = self._build_scorer(entry)
+            scorer = self._build_scorer(entry, backend)
         output_names = [name for name, _ in output_columns]
         return _bind_output_names(scorer, output_names)
 
@@ -642,6 +655,7 @@ class Database:
         payload: object,
         feature_names: Sequence[str] | None,
         output_columns: tuple[tuple[str, DataType], ...],
+        backend: str = "numpy",
     ) -> Callable[[Table], dict[str, np.ndarray]]:
         """Scorer for a plan-embedded (memo-rewritten) model pipeline.
 
@@ -656,21 +670,51 @@ class Database:
         """
         features = list(feature_names) if feature_names is not None else None
 
+        compiled = None
+        if (backend or "numpy").lower() != "numpy":
+            from repro.tensor.backends import compiled_pipeline_scorer
+
+            compiled = compiled_pipeline_scorer(
+                payload, len(features) if features else None, backend
+            )
+
         def score_inline(table: Table) -> np.ndarray:
             matrix = table.to_matrix(features)
+            if compiled is not None:
+                return np.asarray(compiled(matrix), dtype=np.float64)
             return np.asarray(payload.predict(matrix), dtype=np.float64)
 
         output_names = [name for name, _ in output_columns]
         return _bind_output_names(score_inline, output_names)
 
     @staticmethod
-    def _build_scorer(entry: ModelEntry) -> Callable[[Table], np.ndarray]:
+    def _build_scorer(
+        entry: ModelEntry, backend: str = "numpy"
+    ) -> Callable[[Table], np.ndarray]:
         """Create the raw scorer for a model entry (cache-miss path)."""
         if entry.flavor == "ml.pipeline":
             pipeline = entry.payload
             feature_names = entry.metadata.get("feature_names") or getattr(
                 pipeline, "feature_names_", None
             )
+
+            if backend != "numpy":
+                from repro.tensor.backends import compiled_pipeline_scorer
+
+                compiled = compiled_pipeline_scorer(
+                    pipeline,
+                    len(feature_names) if feature_names else None,
+                    backend,
+                )
+                if compiled is not None:
+
+                    def score_compiled(table: Table) -> np.ndarray:
+                        features = table.to_matrix(feature_names)
+                        return np.asarray(compiled(features), dtype=np.float64)
+
+                    return score_compiled
+                # Translation failed — the interpreted path below is
+                # always correct, just not compiled.
 
             def score_pipeline(table: Table) -> np.ndarray:
                 features = table.to_matrix(feature_names)
@@ -680,7 +724,7 @@ class Database:
         if entry.flavor == "tensor.graph":
             from repro.tensor.session import InferenceSession
 
-            session = InferenceSession(entry.payload)
+            session = InferenceSession(entry.payload, backend=backend)
             feature_names = entry.metadata.get("feature_names")
 
             def score_graph(table: Table) -> np.ndarray:

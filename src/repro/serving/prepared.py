@@ -106,6 +106,7 @@ class PreparedQuery:
             rules_fired=tuple(getattr(report, "applied", ()) or ()),
             shard_routing=_collect_shard_routing(optimized),
             shard_epochs=shard_epochs,
+            backend_choices=_collect_backend_choices(optimized),
             prepare_seconds=time.perf_counter() - start,
         )
         if self._plan_cache is not None:
@@ -578,6 +579,29 @@ def _collect_shard_routing(
                     )
                 )
     return tuple(routing)
+
+
+def _collect_backend_choices(
+    graph: IRGraph,
+) -> tuple[tuple[str, str], ...]:
+    """``(model_ref, backend)`` per Predict in the optimized plan.
+
+    The scoring backend is a memo decision (a physical property of the
+    Predict operator), so like shard routing it only exists on the
+    *optimized* graph. ``numpy`` means the optimizer kept the per-node
+    interpreter for that model's batch size.
+    """
+    choices = []
+    for node in graph.nodes():
+        if node.op not in ("mld.pipeline", "la.tensor_graph", "udf.python"):
+            continue
+        choices.append(
+            (
+                str(node.attrs.get("model_ref", "")),
+                str(node.attrs.get("backend") or "numpy"),
+            )
+        )
+    return tuple(choices)
 
 
 def _collect_shard_epochs(

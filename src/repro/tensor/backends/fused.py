@@ -1,0 +1,479 @@
+"""The fused backend: graph-level fusion + tree-ensemble tensorization.
+
+Two fusions run at session-build time, both found by pattern-matching
+the optimized graph:
+
+1. **Tree-ensemble -> GEMM** (Hummingbird's strategy). The converter
+   emits every decision tree as the same 7-op chain::
+
+       MatMul(X, A) -> LessOrEqual(., B) -> Cast -> MatMul(., C)
+         -> Equal(., D) -> Cast -> MatMul(., V)
+
+   Per tree that is 3 small matmuls plus elementwise glue — 7 kernel
+   dispatches and 6 intermediate allocations *per tree*, which is why
+   a 100-tree forest is dispatch-bound under the interpreter. The
+   fused backend stacks every tree over the same input into block
+   matrices at build time (padded to the widest tree) and scores the
+   whole ensemble with **three** batched matmuls, summing the trees in
+   one reduction when the graph combines them with an Add chain.
+
+2. **Elementwise chains.** Maximal runs of single-stream elementwise
+   ops (scaler arithmetic, activations, casts) execute as one step:
+   the intermediate tensors stay in registers-of-the-loop (local
+   variables), skipping the per-node device dispatch and the tensor
+   dictionary traffic.
+
+Exactness: the one-hot rows of ``A`` make stage 1 an exact gather; the
+path-sum ``S @ C`` is a small integer count in float64, so the ``== D``
+match is exact. Only the final tree summation differs in order from
+the interpreted graph (pairwise vs. single reduction) — within normal
+fp tolerance.
+
+Everything the matcher does not recognize falls back to per-node
+device execution, so the fused backend accepts *any* valid graph.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.tensor.device import Device, RunStats
+from repro.tensor.graph import Graph, Node
+from repro.tensor.ops import KERNELS, estimate_cost
+from repro.tensor.optimizer import DEFAULT_PASSES
+
+#: Pass profile compiled backends optimize under: everything except
+#: ``fuse_matmul_add`` — that pass rewrites the first tree's final
+#: MatMul + combining Add into a Gemm, destroying the 7-op chain the
+#: ensemble matcher keys on (the backend's own fusion strictly
+#: supersedes it).
+FUSED_PASSES = tuple(
+    p for p in DEFAULT_PASSES if p.__name__ != "fuse_matmul_add"
+)
+
+_FLOAT_CASTS = ("float64", "float32", "double", "float")
+
+#: Elementwise ops fusable into a single-stream chain. Multi-input ops
+#: qualify only when every other operand is a constant initializer.
+_ELEMENTWISE = {
+    "Add", "Sub", "Mul", "Div", "Neg", "Exp", "Sqrt", "Relu",
+    "Tanh", "Sigmoid", "Cast", "Clip", "Identity",
+}
+
+
+class _TreeChain:
+    """One matched 7-op tree chain and its GEMM matrices."""
+
+    __slots__ = ("data", "a", "b", "c", "d", "v", "nodes", "output")
+
+    def __init__(self, data, a, b, c, d, v, nodes, output):
+        self.data = data
+        self.a = a
+        self.b = b
+        self.c = c
+        self.d = d
+        self.v = v
+        self.nodes = nodes
+        self.output = output
+
+
+class TreeEnsembleStep:
+    """All trees of one ensemble, stacked into padded block matrices.
+
+    Stage 1 runs on a ``(features, trees*nodes)`` block; stages 2-3 run
+    batched over the tree axis. Padding is inert by construction: zero
+    columns of ``A`` compare against ``-1`` thresholds (never true),
+    phantom leaves carry ``+inf`` path counts (never matched) and zero
+    values.
+
+    Rows are processed in :data:`CHUNK`-sized slices: the indicator
+    block and the per-tree intermediates for a wide forest over a large
+    scan run tens of MB each, so one-shot buffers evict between stages
+    and every stage becomes a DRAM round-trip. Chunk-sized scratch stays
+    cache-resident across all four stages.
+    """
+
+    #: Rows per kernel pass over stages 1-4.
+    CHUNK = 512
+
+    def __init__(self, chains: list[_TreeChain], combined_output: str | None,
+                 skip_nodes: list[Node]):
+        self.chains = chains
+        self.data = chains[0].data
+        self.combined_output = combined_output
+        self.skip_nodes = skip_nodes
+        trees = len(chains)
+        n_features = chains[0].a.shape[0]
+        n_out = chains[0].v.shape[1]
+        m_max = max(c.a.shape[1] for c in chains)
+        l_max = max(c.v.shape[0] for c in chains)
+        self.trees = trees
+        self.m_max = m_max
+        self.l_max = l_max
+        self.n_out = n_out
+        self.a_stack = np.zeros((n_features, trees * m_max))
+        self.b_stack = np.full(trees * m_max, -1.0)
+        self.c_pad = np.zeros((trees, m_max, l_max))
+        self.d_pad = np.full((trees, 1, l_max), np.inf)
+        self.v_pad = np.zeros((trees, l_max, n_out))
+        for t, chain in enumerate(chains):
+            m = chain.a.shape[1]
+            leaves = chain.v.shape[0]
+            self.a_stack[:, t * m_max:t * m_max + m] = chain.a
+            self.b_stack[t * m_max:t * m_max + m] = np.ravel(chain.b)
+            self.c_pad[t, :m, :leaves] = chain.c
+            self.d_pad[t, 0, :leaves] = np.ravel(chain.d)
+            self.v_pad[t, :leaves, :] = chain.v
+
+    def _cache(self, local: threading.local) -> dict:
+        cache = getattr(local, "buffers", None)
+        if cache is None:
+            cache = local.buffers = {}
+        return cache.setdefault(id(self), {})
+
+    def _buffers(self, local: threading.local, rows: int):
+        chunk = min(rows, self.CHUNK)
+        shapes = {
+            "s": (chunk, self.trees * self.m_max),
+            "t": (self.trees, chunk, self.l_max),
+            "r": (self.trees, chunk, self.l_max),
+            "p": (self.trees, chunk, self.n_out),
+        }
+        mine = self._cache(local)
+        for key, shape in shapes.items():
+            buf = mine.get(key)
+            if buf is None or buf.shape != shape:
+                mine[key] = np.empty(shape)
+        return mine
+
+    def leaf_indicators(self, x: np.ndarray, local: threading.local):
+        """Stage 1 for all rows: the ``(rows, trees*nodes)`` 0/1 block.
+
+        Unchunked — callers that fuse the remaining stages into a single
+        kernel (the numba backend) consume the whole block at once.
+        """
+        mine = self._cache(local)
+        shape = (x.shape[0], self.trees * self.m_max)
+        s = mine.get("s_full")
+        if s is None or s.shape != shape:
+            s = mine["s_full"] = np.empty(shape)
+        np.matmul(x, self.a_stack, out=s)
+        np.less_equal(s, self.b_stack, out=s, casting="unsafe")
+        return s, mine
+
+    def run(self, tensors: dict, stats: RunStats, local: threading.local) -> None:
+        start = time.perf_counter()
+        x = np.asarray(tensors[self.data], dtype=np.float64)
+        if x.ndim == 1:
+            x = x.reshape(1, -1)
+        rows = x.shape[0]
+        buffers = self._buffers(local, rows)
+        s, t3, r, p = buffers["s"], buffers["t"], buffers["r"], buffers["p"]
+        # Outputs are fresh arrays, never views of the reusable scratch:
+        # a downstream view (Reshape/Slice) may escape as a graph output
+        # and must not alias buffers the next run clobbers.
+        combined = None
+        per_tree = None
+        if self.combined_output is not None:
+            combined = np.empty((rows, self.n_out))
+        else:
+            per_tree = [np.empty((rows, self.n_out)) for _ in self.chains]
+        for lo in range(0, rows, self.CHUNK):
+            hi = min(lo + self.CHUNK, rows)
+            n = hi - lo
+            sv, tv, rv, pv = s[:n], t3[:, :n], r[:, :n], p[:, :n]
+            np.matmul(x[lo:hi], self.a_stack, out=sv)
+            np.less_equal(sv, self.b_stack, out=sv, casting="unsafe")
+            s3 = sv.reshape(n, self.trees, self.m_max).transpose(1, 0, 2)
+            np.matmul(s3, self.c_pad, out=tv)
+            np.equal(tv, self.d_pad, out=rv, casting="unsafe")
+            np.matmul(rv, self.v_pad, out=pv)
+            if combined is not None:
+                pv.sum(axis=0, out=combined[lo:hi])
+            else:
+                for t in range(self.trees):
+                    per_tree[t][lo:hi] = pv[t]
+        if combined is not None:
+            tensors[self.combined_output] = combined
+        else:
+            for t, chain in enumerate(self.chains):
+                tensors[chain.output] = per_tree[t]
+        self._account(stats, rows, time.perf_counter() - start, x)
+
+    def _account(self, stats: RunStats, rows: int, elapsed: float,
+                 x: np.ndarray) -> None:
+        stats.wall_seconds += elapsed
+        stats.ops_executed += 1
+        flops = 2.0 * rows * (
+            self.a_stack.shape[0] * self.a_stack.shape[1]
+            + self.trees * self.m_max * self.l_max
+            + self.trees * self.l_max * self.n_out
+        )
+        stats.flops += flops
+        stats.bytes_moved += float(
+            x.nbytes + rows * self.trees * (self.m_max + 2 * self.l_max + self.n_out) * 8
+        )
+        stats.per_op_seconds["FusedTreeEnsemble"] = (
+            stats.per_op_seconds.get("FusedTreeEnsemble", 0.0) + elapsed
+        )
+
+
+class ElementwiseChainStep:
+    """A run of single-stream elementwise nodes executed as one step."""
+
+    def __init__(self, nodes: list[Node], constants: dict):
+        self.nodes = nodes
+        self.constants = constants
+        self.output = nodes[-1].outputs[0]
+
+    def run(self, tensors: dict, stats: RunStats, local: threading.local) -> None:
+        start = time.perf_counter()
+        produced = {}
+        value = None
+        for node in self.nodes:
+            values = []
+            for name in node.inputs:
+                if name in produced:
+                    values.append(produced[name])
+                elif name in self.constants:
+                    values.append(self.constants[name])
+                else:
+                    values.append(tensors[name])
+            value = np.asarray(KERNELS[node.op_type](values, node.attrs)[0])
+            produced[node.outputs[0]] = value
+            cost = estimate_cost(node.op_type, values)
+            stats.flops += cost.flops
+            stats.bytes_moved += cost.bytes_moved
+        tensors[self.output] = value
+        elapsed = time.perf_counter() - start
+        stats.wall_seconds += elapsed
+        stats.ops_executed += 1
+        stats.per_op_seconds["FusedElementwise"] = (
+            stats.per_op_seconds.get("FusedElementwise", 0.0) + elapsed
+        )
+
+
+class FusedExecutor:
+    """Pattern-matched fused execution with per-node fallback."""
+
+    name = "fused"
+
+    def __init__(self, graph: Graph, order: list[Node], device: Device):
+        self.graph = graph
+        self.device = device
+        self.plan = _build_plan(graph, order)
+        self._local = threading.local()
+        self.fused_tree_steps = sum(
+            1 for kind, _ in self.plan if kind == "tree"
+        )
+        self.fused_chain_steps = sum(
+            1 for kind, _ in self.plan if kind == "chain"
+        )
+
+    def execute(self, tensors: dict, stats: RunStats) -> None:
+        device = self.device
+        local = self._local
+        for kind, step in self.plan:
+            if kind == "node":
+                values = [tensors[name] for name in step.inputs]
+                results = device.run_node(
+                    step.op_type, values, step.attrs, stats
+                )
+                for name, value in zip(step.outputs, results):
+                    tensors[name] = np.asarray(value)
+            else:
+                step.run(tensors, stats, local)
+
+
+# -- plan construction -------------------------------------------------------
+
+
+def _build_plan(graph: Graph, order: list[Node]):
+    consumers = graph.consumers()
+    outputs = set(graph.outputs)
+    inits = graph.initializers
+
+    chains: list[_TreeChain] = []
+    claimed: set[int] = set()
+    for node in order:
+        chain = _match_tree_chain(node, graph, consumers, outputs, claimed)
+        if chain is not None:
+            chains.append(chain)
+            claimed.update(id(n) for n in chain.nodes)
+
+    steps: dict[int, tuple[str, object]] = {}
+    skip: set[int] = set()
+    groups: dict[tuple, list[_TreeChain]] = {}
+    for chain in chains:
+        key = (chain.data, chain.a.shape[0], chain.v.shape[1])
+        groups.setdefault(key, []).append(chain)
+    for group in groups.values():
+        combined, add_nodes = _match_combiner(group, consumers, outputs)
+        step = TreeEnsembleStep(
+            group,
+            combined,
+            [n for c in group for n in c.nodes] + add_nodes,
+        )
+        members = {id(n) for n in step.skip_nodes}
+        first = next(n for n in order if id(n) in members)
+        steps[id(first)] = ("tree", step)
+        skip.update(members)
+
+    for run in _elementwise_runs(order, graph, consumers, outputs, skip):
+        step = ElementwiseChainStep(run, inits)
+        steps[id(run[0])] = ("chain", step)
+        skip.update(id(n) for n in run)
+
+    plan: list[tuple[str, object]] = []
+    for node in order:
+        fused = steps.get(id(node))
+        if fused is not None:
+            plan.append(fused)
+        elif id(node) not in skip:
+            plan.append(("node", node))
+    return plan
+
+
+def _sole_consumer(name: str, consumers: dict, outputs: set) -> Node | None:
+    if name in outputs:
+        return None
+    found = consumers.get(name, [])
+    return found[0] if len(found) == 1 else None
+
+
+def _match_tree_chain(start: Node, graph: Graph, consumers: dict,
+                      outputs: set, claimed: set) -> _TreeChain | None:
+    if id(start) in claimed or start.op_type != "MatMul":
+        return None
+    if len(start.inputs) != 2:
+        return None
+    data, a_name = start.inputs
+    inits = graph.initializers
+    if data in inits or a_name not in inits:
+        return None
+    a = inits[a_name]
+    if a.ndim != 2:
+        return None
+
+    nodes = [start]
+
+    def follow(node: Node, op_type: str) -> Node | None:
+        nxt = _sole_consumer(node.outputs[0], consumers, outputs)
+        if nxt is None or nxt.op_type != op_type or id(nxt) in claimed:
+            return None
+        if nxt.inputs[0] != node.outputs[0]:
+            return None
+        return nxt
+
+    le = follow(start, "LessOrEqual")
+    if le is None or len(le.inputs) != 2 or le.inputs[1] not in inits:
+        return None
+    b = inits[le.inputs[1]]
+    cast1 = follow(le, "Cast")
+    if cast1 is None or cast1.attrs.get("to", "float64") not in _FLOAT_CASTS:
+        return None
+    mm2 = follow(cast1, "MatMul")
+    if mm2 is None or len(mm2.inputs) != 2 or mm2.inputs[1] not in inits:
+        return None
+    c = inits[mm2.inputs[1]]
+    eq = follow(mm2, "Equal")
+    if eq is None or len(eq.inputs) != 2 or eq.inputs[1] not in inits:
+        return None
+    d = inits[eq.inputs[1]]
+    cast2 = follow(eq, "Cast")
+    if cast2 is None or cast2.attrs.get("to", "float64") not in _FLOAT_CASTS:
+        return None
+    mm3 = follow(cast2, "MatMul")
+    if mm3 is None or len(mm3.inputs) != 2 or mm3.inputs[1] not in inits:
+        return None
+    v = inits[mm3.inputs[1]]
+
+    m = a.shape[1]
+    leaves = v.shape[0] if v.ndim == 2 else 0
+    if (
+        v.ndim != 2
+        or np.ravel(b).size != m
+        or c.shape != (m, leaves)
+        or np.ravel(d).size != leaves
+    ):
+        return None
+    nodes.extend([le, cast1, mm2, eq, cast2, mm3])
+    return _TreeChain(data, a, np.ravel(b).astype(np.float64), c,
+                      np.ravel(d).astype(np.float64), v, nodes,
+                      mm3.outputs[0])
+
+
+def _match_combiner(group: list[_TreeChain], consumers: dict,
+                    outputs: set) -> tuple[str | None, list[Node]]:
+    """Absorb the Add tree summing every chain output, if one exists.
+
+    Returns ``(combined_output_name, add_nodes)``; ``(None, [])`` when
+    the trees' outputs are consumed some other way (or there is only
+    one tree, where a combiner cannot exist).
+    """
+    if len(group) < 2:
+        return None, []
+    produced = {c.output for c in group}
+    add_nodes: list[Node] = []
+    while len(produced) > 1:
+        candidate = None
+        for name in produced:
+            node = _sole_consumer(name, consumers, outputs)
+            if node is None or node.op_type != "Add" or node.attrs:
+                continue
+            if len(node.inputs) != 2 or len(node.outputs) != 1:
+                continue
+            left, right = node.inputs
+            if left not in produced or right not in produced:
+                continue
+            if (
+                _sole_consumer(left, consumers, outputs) is node
+                and _sole_consumer(right, consumers, outputs) is node
+            ):
+                candidate = node
+                break
+        if candidate is None:
+            return None, []
+        add_nodes.append(candidate)
+        produced.discard(candidate.inputs[0])
+        produced.discard(candidate.inputs[1])
+        produced.add(candidate.outputs[0])
+    return next(iter(produced)), add_nodes
+
+
+def _elementwise_runs(order: list[Node], graph: Graph, consumers: dict,
+                      outputs: set, skip: set) -> list[list[Node]]:
+    inits = graph.initializers
+
+    def eligible(node: Node) -> bool:
+        if id(node) in skip or node.op_type not in _ELEMENTWISE:
+            return False
+        if len(node.outputs) != 1:
+            return False
+        streams = [n for n in node.inputs if n not in inits]
+        return len(streams) <= 1
+
+    runs = []
+    in_run: set[int] = set()
+    for node in order:
+        if id(node) in in_run or not eligible(node):
+            continue
+        run = [node]
+        current = node
+        while True:
+            nxt = _sole_consumer(current.outputs[0], consumers, outputs)
+            if nxt is None or id(nxt) in in_run or not eligible(nxt):
+                break
+            if current.outputs[0] not in [
+                n for n in nxt.inputs if n not in inits
+            ]:
+                break
+            run.append(nxt)
+            current = nxt
+        if len(run) >= 2:
+            runs.append(run)
+            in_run.update(id(n) for n in run)
+    return runs

@@ -1,0 +1,34 @@
+"""The interpreted numpy backend (the default).
+
+One :func:`~repro.tensor.ops.kernel_for` dispatch per node, routed
+through the session's device so wall-clock (CPU) or analytical
+(simulated GPU) accounting stays exactly as it always was. Zero
+setup cost, best per-row cost at small batch sizes — the serving
+sweet spot the cost model keeps it for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.device import Device, RunStats
+from repro.tensor.graph import Graph, Node
+
+
+class NumpyExecutor:
+    """Per-node kernel interpreter over a topo-sorted node list."""
+
+    name = "numpy"
+
+    def __init__(self, graph: Graph, order: list[Node], device: Device):
+        self.graph = graph
+        self.order = order
+        self.device = device
+
+    def execute(self, tensors: dict, stats: RunStats) -> None:
+        device = self.device
+        for node in self.order:
+            values = [tensors[name] for name in node.inputs]
+            results = device.run_node(node.op_type, values, node.attrs, stats)
+            for name, value in zip(node.outputs, results):
+                tensors[name] = np.asarray(value)

@@ -59,6 +59,59 @@ def convert(model, n_features: int | None = None, input_name: str = "X") -> Grap
     return graph
 
 
+_PREDICTORS = (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    GradientBoostingRegressor,
+    LogisticRegression,
+    LinearRegression,
+    Ridge,
+    Lasso,
+    MLPClassifier,
+    MLPRegressor,
+    KMeans,
+)
+
+_TRANSFORMERS = (
+    StandardScaler,
+    MinMaxScaler,
+    Binarizer,
+    OneHotEncoder,
+    FeatureUnion,
+    ColumnTransformer,
+)
+
+
+def supports(model) -> bool:
+    """Whether :func:`convert` can translate ``model`` (without trying).
+
+    The optimizer's backend-choice rule uses this to decide if a stored
+    ``ml.pipeline`` model is eligible for a compiled scoring backend —
+    it must be cheap and must not raise on fitted-attribute access.
+    """
+    if isinstance(model, Pipeline):
+        return all(
+            _supports_transformer(step) for _, step in model.steps[:-1]
+        ) and supports(model.final_estimator)
+    return isinstance(model, _PREDICTORS)
+
+
+def _supports_transformer(transformer) -> bool:
+    if isinstance(transformer, FeatureUnion):
+        return all(
+            _supports_transformer(sub)
+            for _, sub in transformer.transformer_list
+        )
+    if isinstance(transformer, ColumnTransformer):
+        return all(
+            _supports_transformer(sub)
+            for _name, sub, _columns in transformer.transformers
+        )
+    return isinstance(transformer, _TRANSFORMERS)
+
+
 class _Converted:
     """Result of converting a predictor: output tensor names."""
 

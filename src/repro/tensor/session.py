@@ -1,21 +1,70 @@
 """Inference sessions (the mini-ONNX-Runtime API).
 
 An :class:`InferenceSession` owns an optimized copy of a graph, a device,
-and the cached topological order, mirroring ORT's session object. Creating
-a session is the expensive step (graph optimization); running it is cheap —
-which is why the database's session cache (Fig. 3, observation ii) matters.
+a scoring backend, and the cached topological order, mirroring ORT's
+session object. Creating a session is the expensive step (graph
+optimization, fusion pattern matching); running it is cheap — which is
+why the database's session cache (Fig. 3, observation ii) matters.
+
+Graph optimization is memoized process-wide by the graph's *content
+hash* and pass profile: two sessions built from identical model bundles
+(the common case — every worker, every cache-miss rebuild) share one
+``optimize()`` run and one optimized graph. The memoized graph is
+executed read-only, never mutated.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import TensorError
+from repro.observability import events
+from repro.tensor.backends import resolve_backend
+from repro.tensor.backends.fused import FUSED_PASSES
 from repro.tensor.device import Device, RunStats, get_device
-from repro.tensor.graph import Graph
-from repro.tensor.optimizer import optimize
+from repro.tensor.graph import Graph, Node
+from repro.tensor.optimizer import DEFAULT_PASSES, optimize
+
+#: ``(content_hash, pass_profile) -> (optimized graph, topo order)``.
+#: Compiled backends optimize under :data:`FUSED_PASSES` (see
+#: :mod:`repro.tensor.backends.fused`), so the profile is part of the key.
+_OPT_MEMO: OrderedDict[tuple[str, str], tuple[Graph, list[Node]]] = OrderedDict()
+_OPT_MEMO_LOCK = threading.Lock()
+_OPT_MEMO_CAPACITY = 128
+
+
+def _optimized_graph(graph: Graph, profile: str) -> tuple[Graph, list[Node]]:
+    key = (graph.content_hash(), profile)
+    with _OPT_MEMO_LOCK:
+        cached = _OPT_MEMO.get(key)
+        if cached is not None:
+            _OPT_MEMO.move_to_end(key)
+    if cached is not None:
+        events.emit(
+            "session_cache.graph_opt_hit", graph=graph.name, profile=profile
+        )
+        return cached
+    events.emit(
+        "session_cache.graph_opt_miss", graph=graph.name, profile=profile
+    )
+    passes = FUSED_PASSES if profile == "fused" else DEFAULT_PASSES
+    optimized = optimize(graph.copy(), passes=passes)
+    order = optimized.topological_order()
+    with _OPT_MEMO_LOCK:
+        _OPT_MEMO[key] = (optimized, order)
+        while len(_OPT_MEMO) > _OPT_MEMO_CAPACITY:
+            _OPT_MEMO.popitem(last=False)
+    return optimized, order
+
+
+def clear_optimization_memo() -> None:
+    """Drop memoized optimized graphs (tests, memory pressure)."""
+    with _OPT_MEMO_LOCK:
+        _OPT_MEMO.clear()
 
 
 class InferenceSession:
@@ -26,11 +75,20 @@ class InferenceSession:
         graph: Graph,
         device: str | Device = "cpu",
         optimize_graph: bool = True,
+        backend: str = "numpy",
     ):
         graph.validate()
         self.device: Device = get_device(device) if not isinstance(device, Device) else device
-        self.graph = optimize(graph.copy()) if optimize_graph else graph.copy()
-        self._order = self.graph.topological_order()
+        self.backend = (backend or "numpy").lower()
+        profile = "fused" if self.backend in ("fused", "numba") else "default"
+        if optimize_graph:
+            self.graph, self._order = _optimized_graph(graph, profile)
+        else:
+            self.graph = graph.copy()
+            self._order = self.graph.topological_order()
+        self._executor, self.effective_backend = resolve_backend(
+            self.backend, self.graph, self._order, self.device
+        )
         self.last_run_stats: RunStats | None = None
 
     @property
@@ -50,18 +108,18 @@ class InferenceSession:
         wanted = list(outputs) if outputs is not None else self.output_names
         stats = RunStats()
         tensors: dict[str, np.ndarray] = dict(self.graph.initializers)
+        rows = 0
         for name in self.graph.inputs:
             if name not in feeds:
                 raise TensorError(f"missing feed for graph input {name!r}")
-            tensors[name] = np.asarray(feeds[name])
+            fed = np.asarray(feeds[name])
+            tensors[name] = fed
+            if fed.ndim >= 1:
+                rows = max(rows, int(fed.shape[0]))
         self.device.account_transfer(
             [tensors[name] for name in self.graph.inputs], stats
         )
-        for node in self._order:
-            values = [tensors[name] for name in node.inputs]
-            results = self.device.run_node(node.op_type, values, node.attrs, stats)
-            for name, value in zip(node.outputs, results):
-                tensors[name] = np.asarray(value)
+        self._executor.execute(tensors, stats)
         produced = []
         for name in wanted:
             if name not in tensors:
@@ -69,6 +127,15 @@ class InferenceSession:
             produced.append(tensors[name])
         self.device.account_transfer(produced, stats)
         self.last_run_stats = stats
+        if events.BUS.active:
+            events.emit(
+                "backend.run",
+                backend=self.effective_backend,
+                requested=self.backend,
+                device=self.device.name,
+                rows=rows,
+                seconds=stats.seconds,
+            )
         return produced
 
     def run_single(self, feed: np.ndarray) -> np.ndarray:

@@ -1,0 +1,466 @@
+"""Tests for pluggable compiled scoring backends.
+
+Covers backend equivalence (row-identical predictions across numpy /
+fused / numba for randomized pipelines, including empty and singleton
+batches), the memo's cost-based backend crossover (interpreter at small
+batches, compiled at large scans, asserted via EXPLAIN), the process-wide
+graph-optimization memo and its ``session_cache.*`` events, calibration
+persistence in the catalog, and the distributed fragment protocol
+carrying the backend choice.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TensorError
+from repro.distributed import serialize, worker
+from repro.distributed.operators import ShardScan
+from repro.distributed.shards import ShardedTable, ShardingSpec
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    LinearRegression,
+    MLPRegressor,
+    Pipeline,
+    StandardScaler,
+)
+from repro.ml.ensemble import GradientBoostingRegressor, RandomForestRegressor
+from repro.observability import events
+from repro.observability.metrics import ServingMetrics
+from repro.relational.algebra import logical
+from repro.relational.algebra.executor import ExecutionOptions
+from repro.relational.database import Database
+from repro.relational.table import Table
+from repro.tensor.backends import (
+    BACKENDS,
+    available_compiled_backends,
+    compiled_pipeline_scorer,
+    resolve_backend,
+)
+from repro.tensor.backends import calibrate
+from repro.tensor.backends.fused import FusedExecutor
+from repro.tensor.backends.numba_backend import numba_available
+from repro.tensor.converters import convert, supports
+from repro.tensor.session import InferenceSession, clear_optimization_memo
+
+N_FEATURES = 5
+
+
+@pytest.fixture(autouse=True)
+def _clean_bus():
+    events.BUS.reset()
+    yield
+    events.BUS.reset()
+
+
+def _training_data(seed=0, n=400):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, N_FEATURES))
+    y = X[:, 0] * 2.0 - X[:, 1] + 0.25 * rng.normal(size=n)
+    return X, y
+
+
+def _linear(seed):
+    X, y = _training_data(seed)
+    return Pipeline(
+        [("scale", StandardScaler()), ("lr", LinearRegression())]
+    ).fit(X, y)
+
+
+def _tree(seed):
+    X, y = _training_data(seed)
+    return DecisionTreeRegressor(max_depth=6, random_state=seed).fit(X, y)
+
+
+def _forest(seed):
+    X, y = _training_data(seed)
+    return RandomForestRegressor(
+        n_estimators=12, max_depth=4, random_state=seed
+    ).fit(X, y)
+
+
+def _gbr(seed):
+    X, y = _training_data(seed)
+    return GradientBoostingRegressor(
+        n_estimators=15, max_depth=3, random_state=seed
+    ).fit(X, y)
+
+
+def _mlp(seed):
+    X, y = _training_data(seed)
+    return MLPRegressor(
+        hidden_layer_sizes=(8,), max_iter=30, random_state=seed
+    ).fit(X, y)
+
+
+def _classifier(seed):
+    X, y = _training_data(seed)
+    return Pipeline(
+        [
+            ("scale", StandardScaler()),
+            ("clf", DecisionTreeClassifier(max_depth=5, random_state=seed)),
+        ]
+    ).fit(X, (y > 0).astype(np.float64))
+
+
+MODELS = {
+    "linear": _linear,
+    "tree": _tree,
+    "forest": _forest,
+    "gbr": _gbr,
+    "mlp": _mlp,
+    "classifier": _classifier,
+}
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("batch", [0, 1, 7, 3000])
+    @pytest.mark.parametrize("kind", sorted(MODELS))
+    def test_row_identical_across_backends(self, kind, batch):
+        model = MODELS[kind](seed=11)
+        graph = convert(model, n_features=N_FEATURES)
+        rng = np.random.default_rng(batch + 1)
+        X = rng.normal(size=(batch, N_FEATURES))
+        sessions = {
+            name: InferenceSession(graph, backend=name) for name in BACKENDS
+        }
+        reference = sessions["numpy"].run({graph.inputs[0]: X})
+        for name in ("fused", "numba"):
+            outputs = sessions[name].run({graph.inputs[0]: X})
+            assert len(outputs) == len(reference)
+            for got, want in zip(outputs, reference):
+                assert got.shape == want.shape
+                np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9)
+
+    def test_fused_executor_actually_fuses_tree_ensembles(self):
+        model = _forest(seed=3)
+        session = InferenceSession(
+            convert(model, n_features=N_FEATURES), backend="fused"
+        )
+        assert isinstance(session._executor, FusedExecutor)
+        assert session._executor.fused_tree_steps >= 1
+
+    def test_fused_executor_fuses_elementwise_chains(self):
+        # StandardScaler lowers to Sub -> Div, a two-op elementwise run.
+        session = InferenceSession(
+            convert(_linear(seed=5), n_features=N_FEATURES), backend="fused"
+        )
+        assert session._executor.fused_chain_steps >= 1
+
+    def test_compiled_scorer_matches_interpreted_predict(self):
+        model = _forest(seed=7)
+        score = compiled_pipeline_scorer(model, N_FEATURES, "fused")
+        assert score is not None and score.backend == "fused"
+        X = np.random.default_rng(9).normal(size=(500, N_FEATURES))
+        np.testing.assert_allclose(
+            score(X), model.predict(X), rtol=1e-9, atol=1e-9
+        )
+
+    def test_compiled_scorer_tolerates_wider_matrix_like_interpreter(self):
+        # Bare tree predictors address columns by split index, so the
+        # interpreter silently ignores extra trailing columns; the
+        # shape-exact GEMM path must reproduce that.
+        model = _forest(seed=13)
+        score = compiled_pipeline_scorer(model, None, "fused")
+        wide = np.random.default_rng(1).normal(size=(64, N_FEATURES + 3))
+        np.testing.assert_allclose(
+            score(wide), model.predict(wide), rtol=1e-9, atol=1e-9
+        )
+
+    def test_unsupported_payload_returns_none(self):
+        assert compiled_pipeline_scorer(object(), 4, "fused") is None
+        assert not supports(object())
+        assert supports(_forest(seed=1))
+
+
+class TestBackendResolution:
+    def test_unknown_backend_raises(self):
+        graph = convert(_tree(seed=1), n_features=N_FEATURES)
+        with pytest.raises(TensorError):
+            InferenceSession(graph, backend="tvm")
+        with pytest.raises(TensorError):
+            resolve_backend("tvm", graph, graph.topological_order(), None)
+
+    @pytest.mark.skipif(
+        numba_available(), reason="numba installed; fallback not exercised"
+    )
+    def test_numba_degrades_to_numpy_when_absent(self):
+        session = InferenceSession(
+            convert(_tree(seed=1), n_features=N_FEATURES), backend="numba"
+        )
+        assert session.backend == "numba"
+        assert session.effective_backend == "numpy"
+        assert available_compiled_backends() == ("fused",)
+
+    @pytest.mark.skipif(
+        not numba_available(), reason="numba not installed"
+    )
+    def test_numba_is_offered_when_present(self):
+        assert available_compiled_backends() == ("fused", "numba")
+        session = InferenceSession(
+            convert(_forest(seed=1), n_features=N_FEATURES), backend="numba"
+        )
+        assert session.effective_backend == "numba"
+
+    def test_compiled_backends_degrade_on_simulated_device(self):
+        # The simulated GPU's analytical accounting is per-op; fusing
+        # under it would silently change modelled time, so compiled
+        # requests degrade to the interpreter there.
+        session = InferenceSession(
+            convert(_forest(seed=1), n_features=N_FEATURES),
+            device="gpu",
+            backend="fused",
+        )
+        assert session.effective_backend == "numpy"
+
+    def test_backend_run_event_carries_effective_backend(self):
+        seen = []
+        events.BUS.subscribe(lambda e: seen.append(e), pattern="backend.run")
+        session = InferenceSession(
+            convert(_forest(seed=1), n_features=N_FEATURES), backend="fused"
+        )
+        session.run_single(np.zeros((3, N_FEATURES)))
+        assert seen and seen[-1].attrs["backend"] == "fused"
+        assert seen[-1].attrs["rows"] == 3
+
+
+class TestGraphOptMemo:
+    def test_identical_graphs_share_one_optimization(self):
+        clear_optimization_memo()
+        seen = []
+        events.BUS.subscribe(
+            lambda e: seen.append(e.name)
+            if e.name.startswith("session_cache.graph_opt_")
+            else None,
+            pattern="session_cache.*",
+        )
+        model = _forest(seed=21)
+        g1 = convert(model, n_features=N_FEATURES)
+        g2 = convert(model, n_features=N_FEATURES)
+        s1 = InferenceSession(g1)
+        s2 = InferenceSession(g2)  # same content hash -> memo hit
+        assert seen == [
+            "session_cache.graph_opt_miss",
+            "session_cache.graph_opt_hit",
+        ]
+        assert s1.graph is s2.graph
+
+    def test_pass_profiles_do_not_collide(self):
+        clear_optimization_memo()
+        graph = convert(_forest(seed=22), n_features=N_FEATURES)
+        interpreted = InferenceSession(graph, backend="numpy")
+        fused = InferenceSession(graph, backend="fused")
+        # Fused profile skips matmul+add -> Gemm rewriting to keep tree
+        # chains matchable, so the two optimized graphs must differ.
+        assert interpreted.graph is not fused.graph
+
+    def test_content_hash_distinguishes_weights(self):
+        a = convert(_tree(seed=1), n_features=N_FEATURES)
+        b = convert(_tree(seed=2), n_features=N_FEATURES)
+        assert a.content_hash() != b.content_hash()
+        assert a.content_hash() == convert(
+            _tree(seed=1), n_features=N_FEATURES
+        ).content_hash()
+
+
+class TestCalibration:
+    def test_default_profiles_have_sane_crossover(self):
+        # For the band of per-row interpreter costs real pipelines
+        # produce (a handful of trees up to a wide forest), the memo
+        # must keep the interpreter at 64 rows and flip to compiled by
+        # 8192 — across defaults and both calibration clamp extremes.
+        for name in ("fused", "numba"):
+            setup, default_scale = calibrate.DEFAULT_PROFILES[name]
+            assert setup > 0 and 0 < default_scale < 1
+            low, high = calibrate._CLAMPS[name]
+            for row_scale in (default_scale, low, high):
+                for per_row in (15.0, 380.0):
+                    interp_64 = 64 * per_row
+                    compiled_64 = setup + 64 * per_row * row_scale
+                    assert interp_64 < compiled_64, (name, row_scale, per_row)
+                    interp_8k = 8192 * per_row
+                    compiled_8k = setup + 8192 * per_row * row_scale
+                    assert compiled_8k < interp_8k, (name, row_scale, per_row)
+
+    def test_calibrated_scales_respect_clamps(self):
+        calibrate.invalidate_cache()
+        profiles = calibrate.profiles()
+        for name, (low, high) in calibrate._CLAMPS.items():
+            setup, row_scale = profiles[name]
+            assert low <= row_scale <= high
+            assert setup == calibrate.DEFAULT_PROFILES[name][0]
+        calibrate.invalidate_cache()
+
+    def test_catalog_persistence_round_trip(self):
+        calibrate.invalidate_cache()
+        db = Database()
+        stored = {"numpy": [0.0, 1.0], "fused": [25_000.0, 0.2]}
+        db.catalog.record_backend_costs(stored)
+        assert db.catalog.backend_costs() == stored
+        profiles = calibrate.profiles(db.catalog)
+        assert profiles["fused"] == (25_000.0, 0.2)
+        calibrate.invalidate_cache()
+
+
+def _scored_db(n_rows, seed=0, distributed=False, shards=4):
+    rng = np.random.default_rng(seed)
+    model = _forest(seed=17)
+    options = (
+        ExecutionOptions(max_workers=8, distributed_mode="inprocess")
+        if distributed
+        else ExecutionOptions(enable_distributed=not distributed)
+    )
+    db = Database(options=options)
+    cols = {"rid": np.arange(n_rows, dtype=np.int64)}
+    for j in range(N_FEATURES):
+        cols[f"f{j}"] = rng.normal(size=n_rows)
+    db.register_table("t", Table.from_dict(cols))
+    if distributed:
+        db.shard_table("t", "rid", shards)
+    db.store_model(
+        "m",
+        model,
+        metadata={"feature_names": [f"f{j}" for j in range(N_FEATURES)]},
+    )
+    return db, model
+
+
+PREDICT_SQL = (
+    "DECLARE @m varbinary(max) = (SELECT model FROM scoring_models "
+    "WHERE model_name = 'm');"
+    "SELECT d.rid, p.y FROM PREDICT(MODEL = @m, DATA = t AS d) "
+    "WITH (y float) AS p"
+)
+
+
+class TestOptimizerCrossover:
+    def test_small_batch_keeps_interpreter(self):
+        db, _ = _scored_db(n_rows=64)
+        plan = "\n".join(
+            db.execute(PREDICT_SQL.replace("SELECT d.rid", "EXPLAIN SELECT d.rid"))["plan"]
+        )
+        assert "Predict" in plan
+        assert "backend=" not in plan
+
+    def test_large_scan_picks_fused(self):
+        db, _ = _scored_db(n_rows=9000)
+        plan = "\n".join(
+            db.execute(PREDICT_SQL.replace("SELECT d.rid", "EXPLAIN SELECT d.rid"))["plan"]
+        )
+        assert "backend=fused" in plan
+
+    def test_fused_plan_matches_interpreter_rows(self):
+        db, model = _scored_db(n_rows=9000)
+        result = db.execute(PREDICT_SQL)
+        table = db.catalog.get_table("t")
+        matrix = np.column_stack(
+            [table.column(f"f{j}") for j in range(N_FEATURES)]
+        )
+        expected = model.predict(matrix)
+        rid = np.asarray(result.column("rid")).astype(int)
+        np.testing.assert_allclose(
+            np.asarray(result.column("y")), expected[rid], rtol=1e-9, atol=1e-9
+        )
+
+    def test_session_cache_keys_backend_and_emits_events(self):
+        db, _ = _scored_db(n_rows=9000)
+        seen = []
+        events.BUS.subscribe(
+            lambda e: seen.append((e.name, e.attrs.get("key"))),
+            pattern="session_cache.*",
+        )
+        db.execute(PREDICT_SQL)
+        misses = [key for name, key in seen if name == "session_cache.miss"]
+        assert any(key and key.endswith("|fused") for key in misses)
+        seen.clear()
+        db.execute(PREDICT_SQL)
+        assert any(name == "session_cache.hit" for name, _ in seen)
+
+    def test_prepared_plan_records_backend_choice(self):
+        from repro import RavenSession
+
+        db, _ = _scored_db(n_rows=9000)
+        session = RavenSession(db)
+        prepared = session.prepare(PREDICT_SQL)
+        choices = session.plan_cache.get(prepared.fingerprint).backend_choices
+        assert any(backend == "fused" for _ref, backend in choices)
+        assert any(ref.startswith("m:v") for ref, _backend in choices)
+
+    def test_explicit_session_backend_wins_over_default(self):
+        model = _forest(seed=29)
+        graph = convert(model, n_features=N_FEATURES)
+        fused = InferenceSession(graph, backend="fused")
+        assert fused.backend == "fused"
+        assert fused.effective_backend == "fused"
+
+
+class TestDistributedBackends:
+    def test_fragment_codec_round_trips_backend(self):
+        model = MODELS["tree"](seed=41)
+        schema = Table.from_dict(
+            {
+                "rid": np.arange(4, dtype=np.int64),
+                **{f"f{j}": np.zeros(4) for j in range(N_FEATURES)},
+            }
+        ).schema
+        def _fragment(extra=()):
+            return logical.Predict(
+                ShardScan("t", schema, None, 4),
+                "m",
+                (("y", schema.column("f0").dtype),),
+                flavor="ml.pipeline",
+                payload=model,
+                feature_names=tuple(f"f{j}" for j in range(N_FEATURES)),
+                extra=extra,
+            )
+
+        spec = json.loads(
+            json.dumps(serialize.encode_fragment(_fragment((("backend", "fused"),))))
+        )
+        decoded = serialize.decode_fragment(spec)
+        assert dict(decoded.extra)["backend"] == "fused"
+        plain = serialize.decode_fragment(
+            json.loads(json.dumps(serialize.encode_fragment(_fragment())))
+        )
+        assert "backend" not in dict(plain.extra or ())
+
+    def test_sharded_predict_matches_single_node(self):
+        worker.clear_caches()
+        db, model = _scored_db(n_rows=9000, distributed=True)
+        baseline, _ = _scored_db(n_rows=9000, distributed=False)
+        sql = PREDICT_SQL + " ORDER BY d.rid"
+        distributed_rows = db.execute(sql)
+        baseline_rows = baseline.execute(sql)
+        np.testing.assert_array_equal(
+            np.asarray(distributed_rows.column("rid")),
+            np.asarray(baseline_rows.column("rid")),
+        )
+        np.testing.assert_allclose(
+            np.asarray(distributed_rows.column("y")),
+            np.asarray(baseline_rows.column("y")),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+
+class TestBackendMetrics:
+    def test_backend_and_session_cache_events_fold_into_registry(self):
+        metrics = ServingMetrics().attach(events.BUS)
+        try:
+            session = InferenceSession(
+                convert(_forest(seed=31), n_features=N_FEATURES),
+                backend="fused",
+            )
+            session.run_single(np.zeros((5, N_FEATURES)))
+            events.emit("session_cache.hit", key="m:v1|fused")
+            snapshot = metrics.registry.snapshot()
+            assert snapshot["backend.fused.runs"] == 1
+            assert snapshot["backend.fused.rows"] == 5
+            assert snapshot["backend.fused.seconds"]["count"] == 1
+            assert snapshot["session_cache.hit"] == 1
+        finally:
+            metrics.detach()
