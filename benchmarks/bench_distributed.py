@@ -22,6 +22,16 @@ Claims measured (printed as JSON for the bench trajectory):
   shards) hash-shuffles both sides into worker-owned buckets and joins
   them in parallel; still faster than the coordinator join, with the
   extra partition/transfer toll visible in the gap to co-located.
+* **multi-stage aggregate over shuffle join** — a GROUP BY over the
+  shuffle join runs the bucket join *and* a partial aggregate in the
+  same worker round-trip (a staged fragment), so only group rows cross
+  the process boundary; >= 2x faster than the coordinator collapse
+  (the ablation baseline with ``enable_staged_fragments=False``, which
+  gathers every join row and aggregates on the coordinator).
+* **distributed LEFT outer join** — NULL-extension of unmatched probe
+  rows happens on the workers, and kind-aware routing never drops
+  preserved-side shards; faster than the coordinator's single-process
+  outer join.
 
 The parallel-speedup assertions require real cores: on boxes with
 fewer than 4 usable CPUs (``os.sched_getaffinity``) the fan-out is
@@ -64,6 +74,17 @@ ROUTED_SQL = "SELECT COUNT(*) AS c, AVG(v) AS m FROM events WHERE grp = 7"
 JOIN_SQL = (
     "SELECT a.id, a.v, b.w FROM events AS a JOIN mirror AS b "
     "ON a.id = b.id"
+)
+
+LEFT_JOIN_SQL = (
+    "SELECT a.id, a.v, b.w FROM events AS a LEFT JOIN mirror AS b "
+    "ON a.id = b.id"
+)
+
+AGG_JOIN_SQL = (
+    "SELECT a.grp, COUNT(*) AS c, AVG(b.w) AS m "
+    "FROM events AS a JOIN mirror AS b ON a.id = b.id "
+    "GROUP BY a.grp"
 )
 
 
@@ -232,6 +253,116 @@ def bench_join(
     }
 
 
+def bench_left_join(single: Database, distributed: Database) -> dict:
+    """LEFT outer join over co-located shards.
+
+    The mirror covers only half the probe ids, so workers NULL-extend
+    the unmatched half — the parity check below proves the padding
+    matches the coordinator's outer join bit for bit (NaN == NULL for
+    float columns).
+    """
+    explain = "\n".join(
+        distributed.execute("EXPLAIN " + LEFT_JOIN_SQL).column("plan")
+    )
+    chosen = "join=colocated" in explain and "Join LEFT" in explain
+    sort = lambda t: t.take(np.argsort(t.column("id")))  # noqa: E731
+    base_rows = sort(single.execute(LEFT_JOIN_SQL))
+    dist_rows = sort(distributed.execute(LEFT_JOIN_SQL))
+    assert base_rows.num_rows == dist_rows.num_rows
+    assert np.allclose(
+        base_rows.column("w"), dist_rows.column("w"), equal_nan=True
+    )
+    null_extended = int(np.isnan(base_rows.column("w")).sum())
+    single_seconds = measure(
+        lambda: single.execute(LEFT_JOIN_SQL), repeats=5, warmup=2
+    )
+    distributed_seconds = measure(
+        lambda: distributed.execute(LEFT_JOIN_SQL), repeats=5, warmup=2
+    )
+    return {
+        "strategy_chosen": chosen,
+        "result_rows": base_rows.num_rows,
+        "null_extended_rows": null_extended,
+        "coordinator_join_seconds": round(single_seconds, 5),
+        "distributed_join_seconds": round(distributed_seconds, 5),
+        "speedup": round(speedup(single_seconds, distributed_seconds), 2),
+    }
+
+
+def build_staged_database(
+    events: Table, mirror: Table, shards: int, staged: bool
+) -> Database:
+    """A distributed database over *incompatible* layouts (so the join
+    shuffles), with the staged-fragment rewrite on or off. Off is the
+    ablation baseline: the shuffle join still runs on the workers, but
+    every join row is gathered and aggregated on the coordinator."""
+    db = Database(
+        options=ExecutionOptions(
+            max_workers=max(4, default_max_workers()),
+            distributed_mode="process",
+            enable_staged_fragments=staged,
+        )
+    )
+    db.register_table("events", events)
+    db.register_table("mirror", mirror)
+    db.shard_table("events", "id", shards)
+    db.shard_table("mirror", "id", max(2, shards - 3))
+    db.catalog.table_statistics("events")
+    db.catalog.table_statistics("mirror")
+    return db
+
+
+def bench_staged_aggregate(
+    events: Table, mirror: Table, shards: int
+) -> dict:
+    """Aggregate over a shuffle join: multi-stage worker pipeline vs
+    coordinator collapse.
+
+    The staged plan runs the bucket join *and* the partial aggregate in
+    one worker round-trip, shipping group rows; the collapse baseline
+    ships the full join output and aggregates on the coordinator.
+    """
+    sort = lambda t: t.take(np.argsort(t.column("grp")))  # noqa: E731
+    collapse = build_staged_database(events, mirror, shards, staged=False)
+    try:
+        collapse_explain = "\n".join(
+            collapse.execute("EXPLAIN " + AGG_JOIN_SQL).column("plan")
+        )
+        collapse_rows = sort(collapse.execute(AGG_JOIN_SQL))
+        collapse_seconds = measure(
+            lambda: collapse.execute(AGG_JOIN_SQL), repeats=5, warmup=2
+        )
+    finally:
+        collapse.close()
+    staged = build_staged_database(events, mirror, shards, staged=True)
+    try:
+        staged_explain = "\n".join(
+            staged.execute("EXPLAIN " + AGG_JOIN_SQL).column("plan")
+        )
+        staged_rows = sort(staged.execute(AGG_JOIN_SQL))
+        staged_seconds = measure(
+            lambda: staged.execute(AGG_JOIN_SQL), repeats=5, warmup=2
+        )
+        stages_run = staged.distributed.stats().get("stages_run", 0)
+    finally:
+        staged.close()
+    assert collapse_rows.num_rows == staged_rows.num_rows
+    assert np.allclose(collapse_rows.column("c"), staged_rows.column("c"))
+    assert np.allclose(
+        collapse_rows.column("m"), staged_rows.column("m"), equal_nan=True
+    )
+    return {
+        "multi_stage_chosen": "stages=" in staged_explain
+        and "[partial-agg]" in staged_explain,
+        "collapse_is_single_stage": "stages=" not in collapse_explain,
+        "group_rows": staged_rows.num_rows,
+        "stages_run": stages_run,
+        "coordinator_collapse_seconds": round(collapse_seconds, 5),
+        "multi_stage_seconds": round(staged_seconds, 5),
+        "speedup": round(speedup(collapse_seconds, staged_seconds), 2),
+    }
+
+
 def bench_routing(single: Database, sharded: Database) -> dict:
     assert single.execute(ROUTED_SQL).equals(sharded.execute(ROUTED_SQL))
     before = sharded.distributed.stats()
@@ -318,6 +449,17 @@ def main() -> None:
     finally:
         join_shuffled.close()
 
+    left_mirror = make_mirror(join_rows // 2, seed=17)
+    left_single, left_distributed = build_join_databases(
+        join_events, left_mirror, shards, colocated=True
+    )
+    try:
+        left_join = bench_left_join(left_single, left_distributed)
+    finally:
+        left_distributed.close()
+
+    staged_agg = bench_staged_aggregate(join_events, join_mirror, shards)
+
     cpus = default_max_workers()
     parallel_hardware = cpus >= 4
     results = {
@@ -332,6 +474,8 @@ def main() -> None:
         "zone_map_shard_routing": routed,
         "colocated_join": colocated,
         "shuffle_join": shuffled,
+        "left_outer_join": left_join,
+        "staged_aggregate_over_join": staged_agg,
         "claims": {
             "predict_speedup_target": 2.0,
             "predict_speedup_measured": predict["speedup"],
@@ -343,6 +487,11 @@ def main() -> None:
             "colocated_join_pass": colocated["speedup"] >= 2.0,
             "shuffle_join_speedup_measured": shuffled["speedup"],
             "shuffle_join_pass": shuffled["speedup"] >= 1.2,
+            "left_join_speedup_measured": left_join["speedup"],
+            "left_join_pass": left_join["speedup"] >= 1.2,
+            "staged_aggregate_speedup_target": 2.0,
+            "staged_aggregate_speedup_measured": staged_agg["speedup"],
+            "staged_aggregate_pass": staged_agg["speedup"] >= 2.0,
             "parallel_hardware": parallel_hardware,
         },
     }
@@ -357,6 +506,18 @@ def main() -> None:
     assert shuffled["strategy_chosen"], (
         "incompatible layouts should plan a shuffle join"
     )
+    assert left_join["strategy_chosen"], (
+        "LEFT join over compatible layouts should stay co-located"
+    )
+    assert left_join["null_extended_rows"] > 0, (
+        "half-coverage mirror should leave probe rows NULL-extended"
+    )
+    assert staged_agg["multi_stage_chosen"], (
+        "aggregate over shuffle join should plan a multi-stage fragment"
+    )
+    assert staged_agg["collapse_is_single_stage"], (
+        "enable_staged_fragments=False should suppress worker stages"
+    )
     if not args.smoke and parallel_hardware:
         assert results["claims"]["predict_pass"], (
             "shard-parallel PREDICT speedup "
@@ -369,6 +530,14 @@ def main() -> None:
         assert results["claims"]["shuffle_join_pass"], (
             "shuffle join speedup "
             f"{shuffled['speedup']}x below the 1.2x claim"
+        )
+        assert results["claims"]["left_join_pass"], (
+            "distributed LEFT join speedup "
+            f"{left_join['speedup']}x below the 1.2x claim"
+        )
+        assert results["claims"]["staged_aggregate_pass"], (
+            "multi-stage aggregate speedup "
+            f"{staged_agg['speedup']}x below the 2x claim vs collapse"
         )
 
 

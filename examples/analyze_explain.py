@@ -198,6 +198,24 @@ def main() -> None:
         ),
     )
 
+    # DAG fragments: an aggregate over a distributed OUTER join plans
+    # as one multi-stage exchange. The ShuffleJoin line reports the
+    # join kind (LEFT — every flight row survives even if its carrier
+    # is missing from the resharded dimension) and stages=1; the
+    # indented `Stage stage=1/1 [partial-agg]` sub-plan is the partial
+    # aggregate each worker runs over its bucket-join output, so only
+    # group rows reach the coordinator, whose tree above the exchange
+    # is just the final merge (SUM+COUNT recombine into AVG).
+    show(
+        "aggregate over LEFT shuffle join (multi-stage worker pipeline)",
+        database.execute(
+            "EXPLAIN SELECT f.carrier, COUNT(*) AS flights, "
+            "AVG(c.hub_distance) AS hub "
+            "FROM all_flights f LEFT JOIN carriers c "
+            "ON f.carrier = c.carrier GROUP BY f.carrier"
+        ),
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -173,6 +173,7 @@ def _exchange_context(node: IRNode, context: "RuleContext"):
             node.attrs.get("kind", "INNER"),
             node.attrs["condition"],
             node.attrs["num_buckets"],
+            tuple(node.attrs.get("stages") or ()),
         )
 
     return _priced_exchange(node, context, build)

@@ -141,8 +141,11 @@ class UnifiedOptimizer:
     the cross-IR memo rule set (relational pushdown + DP join ordering
     + the ML rewrites), and lowered back. Rewrites that need whole-graph
     context — projection pruning, join elimination, tensor-graph
-    constant folding — then run as a legacy IR post-pass. Graphs with
-    no tree form (shared sub-plans) fall back to the heuristic engine.
+    constant folding — then run as a legacy IR post-pass. DAG-shaped
+    graphs bridge too: an IR node with several consumers becomes one
+    shared logical object that the memo's identity map interns into a
+    single group, and lowering preserves the sharing; only graphs with
+    unconvertible operators fall back to the heuristic engine.
     """
 
     #: Bounded rounds for the IR-level cleanup post-pass.

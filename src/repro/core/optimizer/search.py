@@ -40,6 +40,7 @@ from repro.distributed.operators import (
     ShardScan,
     Shuffle,
     ShuffleJoin,
+    StageInput,
 )
 from repro.distributed.routing import (
     colocated_shard_ids,
@@ -304,11 +305,15 @@ def _shuffle_side_cost(shuffle: Shuffle, ctx: "SearchContext") -> float:
 def shuffle_join_cost(
     op: ShuffleJoin, rows: float, ctx: "SearchContext"
 ) -> float:
-    """Total cost of a shuffle join: maps + bucket joins + gather.
+    """Total cost of a shuffle join: maps + staged bucket work + gather.
 
     The bucket joins run the executor's hash join concurrently over
-    key-disjoint buckets, so the join work divides by the effective
-    parallelism; every result row still pays the gather toll home.
+    key-disjoint buckets, so the join work — and any post-join stages
+    riding in the same round-trip (filters, PREDICT, partial
+    aggregates) — divides by the effective parallelism. Only the
+    *final* stage's output pays the gather toll home, which is exactly
+    why a partial aggregate stage wins: it shrinks the payload the
+    coordinator must collect from join-output rows to group rows.
     """
     left_rows = ctx.estimate_tree(op.left)
     right_rows = ctx.estimate_tree(op.right)
@@ -316,13 +321,53 @@ def shuffle_join_cost(
         left_rows, right_rows, op.kind, op.condition, ctx.resolver
     )
     parallelism = max(1, min(op.num_buckets, ctx.shard_workers()))
+    flowing = combine_join_estimate(
+        left_rows,
+        right_rows,
+        op.kind,
+        join_condition_selectivity(op.condition, ctx.resolver),
+    )
+    stage_work = 0.0
+    for stage in op.stages:
+        flowing, cost = _stage_tree_cost(stage, flowing, ctx)
+        stage_work += cost
     return (
         _shuffle_side_cost(op.left, ctx)
         + _shuffle_side_cost(op.right, ctx)
         + FRAGMENT_DISPATCH_COST * op.num_buckets
-        + join_work / parallelism
-        + rows * GATHER_ROW_COST
+        + (join_work + stage_work) / parallelism
+        + flowing * GATHER_ROW_COST
     )
+
+
+def _stage_tree_rows(
+    stage: logical.LogicalOp, input_rows: float, ctx: "SearchContext"
+) -> float:
+    """Row estimate of one worker stage fed ``input_rows`` at its
+    :class:`StageInput` leaf."""
+    if isinstance(stage, StageInput):
+        return input_rows
+    child_rows = [
+        _stage_tree_rows(child, input_rows, ctx) for child in stage.children
+    ]
+    return estimate_operator_rows(stage, child_rows, ctx)
+
+
+def _stage_tree_cost(
+    stage: logical.LogicalOp, input_rows: float, ctx: "SearchContext"
+) -> tuple[float, float]:
+    """``(output rows, cost)`` of one worker stage over its input."""
+    if isinstance(stage, StageInput):
+        return input_rows, 0.0
+    parts = [
+        _stage_tree_cost(child, input_rows, ctx) for child in stage.children
+    ]
+    child_rows = [child for child, _cost in parts]
+    rows = estimate_operator_rows(stage, child_rows, ctx)
+    cost = operator_cost(stage, rows, child_rows, ctx) + sum(
+        cost for _rows, cost in parts
+    )
+    return rows, cost
 
 
 def estimate_operator_rows(
@@ -347,12 +392,15 @@ def estimate_operator_rows(
             return max(1.0, per_shard * max(1, len(op.shard_ids)))
         return max(1.0, per_shard)
     if isinstance(op, ShuffleJoin):
-        return combine_join_estimate(
+        rows = combine_join_estimate(
             ctx.estimate_tree(op.left),
             ctx.estimate_tree(op.right),
             op.kind,
             join_condition_selectivity(op.condition, ctx.resolver),
         )
+        for stage in op.stages:
+            rows = _stage_tree_rows(stage, rows, ctx)
+        return max(1.0, rows)
     if isinstance(op, Repartition):
         return child_rows[0] if child_rows else DEFAULT_ROW_ESTIMATE
     if isinstance(op, logical.InlineTable):
@@ -1612,54 +1660,8 @@ class ShardedExecutionRule(MemoRule):
         )
         if not fragment_is_serializable(partial, ctx.predict_flavor):
             return []
-        gathered: logical.LogicalOp = self._gather(
-            partial, sharded, predicate, ctx
-        )
-        if not plan.group_by:
-            # Empty shards emit identity partial rows (COUNT 0, MIN
-            # +inf); drop them before the final combine so sentinel
-            # values cannot leak through integer casts.
-            gathered = logical.Filter(
-                gathered,
-                BinaryOp(">", ColumnRef(_PARTIAL_ROWS), Literal(0)),
-            )
-        final_group_by = tuple(
-            (ColumnRef(name), name) for _expr, name in plan.group_by
-        )
-        final_child = self._maybe_repartition(
-            gathered, plan.group_by, ctx
-        )
-        final = logical.Aggregate(final_child, final_group_by, final_aggs)
-        project_items = tuple(
-            [(ColumnRef(name), name) for _expr, name in plan.group_by]
-            + items
-        )
-        return [logical.Project(final, project_items)]
-
-    def _maybe_repartition(self, gathered, group_by, ctx):
-        """Insert a hash exchange under big grouped final aggregates.
-
-        Buckets on the first plain-column grouping key: every row of a
-        group shares that value, so buckets are group-disjoint and the
-        executor can aggregate them independently in parallel.
-        """
-        key = next(
-            (
-                alias
-                for expr, alias in group_by
-                if isinstance(expr, ColumnRef)
-            ),
-            None,
-        )
-        if key is None:
-            return gathered
-        threshold = float(
-            ctx.options.get("repartition_min_rows", self.REPARTITION_MIN_ROWS)
-        )
-        if ctx.estimate_tree(gathered) < threshold:
-            return gathered
-        ctx.record("RepartitionExchange", f"on {key}")
-        return Repartition(gathered, key, ctx.shard_workers())
+        gathered = self._gather(partial, sharded, predicate, ctx)
+        return [_final_aggregate_over(gathered, plan, split, ctx)]
 
 
 class ShardJoinRule(MemoRule):
@@ -1683,37 +1685,43 @@ class ShardJoinRule(MemoRule):
       in parallel. Offered only when at least one side is genuinely
       sharded (otherwise the in-process join is already optimal).
 
-    Both strategies require an INNER join with at least one
+    Both strategies accept INNER, LEFT, and FULL equi-joins (the binder
+    normalizes RIGHT to LEFT by swapping inputs) with at least one
     column-to-column equality conjunct; residual conjuncts evaluate
     inside the per-worker joins exactly as the coordinator's hash join
-    would evaluate them.
+    would evaluate them, and outer joins NULL-extend unmatched rows
+    per shard pair / bucket, which concatenates to the global result
+    because every preserved row lives in exactly one pair.
+
+    An ``Aggregate`` directly above a distributable join chain
+    additionally gains a *multi-stage* alternative: the partial half of
+    the classic partial→final aggregate split rides inside the worker
+    round-trip (inside the co-located fragment, or as a post-join
+    ``stages`` pipeline on the shuffle exchange), so workers ship group
+    rows instead of join output and the coordinator only merges.
     """
 
     name = "ShardJoin"
 
+    _JOIN_KINDS = ("INNER", "LEFT", "FULL")
     _PIPELINE_OPS = (logical.Filter, logical.Project, logical.Predict)
 
     def apply(self, plan, ctx):
         if not ctx.options.get("enable_distributed", True):
             return []
-        chain: list[logical.LogicalOp] = []
-        node = plan
-        while isinstance(node, self._PIPELINE_OPS):
-            chain.append(node)
-            node = node.child
-        if not isinstance(node, logical.Join):
+        if isinstance(plan, logical.Aggregate):
+            if not ctx.options.get("enable_staged_fragments", True):
+                # Ablation knob: fall back to gathering raw join output
+                # and aggregating on the coordinator.
+                return []
+            return self._aggregate_over_join(plan, ctx)
+        chain, join = self._join_chain(plan)
+        if join is None:
             return []
-        join = node
-        if join.kind != "INNER" or join.condition is None:
+        sides = self._join_sides(join, ctx)
+        if sides is None:
             return []
-        keys = self._equi_keys(join)
-        if keys is None:
-            return []
-        left_key, right_key = keys
-        left_side = self._side(join.left, ctx)
-        right_side = self._side(join.right, ctx)
-        if left_side is None or right_side is None:
-            return []
+        left_side, right_side, left_key, right_key = sides
         colocated = self._colocated(
             chain, join, left_side, right_side, left_key, right_key, ctx
         )
@@ -1728,6 +1736,102 @@ class ShardJoinRule(MemoRule):
             if shuffled is not None:
                 return [shuffled]
         return []
+
+    def _join_chain(self, plan):
+        """``(pipeline chain above the join, join)`` or ``(.., None)``."""
+        chain: list[logical.LogicalOp] = []
+        node = plan
+        while isinstance(node, self._PIPELINE_OPS):
+            chain.append(node)
+            node = node.child
+        if not isinstance(node, logical.Join):
+            return chain, None
+        if node.kind not in self._JOIN_KINDS or node.condition is None:
+            return chain, None
+        return chain, node
+
+    def _join_sides(self, join, ctx):
+        """Resolved equi-keys and per-side pipelines, or ``None``."""
+        keys = self._equi_keys(join)
+        if keys is None:
+            return None
+        left_key, right_key = keys
+        left_side = self._side(join.left, ctx)
+        right_side = self._side(join.right, ctx)
+        if left_side is None or right_side is None:
+            return None
+        return left_side, right_side, left_key, right_key
+
+    # -- aggregates riding the join round-trip ------------------------------
+
+    def _aggregate_over_join(self, plan, ctx):
+        """Partial→final split where the partial runs on the workers.
+
+        ``Aggregate(pipeline(Join))`` becomes ``Project(AggregateFinal(
+        [Repartition](exchange)))`` where the exchange is either the
+        co-located Gather whose *fragment* ends in the partial
+        aggregate, or a ShuffleJoin carrying the pipeline + partial
+        aggregate as a post-join worker stage — either way the join
+        output never reaches the coordinator, only group rows do.
+        """
+        if any(
+            func not in logical.AGGREGATE_FUNCTIONS
+            for func, _arg, _alias in plan.aggregates
+        ):
+            return []
+        split = _split_aggregates(plan.aggregates, bool(plan.group_by))
+        if split is None:
+            return []
+        chain, join = self._join_chain(plan.child)
+        if join is None:
+            return []
+        sides = self._join_sides(join, ctx)
+        if sides is None:
+            return []
+        left_side, right_side, left_key, right_key = sides
+        partial_aggs, _final_aggs, _items = split
+        exchange = None
+        colocated = self._colocated(
+            chain, join, left_side, right_side, left_key, right_key, ctx
+        )
+        if colocated is not None:
+            partial = logical.Aggregate(
+                colocated.fragment, plan.group_by, partial_aggs
+            )
+            if not fragment_is_serializable(partial, ctx.predict_flavor):
+                return []
+            exchange = Gather(
+                colocated.table_name,
+                partial,
+                colocated.shard_key,
+                colocated.shard_ids,
+                colocated.total_shards,
+                colocated.pruned_by,
+                colocated.join,
+            )
+        else:
+            shuffled = self._shuffle(
+                join, left_side, right_side, left_key, right_key, ctx
+            )
+            if shuffled is not None:
+                stage: logical.LogicalOp = StageInput(shuffled.join_schema)
+                for node in reversed(chain):
+                    stage = node.with_children((stage,))
+                stage = logical.Aggregate(stage, plan.group_by, partial_aggs)
+                if not fragment_is_serializable(stage, ctx.predict_flavor):
+                    return []
+                exchange = ShuffleJoin(
+                    shuffled.left,
+                    shuffled.right,
+                    shuffled.kind,
+                    shuffled.condition,
+                    shuffled.num_buckets,
+                    (stage,),
+                )
+        if exchange is None:
+            return []
+        ctx.record(self.name, "partial aggregate rides the join round-trip")
+        return [_final_aggregate_over(exchange, plan, split, ctx)]
 
     # -- shared analysis ---------------------------------------------------
 
@@ -1872,7 +1976,7 @@ class ShardJoinRule(MemoRule):
         fragment: logical.LogicalOp = logical.Join(
             self._replace_leaf(left_pipe, left_scan, left_leaf),
             self._replace_leaf(right_pipe, right_scan, right_leaf),
-            "INNER",
+            join.kind,
             join.condition,
         )
         for node in reversed(chain):
@@ -2027,6 +2131,58 @@ def _split_aggregates(aggregates, grouped: bool):
     if not grouped:
         partial.append(("COUNT", None, _PARTIAL_ROWS))
     return tuple(partial), tuple(final), items
+
+
+def _final_aggregate_over(exchange, plan, split, ctx):
+    """The coordinator half of a partial→final aggregate split.
+
+    ``exchange`` already produces the partial rows (a Gather whose
+    fragment pre-aggregates, or a staged ShuffleJoin); this builds the
+    final combine + re-projection above it.
+    """
+    _partial_aggs, final_aggs, items = split
+    gathered: logical.LogicalOp = exchange
+    if not plan.group_by:
+        # Empty shards/buckets emit identity partial rows (COUNT 0,
+        # MIN +inf); drop them before the final combine so sentinel
+        # values cannot leak through integer casts.
+        gathered = logical.Filter(
+            gathered,
+            BinaryOp(">", ColumnRef(_PARTIAL_ROWS), Literal(0)),
+        )
+    final_group_by = tuple(
+        (ColumnRef(name), name) for _expr, name in plan.group_by
+    )
+    final_child = _maybe_repartition(gathered, plan.group_by, ctx)
+    final = logical.Aggregate(final_child, final_group_by, final_aggs)
+    project_items = tuple(
+        [(ColumnRef(name), name) for _expr, name in plan.group_by] + items
+    )
+    return logical.Project(final, project_items)
+
+
+def _maybe_repartition(gathered, group_by, ctx):
+    """Insert a hash exchange under big grouped final aggregates.
+
+    Buckets on the first plain-column grouping key: every row of a
+    group shares that value, so buckets are group-disjoint and the
+    executor can aggregate them independently in parallel.
+    """
+    key = next(
+        (alias for expr, alias in group_by if isinstance(expr, ColumnRef)),
+        None,
+    )
+    if key is None:
+        return gathered
+    threshold = float(
+        ctx.options.get(
+            "repartition_min_rows", ShardedExecutionRule.REPARTITION_MIN_ROWS
+        )
+    )
+    if ctx.estimate_tree(gathered) < threshold:
+        return gathered
+    ctx.record("RepartitionExchange", f"on {key}")
+    return Repartition(gathered, key, ctx.shard_workers())
 
 
 # -- rule sets ---------------------------------------------------------------
@@ -2264,25 +2420,26 @@ def _unprefixed(schema: Schema, alias: str | None) -> Schema:
 
 
 def ir_to_logical(graph: IRGraph) -> logical.LogicalOp:
-    """Convert a tree-shaped IR graph to a logical plan for the memo.
+    """Convert an IR graph (tree or DAG) to a logical plan for the memo.
 
     Scoring operators become payload-carrying :class:`logical.Predict`
     nodes (``mld.pipeline`` / ``la.tensor_graph`` / ``udf.python``);
-    auxiliary attributes round-trip through ``Predict.extra``. Raises
-    :class:`PlanConversionError` for DAG-shaped graphs (e.g. after
-    model/query splitting) or unconvertible operators — callers fall
-    back to the legacy rule pipeline.
+    auxiliary attributes round-trip through ``Predict.extra``. An IR
+    node with several consumers (a DAG edge, e.g. after model/query
+    splitting) converts once and every consumer holds the *same*
+    logical object — the memo's identity map then interns the shared
+    subtree into a single group, so it is explored and priced exactly
+    once. Raises :class:`PlanConversionError` for unconvertible
+    operators — callers fall back to the legacy rule pipeline.
     """
-    consumers: dict[int, int] = {}
-    for node in graph.nodes():
-        for input_id in node.inputs:
-            consumers[input_id] = consumers.get(input_id, 0) + 1
-    if any(count > 1 for count in consumers.values()):
-        raise PlanConversionError("shared sub-plans have no tree form")
+    built: dict[int, logical.LogicalOp] = {}
 
     def build(node) -> logical.LogicalOp:
+        cached = built.get(node.id)
+        if cached is not None:
+            return cached
         try:
-            return _build_node(node)
+            result = _build_node(node)
         except KeyError as exc:
             # Graphs from other analyzers (e.g. the Python static
             # analyzer) may omit attrs this bridge requires; that is a
@@ -2291,6 +2448,8 @@ def ir_to_logical(graph: IRGraph) -> logical.LogicalOp:
             raise PlanConversionError(
                 f"IR node {node.op!r} lacks attr {exc}"
             ) from exc
+        built[node.id] = result
+        return result
 
     def _build_node(node) -> logical.LogicalOp:
         children = [build(graph.node(i)) for i in node.inputs]
@@ -2352,6 +2511,7 @@ def ir_to_logical(graph: IRGraph) -> logical.LogicalOp:
                 attrs.get("kind", "INNER"),
                 attrs["condition"],
                 attrs["num_buckets"],
+                tuple(attrs.get("stages") or ()),
             )
         if op == "ra.repartition":
             return Repartition(
@@ -2395,10 +2555,25 @@ def ir_to_logical(graph: IRGraph) -> logical.LogicalOp:
 
 
 def logical_to_ir(plan: logical.LogicalOp) -> IRGraph:
-    """Lower a (possibly memo-rewritten) logical plan back onto the IR."""
+    """Lower a (possibly memo-rewritten) logical plan back onto the IR.
+
+    A logical sub-plan *object* referenced by multiple parents (shared
+    through the memo's identity map) lowers to one IR node with
+    multiple consumers, preserving the DAG shape instead of
+    duplicating the subtree.
+    """
     graph = IRGraph()
+    lowered: dict[int, tuple[logical.LogicalOp, int]] = {}
 
     def lower(op: logical.LogicalOp) -> int:
+        cached = lowered.get(id(op))
+        if cached is not None and cached[0] is op:
+            return cached[1]
+        node_id = _lower_node(op)
+        lowered[id(op)] = (op, node_id)
+        return node_id
+
+    def _lower_node(op: logical.LogicalOp) -> int:
         if isinstance(op, logical.Scan):
             return graph.add(
                 "ra.scan",
@@ -2474,6 +2649,7 @@ def logical_to_ir(plan: logical.LogicalOp) -> IRGraph:
                 kind=op.kind,
                 condition=op.condition,
                 num_buckets=op.num_buckets,
+                stages=tuple(op.stages),
                 schema=op.schema,
             ).id
         if isinstance(op, Repartition):

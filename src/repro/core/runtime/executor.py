@@ -167,6 +167,7 @@ class RavenExecutor:
                 node.attrs.get("kind", "INNER"),
                 node.attrs["condition"],
                 node.attrs["num_buckets"],
+                tuple(node.attrs.get("stages") or ()),
             )
         )
 

@@ -171,17 +171,47 @@ class Shuffle(logical.LogicalOp):
 
 
 @dataclass(frozen=True)
+class StageInput(logical.LogicalOp):
+    """The leaf of a post-join worker stage: "the previous stage's output".
+
+    A multi-stage fragment runs *join → stage 1 → stage 2 → …* on one
+    worker; each stage is a pipeline (filter / project / PREDICT /
+    partial aggregate) whose leaf is a :class:`StageInput` bound at
+    execution time to the preceding stage's result table. Buckets are
+    key-disjoint, so per-bucket stages compose without any cross-bucket
+    exchange. Only ever appears inside a stage template, never in a
+    coordinator plan.
+    """
+
+    base_schema: Schema
+
+    @property
+    def schema(self) -> Schema:
+        return self.base_schema
+
+
+@dataclass(frozen=True)
 class ShuffleJoin(logical.LogicalOp):
     """A distributed hash-shuffle equi-join (the real exchange).
 
     Both sides are :class:`Shuffle` templates bucketed on their join
     keys; execution routes bucket *k* of each side to one worker, which
     joins its pair independently (the buckets are key-disjoint, so no
-    cross-bucket merge exists). Empty buckets are never dispatched —
-    an INNER join over an empty bucket is provably empty.
+    cross-bucket merge exists). For INNER joins empty bucket pairs are
+    never dispatched; outer joins only skip a pair when the
+    NULL-preserved side is empty (LEFT needs its left bucket, FULL
+    needs either).
 
-    A leaf operator like :class:`Gather`: the sides are template
-    attributes, not children, so the memo does not descend into them.
+    ``stages`` extends the worker round-trip into a multi-stage DAG
+    fragment: each entry is a pipeline over a :class:`StageInput` leaf,
+    executed on the joined bucket *before* rows return to the
+    coordinator — so filters, PREDICT, and partial aggregates run where
+    the join ran and only the (shrunken) final-stage output crosses the
+    wire.
+
+    A leaf operator like :class:`Gather`: the sides and stages are
+    template attributes, not children, so the memo does not descend
+    into them.
     """
 
     left: Shuffle
@@ -189,9 +219,17 @@ class ShuffleJoin(logical.LogicalOp):
     kind: str
     condition: Expression
     num_buckets: int
+    stages: tuple[logical.LogicalOp, ...] = ()
 
     @property
     def schema(self) -> Schema:
+        if self.stages:
+            return self.stages[-1].schema
+        return self.left.schema.concat(self.right.schema)
+
+    @property
+    def join_schema(self) -> Schema:
+        """The raw join output schema (the first stage's input)."""
         return self.left.schema.concat(self.right.schema)
 
     @property
@@ -294,6 +332,7 @@ def substitute_shuffle_join(
         op.kind,
         op.condition.substitute(mapping),
         op.num_buckets,
+        tuple(substitute_fragment(stage, mapping) for stage in op.stages),
     )
 
 
@@ -302,6 +341,22 @@ def shuffle_join_expressions(op: ShuffleJoin) -> Iterator[Expression]:
     yield op.condition
     for side in op.sides:
         yield from fragment_expressions(side.fragment)
+    for stage in op.stages:
+        yield from fragment_expressions(stage)
+
+
+def bind_stage_input(
+    stage: logical.LogicalOp, table
+) -> logical.LogicalOp:
+    """The stage pipeline with its :class:`StageInput` leaf replaced by
+    an ``InlineTable`` carrying the previous stage's (or the join's)
+    result — the executable form a worker runs per bucket."""
+    if isinstance(stage, StageInput):
+        return logical.InlineTable(table)
+    children = tuple(
+        bind_stage_input(child, table) for child in stage.children
+    )
+    return stage.with_children(children) if children else stage
 
 
 def localize_fragment(op: logical.LogicalOp) -> logical.LogicalOp:

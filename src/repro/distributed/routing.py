@@ -192,22 +192,40 @@ def colocated_shard_ids(
 ) -> tuple[list[int], str]:
     """``(shard ids, pruned_by)`` for a co-located join fragment.
 
-    Shard *i* survives only if every side's shard *i* can produce rows:
-    each side's own filters prune through that side's shard statistics
-    (zone maps one level up, exactly like single-table routing), and an
-    empty shard on either side of an INNER join prunes the pair — the
-    empty-shard ⋈ populated-shard case dispatches nothing.
+    For an INNER join, shard *i* survives only if every side's shard
+    *i* can produce rows: each side's own filters prune through that
+    side's shard statistics (zone maps one level up, exactly like
+    single-table routing), and an empty shard on either side prunes the
+    pair — the empty-shard ⋈ populated-shard case dispatches nothing.
+
+    Outer joins prune only through the NULL-preserved side: a LEFT
+    join's pair *i* must still run when the *right* shard is provably
+    empty (the left rows NULL-extend), so right-side facts never drop
+    it; a FULL join preserves both sides, so a pair is dropped only
+    when *both* shards are provably empty.
     """
     from repro.distributed.operators import side_predicates
+    from repro.relational.algebra import logical
 
     sides = side_predicates(fragment)
     total = max(
         (shardeds[s.table_name.lower()].num_shards for s, _p in sides),
         default=0,
     )
-    keep = np.ones(total, dtype=bool)
-    pruned_by = "none"
+    join = next(
+        (n for n in fragment.walk() if isinstance(n, logical.Join)), None
+    )
+    kind = join.kind if join is not None else "INNER"
+    left_ids = (
+        {id(n) for n in join.left.walk()} if join is not None else set()
+    )
+    masks = {
+        "left": np.ones(total, dtype=bool),
+        "right": np.ones(total, dtype=bool),
+    }
     for scan, predicate in sides:
+        side = "left" if join is None or id(scan) in left_ids else "right"
+        mask = masks[side]
         sharded = shardeds[scan.table_name.lower()]
         if predicate is not None:
             try:
@@ -215,12 +233,17 @@ def colocated_shard_ids(
             except Exception:
                 side_keep = None
             if side_keep is not None:
-                keep &= side_keep
-                pruned_by = "zone-map"
+                mask &= side_keep
         for shard_id in range(sharded.num_shards):
-            if keep[shard_id] and sharded.shard(shard_id).num_rows == 0:
-                keep[shard_id] = False
-                pruned_by = "zone-map"
+            if mask[shard_id] and sharded.shard(shard_id).num_rows == 0:
+                mask[shard_id] = False
+    if kind == "LEFT":
+        keep = masks["left"]
+    elif kind == "FULL":
+        keep = masks["left"] | masks["right"]
+    else:
+        keep = masks["left"] & masks["right"]
+    pruned_by = "zone-map" if bool((~keep).any()) else "none"
     return [int(i) for i in np.nonzero(keep)[0]], pruned_by
 
 

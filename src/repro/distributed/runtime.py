@@ -111,6 +111,7 @@ class DistributedRuntime:
         self.shards_scanned = 0
         self.shards_pruned = 0
         self.fragments_run = 0
+        self.stages_run = 0
         self.shard_ships = 0
         self.shuffle_joins = 0
         self.buckets_joined = 0
@@ -134,22 +135,29 @@ class DistributedRuntime:
                 pass
 
     def _notify(
-        self, scanned: int, pruned: int, latencies: list[float]
+        self,
+        scanned: int,
+        pruned: int,
+        latencies: list[float],
+        stage_seconds: list[float] | None = None,
     ) -> None:
+        stage_seconds = stage_seconds or []
         with self._lock:
             self.queries += 1
             self.shards_scanned += scanned
             self.shards_pruned += pruned
             self.fragments_run += len(latencies)
+            self.stages_run += len(stage_seconds)
             observers = list(self._observers)
         for fn in observers:
-            fn(scanned, pruned, latencies)
+            fn(scanned, pruned, latencies, stage_seconds)
         if events.BUS.active:
             events.emit(
                 "distributed.gather",
                 scanned=scanned,
                 pruned=pruned,
                 fragment_seconds=list(latencies),
+                stage_seconds=list(stage_seconds),
                 mode=self.effective_mode,
             )
 
@@ -161,6 +169,7 @@ class DistributedRuntime:
                 "shards_scanned": self.shards_scanned,
                 "shards_pruned": self.shards_pruned,
                 "fragments_run": self.fragments_run,
+                "stages_run": self.stages_run,
                 "shard_ships": self.shard_ships,
                 "shuffle_joins": self.shuffle_joins,
                 "buckets_joined": self.buckets_joined,
@@ -244,9 +253,16 @@ class DistributedRuntime:
         worker pool (fragment → hash-partition, reusing the
         ship-on-miss shard caches), unsharded sides arrive pre-executed
         as a local table the coordinator partitions itself. Bucket *k*
-        of both sides then joins on one worker; a bucket empty on
-        either side is never dispatched (the empty-bucket guard — an
-        INNER join over an empty input is provably empty).
+        of both sides then joins on one worker.
+
+        The empty-bucket guard is join-kind aware: an INNER pair is
+        skipped when either side is empty, a LEFT pair only when its
+        *left* (NULL-preserved) side is empty, and a FULL pair only
+        when both are — a pair that still runs with one empty side
+        ships a zero-row table so the worker NULL-extends the preserved
+        rows. Post-join ``stages`` ride in every task, so partial
+        aggregates and filters run on the bucket owner and only the
+        final stage's output returns.
         """
         from repro.distributed.routing import effective_shard_ids
 
@@ -271,35 +287,56 @@ class DistributedRuntime:
                 )
         left_buckets, right_buckets = side_buckets
         condition_spec = serialize.encode_expression(op.condition)
+        stage_specs = self._stage_specs(op)
         join_tasks = []
         skipped = 0
         for bucket_id in range(num_buckets):
             left = left_buckets[bucket_id]
             right = right_buckets[bucket_id]
-            if left is None or right is None:
+            if _skip_bucket_pair(op.kind, left, right):
                 skipped += 1
                 continue
-            join_tasks.append(
-                (
-                    bucket_id,
-                    {
-                        "kind": op.kind,
-                        "condition": condition_spec,
-                        "left": _encode_table(left),
-                        "right": _encode_table(right),
-                    },
-                )
-            )
+            if left is None:
+                left = Table.empty(op.left.schema)
+            if right is None:
+                right = Table.empty(op.right.schema)
+            task = {
+                "kind": op.kind,
+                "condition": condition_spec,
+                "left": _encode_table(left),
+                "right": _encode_table(right),
+            }
+            if stage_specs:
+                task["stages"] = stage_specs
+            join_tasks.append((bucket_id, task))
         results = self._run_tasks(worker.run_bucket_join, join_tasks, latencies)
+        stage_seconds = _collect_stage_seconds(results.values())
         with self._lock:
             self.shuffle_joins += 1
             self.buckets_joined += len(join_tasks)
             self.buckets_skipped += skipped
-        self._notify(scanned, pruned, latencies)
+        self._notify(scanned, pruned, latencies, stage_seconds)
         return [
             _decode_result(results[bucket_id])
             for bucket_id, _task in join_tasks
         ]
+
+    def _stage_specs(self, op: ShuffleJoin) -> list:
+        """The encoded post-join stage templates (identity-cached like
+        fragments — cached plans re-dispatch the same stage objects)."""
+        if not op.stages:
+            return []
+        key = id(op.stages)
+        with self._lock:
+            cached = self._fragment_specs.get(key)
+            if cached is not None and cached[0] is op.stages:
+                return cached[1]
+        specs = serialize.encode_stages(op.stages, self.model_resolver)
+        with self._lock:
+            if len(self._fragment_specs) >= MAX_CACHED_FRAGMENTS:
+                self._fragment_specs.clear()
+            self._fragment_specs[key] = (op.stages, specs)
+        return specs
 
     def _map_side(
         self,
@@ -505,7 +542,10 @@ def _fragment_span(key, start, end, reply, kind="shard", shipped=False):
     A pooled fragment ran in another process, so its span is recorded
     retroactively from the coordinator-side endpoints; the worker's own
     execute clock (shipped back in the reply's ``timings``) rides along
-    as an attribute, separating queue/IPC overhead from compute.
+    as an attribute, separating queue/IPC overhead from compute. A
+    multi-stage bucket task additionally re-attaches one ``stage`` span
+    per post-join stage, laid out over the tail of the fragment
+    interval using the worker's per-stage clocks.
     """
     if qtrace.current_span() is None:
         return
@@ -519,6 +559,46 @@ def _fragment_span(key, start, end, reply, kind="shard", shipped=False):
     if shipped:
         attrs["shipped"] = True
     qtrace.add_span("fragment", start, end, **attrs)
+    stages = timings.get("stages") or ()
+    if not stages:
+        return
+    total = len(stages)
+    cursor = end - sum(stage.get("seconds", 0.0) for stage in stages)
+    for index, stage in enumerate(stages):
+        seconds = stage.get("seconds", 0.0)
+        qtrace.add_span(
+            "stage",
+            cursor,
+            cursor + seconds,
+            key=key,
+            stage=f"{index + 1}/{total}",
+            worker_seconds=seconds,
+            rows=stage.get("rows"),
+        )
+        cursor += seconds
+
+
+def _collect_stage_seconds(replies) -> list[float]:
+    """Every post-join stage execution time across a task set's replies."""
+    seconds: list[float] = []
+    for reply in replies:
+        for stage in (reply.get("timings") or {}).get("stages") or ():
+            seconds.append(stage.get("seconds", 0.0))
+    return seconds
+
+
+def _skip_bucket_pair(kind: str, left, right) -> bool:
+    """Whether a bucket pair is provably empty for this join kind.
+
+    INNER needs rows on both sides; LEFT preserves its left rows even
+    against an empty right; FULL preserves both, so only a
+    both-empty pair can be skipped.
+    """
+    if kind == "LEFT":
+        return left is None
+    if kind == "FULL":
+        return left is None and right is None
+    return left is None or right is None
 
 
 def _decode_result(reply: dict) -> Table:

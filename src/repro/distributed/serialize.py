@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import RuntimeDispatchError
-from repro.distributed.operators import ShardScan, shard_target
+from repro.distributed.operators import ShardScan, StageInput, shard_target
 from repro.ml import model_format
 from repro.ml.base import BaseEstimator
 from repro.relational.algebra import logical
@@ -153,10 +153,15 @@ def encode_fragment(
             "schema": encode_schema(op.base_schema),
             "alias": op.alias,
         }
+    if isinstance(op, StageInput):
+        return {
+            "op": "stage_input",
+            "schema": encode_schema(op.base_schema),
+        }
     if isinstance(op, logical.Join):
-        if op.kind != "INNER" or op.condition is None:
+        if op.kind not in _FRAGMENT_JOIN_KINDS or op.condition is None:
             raise FragmentSerializationError(
-                f"only INNER equi-joins have a fragment form, "
+                f"only INNER/LEFT/FULL equi-joins have a fragment form, "
                 f"got {op.kind}"
             )
         return {
@@ -271,10 +276,27 @@ def _model_bundle(
 ModelLoader = Callable[[str], object]
 
 
+def encode_stages(
+    stages, model_resolver: ModelResolver | None = None
+) -> list:
+    """The JSON form of a multi-stage fragment's post-join stages."""
+    return [encode_fragment(stage, model_resolver) for stage in stages]
+
+
+def decode_stages(
+    specs: list, model_loader: ModelLoader | None = None
+) -> tuple:
+    """Decode post-join stage templates (leaves stay ``StageInput``;
+    the worker binds each one to the previous stage's result)."""
+    return tuple(decode_fragment(spec, model_loader) for spec in specs)
+
+
 def decode_fragment(
     spec: dict, model_loader: ModelLoader | None = None
 ) -> logical.LogicalOp:
     kind = spec["op"]
+    if kind == "stage_input":
+        return StageInput(decode_schema(spec["schema"]))
     if kind == "shard_scan":
         # The worker scans its shard through the normal Scan operator
         # (under the table's localized shard_target name, so join
@@ -352,8 +374,14 @@ def decode_fragment(
 
 # -- the structural pre-check ------------------------------------------------
 
+#: Join kinds the codec can carry. The binder normalizes RIGHT to LEFT
+#: (swapped inputs), so the logical layer only ever sees these three;
+#: CROSS products stay coordinator operators.
+_FRAGMENT_JOIN_KINDS = ("INNER", "LEFT", "FULL")
+
 _SERIALIZABLE_OPS = (
     ShardScan,
+    StageInput,
     logical.Filter,
     logical.Project,
     logical.Aggregate,
@@ -392,10 +420,10 @@ def fragment_is_serializable(
             if model_flavor_of(node) != "ml.pipeline":
                 return False
         if isinstance(node, logical.Join):
-            # Only INNER equi-joins cross the wire (co-located shard
-            # joins); CROSS products and outer joins stay coordinator
-            # operators.
-            if node.kind != "INNER" or node.condition is None:
+            # INNER/LEFT/FULL equi-joins cross the wire (key-disjoint
+            # buckets make per-worker NULL-extension of unmatched rows
+            # safe); CROSS products stay coordinator operators.
+            if node.kind not in _FRAGMENT_JOIN_KINDS or node.condition is None:
                 return False
     for expr in fragment_expressions(op):
         if not expression_is_serializable(expr):

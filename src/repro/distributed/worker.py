@@ -158,7 +158,18 @@ def run_shuffle_map(task: dict) -> dict:
 
 
 def run_bucket_join(task: dict) -> dict:
-    """Reduce half of the shuffle: join one bucket pair locally."""
+    """Reduce half of the shuffle: join one bucket pair locally, then
+    run any post-join ``stages`` over the joined rows.
+
+    Each stage is a pipeline spec whose leaf is a ``stage_input``
+    placeholder; the worker binds it to the previous stage's result and
+    executes in place — so filters, PREDICT, and partial aggregates run
+    where the join ran, and only the final stage's (usually much
+    smaller) output returns to the coordinator. Per-stage timings ride
+    back in the reply so traces and serving stats can show where bucket
+    time went.
+    """
+    from repro.distributed.operators import bind_stage_input
     from repro.relational.algebra import logical
 
     left = Table(
@@ -176,16 +187,33 @@ def run_bucket_join(task: dict) -> dict:
         task.get("kind", "INNER"),
         condition,
     )
+    executor = _single_threaded_executor(lambda _name: _no_table(_name))
     start = time.perf_counter()
-    result = _single_threaded_executor(lambda _name: _no_table(_name)).execute(
-        plan
-    )
-    elapsed = time.perf_counter() - start
+    result = executor.execute(plan)
+    join_elapsed = time.perf_counter() - start
+    stage_timings: list[dict] = []
+    for spec in task.get("stages") or ():
+        stage_start = time.perf_counter()
+        stage_plan = bind_stage_input(_decode_cached(spec), result)
+        result = executor.execute(stage_plan)
+        stage_timings.append(
+            {
+                "seconds": time.perf_counter() - stage_start,
+                "rows": result.num_rows,
+            }
+        )
+    timings = {
+        "execute_seconds": time.perf_counter() - start,
+        "join_seconds": join_elapsed,
+        "rows": result.num_rows,
+    }
+    if stage_timings:
+        timings["stages"] = stage_timings
     return {
         "status": OK,
         "schema": serialize.encode_schema(result.schema),
         "columns": result.to_dict(),
-        "timings": {"execute_seconds": elapsed, "rows": result.num_rows},
+        "timings": timings,
     }
 
 

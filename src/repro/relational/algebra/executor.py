@@ -54,6 +54,7 @@ class ExecutionOptions:
         morsel_parallel_predict: bool = True,
         enable_distributed: bool = True,
         distributed_mode: str = "process",
+        enable_staged_fragments: bool = True,
     ):
         self.parallel_predict = parallel_predict
         self.parallel_row_threshold = parallel_row_threshold
@@ -70,6 +71,11 @@ class ExecutionOptions:
         #: environments).
         self.enable_distributed = enable_distributed
         self.distributed_mode = distributed_mode
+        #: Whether aggregates over distributed joins may run as staged
+        #: worker pipelines (partial aggregation inside the exchange).
+        #: Off = the ablation baseline: gather raw join output and
+        #: aggregate on the coordinator.
+        self.enable_staged_fragments = enable_staged_fragments
 
 
 def _shuffle_tables(shuffle) -> list[str]:
@@ -91,6 +97,22 @@ def _side_gather(shuffle):
         shuffle.shard_ids,
         shuffle.total_shards,
     )
+
+
+def _null_extended(schema, count: int) -> "Table":
+    """``count`` rows of type-default values for an outer join's
+    NULL-extension (NaN for floats, 0 for ints/bools, "" for strings)."""
+    columns = {}
+    for col in schema:
+        dtype = col.dtype.numpy_dtype
+        if dtype.kind == "f":
+            fill = np.full(count, np.nan)
+        elif dtype.kind in ("i", "u", "b"):
+            fill = np.zeros(count, dtype=dtype)
+        else:
+            fill = np.full(count, "", dtype=dtype)
+        columns[col.name] = fill
+    return Table(schema, columns)
 
 
 class Executor:
@@ -352,33 +374,47 @@ class Executor:
         left_indices: list[int] = []
         right_indices: list[int] = []
         unmatched_left: list[int] = []
+        matched_right: set[int] = set()
+        track_right = kind == "FULL"
         for i, value in enumerate(left_values.tolist()):
             matches = buckets.get(value)
             if matches:
                 left_indices.extend([i] * len(matches))
                 right_indices.extend(matches)
+                if track_right:
+                    matched_right.update(matches)
             elif kind in ("LEFT", "FULL"):
                 unmatched_left.append(i)
         left_idx = np.asarray(left_indices, dtype=np.int64)
         right_idx = np.asarray(right_indices, dtype=np.int64)
-        matched = left.take(left_idx).concat_columns(right.take(right_idx))
-        if kind == "INNER" or not unmatched_left:
-            return matched
-        # LEFT/FULL: pad unmatched left rows with type-default right values.
-        pad_left = left.take(np.asarray(unmatched_left, dtype=np.int64))
-        pad_columns = {}
-        for col in right.schema:
-            dtype = col.dtype.numpy_dtype
-            if dtype.kind == "f":
-                fill = np.full(len(unmatched_left), np.nan)
-            elif dtype.kind in ("i", "u", "b"):
-                fill = np.zeros(len(unmatched_left), dtype=dtype)
-            else:
-                fill = np.full(len(unmatched_left), "", dtype=dtype)
-            pad_columns[col.name] = fill
-        pad_right = Table(right.schema, pad_columns)
-        padded = pad_left.concat_columns(pad_right)
-        return Table.concat_rows([matched, padded])
+        pieces = [left.take(left_idx).concat_columns(right.take(right_idx))]
+        if unmatched_left:
+            # LEFT/FULL: pad unmatched left rows with type-default
+            # right values.
+            pad_left = left.take(np.asarray(unmatched_left, dtype=np.int64))
+            pieces.append(
+                pad_left.concat_columns(
+                    _null_extended(right.schema, len(unmatched_left))
+                )
+            )
+        if track_right:
+            # FULL: unmatched *right* rows are preserved too, padded
+            # with type-default left values.
+            unmatched_right = [
+                i for i in range(right.num_rows) if i not in matched_right
+            ]
+            if unmatched_right:
+                pad_right = right.take(
+                    np.asarray(unmatched_right, dtype=np.int64)
+                )
+                pieces.append(
+                    _null_extended(
+                        left.schema, len(unmatched_right)
+                    ).concat_columns(pad_right)
+                )
+        if len(pieces) == 1:
+            return pieces[0]
+        return Table.concat_rows(pieces)
 
     # -- aggregation ----------------------------------------------------------
 
@@ -686,11 +722,13 @@ class Executor:
     def _shuffle_inline(self, op, sides) -> list[Table]:
         """No-runner shuffle join: bucket and join inside this process.
 
-        Mirrors the runtime's bucket order (and its empty-bucket
-        guard), so results are row-for-row identical to the pooled
-        path.
+        Mirrors the runtime's bucket order, its join-kind-aware
+        empty-bucket guard, and its post-join stage execution, so
+        results are row-for-row identical to the pooled path.
         """
         from repro.distributed import worker
+        from repro.distributed.operators import bind_stage_input
+        from repro.distributed.runtime import _skip_bucket_pair
 
         bucket_lists = []
         for shuffle, sharded, local in sides:
@@ -711,18 +749,23 @@ class Executor:
         for bucket_id in range(op.num_buckets):
             left = left_buckets[bucket_id]
             right = right_buckets[bucket_id]
-            if left is None or right is None:
-                continue  # the empty-bucket guard
-            parts.append(
-                self.execute(
-                    logical.Join(
-                        logical.InlineTable(left),
-                        logical.InlineTable(right),
-                        op.kind,
-                        op.condition,
-                    )
+            if _skip_bucket_pair(op.kind, left, right):
+                continue
+            if left is None:
+                left = Table.empty(op.left.schema)
+            if right is None:
+                right = Table.empty(op.right.schema)
+            result = self.execute(
+                logical.Join(
+                    logical.InlineTable(left),
+                    logical.InlineTable(right),
+                    op.kind,
+                    op.condition,
                 )
             )
+            for stage in op.stages:
+                result = self.execute(bind_stage_input(stage, result))
+            parts.append(result)
         return parts
 
     def _execute_repartition(self, op) -> Table:

@@ -97,6 +97,9 @@ class PhysicalPlanner:
         return {
             "enable_distributed": options.enable_distributed,
             "shard_workers": options.max_workers,
+            "enable_staged_fragments": getattr(
+                options, "enable_staged_fragments", True
+            ),
         }
 
     # -- statistics access ---------------------------------------------------
@@ -216,11 +219,17 @@ class PhysicalPlanner:
                 )
                 if op.join == "colocated":
                     shards = f"join=colocated {shards}"
+                    if any(
+                        isinstance(n, logical.Aggregate)
+                        for n in op.fragment.walk()
+                    ):
+                        shards += " [partial-agg]"
                 annotations.append(shards)
             if isinstance(op, ShuffleJoin):
-                annotations.append(
-                    f"join=shuffle buckets={op.num_buckets}"
-                )
+                detail = f"join=shuffle buckets={op.num_buckets}"
+                if op.stages:
+                    detail += f" stages={len(op.stages)}"
+                annotations.append(detail)
             if isinstance(op, Shuffle):
                 if op.is_sharded:
                     suffix = (
@@ -252,6 +261,24 @@ class PhysicalPlanner:
             if isinstance(op, ShuffleJoin):
                 walk(op.left, depth + 1, op)
                 walk(op.right, depth + 1, op)
+                # Post-join worker stages, rendered as sub-plans under
+                # a stage=k/N header (the whole pipeline runs in the
+                # same worker round-trip as the bucket join).
+                for index, stage in enumerate(op.stages):
+                    marker = (
+                        " [partial-agg]"
+                        if any(
+                            isinstance(n, logical.Aggregate)
+                            for n in stage.walk()
+                        )
+                        else ""
+                    )
+                    lines.append(
+                        "  " * (depth + 1)
+                        + f"Stage stage={index + 1}/{len(op.stages)}"
+                        + marker
+                    )
+                    walk(stage, depth + 2, op)
             if isinstance(op, Shuffle):
                 walk(op.fragment, depth + 1, op)
             for child in op.children:

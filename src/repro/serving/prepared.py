@@ -379,8 +379,9 @@ def _bind_template(
                 attrs["fragment"], mapping
             )
         if node.op == "ra.shuffle_join" and mapping:
-            # Both side fragments and the join condition re-bind; the
-            # rebuilt op re-routes each side at execution time.
+            # Both side fragments, the join condition, and any post-join
+            # worker stages re-bind; the rebuilt op re-routes each side
+            # at execution time.
             from repro.distributed.operators import substitute_shuffle_join
 
             bound = substitute_shuffle_join(
@@ -389,6 +390,7 @@ def _bind_template(
             attrs["left"] = bound.left
             attrs["right"] = bound.right
             attrs["condition"] = bound.condition
+            attrs["stages"] = bound.stages
         if node.op == "ra.inline_table" and data:
             source = attrs.get("source_name")
             if source and source.lower() in data:
@@ -538,6 +540,7 @@ def _shuffle_join_of(attrs: dict):
         attrs.get("kind", "INNER"),
         attrs["condition"],
         attrs["num_buckets"],
+        tuple(attrs.get("stages") or ()),
     )
 
 

@@ -480,9 +480,15 @@ class RavenServer:
         self.result_cache.invalidate_model(name)
 
     def _on_shard_query(
-        self, scanned: int, pruned: int, fragment_seconds: list[float]
+        self,
+        scanned: int,
+        pruned: int,
+        fragment_seconds: list[float],
+        stage_seconds: list[float] | None = None,
     ) -> None:
-        self._stats.record_shard_query(scanned, pruned, fragment_seconds)
+        self._stats.record_shard_query(
+            scanned, pruned, fragment_seconds, stage_seconds
+        )
 
     def stats_snapshot(self) -> dict:
         """One dict with request, latency, and cache metrics."""

@@ -49,6 +49,12 @@ class ServingStats:
         self.shards_pruned = 0
         self._fragment_latencies: list[float] = []
         self._fragments_seen = 0
+        # Multi-stage fragments: per post-join worker stage (filter /
+        # PREDICT / partial aggregate above a bucket join), one latency
+        # observation — so p50/p95 of stage time is visible separately
+        # from whole-fragment time.
+        self._stage_latencies: list[float] = []
+        self._stages_seen = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -81,6 +87,7 @@ class ServingStats:
         shards_scanned: int,
         shards_pruned: int,
         fragment_seconds: list[float] | None = None,
+        stage_seconds: list[float] | None = None,
     ) -> None:
         """One query's shard fan-out (the distributed runtime calls this)."""
         with self._lock:
@@ -92,10 +99,23 @@ class ServingStats:
                 self._reservoir_add(
                     self._fragment_latencies, self._fragments_seen, latency
                 )
+            for latency in stage_seconds or ():
+                self._stages_seen += 1
+                self._reservoir_add(
+                    self._stage_latencies, self._stages_seen, latency
+                )
 
     def fragment_latency_percentile(self, fraction: float) -> float:
         with self._lock:
             samples = sorted(self._fragment_latencies)
+        if not samples:
+            return 0.0
+        index = min(len(samples) - 1, int(fraction * len(samples)))
+        return samples[index]
+
+    def stage_latency_percentile(self, fraction: float) -> float:
+        with self._lock:
+            samples = sorted(self._stage_latencies)
         if not samples:
             return 0.0
         index = min(len(samples) - 1, int(fraction * len(samples)))
@@ -165,6 +185,14 @@ class ServingStats:
         )
         snapshot["distributed"]["fragment_p95_ms"] = (
             self.fragment_latency_percentile(0.95) * 1e3
+        )
+        with self._lock:
+            snapshot["distributed"]["stages_run"] = self._stages_seen
+        snapshot["distributed"]["stage_p50_ms"] = (
+            self.stage_latency_percentile(0.50) * 1e3
+        )
+        snapshot["distributed"]["stage_p95_ms"] = (
+            self.stage_latency_percentile(0.95) * 1e3
         )
         snapshot["latency_p50_ms"] = self.latency_percentile(0.50) * 1e3
         snapshot["latency_p95_ms"] = self.latency_percentile(0.95) * 1e3

@@ -1348,3 +1348,287 @@ class TestConcurrencyAffinity:
         monkeypatch.setattr(os, "cpu_count", lambda: 6)
         monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
         assert concurrency.default_max_workers() == 6
+
+
+# ---------------------------------------------------------------------------
+# DAG fragments: multi-stage worker pipelines + distributed outer joins
+# ---------------------------------------------------------------------------
+
+
+AGG_JOIN_SQL = (
+    "SELECT grp, AVG(w) AS avg_w, COUNT(*) AS cnt FROM events "
+    "{kind} JOIN groups ON events.grp = groups.ggrp "
+    "GROUP BY grp ORDER BY grp"
+)
+
+
+def make_outer_groups(groups=N_GROUPS, seed=3, offset=0):
+    """Group table keyed ``ggrp`` so unqualified references resolve;
+    ``offset`` shifts keys to create unmatched rows on both sides."""
+    rng = np.random.default_rng(seed)
+    return Table.from_dict(
+        {
+            "ggrp": (np.arange(groups, dtype=np.int64) + offset),
+            "w": rng.normal(size=groups),
+        }
+    )
+
+
+def outer_join_db(events, groups, events_shards, groups_shards):
+    db = Database(
+        options=ExecutionOptions(
+            max_workers=8, distributed_mode="inprocess"
+        )
+    )
+    db.register_table("events", events)
+    db.register_table("groups", groups)
+    if events_shards:
+        db.shard_table("events", "grp", events_shards)
+    if groups_shards:
+        db.shard_table("groups", "ggrp", groups_shards)
+    db.catalog.table_statistics("events")
+    db.catalog.table_statistics("groups")
+    return db
+
+
+def local_db(events, groups):
+    db = Database(options=ExecutionOptions(enable_distributed=False))
+    db.register_table("events", events)
+    db.register_table("groups", groups)
+    return db
+
+
+def assert_tables_close(result, expected):
+    assert result.num_rows == expected.num_rows
+    assert list(result.schema.names) == list(expected.schema.names)
+    for name in result.schema.names:
+        got = np.asarray(result.column(name), dtype=float)
+        want = np.asarray(expected.column(name), dtype=float)
+        assert np.allclose(got, want, equal_nan=True), name
+
+
+class TestDagFragments:
+    """Aggregates-over-joins run as one multi-stage worker round-trip."""
+
+    @pytest.fixture(scope="class")
+    def events(self):
+        return make_events(seed=11)
+
+    @pytest.fixture(scope="class")
+    def groups(self):
+        # Offset keys: some events match nothing, some groups match
+        # nothing — both outer-join directions are exercised.
+        return make_outer_groups(offset=N_GROUPS // 2)
+
+    def _expected(self, events, groups, kind):
+        return local_db(events, groups).execute(
+            AGG_JOIN_SQL.format(kind=kind)
+        )
+
+    def test_shuffle_aggregate_runs_as_worker_stage(self, events, groups):
+        db = outer_join_db(events, groups, 8, 5)
+        sql = AGG_JOIN_SQL.format(kind="INNER")
+        plan = "\n".join(db.execute("EXPLAIN " + sql).column("plan"))
+        assert "join=shuffle" in plan
+        assert "stages=1" in plan
+        assert "Stage stage=1/1 [partial-agg]" in plan
+        # The coordinator-side tree above the exchange is only the
+        # final merge: no Join and no partial Aggregate outside it.
+        head = plan.split("ShuffleJoin")[0]
+        assert "Join" not in head
+        before = db.distributed.stats()
+        result = db.execute(sql)
+        after = db.distributed.stats()
+        assert after["stages_run"] - before["stages_run"] > 0
+        assert_tables_close(result, self._expected(events, groups, "INNER"))
+
+    def test_colocated_aggregate_rides_in_fragment(self, events, groups):
+        db = outer_join_db(events, groups, 8, 8)
+        sql = AGG_JOIN_SQL.format(kind="INNER")
+        plan = "\n".join(db.execute("EXPLAIN " + sql).column("plan"))
+        assert "join=colocated" in plan
+        assert "[partial-agg]" in plan
+        assert_tables_close(
+            db.execute(sql), self._expected(events, groups, "INNER")
+        )
+
+    @pytest.mark.parametrize("kind", ["LEFT", "FULL"])
+    @pytest.mark.parametrize(
+        "layout", [(8, 5), (8, 8)], ids=["shuffle", "colocated"]
+    )
+    def test_outer_join_aggregates_match_local(
+        self, events, groups, kind, layout
+    ):
+        db = outer_join_db(events, groups, *layout)
+        sql = AGG_JOIN_SQL.format(kind=kind)
+        assert_tables_close(
+            db.execute(sql), self._expected(events, groups, kind)
+        )
+
+    @pytest.mark.parametrize("kind", ["LEFT", "FULL"])
+    @pytest.mark.parametrize(
+        "layout", [(8, 5), (8, 8)], ids=["shuffle", "colocated"]
+    )
+    def test_outer_join_rows_match_local(
+        self, events, groups, kind, layout
+    ):
+        sql = (
+            "SELECT grp, ggrp, v, w FROM events "
+            f"{kind} JOIN groups ON events.grp = groups.ggrp "
+            "ORDER BY grp, ggrp, v, w"
+        )
+        db = outer_join_db(events, groups, *layout)
+        assert_tables_close(
+            db.execute(sql), local_db(events, groups).execute(sql)
+        )
+
+    def test_full_join_pads_unmatched_right_rows(self, events, groups):
+        """FULL output must include right rows no left key matches."""
+        sql = (
+            "SELECT ggrp, w FROM events "
+            "FULL JOIN groups ON events.grp = groups.ggrp "
+            "ORDER BY ggrp, w"
+        )
+        db = outer_join_db(events, groups, 8, 5)
+        result = db.execute(sql)
+        unmatched = set(np.asarray(groups.column("ggrp"))) - set(
+            np.asarray(events.column("grp"))
+        )
+        got = set(np.asarray(result.column("ggrp"), dtype=np.int64))
+        assert unmatched <= got
+        assert_tables_close(result, local_db(events, groups).execute(sql))
+
+    @pytest.mark.parametrize(
+        "layout", [(4, 3), (4, 4)], ids=["shuffle", "colocated"]
+    )
+    def test_empty_build_side_left_join_keeps_probe_rows(self, layout):
+        """Empty-shard pruning must never drop the NULL-preserved side:
+        an empty build table ⋈ LEFT populated probe returns all rows."""
+        probe = Table.from_dict(
+            {
+                "grp": np.arange(24, dtype=np.int64) % 6,
+                "v": np.ones(24),
+            }
+        )
+        build = Table.from_dict(
+            {
+                "ggrp": np.empty(0, dtype=np.int64),
+                "w": np.empty(0, dtype=np.float64),
+            }
+        )
+        db = outer_join_db(probe, build, *layout)
+        result = db.execute(
+            "SELECT grp, w FROM events "
+            "LEFT JOIN groups ON events.grp = groups.ggrp ORDER BY grp"
+        )
+        assert result.num_rows == 24
+        assert np.all(np.isnan(result.column("w")))
+
+    def test_colocated_routing_preserves_null_side(self):
+        """`colocated_shard_ids` keeps pairs whose only-empty shard is
+        on the non-preserved side (LEFT keeps them, INNER drops)."""
+        from repro.distributed.operators import ShardScan
+        from repro.relational.types import Column, DataType, Schema
+
+        left = ShardedTable.build(
+            "events",
+            Table.from_dict(
+                {
+                    "grp": np.arange(12, dtype=np.int64) % 4,
+                    "v": np.ones(12),
+                }
+            ),
+            ShardingSpec("grp", 4),
+        )
+        right = ShardedTable.build(
+            "groups",
+            Table.from_dict(
+                {
+                    "ggrp": np.empty(0, dtype=np.int64),
+                    "w": np.empty(0, dtype=np.float64),
+                }
+            ),
+            ShardingSpec("ggrp", 4),
+        )
+        shardeds = {"events": left, "groups": right}
+
+        def fragment(kind):
+            return logical.Join(
+                ShardScan("events", left.shard(0).schema, None, 4, "grp"),
+                ShardScan("groups", right.shard(0).schema, None, 4, "ggrp"),
+                kind,
+                BinaryOp("=", col("grp"), col("ggrp")),
+            )
+
+        inner_ids, _ = routing.colocated_shard_ids(
+            fragment("INNER"), shardeds
+        )
+        left_ids, _ = routing.colocated_shard_ids(
+            fragment("LEFT"), shardeds
+        )
+        full_ids, _ = routing.colocated_shard_ids(
+            fragment("FULL"), shardeds
+        )
+        assert inner_ids == []  # every right shard is provably empty
+        assert len(left_ids) > 0  # preserved-side shards still run
+        assert left_ids == full_ids
+
+    def test_stage_spans_attach_under_trace(self, events, groups):
+        from repro import observability as qtrace
+
+        db = outer_join_db(events, groups, 8, 5)
+        sql = AGG_JOIN_SQL.format(kind="LEFT")
+        with qtrace.trace_query(sql) as trace:
+            db.execute(sql)
+        stages = trace.find("stage")
+        assert stages
+        for span in stages:
+            assert span.attrs["stage"] == "1/1"
+            assert span.attrs["worker_seconds"] >= 0.0
+
+    def test_prepared_join_replans_on_either_side_shard_epoch(
+        self, events, groups
+    ):
+        """Resharding *either* join side invalidates a cached plan."""
+        from repro.core.raven import RavenSession
+        from repro.serving.prepared import PreparedQuery
+
+        db = outer_join_db(events, groups, 8, 5)
+        session = RavenSession(
+            db,
+            optimizer="heuristic",
+            options={"shard_workers": 8, "enable_inlining": False},
+        )
+        sql = AGG_JOIN_SQL.format(kind="LEFT")
+        prepared = PreparedQuery(session, sql)
+        expected = prepared.execute()
+        assert prepared.replans == 0
+        db.catalog.unshard_table("groups")
+        db.shard_table("groups", "ggrp", 3)
+        assert_tables_close(prepared.execute(), expected)
+        assert prepared.replans == 1
+        db.catalog.unshard_table("events")
+        assert_tables_close(prepared.execute(), expected)
+        assert prepared.replans == 2
+
+    def test_server_stats_surface_stage_latencies(self, events, groups):
+        from repro.core.raven import RavenSession
+        from repro.serving.server import RavenServer
+
+        db = outer_join_db(events, groups, 8, 5)
+        session = RavenSession(
+            db,
+            optimizer="heuristic",
+            options={"shard_workers": 8, "enable_inlining": False},
+        )
+        server = RavenServer(session, workers=2, max_queue=16)
+        try:
+            server.prepare("agg", AGG_JOIN_SQL.format(kind="INNER"))
+            for _ in range(3):
+                server.query("agg")
+            snapshot = server.stats_snapshot()
+            fanout = snapshot["distributed"]
+            assert fanout["stages_run"] > 0
+            assert fanout["stage_p95_ms"] >= fanout["stage_p50_ms"] > 0.0
+        finally:
+            server.shutdown()

@@ -420,3 +420,67 @@ class TestPlanEquivalenceProperty:
         optimized = db.execute(sql)
         naive = _naive_rows(db, sql)
         assert _row_multiset(optimized) == _row_multiset(naive)
+
+
+# ---------------------------------------------------------------------------
+# Shared sub-plans: DAG-shaped graphs intern into shared memo groups
+# ---------------------------------------------------------------------------
+
+
+class TestSharedSubPlans:
+    def test_memo_interns_shared_subtree_object_once(self):
+        from repro.relational.expressions import BinaryOp, col, lit
+
+        scan = logical.Scan("t", None)
+        shared = logical.Filter(
+            scan, BinaryOp(">", col("x"), lit(1.0))
+        )
+        left = logical.Project(shared, ((col("x"), "x"),))
+        right = logical.Project(shared, ((col("x"), "y"),))
+        union = logical.UnionAll((left, right))
+        memo = Memo()
+        memo.register(union)
+        # The shared Filter object registered once: the second parent
+        # resolved it through the identity map (one dedup hit, no
+        # duplicate groups for the shared chain).
+        assert memo.stats.dedup_hits >= 1
+        filter_groups = [
+            g
+            for g in memo.groups
+            if isinstance(g.expressions[0].op, logical.Filter)
+        ]
+        assert len(filter_groups) == 1
+
+    def test_ir_dag_bridges_and_round_trips(self):
+        """An IR node with two consumers converts to one shared logical
+        object and lowers back to one IR node with two consumers."""
+        from repro.core.ir.graph import IRGraph
+        from repro.relational.expressions import BinaryOp, col, lit
+        from repro.relational.types import Column, DataType, Schema
+
+        schema = Schema((Column("x", DataType.FLOAT),))
+        graph = IRGraph()
+        scan = graph.add("ra.scan", [], table="t", alias=None, schema=schema)
+        shared = graph.add(
+            "ra.filter",
+            [scan.id],
+            predicate=BinaryOp(">", col("x"), lit(0.0)),
+        )
+        left = graph.add(
+            "ra.project", [shared.id], items=[(col("x"), "x")]
+        )
+        right = graph.add(
+            "ra.project", [shared.id], items=[(col("x"), "y")]
+        )
+        union = graph.add("ra.union_all", [left.id, right.id])
+        graph.set_output(union.id)
+        plan = ir_to_logical(graph)
+        assert isinstance(plan, logical.UnionAll)
+        assert plan.branches[0].child is plan.branches[1].child
+        back = logical_to_ir(plan)
+        filters = back.find("ra.filter")
+        assert len(filters) == 1
+        consumers = sum(
+            filters[0].id in node.inputs for node in back.nodes()
+        )
+        assert consumers == 2

@@ -9,6 +9,7 @@ NumPy reference semantics for arbitrary data.
 import math
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
@@ -279,3 +280,142 @@ def test_model_bundle_roundtrip_property(problem):
     ).fit(X, y)
     restored = model_format.loads(model_format.dumps(pipe))
     assert np.array_equal(restored.predict(X), pipe.predict(X))
+
+
+# ---------------------------------------------------------------------------
+# Distributed multi-stage joins ≡ coordinator-local execution
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def distributed_join_case(draw):
+    """Random INNER/LEFT/FULL aggregate-over-join with NULL join keys."""
+    kind = draw(st.sampled_from(["INNER", "LEFT", "FULL"]))
+    n = draw(st.integers(20, 60))
+    m = draw(st.integers(10, 40))
+    key_pool = st.one_of(
+        st.integers(0, 6).map(float), st.just(float("nan"))
+    )
+    left_keys = draw(
+        st.lists(key_pool, min_size=n, max_size=n)
+    )
+    right_keys = draw(
+        st.lists(key_pool, min_size=m, max_size=m)
+    )
+    values = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False), min_size=m, max_size=m
+        )
+    )
+    shards = draw(st.sampled_from([(4, 3), (4, 4)]))
+    return kind, left_keys, right_keys, values, shards
+
+
+# NaN join keys flow into MIN partials as NaN (SQL NULL); numpy warns
+# on the comparison but both paths produce identical results.
+@pytest.mark.filterwarnings("ignore:invalid value encountered:RuntimeWarning")
+@settings(max_examples=15, deadline=None)
+@given(distributed_join_case())
+def test_distributed_join_aggregate_matches_local(case):
+    """A sharded aggregate-over-join (any join kind, NaN keys included)
+    is row-identical to coordinator-local execution — partial
+    aggregates ride the worker round-trip, the coordinator only
+    merges."""
+    from repro.relational.algebra.executor import ExecutionOptions
+    from repro.relational.database import Database
+
+    kind, left_keys, right_keys, values, shards = case
+    left = Table.from_dict(
+        {
+            "k": np.array(left_keys, dtype=np.float64),
+            "tag": np.arange(len(left_keys), dtype=np.int64) % 3,
+        }
+    )
+    right = Table.from_dict(
+        {
+            "rk": np.array(right_keys, dtype=np.float64),
+            "score": np.array(values, dtype=np.float64),
+        }
+    )
+    sql = (
+        "SELECT tag, COUNT(*) AS cnt, SUM(score) AS total, "
+        "MIN(score) AS low FROM a "
+        f"{kind} JOIN b ON k = rk GROUP BY tag ORDER BY tag"
+    )
+    dist = Database(
+        options=ExecutionOptions(max_workers=8, distributed_mode="inprocess")
+    )
+    dist.register_table("a", left)
+    dist.register_table("b", right)
+    dist.shard_table("a", "k", shards[0])
+    dist.shard_table("b", "rk", shards[1])
+    local = Database(options=ExecutionOptions(enable_distributed=False))
+    local.register_table("a", left)
+    local.register_table("b", right)
+    got = dist.execute(sql)
+    want = local.execute(sql)
+    assert got.num_rows == want.num_rows
+    for name in ("tag", "cnt", "total", "low"):
+        assert np.allclose(
+            np.asarray(got.column(name), dtype=float),
+            np.asarray(want.column(name), dtype=float),
+            equal_nan=True,
+        ), name
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    st.sampled_from(["INNER", "LEFT", "FULL"]),
+    st.integers(0, 6),
+)
+def test_prepared_join_reroutes_after_reshard(kind, probe):
+    """A prepared `?` query over a distributed join keeps returning the
+    same rows after shard_table/unshard_table on either side."""
+    from repro.core.raven import RavenSession
+    from repro.relational.algebra.executor import ExecutionOptions
+    from repro.relational.database import Database
+    from repro.serving.prepared import PreparedQuery
+
+    rng = np.random.default_rng(7)
+    left = Table.from_dict(
+        {
+            "k": rng.integers(0, 7, 48).astype(np.int64),
+            "tag": np.arange(48, dtype=np.int64) % 3,
+        }
+    )
+    right = Table.from_dict(
+        {
+            "rk": rng.integers(0, 9, 30).astype(np.int64),
+            "score": rng.normal(size=30),
+        }
+    )
+    db = Database(
+        options=ExecutionOptions(max_workers=8, distributed_mode="inprocess")
+    )
+    db.register_table("a", left)
+    db.register_table("b", right)
+    db.shard_table("a", "k", 4)
+    db.shard_table("b", "rk", 3)
+    session = RavenSession(
+        db,
+        optimizer="heuristic",
+        options={"shard_workers": 8, "enable_inlining": False},
+    )
+    sql = (
+        "SELECT tag, COUNT(*) AS cnt, SUM(score) AS total FROM a "
+        f"{kind} JOIN b ON k = rk WHERE k = ? GROUP BY tag ORDER BY tag"
+    )
+    prepared = PreparedQuery(session, sql)
+    first = prepared.execute([probe])
+    db.catalog.unshard_table("b")
+    after_unshard = prepared.execute([probe])
+    db.shard_table("b", "rk", 5)
+    after_reshard = prepared.execute([probe])
+    for other in (after_unshard, after_reshard):
+        assert other.num_rows == first.num_rows
+        for name in ("tag", "cnt", "total"):
+            assert np.allclose(
+                np.asarray(first.column(name), dtype=float),
+                np.asarray(other.column(name), dtype=float),
+                equal_nan=True,
+            ), name
