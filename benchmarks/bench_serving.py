@@ -15,9 +15,16 @@ Claims measured (printed as JSON for the bench trajectory):
   when nothing subscribes (the "enabled-but-unsubscribed" default),
   measured by primitive-cost accounting: (calls per request) x (cost
   per unsubscribed call) against the request's wall time.
+* **observatory overhead** — running the full workload observatory
+  (drift watchdog + query-log profiler attached to the bus) costs
+  <= 5% of per-request latency, by the same primitive-cost accounting
+  with the consumers *subscribed*.
 
-Also writes one sample query trace to ``TRACE_SAMPLE.json`` (override
-with ``TRACE_SAMPLE_PATH``) for the CI artifact.
+Also writes CI artifacts: one sample query trace
+(``TRACE_SAMPLE.json`` / ``TRACE_SAMPLE_PATH``), a Prometheus
+text-exposition snapshot (``PROM_SNAPSHOT.txt`` / ``PROM_SNAPSHOT_PATH``)
+and a profiler report (``PROFILER_REPORT.json`` /
+``PROFILER_REPORT_PATH``).
 
 Run:  PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
 
@@ -227,6 +234,80 @@ def bench_observability_overhead(
     }
 
 
+def bench_observatory_overhead(
+    session: RavenSession, num_requests: int
+) -> dict:
+    """Serving cost of the full observatory, attached and listening.
+
+    Same primitive-cost accounting as
+    :func:`bench_observability_overhead`, but with the drift watchdog
+    and query-log profiler subscribed: per-event *dispatch* cost (the
+    bus fan-out plus both consumers folding the event) times events per
+    request, plus the profiler's per-trace fold, against the request's
+    wall time.
+    """
+    from repro.observability.profiler import QueryLogProfiler
+    from repro.observability.watchdog import WorkloadWatchdog
+
+    prepared = session.prepare(FILTER_SQL)
+    cutoffs = [25.0 + (i % 50) for i in range(num_requests)]
+
+    start = time.perf_counter()
+    for cutoff in cutoffs:
+        prepared.execute(params=(cutoff,))
+    per_request_seconds = (time.perf_counter() - start) / num_requests
+
+    watchdog = WorkloadWatchdog(
+        session.database, auto_analyze=False
+    ).attach(events.BUS)
+    profiler = QueryLogProfiler().attach(events.BUS)
+    try:
+        # Events per request with the observatory listening, probed
+        # under a trace (the profiler implies tracing), plus the two
+        # serving-envelope events (submitted/completed) RavenServer
+        # emits around every request this path doesn't pass through.
+        with events.BUS.subscribe_queue() as sub:
+            with qtrace.trace_query("probe"):
+                prepared.execute(params=(30.0,))
+            events_per_request = len(sub.drain()) + 2
+        # Per-event dispatch cost through the subscribed consumers;
+        # serving.completed is the watchdog's busiest path (it also
+        # debounce-checks the poll clock).
+        probes = 200_000
+        start = time.perf_counter()
+        for _ in range(probes):
+            events.emit(
+                "serving.completed", query="bench", latency_seconds=0.001
+            )
+        dispatch_seconds = (time.perf_counter() - start) / probes
+        # Per-trace profiler fold (paid once per traced request).
+        with qtrace.trace_query("probe") as trace:
+            prepared.execute(params=(30.0,))
+        record_probes = 20_000
+        start = time.perf_counter()
+        for _ in range(record_probes):
+            profiler.record(trace)
+        record_seconds = (time.perf_counter() - start) / record_probes
+    finally:
+        profiler.detach()
+        watchdog.detach()
+
+    overhead_seconds = (
+        events_per_request * dispatch_seconds + record_seconds
+    )
+    overhead_fraction = overhead_seconds / max(per_request_seconds, 1e-12)
+    return {
+        "requests": num_requests,
+        "per_request_seconds": round(per_request_seconds, 7),
+        "events_per_request": events_per_request,
+        "dispatch_subscribed_ns": round(dispatch_seconds * 1e9, 1),
+        "profiler_record_us": round(record_seconds * 1e6, 2),
+        "watchdog_polls": watchdog.stats()["polls"],
+        "overhead_seconds_per_request": round(overhead_seconds, 9),
+        "overhead_fraction": round(overhead_fraction, 5),
+    }
+
+
 def write_trace_sample(session: RavenSession) -> str:
     """One real traced request, dumped as JSON for the CI artifact."""
     prepared = session.prepare(FILTER_SQL)
@@ -236,6 +317,35 @@ def write_trace_sample(session: RavenSession) -> str:
     with open(path, "w") as fh:
         fh.write(trace.to_json(indent=2))
     return path
+
+
+def write_observatory_artifacts(session: RavenSession) -> dict:
+    """A Prometheus snapshot and a profiler report from a short traced
+    run — the CI artifacts proving the export surfaces stay render-able."""
+    from repro.observability.export import render_prometheus
+    from repro.observability.metrics import ServingMetrics
+    from repro.observability.profiler import QueryLogProfiler
+
+    metrics = ServingMetrics().attach(events.BUS)
+    profiler = QueryLogProfiler().attach(events.BUS)
+    prepared = session.prepare(FILTER_SQL)
+    try:
+        for i in range(20):
+            with qtrace.trace_query("bench_serving.observatory") as trace:
+                prepared.execute(params=(25.0 + i,))
+            profiler.record(trace)
+    finally:
+        profiler.detach()
+        metrics.detach()
+    prom_path = os.environ.get("PROM_SNAPSHOT_PATH", "PROM_SNAPSHOT.txt")
+    with open(prom_path, "w") as fh:
+        fh.write(render_prometheus(metrics.registry.snapshot()))
+    report_path = os.environ.get(
+        "PROFILER_REPORT_PATH", "PROFILER_REPORT.json"
+    )
+    with open(report_path, "w") as fh:
+        json.dump(profiler.report(), fh, indent=2, default=str)
+    return {"prometheus": prom_path, "profiler_report": report_path}
 
 
 def main() -> None:
@@ -256,6 +366,10 @@ def main() -> None:
     # table), which inflates the instrumentation *fraction*; the 5%
     # claim is asserted at full size, smoke gets a noise-tolerant bound.
     overhead_target = 0.15 if args.smoke else 0.05
+    # The observatory adds subscribed dispatch + a per-trace fold; on
+    # sub-millisecond smoke requests the *fraction* inflates the same
+    # way, so smoke gets the same style of relaxed bound.
+    observatory_target = 0.25 if args.smoke else 0.05
     results = {
         "table_rows": table_rows,
         "smoke": args.smoke,
@@ -264,8 +378,12 @@ def main() -> None:
         "observability_overhead": bench_observability_overhead(
             session, num_requests
         ),
+        "observatory_overhead": bench_observatory_overhead(
+            session, num_requests
+        ),
     }
     results["trace_sample_path"] = write_trace_sample(session)
+    results["artifacts"] = write_observatory_artifacts(session)
     results["claims"] = {
         "plan_cache_speedup_target": 3.0,
         "plan_cache_speedup_measured": results["plan_cache"]["speedup"],
@@ -281,12 +399,25 @@ def main() -> None:
             "overhead_fraction"
         ]
         <= overhead_target,
+        "observatory_target": observatory_target,
+        "observatory_measured": results["observatory_overhead"][
+            "overhead_fraction"
+        ],
+        "observatory_pass": results["observatory_overhead"][
+            "overhead_fraction"
+        ]
+        <= observatory_target,
     }
     print(json.dumps(results, indent=2))
     assert results["claims"]["overhead_pass"], (
         "unsubscribed observability overhead above "
         f"{overhead_target:.0%}: "
         f"{results['claims']['overhead_measured']:.2%}"
+    )
+    assert results["claims"]["observatory_pass"], (
+        "watchdog+profiler observatory overhead above "
+        f"{observatory_target:.0%}: "
+        f"{results['claims']['observatory_measured']:.2%}"
     )
     if not args.smoke:
         assert results["claims"]["plan_cache_pass"], (

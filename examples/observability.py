@@ -1,7 +1,7 @@
-"""Observability: EXPLAIN ANALYZE, live events, traces, and metrics.
+"""Observability: EXPLAIN ANALYZE, events, traces, and the observatory.
 
-Walks the four observability surfaces end to end on a sharded
-PREDICT workload:
+Walks the observability surfaces end to end on a sharded PREDICT
+workload:
 
 1. ``EXPLAIN ANALYZE`` — per-operator actual rows / wall time / q-error
    next to the optimizer's estimates, with per-table q-error summaries
@@ -10,7 +10,12 @@ PREDICT workload:
    events as queries run;
 3. a per-query trace (nested spans, including worker-side fragment
    timings shipped back in the task protocol);
-4. the server's metrics registry exported as one JSON dict.
+4. the server's metrics registry exported as one JSON dict;
+5. the drift watchdog noticing skewed writes degrade the estimates and
+   auto-running ANALYZE (decision audit in ``server.stats()``);
+6. the query-log profiler's top-K / per-operator self-time report;
+7. telemetry export: Prometheus text exposition and Chrome trace-event
+   JSON round-tripped through ``json.loads``.
 
 Run with:  PYTHONPATH=src python examples/observability.py
 """
@@ -21,7 +26,7 @@ import numpy as np
 
 from repro import Database, RavenServer, RavenSession, Table
 from repro.ml import GradientBoostingRegressor, Pipeline, StandardScaler
-from repro.observability import events
+from repro.observability import events, render_chrome_trace, render_prometheus
 from repro.relational.algebra.executor import ExecutionOptions
 
 
@@ -121,6 +126,85 @@ def main() -> None:
         }
         print(json.dumps(excerpt, indent=2))
         print(f"\nevent-bus health: {stats['events']}")
+
+        # 5-7. The workload observatory: drift watchdog, profiler,
+        #      and telemetry export, on a second server.
+        observatory_demo(db)
+
+
+def observatory_demo(db: Database) -> None:
+    # A table whose statistics will go stale: uniform values analyzed,
+    # then skewed values written in place. The sentinel rows pin
+    # min/max so the catalog's drift check keeps the (now wrong)
+    # histogram — exactly the silent staleness the watchdog exists for.
+    rng = np.random.default_rng(7)
+    n = 4_000
+    uniform = rng.uniform(0.0, 100.0, n)
+    uniform[0], uniform[1] = 0.0, 100.0
+    ids = np.arange(n, dtype=np.int64)
+    db.register_table("hot", Table.from_dict({"id": ids, "v": uniform}))
+    db.execute("ANALYZE hot")
+
+    skewed = rng.uniform(0.0, 4.5, n)
+    skewed[0], skewed[1] = 0.0, 100.0
+    db.catalog.set_table("hot", Table.from_dict({"id": ids, "v": skewed}))
+
+    session = RavenSession(db)
+    with RavenServer(session, workers=2) as server:
+        registry = server.enable_metrics()
+        server.enable_watchdog()      # auto_analyze=True by default
+        server.enable_profiler()      # implies per-request tracing
+
+        # EXPLAIN ANALYZE records the estimate-vs-actual q-error the
+        # watchdog feeds on: the stale histogram expects ~5% of rows
+        # under 5.0, the skewed data puts nearly all of them there.
+        # Twice: the watchdog wants min_observations=2 before acting,
+        # so one bad estimate can't trigger an ANALYZE on its own.
+        db.execute("EXPLAIN ANALYZE SELECT id FROM hot WHERE v < 5.0")
+        db.execute("EXPLAIN ANALYZE SELECT id FROM hot WHERE v < 10.0")
+        print("\n=== Drift watchdog (skewed writes -> auto-ANALYZE) ===")
+        print(f"q-error after skew: {db.catalog.q_error_summary('hot')}")
+
+        # Serving traffic drives the watchdog's piggybacked poll; the
+        # completion of this request already carries the ANALYZE.
+        prepared = server.prepare("hot_filter",
+                                  "SELECT id FROM hot WHERE v < ?")
+        server.query("hot_filter", params=(5.0,))
+        for decision in server.stats()["watchdog"]["decisions"]:
+            print(f"  decision: {decision['table']}/{decision['signal']} "
+                  f"-> {decision['action']} "
+                  f"(value={decision['value']:.1f})")
+        print(f"q-error after auto-ANALYZE: "
+              f"{db.catalog.q_error_summary('hot')} "
+              f"(ANALYZE consumes the stale-estimate evidence)")
+        assert prepared is not None
+
+        # 6. Query-log profiler: a small mixed workload, then the
+        #    fingerprint-keyed report.
+        for cutoff in (1.0, 2.0, 3.0, 4.0, 5.0):
+            server.query("hot_filter", params=(cutoff,))
+        report = server.profiler_report(top_k=3)
+        print("\n=== Query-log profiler (top-K, self-time) ===")
+        for slow in report["top_slow"]:
+            print(f"  slow: {slow['query']} {slow['duration_ms']:.2f} ms "
+                  f"({slow['span_count']} spans)")
+        profile = report["queries"]["hot_filter"]
+        print(f"  hot_filter: count={profile['count']} "
+              f"p95={profile['p95_ms']:.2f} ms")
+        for op, body in list(profile["operators"].items())[:3]:
+            print(f"    operator {op}: calls={body['calls']} "
+                  f"self={body['self_ms']:.2f} ms")
+
+        # 7. Telemetry export: both renderers are pure functions over
+        #    snapshots — print excerpts and round-trip the trace JSON.
+        prom = render_prometheus(registry.snapshot())
+        print("\n=== Prometheus text exposition (first lines) ===")
+        print("\n".join(prom.splitlines()[:6]))
+        trace_json = render_chrome_trace(server.traces())
+        events_out = json.loads(trace_json)["traceEvents"]
+        print(f"\nChrome trace events: {len(events_out)} spans from "
+              f"{len(server.traces())} traces "
+              f"(load via chrome://tracing)")
 
 
 if __name__ == "__main__":

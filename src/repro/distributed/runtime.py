@@ -140,6 +140,7 @@ class DistributedRuntime:
         pruned: int,
         latencies: list[float],
         stage_seconds: list[float] | None = None,
+        table: str | None = None,
     ) -> None:
         stage_seconds = stage_seconds or []
         with self._lock:
@@ -159,6 +160,10 @@ class DistributedRuntime:
                 fragment_seconds=list(latencies),
                 stage_seconds=list(stage_seconds),
                 mode=self.effective_mode,
+                # The routed table (None for shuffle joins, whose
+                # pruning spans two sides) — the workload watchdog
+                # attributes shard-prune quality per table with it.
+                table=table,
             )
 
     def stats(self) -> dict:
@@ -240,7 +245,12 @@ class DistributedRuntime:
         ]
         latencies: list[float] = []
         results = self._dispatch(worker.run_fragment, spec, tasks, latencies)
-        self._notify(len(shard_ids), total - len(shard_ids), latencies)
+        self._notify(
+            len(shard_ids),
+            total - len(shard_ids),
+            latencies,
+            table=op.table_name,
+        )
         return [_decode_result(results[shard_id]) for shard_id in shard_ids]
 
     # -- shuffle joins -----------------------------------------------------

@@ -1,4 +1,4 @@
-"""Observability: event bus, per-query traces, metrics, EXPLAIN ANALYZE.
+"""Observability: event bus, traces, metrics, EXPLAIN ANALYZE, observatory.
 
 The engine's measurement harness (ROADMAP item 2): a process-wide
 structured :mod:`event bus <repro.observability.events>`, contextvar
@@ -7,6 +7,14 @@ and worker-side fragment timings, an explicit-bucket
 :mod:`metrics registry <repro.observability.metrics>` fed from events,
 and the :mod:`EXPLAIN ANALYZE <repro.observability.explain>`
 instrumentation producing estimate-vs-actual q-error feedback.
+
+On top of those signals sits the workload observatory: the
+:mod:`drift watchdog <repro.observability.watchdog>` (q-error drift
+auto-triggers ANALYZE), the
+:mod:`query-log profiler <repro.observability.profiler>` (fingerprint
+aggregates over traces), and the
+:mod:`telemetry exporters <repro.observability.export>` (Prometheus
+text exposition, Chrome trace events).
 """
 
 # NOTE: ``repro.observability.explain`` is deliberately NOT imported
@@ -29,6 +37,12 @@ from repro.observability.metrics import (
     MetricsRegistry,
     ServingMetrics,
 )
+from repro.observability.export import (
+    render_chrome_trace,
+    render_prometheus,
+    trace_to_events,
+)
+from repro.observability.profiler import QueryLogProfiler
 from repro.observability.trace import (
     QueryTrace,
     Span,
@@ -39,8 +53,14 @@ from repro.observability.trace import (
     trace_query,
     wrap,
 )
+from repro.observability.watchdog import WorkloadWatchdog
 
 __all__ = [
+    "QueryLogProfiler",
+    "WorkloadWatchdog",
+    "render_chrome_trace",
+    "render_prometheus",
+    "trace_to_events",
     "BUS",
     "Event",
     "EventBus",

@@ -23,6 +23,7 @@ Event taxonomy (see README "Observability"):
 - ``optimizer.memo_search``
 - ``distributed.gather / degraded``
 - ``trace.completed``
+- ``watchdog.drift_detected / analyze_triggered``
 - ``database.closed``
 """
 
@@ -31,17 +32,29 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass(frozen=True)
 class Event:
-    """One structured event: a dotted name, a timestamp, flat attrs."""
+    """One structured event: a dotted name, a timestamp, flat attrs.
 
-    name: str
-    ts: float
-    attrs: dict = field(default_factory=dict)
+    Treat as immutable — one instance is shared by every subscriber.
+    (A plain ``__slots__`` class, not a frozen dataclass: events are
+    constructed on every subscribed emit, so init cost is hot.)
+    """
+
+    __slots__ = ("name", "ts", "attrs")
+
+    def __init__(self, name: str, ts: float, attrs: dict | None = None):
+        self.name = name
+        self.ts = ts
+        self.attrs = attrs if attrs is not None else {}
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(name={self.name!r}, ts={self.ts!r}, "
+            f"attrs={self.attrs!r})"
+        )
 
     def to_dict(self) -> dict:
         return {"name": self.name, "ts": self.ts, **self.attrs}
@@ -107,6 +120,15 @@ class EventBus:
         self.active = False
         self.emitted = 0
         self.callback_errors = 0
+        #: Drops from queue subscriptions that have since closed —
+        #: without this, unsubscribing a lossy consumer would erase the
+        #: evidence that telemetry was lost.
+        self.queue_dropped_retired = 0
+        #: name -> (queues, callbacks) match results, rebuilt lazily
+        #: after any subscription change. The taxonomy is a handful of
+        #: fixed names, so this stays tiny and makes the subscribed
+        #: emit path a dict lookup instead of two list comprehensions.
+        self._routes: dict[str, tuple[tuple, tuple]] = {}
 
     # -- subscription ------------------------------------------------------
 
@@ -116,6 +138,7 @@ class EventBus:
         """Register ``fn(event)`` for events matching ``pattern``."""
         with self._lock:
             self._callbacks.append((pattern, fn))
+            self._routes.clear()
             self.active = True
         return fn
 
@@ -128,6 +151,7 @@ class EventBus:
             self._callbacks = [
                 (p, cb) for p, cb in self._callbacks if cb != fn
             ]
+            self._routes.clear()
             self._refresh_active()
 
     def subscribe_queue(
@@ -137,13 +161,17 @@ class EventBus:
         sub = Subscription(self, pattern, maxsize)
         with self._lock:
             self._queues.append(sub)
+            self._routes.clear()
             self.active = True
         return sub
 
     def unsubscribe_queue(self, sub: Subscription) -> None:
         with self._lock:
             sub.closed = True
+            if sub in self._queues:
+                self.queue_dropped_retired += sub.dropped
             self._queues = [q for q in self._queues if q is not sub]
+            self._routes.clear()
             self._refresh_active()
 
     def _refresh_active(self) -> None:
@@ -158,13 +186,20 @@ class EventBus:
         event = Event(name, time.time(), attrs)
         with self._lock:
             self.emitted += 1
-            callbacks = [
-                cb for pattern, cb in self._callbacks
-                if _matches(pattern, name)
-            ]
-            queues = [
-                q for q in self._queues if _matches(q.pattern, name)
-            ]
+            route = self._routes.get(name)
+            if route is None:
+                route = (
+                    tuple(
+                        q for q in self._queues
+                        if _matches(q.pattern, name)
+                    ),
+                    tuple(
+                        cb for pattern, cb in self._callbacks
+                        if _matches(pattern, name)
+                    ),
+                )
+                self._routes[name] = route
+        queues, callbacks = route
         for sub in queues:
             sub._offer(event)
         for cb in callbacks:
@@ -184,7 +219,10 @@ class EventBus:
                 "callback_errors": self.callback_errors,
                 "callback_subscribers": len(self._callbacks),
                 "queue_subscribers": len(self._queues),
-                "queue_dropped": sum(q.dropped for q in self._queues),
+                "queue_dropped": (
+                    self.queue_dropped_retired
+                    + sum(q.dropped for q in self._queues)
+                ),
             }
 
     def reset(self) -> None:
@@ -192,8 +230,10 @@ class EventBus:
         with self._lock:
             for q in self._queues:
                 q.closed = True
+                self.queue_dropped_retired += q.dropped
             self._callbacks.clear()
             self._queues.clear()
+            self._routes.clear()
             self.active = False
 
 

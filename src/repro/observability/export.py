@@ -1,0 +1,187 @@
+"""Telemetry exporters: Prometheus text exposition and Chrome traces.
+
+Both exporters are *pure functions over snapshots* the engine already
+produces — :meth:`MetricsRegistry.snapshot` dicts and
+:meth:`QueryTrace.to_dict` span trees — so the upcoming network front
+door (ROADMAP item 2) can serve them from endpoints without touching
+the collection path, and tests can round-trip them without a server.
+
+- :func:`render_prometheus` emits the Prometheus text-exposition
+  format (version 0.0.4): scalars as untyped samples, histogram
+  snapshots as cumulative ``_bucket{le="..."}`` series plus ``_sum``
+  and ``_count``.
+- :func:`trace_to_events` / :func:`render_chrome_trace` emit the
+  Chrome trace-event format (``chrome://tracing`` / Perfetto): one
+  complete ("X") event per span, microsecond timestamps relative to
+  the trace origin.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def sanitize_metric_name(name: str, namespace: str = "") -> str:
+    """A legal Prometheus metric name: illegal chars become ``_`` and a
+    leading digit is prefixed (dots in registry names become ``_``)."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if namespace:
+        sanitized = f"{_NAME_SANITIZER.sub('_', namespace)}_{sanitized}"
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _histogram_lines(name: str, body: dict, label_pairs: str) -> list[str]:
+    """Cumulative bucket series from a :class:`Histogram` snapshot.
+
+    Registry snapshots store *per-bucket* counts keyed ``le_<bound>``;
+    Prometheus buckets are cumulative and end at ``le="+Inf"`` whose
+    value must equal ``_count``.
+    """
+    bounds = sorted(
+        (float(key[3:]), count) for key, count in body["buckets"].items()
+    )
+    prefix = label_pairs + "," if label_pairs else ""
+    plain = "{" + label_pairs + "}" if label_pairs else ""
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    for bound, count in bounds:
+        cumulative += count
+        lines.append(
+            f'{name}_bucket{{{prefix}le="{_format_value(bound)}"}} '
+            f"{cumulative}"
+        )
+    lines.append(f'{name}_bucket{{{prefix}le="+Inf"}} {body["count"]}')
+    lines.append(f"{name}_sum{plain} {_format_value(body['sum'])}")
+    lines.append(f"{name}_count{plain} {body['count']}")
+    return lines
+
+
+def render_prometheus(
+    snapshot: dict,
+    namespace: str = "repro",
+    labels: dict | None = None,
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as Prometheus
+    text exposition.
+
+    Scalar entries (counters and gauges snapshot to bare floats, so
+    their kinds are indistinguishable here) render as ``untyped``
+    samples; histogram snapshot dicts render as full histogram series.
+    ``labels`` (e.g. ``{"instance": "raven-0"}``) are attached to every
+    sample. Output ends with the trailing newline the format requires.
+    """
+    label_pairs = ""
+    if labels:
+        label_pairs = ",".join(
+            f'{sanitize_metric_name(k)}="{_escape_label_value(v)}"'
+            for k, v in sorted(labels.items())
+        )
+    label_body = "{" + label_pairs + "}" if label_pairs else ""
+    lines: list[str] = []
+    for raw_name in sorted(snapshot):
+        value = snapshot[raw_name]
+        name = sanitize_metric_name(raw_name, namespace)
+        if isinstance(value, dict) and "buckets" in value:
+            lines.extend(_histogram_lines(name, value, label_pairs))
+        elif isinstance(value, dict):
+            # Nested non-histogram dicts (future-proofing): flatten one
+            # level so no snapshot entry is silently dropped.
+            for sub_key in sorted(value):
+                sub_value = value[sub_key]
+                if isinstance(sub_value, (int, float)) or sub_value is None:
+                    sub_name = sanitize_metric_name(
+                        f"{raw_name}.{sub_key}", namespace
+                    )
+                    lines.append(f"# TYPE {sub_name} untyped")
+                    lines.append(
+                        f"{sub_name}{label_body} {_format_value(sub_value)}"
+                    )
+        else:
+            lines.append(f"# TYPE {name} untyped")
+            lines.append(f"{name}{label_body} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- Chrome trace-event export ---------------------------------------------
+
+
+def _span_events(
+    span: dict, pid: int, tid: int, out: list[dict]
+) -> None:
+    attrs = span.get("attrs") or {}
+    out.append(
+        {
+            "name": span["name"],
+            "cat": "query",
+            "ph": "X",
+            "ts": span["start_ms"] * 1e3,  # trace-event ts is in µs
+            "dur": span["duration_ms"] * 1e3,
+            "pid": pid,
+            "tid": tid,
+            "args": {k: _jsonable(v) for k, v in attrs.items()},
+        }
+    )
+    for child in span.get("children", ()):
+        _span_events(child, pid, tid, out)
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def trace_to_events(trace: dict, pid: int = 1, tid: int = 1) -> list[dict]:
+    """One Chrome complete ("X") event per span of a
+    :meth:`QueryTrace.to_dict` tree — ``len(result)`` equals the
+    trace's ``span_count`` (dropped spans were never materialized)."""
+    if hasattr(trace, "to_dict"):  # accept a live QueryTrace too
+        trace = trace.to_dict()
+    events: list[dict] = []
+    _span_events(trace["root"], pid, tid, events)
+    return events
+
+
+def render_chrome_trace(
+    traces: dict | list, indent: int | None = None
+) -> str:
+    """JSON in the Chrome trace-event *object* format.
+
+    Accepts one trace dict or a list of them; each trace gets its own
+    ``tid`` so concurrent requests stack as separate tracks in the
+    viewer. Load the result directly in ``chrome://tracing`` or
+    Perfetto.
+    """
+    if isinstance(traces, dict) or hasattr(traces, "to_dict"):
+        traces = [traces]
+    events: list[dict] = []
+    for tid, trace in enumerate(traces, start=1):
+        events.extend(trace_to_events(trace, pid=1, tid=tid))
+    return json.dumps(
+        {"traceEvents": events, "displayTimeUnit": "ms"},
+        indent=indent,
+        default=str,
+    )

@@ -319,7 +319,8 @@ class Catalog:
 
     def q_error_summary(self, name: str) -> dict | None:
         """``{count, last, max, geo_mean}`` of recorded q-errors, or
-        ``None`` when the table has never been ANALYZE-executed."""
+        ``None`` when the table has never been ANALYZE-executed (or was
+        ANALYZE-d since — fresh statistics restart the series)."""
         with self._stats_lock:
             entry = self._q_errors.get(name.lower())
             if entry is None:
@@ -330,6 +331,12 @@ class Catalog:
                 "max": entry["max"],
                 "geo_mean": math.exp(entry["sum_log"] / entry["count"]),
             }
+
+    def q_error_tables(self) -> list[str]:
+        """Tables with a live q-error series — the workload watchdog's
+        polling set."""
+        with self._stats_lock:
+            return sorted(self._q_errors)
 
     # -- backend cost calibration ---------------------------------------------
 
@@ -413,6 +420,11 @@ class Catalog:
                     # ANALYZE refreshes every column: full bump.
                     self._full_epochs[key] = self._epoch_counter
                     self._column_epochs.pop(key, None)
+                    # Recorded q-errors measured the *old* estimates;
+                    # the drift series restarts under fresh statistics
+                    # (otherwise the watchdog would keep re-triggering
+                    # on evidence ANALYZE already consumed).
+                    self._q_errors.pop(key, None)
                     break
         self._log("analyze", name, f"epoch {epoch}")
         return stats
@@ -484,6 +496,7 @@ class Catalog:
             self._stats_epochs.pop(key, None)
             self._column_epochs.pop(key, None)
             self._full_epochs.pop(key, None)
+            self._q_errors.pop(key, None)
 
     def _stats_drifted_columns(self, key: str, table: Table):
         """Which columns a write moved enough to stale cached plans.

@@ -142,6 +142,10 @@ class Database:
         # runtime instance — a server's fan-out metrics survive a
         # close()/restart cycle.
         self._shard_observers: list[Callable] = []
+        # Called (no args) on every close(): long-lived observability
+        # consumers (server metrics/watchdog/profiler) detach their
+        # process-wide BUS subscriptions here instead of leaking them.
+        self._close_listeners: list[Callable[[], None]] = []
         self._external_runtimes: dict[str, Callable] = {}
         self._model_listeners: list[Callable[[str, str], None]] = []
         # Every model mutation path (store, drop, transaction rollback)
@@ -224,6 +228,25 @@ class Database:
         if runtime is not None:
             runtime.remove_observer(fn)
 
+    def add_close_listener(self, fn: Callable[[], None]) -> None:
+        """Register ``fn()`` to run on every :meth:`close`.
+
+        Unlike shard observers (re-attached to the next runtime),
+        close listeners are lifecycle hooks: the serving layer uses
+        them to unsubscribe its event-bus consumers when the database
+        goes away, so test teardowns and short-lived databases never
+        leak subscribers on the process-wide BUS.
+        """
+        with self._distributed_lock:
+            self._close_listeners.append(fn)
+
+    def remove_close_listener(self, fn: Callable[[], None]) -> None:
+        with self._distributed_lock:
+            try:
+                self._close_listeners.remove(fn)
+            except ValueError:
+                pass
+
     def close(self) -> None:
         """Release process-pool resources (idempotent).
 
@@ -232,16 +255,21 @@ class Database:
         server), the worker pool is then drained, and only after the
         pool is provably gone does the ``database.closed`` event go
         out — a subscriber reacting to the event can never revive or
-        race the dying runtime.
+        race the dying runtime. Close listeners run last (even when no
+        runtime ever existed): by then every event of this lifecycle
+        has been published, so a listener detaching a metrics consumer
+        loses nothing.
         """
         with self._distributed_lock:
             runtime, self._distributed = self._distributed, None
-        if runtime is None:
-            return
-        for observer in list(self._shard_observers):
-            runtime.remove_observer(observer)
-        runtime.shutdown()
-        events.emit("database.closed", runtime_queries=runtime.queries)
+            listeners = list(self._close_listeners)
+        if runtime is not None:
+            for observer in list(self._shard_observers):
+                runtime.remove_observer(observer)
+            runtime.shutdown()
+            events.emit("database.closed", runtime_queries=runtime.queries)
+        for fn in listeners:
+            fn()
 
     def __enter__(self) -> "Database":
         return self

@@ -88,6 +88,10 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Why plans were invalidated (``stale`` = epoch drift, ``model``
+        #: = model version change) — the watchdog/observatory reads this
+        #: to tell statistics churn from model churn.
+        self.invalidations_by_reason: dict[str, int] = {}
 
     def get(self, fingerprint: str) -> CachedPlan | None:
         with self._lock:
@@ -111,12 +115,15 @@ class PlanCache:
                 self.evictions += 1
                 events.emit("plan_cache.evict", fingerprint=evicted)
 
-    def invalidate(self, fingerprint: str) -> None:
+    def invalidate(self, fingerprint: str, reason: str = "stale") -> None:
         with self._lock:
             if self._entries.pop(fingerprint, None) is not None:
                 self.invalidations += 1
+                self.invalidations_by_reason[reason] = (
+                    self.invalidations_by_reason.get(reason, 0) + 1
+                )
                 events.emit(
-                    "plan_cache.invalidate", fingerprint=fingerprint, reason="stale"
+                    "plan_cache.invalidate", fingerprint=fingerprint, reason=reason
                 )
 
     def invalidate_model(self, name: str) -> int:
@@ -132,6 +139,10 @@ class PlanCache:
                 del self._entries[fp]
                 events.emit("plan_cache.invalidate", fingerprint=fp, reason="model")
             self.invalidations += len(stale)
+            if stale:
+                self.invalidations_by_reason["model"] = (
+                    self.invalidations_by_reason.get("model", 0) + len(stale)
+                )
         return len(stale)
 
     def clear(self) -> None:
@@ -153,4 +164,5 @@ class PlanCache:
                 "hit_rate": self.hits / total if total else 0.0,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "invalidations_by_reason": dict(self.invalidations_by_reason),
             }

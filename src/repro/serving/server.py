@@ -98,7 +98,10 @@ class RavenServer:
         #: ``max_traces`` trace dicts are kept (see :meth:`traces`).
         self.trace_requests = trace_requests
         self._traces: deque = deque(maxlen=max(1, max_traces))
+        self._spans_dropped = 0  # across all completed traces, ever
         self._metrics = None
+        self._watchdog = None
+        self._profiler = None
         self.result_cache = result_cache or ResultCache(
             result_cache_capacity, result_ttl_seconds
         )
@@ -116,6 +119,12 @@ class RavenServer:
         self._observes_shards = hasattr(session.database, "add_shard_observer")
         if self._observes_shards:
             session.database.add_shard_observer(self._on_shard_query)
+        # Database.close() must tear down this server's process-wide
+        # BUS subscribers (metrics / watchdog / profiler) even when the
+        # caller never shuts the server down explicitly.
+        self._observes_close = hasattr(session.database, "add_close_listener")
+        if self._observes_close:
+            session.database.add_close_listener(self._on_database_close)
         self._prepared: dict[str, _PreparedSpec] = {}
         self._batchers: dict[tuple, MicroBatcher] = {}
         self._lock = threading.Lock()
@@ -145,7 +154,11 @@ class RavenServer:
         self.session.database.remove_model_listener(self._on_model_event)
         if self._observes_shards:
             self.session.database.remove_shard_observer(self._on_shard_query)
+        if self._observes_close:
+            self.session.database.remove_close_listener(self._on_database_close)
         self.disable_metrics()
+        self.disable_watchdog()
+        self.disable_profiler()
         for batcher in batchers:
             batcher.close()
         for _ in self._workers:
@@ -427,6 +440,12 @@ class RavenServer:
                     with qtrace.trace_query(label) as trace:
                         result = fn()
                     self._traces.append(trace)
+                    if trace.spans_dropped:
+                        with self._lock:
+                            self._spans_dropped += trace.spans_dropped
+                    profiler = self._profiler
+                    if profiler is not None:
+                        profiler.record(trace, query=label)
                 else:
                     result = fn()
             except BaseException as exc:  # noqa: BLE001 — report to caller
@@ -467,6 +486,73 @@ class RavenServer:
             metrics, self._metrics = self._metrics, None
         if metrics is not None:
             metrics.detach()
+
+    def enable_watchdog(self, auto_analyze: bool = True, **config):
+        """Opt in to the workload watchdog (idempotent).
+
+        Attaches a
+        :class:`~repro.observability.watchdog.WorkloadWatchdog` to the
+        process-wide event bus: serving traffic's measured q-error
+        drift auto-triggers ``ANALYZE`` (unless ``auto_analyze=False``,
+        the observe-only mode), and its decision log appears under
+        ``server.stats()["watchdog"]``.
+        """
+        from repro.observability.watchdog import WorkloadWatchdog
+
+        with self._lock:
+            if self._watchdog is None:
+                self._watchdog = WorkloadWatchdog(
+                    self.session.database,
+                    auto_analyze=auto_analyze,
+                    **config,
+                ).attach(events.BUS)
+            return self._watchdog
+
+    def disable_watchdog(self) -> None:
+        with self._lock:
+            watchdog, self._watchdog = self._watchdog, None
+        if watchdog is not None:
+            watchdog.detach()
+
+    def enable_profiler(self, **config):
+        """Opt in to the query-log profiler (idempotent).
+
+        Completed request traces fold into fingerprint-keyed aggregates
+        (per-operator self time, top-K slow queries, per-stage and
+        per-backend breakdowns); the report appears under
+        ``server.stats()["profiler"]`` and in full via
+        ``server.profiler_report()``. Forces ``trace_requests`` on —
+        the profiler is a consumer of traces.
+        """
+        from repro.observability.profiler import QueryLogProfiler
+
+        with self._lock:
+            if self._profiler is None:
+                self._profiler = QueryLogProfiler(**config).attach(events.BUS)
+                self.trace_requests = True
+            return self._profiler
+
+    def disable_profiler(self) -> None:
+        with self._lock:
+            profiler, self._profiler = self._profiler, None
+        if profiler is not None:
+            profiler.detach()
+
+    def profiler_report(self, top_k: int | None = None) -> dict | None:
+        """The full workload profile (with exemplar traces), or ``None``
+        when the profiler is off."""
+        profiler = self._profiler
+        if profiler is None:
+            return None
+        return profiler.report(top_k=top_k)
+
+    def _on_database_close(self) -> None:
+        # The database this server fronts is gone: release every
+        # process-wide BUS subscription so nothing keeps firing into
+        # (or leaking from) a dead serving stack.
+        self.disable_metrics()
+        self.disable_watchdog()
+        self.disable_profiler()
 
     def traces(self) -> list[dict]:
         """The retained request traces (oldest first), as JSON dicts."""
@@ -509,7 +595,23 @@ class RavenServer:
         metrics = self._metrics
         if metrics is not None:
             snapshot["metrics"] = metrics.registry.snapshot()
+        watchdog = self._watchdog
+        if watchdog is not None:
+            snapshot["watchdog"] = watchdog.stats()
+        profiler = self._profiler
+        if profiler is not None:
+            # Exemplar span trees stay out of the stats surface; the
+            # full report is server.profiler_report().
+            snapshot["profiler"] = profiler.report(include_traces=False)
         snapshot["events"] = events.BUS.stats()
+        with self._lock:
+            spans_dropped = self._spans_dropped
+        snapshot["traces"] = {
+            "retained": len(self._traces),
+            "capacity": self._traces.maxlen,
+            "span_cap": qtrace.MAX_SPANS,
+            "spans_dropped": spans_dropped,
+        }
         return snapshot
 
 
