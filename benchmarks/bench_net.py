@@ -1,0 +1,285 @@
+"""Network front-door benchmark: live HTTP serving under concurrency.
+
+Scenarios (printed as JSON for the bench trajectory):
+
+* **concurrent_clients** — keep-alive HTTP clients hammer
+  ``POST /prepared/{name}/execute`` against a live asyncio front door;
+  the gate floors end-to-end requests/second (conservatively — CI
+  runners are shared) and requires zero errors.
+* **overload_shedding** — with one worker pinned busy and a 2-slot
+  admission queue, a request burst must be *shed*, not queued without
+  bound: ``429`` from the queue, then ``503`` once the circuit breaker
+  trips, then recovery to ``200`` after the cooldown.
+* **idempotent_replay** — the same request with an ``Idempotency-Key``
+  repeated N times executes once and replays byte-identically N-1
+  times.
+
+Run:  PYTHONPATH=src python benchmarks/bench_net.py [--smoke]
+
+``--smoke`` shrinks row and request counts so CI exercises the full
+code path in seconds; the throughput claim asserts only at full size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+
+from repro import Database, RavenSession, Table
+from repro.serving import RavenServer
+from repro.serving.net import HttpFrontDoor
+
+PREPARED_SQL = "SELECT id, x FROM points WHERE x < ? ORDER BY id"
+
+
+def build_database(rows: int) -> Database:
+    rng = np.random.default_rng(42)
+    db = Database()
+    db.register_table(
+        "points",
+        Table.from_dict(
+            {
+                "id": np.arange(rows, dtype=np.int64),
+                "x": rng.uniform(0.0, 100.0, rows),
+                "y": rng.normal(0.0, 1.0, rows),
+            }
+        ),
+    )
+    return db
+
+
+def _post(conn, path, payload):
+    conn.request("POST", path, body=json.dumps(payload))
+    response = conn.getresponse()
+    body = response.read()
+    return response.status, body
+
+
+def bench_concurrent_clients(door, clients: int, per_client: int) -> dict:
+    errors: list[object] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def client_loop():
+        conn = http.client.HTTPConnection(door.host, door.port, timeout=30)
+        barrier.wait()
+        for index in range(per_client):
+            status, body = _post(
+                conn,
+                "/prepared/filter/execute",
+                {"params": [float(5 + (index % 90))]},
+            )
+            if status != 200:
+                errors.append((status, body[:120]))
+        conn.close()
+
+    threads = [threading.Thread(target=client_loop) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - started
+    total = clients * per_client
+    return {
+        "clients": clients,
+        "requests": total,
+        "seconds": seconds,
+        "requests_per_second": total / max(seconds, 1e-9),
+        "errors": len(errors),
+    }
+
+
+def bench_overload_shedding(db) -> dict:
+    session = RavenSession(db)
+    server = RavenServer(session, workers=1, max_queue=2)
+    server.prepare("filter", PREPARED_SQL)
+    door = HttpFrontDoor(
+        server,
+        breaker_failure_threshold=3,
+        breaker_cooldown_seconds=0.3,
+        request_timeout_seconds=10.0,
+    )
+    door.start()
+    statuses: list[int] = []
+    lock = threading.Lock()
+    try:
+        # Pin the only worker busy so the burst saturates the queue
+        # deterministically (same-process privilege; real deployments
+        # reach this state through slow queries).
+        busy = server._enqueue(lambda: time.sleep(0.6), label="busy")
+
+        def burst():
+            conn = http.client.HTTPConnection(
+                door.host, door.port, timeout=30
+            )
+            for _ in range(3):
+                status, _body = _post(
+                    conn, "/query", {"sql": PREPARED_SQL, "params": [50.0]}
+                )
+                with lock:
+                    statuses.append(status)
+            conn.close()
+
+        threads = [threading.Thread(target=burst) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        busy.result(5)
+
+        # Past the cooldown the half-open probe should close the circuit.
+        time.sleep(0.4)
+        recovered = False
+        conn = http.client.HTTPConnection(door.host, door.port, timeout=30)
+        for _ in range(20):
+            status, _body = _post(
+                conn, "/query", {"sql": PREPARED_SQL, "params": [50.0]}
+            )
+            if status == 200:
+                recovered = True
+                break
+            time.sleep(0.2)
+        conn.close()
+        stats = door.stats()
+        return {
+            "requests_sent": len(statuses),
+            "ok": statuses.count(200),
+            "shed_429_overload": stats["rejected_overload"],
+            "shed_503_circuit_open": stats["rejected_circuit_open"],
+            "breaker_opens": stats["breaker"]["opens"],
+            "recovered": recovered,
+        }
+    finally:
+        door.close()
+        server.shutdown()
+
+
+def bench_idempotent_replay(door, repeats: int) -> dict:
+    payload = json.dumps(
+        {"sql": PREPARED_SQL, "params": [42.0]}
+    ).encode("utf-8")
+    request = (
+        b"POST /query HTTP/1.1\r\n"
+        b"Host: bench\r\n"
+        b"Idempotency-Key: bench-replay\r\n"
+        b"Connection: close\r\n"
+        b"Content-Length: " + str(len(payload)).encode() + b"\r\n"
+        b"\r\n" + payload
+    )
+
+    def exchange() -> bytes:
+        with socket.create_connection(
+            (door.host, door.port), timeout=30
+        ) as sock:
+            sock.sendall(request)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        return b"".join(chunks)
+
+    started = time.perf_counter()
+    first = exchange()
+    first_seconds = time.perf_counter() - started
+    replay_times = []
+    identical = True
+    for _ in range(repeats - 1):
+        started = time.perf_counter()
+        replay = exchange()
+        replay_times.append(time.perf_counter() - started)
+        identical = identical and replay == first
+    replay_seconds = sorted(replay_times)[len(replay_times) // 2]
+    return {
+        "repeats": repeats,
+        "replays": door.stats()["idempotency"]["replays"],
+        "byte_identical": identical,
+        "first_seconds": first_seconds,
+        "replay_seconds": replay_seconds,
+        "replay_speedup": first_seconds / max(replay_seconds, 1e-9),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true")
+    args = parser.parse_args()
+
+    rows = 2_000 if args.smoke else 50_000
+    clients = 4 if args.smoke else 8
+    per_client = 8 if args.smoke else 40
+    throughput_floor = 5.0 if args.smoke else 20.0
+
+    db = build_database(rows)
+    session = RavenSession(db)
+    server = RavenServer(session, workers=4)
+    server.prepare("filter", PREPARED_SQL)
+    door = HttpFrontDoor(server)
+    door.start()
+    try:
+        concurrent = bench_concurrent_clients(door, clients, per_client)
+        replay = bench_idempotent_replay(door, 5)
+    finally:
+        door.close()
+        server.shutdown()
+    shedding = bench_overload_shedding(db)
+    db.close()
+
+    results = {
+        "smoke": args.smoke,
+        "table_rows": rows,
+        "concurrent_clients": concurrent,
+        "overload_shedding": shedding,
+        "idempotent_replay": replay,
+        "claims": {
+            "throughput_pass": (
+                concurrent["requests_per_second"] >= throughput_floor
+                and concurrent["errors"] == 0
+            ),
+            "shedding_pass": (
+                shedding["shed_429_overload"] >= 1
+                and shedding["breaker_opens"] >= 1
+                and shedding["recovered"]
+            ),
+            "replay_pass": (
+                replay["byte_identical"]
+                and replay["replays"] == replay["repeats"] - 1
+            ),
+        },
+    }
+    print(
+        f"concurrent: {concurrent['requests']} requests from "
+        f"{concurrent['clients']} clients -> "
+        f"{concurrent['requests_per_second']:.0f} req/s "
+        f"({concurrent['errors']} errors)"
+    )
+    print(
+        f"shedding: {shedding['ok']} ok, "
+        f"{shedding['shed_429_overload']} x 429, "
+        f"{shedding['shed_503_circuit_open']} x 503, "
+        f"opens={shedding['breaker_opens']}, "
+        f"recovered={shedding['recovered']}"
+    )
+    print(
+        f"replay: {replay['replays']} replays, "
+        f"byte_identical={replay['byte_identical']}, "
+        f"{replay['replay_speedup']:.1f}x vs first execution"
+    )
+    print(json.dumps(results, indent=2))
+
+    assert results["claims"]["shedding_pass"], shedding
+    assert results["claims"]["replay_pass"], replay
+    if not args.smoke:
+        assert results["claims"]["throughput_pass"], concurrent
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ import sys
 
 BENCHMARKS = (
     "bench_serving",
+    "bench_net",
     "bench_planning",
     "bench_memo",
     "bench_distributed",

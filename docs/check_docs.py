@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Documentation checks: snippet syntax and relative-link integrity.
+
+Two pure checks over the repo's markdown (README.md, ROADMAP.md,
+docs/*.md), runnable standalone (CI's docs job) or through
+``tests/test_docs.py``:
+
+* every fenced ```python block must *compile* — docs with syntax
+  errors are worse than no docs;
+* every relative markdown link must point at a file that exists.
+
+Snippets are syntax-checked, not executed: examples may reference
+names (``db``, ``server``) introduced in prose or elide bodies with
+``...``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+#: The markdown surfaces under check.
+DOC_PATHS = ("README.md", "ROADMAP.md", "docs")
+
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _label(path: pathlib.Path) -> str:
+    try:
+        return str(path.relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+def doc_files() -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for entry in DOC_PATHS:
+        path = REPO / entry
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def python_snippets(path: pathlib.Path) -> list[tuple[int, str]]:
+    """``(first_line_number, code)`` for every ```python fence."""
+    snippets = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_python = False
+    start = 0
+    buffer: list[str] = []
+    for number, line in enumerate(lines, 1):
+        match = _FENCE.match(line)
+        if match is None:
+            if in_python:
+                buffer.append(line)
+            continue
+        if in_python:
+            snippets.append((start, "\n".join(buffer)))
+            in_python = False
+        elif match.group(1) == "python":
+            in_python = True
+            start = number + 1
+            buffer = []
+    return snippets
+
+
+def prose_without_fences(path: pathlib.Path) -> str:
+    """The file's text with all fenced code blocks blanked out."""
+    kept = []
+    fenced = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            fenced = not fenced
+            continue
+        kept.append("" if fenced else line)
+    return "\n".join(kept)
+
+
+def check_snippets(files) -> list[str]:
+    errors = []
+    for path in files:
+        for lineno, code in python_snippets(path):
+            try:
+                compile(code, f"{path}:{lineno}", "exec")
+            except SyntaxError as exc:
+                errors.append(
+                    f"{_label(path)}:{lineno}: "
+                    f"python snippet does not compile: {exc.msg} "
+                    f"(snippet line {exc.lineno})"
+                )
+    return errors
+
+
+def check_links(files) -> list[str]:
+    errors = []
+    for path in files:
+        for match in _LINK.finditer(prose_without_fences(path)):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                errors.append(
+                    f"{_label(path)}: broken relative link -> {target}"
+                )
+    return errors
+
+
+def main() -> int:
+    files = doc_files()
+    errors = check_snippets(files) + check_links(files)
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown files: "
+        f"{sum(len(python_snippets(f)) for f in files)} python snippets, "
+        f"{len(errors)} errors"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,16 +2,29 @@
 
 Shows the production-facing surface of the reproduction: prepare a
 parameterized inference query once, then serve many concurrent
-requests — micro-batched single-row scoring and parameterized analytics —
-and read the server's own metrics.
+requests — micro-batched single-row scoring and parameterized
+analytics — read the server's own metrics, and finally put the whole
+thing on the network behind the asyncio HTTP front door and talk to
+it with nothing but ``urllib``.
 
 Run with:  PYTHONPATH=src python examples/serving.py
 """
 
+import json
+import urllib.request
+
 import numpy as np
 
-from repro import Database, RavenServer, RavenSession, Table
+from repro import Database, HttpFrontDoor, RavenServer, RavenSession, Table
 from repro.ml import DecisionTreeClassifier, Pipeline, StandardScaler
+
+
+def _http(url: str, payload: dict | None = None, **headers) -> dict:
+    """One HTTP exchange (POST if *payload*, else GET) -> parsed JSON."""
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data, headers=headers)
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
 
 
 def main() -> None:
@@ -107,6 +120,65 @@ def main() -> None:
     print(f"  batches         : {stats['batches']} "
           f"(mean size {stats['mean_batch_size']:.1f})")
     print(f"  batch histogram : {stats['batch_size_histogram']}")
+
+    # 4. The network front door: the same server behind a real asyncio
+    #    HTTP/1.1 listener, driven here with plain urllib. Port 0 binds
+    #    an ephemeral port, so the example never collides with anything.
+    with RavenServer(session, workers=2) as server:
+        server.prepare(
+            "young_applicants",
+            """
+            SELECT id, age, income FROM applicants
+            WHERE age < ? ORDER BY id LIMIT 3
+            """,
+        )
+        with HttpFrontDoor(server) as door:
+            print(f"\nHTTP front door listening on {door.url}")
+
+            # Ad-hoc SQL over the wire.
+            body = _http(
+                door.url + "/query",
+                {
+                    "sql": "SELECT COUNT(*) AS n FROM applicants "
+                           "WHERE income > ?",
+                    "params": [80.0],
+                },
+            )
+            print(f"  POST /query -> high earners: "
+                  f"{body['columns']['n'][0]}")
+
+            # A prepared query by name — planned once, bound per call.
+            body = _http(
+                door.url + "/prepared/young_applicants/execute",
+                {"params": [25.0]},
+            )
+            print(f"  POST /prepared/young_applicants/execute -> "
+                  f"ids {body['columns']['id']}")
+
+            # Idempotency: the same key replays the recorded response
+            # without re-executing the query.
+            for _ in range(2):
+                _http(
+                    door.url + "/query",
+                    {"sql": "SELECT AVG(age) AS mean_age FROM applicants"},
+                    **{"Idempotency-Key": "example-1"},
+                )
+            replays = door.stats()["idempotency"]["replays"]
+            print(f"  Idempotency-Key example-1 sent twice -> "
+                  f"{replays} replay (executed once)")
+
+            # The observability surface, straight off the socket.
+            health = _http(door.url + "/healthz")
+            print(f"  GET /healthz -> {health['status']}")
+            with urllib.request.urlopen(
+                door.url + "/metrics", timeout=30
+            ) as response:
+                exposition = response.read().decode()
+            net_lines = [
+                line for line in exposition.splitlines()
+                if line.startswith("repro_net_requests ")
+            ]
+            print(f"  GET /metrics -> {net_lines[0]}")
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from repro.core import RavenResult, RavenSession
 from repro.observability import MetricsRegistry, QueryTrace, get_event_bus
 from repro.relational import Database, Table
 from repro.serving import (
+    HttpFrontDoor,
     MicroBatcher,
     PlanCache,
     PreparedQuery,
@@ -47,6 +48,7 @@ from repro.serving import (
 
 __all__ = [
     "Database",
+    "HttpFrontDoor",
     "MetricsRegistry",
     "MicroBatcher",
     "PlanCache",

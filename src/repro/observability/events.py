@@ -14,7 +14,8 @@ the subscriber set changes) and returns before building the event
 object. Hot paths may additionally guard with ``if BUS.active:`` to
 skip even the keyword-argument packing.
 
-Event taxonomy (see README "Observability"):
+Event taxonomy (the complete reference, with payload fields, lives in
+``docs/events.md`` and is asserted against emit sites by a test):
 
 - ``serving.submitted / completed / failed / rejected / batch / replan``
 - ``plan_cache.hit / miss / put / evict / invalidate``
@@ -22,6 +23,8 @@ Event taxonomy (see README "Observability"):
 - ``backend.run``
 - ``optimizer.memo_search``
 - ``distributed.gather / degraded``
+- ``net.request / rejected / idempotent_replay / disconnect``
+- ``net.circuit_open / circuit_half_open / circuit_closed``
 - ``trace.completed``
 - ``watchdog.drift_detected / analyze_triggered``
 - ``database.closed``

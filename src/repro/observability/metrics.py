@@ -195,6 +195,7 @@ class ServingMetrics:
         self._fanout = r.histogram(
             "distributed.fanout", buckets=DEFAULT_SIZE_BUCKETS
         )
+        self._net_latency = r.histogram("net.latency_seconds")
 
     def attach(self, bus: EventBus) -> "ServingMetrics":
         if self._bus is not None:
@@ -256,3 +257,18 @@ class ServingMetrics:
                 self._fragment.observe(seconds)
         elif name == "distributed.degraded":
             registry.counter("distributed.degraded").inc()
+        elif name == "net.request":
+            registry.counter("net.requests").inc()
+            status = attrs.get("status", 0)
+            registry.counter(f"net.status.{status // 100}xx").inc()
+            self._net_latency.observe(attrs.get("latency_seconds", 0.0))
+        elif name == "net.rejected":
+            registry.counter("net.rejected").inc()
+            reason = attrs.get("reason", "unknown")
+            registry.counter(f"net.rejected.{reason}").inc()
+        elif name == "net.idempotent_replay":
+            registry.counter("net.idempotent_replays").inc()
+        elif name == "net.disconnect":
+            registry.counter("net.disconnects").inc()
+        elif name.startswith("net.circuit_"):
+            registry.counter(name).inc()

@@ -16,10 +16,15 @@ subpackage makes that amortization explicit for concurrent traffic:
 * :class:`RavenServer` — N worker threads behind a bounded admission
   queue, with :class:`ServingStats` metrics (throughput, p50/p95 latency,
   cache hit rates, batch-size histogram).
+* :class:`HttpFrontDoor` (:mod:`repro.serving.net`) — the asyncio
+  HTTP/1.1 network front end over the admission queue: idempotency-key
+  replay, per-client token-bucket backpressure, request timeouts with
+  cooperative cancellation, and circuit-breaker load shedding.
 """
 
 from repro.serving.batcher import MicroBatcher
 from repro.serving.fingerprint import sql_fingerprint, table_fingerprint
+from repro.serving.net import HttpFrontDoor
 from repro.serving.plan_cache import CachedPlan, PlanCache
 from repro.serving.prepared import PreparedQuery
 from repro.serving.result_cache import ResultCache
@@ -28,6 +33,7 @@ from repro.serving.stats import ServingStats
 
 __all__ = [
     "CachedPlan",
+    "HttpFrontDoor",
     "MicroBatcher",
     "PlanCache",
     "PreparedQuery",

@@ -1,0 +1,28 @@
+"""The network front door: asyncio HTTP/1.1 serving with resilience.
+
+See :mod:`repro.serving.net.frontdoor` for the server,
+:mod:`repro.serving.net.resilience` for the middleware state machines
+(idempotency replay, token buckets, circuit breaker), and
+``docs/serving.md`` for the HTTP API reference.
+"""
+
+from repro.serving.net.codec import payload_to_table, table_to_payload
+from repro.serving.net.frontdoor import HttpFrontDoor
+from repro.serving.net.http11 import HttpError, Request, Response
+from repro.serving.net.resilience import (
+    CircuitBreaker,
+    IdempotencyCache,
+    TokenBucketLimiter,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "HttpError",
+    "HttpFrontDoor",
+    "IdempotencyCache",
+    "Request",
+    "Response",
+    "TokenBucketLimiter",
+    "payload_to_table",
+    "table_to_payload",
+]

@@ -1,0 +1,66 @@
+"""JSON wire encoding for tables crossing the HTTP boundary.
+
+Result tables travel columnar — ``{"num_rows": N, "columns": {name:
+[values...]}}`` — which round-trips through :func:`Table.from_dict`
+on a client and keeps the encoding a direct ``tolist()`` per column.
+Request data tables arrive in the same shape (the ``columns`` mapping
+alone is also accepted).
+
+Non-finite floats are emitted as JSON ``NaN``/``Infinity`` tokens —
+Python's :mod:`json` default, accepted back by :func:`json.loads` —
+matching the engine's NULL-as-NaN convention.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.relational.table import Table
+from repro.serving.net.http11 import HttpError
+
+
+def table_to_payload(table: Table) -> dict:
+    return {
+        "num_rows": table.num_rows,
+        "columns": {
+            name: table.column(name).tolist() for name in table.schema.names
+        },
+    }
+
+
+def payload_to_table(obj, name: str = "data") -> Table:
+    columns = obj.get("columns", obj) if isinstance(obj, Mapping) else obj
+    if not isinstance(columns, Mapping) or not columns:
+        raise HttpError(
+            400,
+            f"data table {name!r} must be a non-empty "
+            "{column: [values...]} mapping",
+        )
+    try:
+        return Table.from_dict(columns)
+    except Exception as exc:
+        raise HttpError(400, f"data table {name!r}: {exc}") from None
+
+
+def payload_to_tables(obj) -> dict[str, Table] | None:
+    if obj is None:
+        return None
+    if not isinstance(obj, Mapping):
+        raise HttpError(400, '"data" must map table names to columns')
+    return {
+        str(name): payload_to_table(value, str(name))
+        for name, value in obj.items()
+    }
+
+
+def parse_json_body(body: bytes) -> dict:
+    if not body:
+        return {}
+    try:
+        parsed = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise HttpError(400, f"request body is not valid JSON: {exc}") from None
+    if not isinstance(parsed, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    return parsed

@@ -1,0 +1,252 @@
+"""Minimal HTTP/1.1 framing over :mod:`asyncio` streams.
+
+This is deliberately not a web framework: the front door speaks just
+enough HTTP/1.1 (request line, headers, ``Content-Length`` bodies,
+keep-alive) to put the serving subsystem on a real wire with the
+stdlib only. The parser is defensive in the ways a front door must be:
+
+* the request line and each header line are bounded by the stream's
+  read limit (oversized lines become ``431``, not unbounded buffering);
+* header *count* is capped;
+* a body larger than ``max_body_bytes`` is rejected from its declared
+  ``Content-Length`` — **before** any body byte is read — so a client
+  cannot make the server buffer a payload it will refuse anyway;
+* ``Transfer-Encoding`` (chunked uploads) is declined with ``501``.
+
+Responses carry no ``Date`` header: a response is a pure function of
+the request, which is what lets the idempotency replay cache return
+byte-identical responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+#: Response phrases for every status the front door emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+    505: "HTTP Version Not Supported",
+}
+
+#: Maximum number of header lines accepted per request.
+MAX_HEADERS = 64
+
+#: Stream read limit (bounds the request line and each header line).
+MAX_LINE_BYTES = 16 * 1024
+
+SERVER_NAME = "repro-raven"
+
+
+class HttpError(Exception):
+    """A protocol-level rejection that maps straight to a response.
+
+    ``close=True`` additionally drops the connection after the error
+    response — used when the request body was never drained (oversized
+    payloads) so the parser cannot resynchronize on the next request.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: int | None = None,
+        close: bool = False,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+        self.close = close
+
+    def response(self) -> "Response":
+        return error_response(
+            self.status, self.message,
+            retry_after=self.retry_after, close=self.close,
+        )
+
+
+@dataclass
+class Request:
+    """One parsed request. Header names are lower-cased; last wins."""
+
+    method: str
+    path: str
+    query: str
+    version: str
+    headers: dict[str, str]
+    body: bytes
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+@dataclass
+class Response:
+    """One response, encodable to deterministic wire bytes."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    close: bool = False
+
+    def encode(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Server: {SERVER_NAME}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+        ]
+        for name, value in self.headers:
+            lines.append(f"{name}: {value}")
+        lines.append(f"Connection: {'close' if self.close else 'keep-alive'}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+def json_response(
+    payload,
+    status: int = 200,
+    headers: tuple[tuple[str, str], ...] = (),
+    close: bool = False,
+) -> Response:
+    body = json.dumps(payload, default=str).encode("utf-8")
+    return Response(
+        status=status, body=body, headers=tuple(headers), close=close
+    )
+
+
+def error_response(
+    status: int,
+    message: str,
+    retry_after: int | None = None,
+    close: bool = False,
+) -> Response:
+    headers: tuple[tuple[str, str], ...] = ()
+    if retry_after is not None:
+        headers = (("Retry-After", str(max(1, int(retry_after)))),)
+    return json_response(
+        {"error": REASONS.get(status, "error"), "detail": message},
+        status=status,
+        headers=headers,
+        close=close,
+    )
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Request | None:
+    """Parse one request; ``None`` on clean end-of-stream.
+
+    Raises :class:`HttpError` on protocol violations. The body size
+    check runs on the declared ``Content-Length`` before a single body
+    byte is read.
+    """
+    line = await _read_line(reader)
+    for _ in range(4):  # tolerate stray CRLFs between requests (RFC 9112)
+        if line != b"":
+            break
+        line = await _read_line(reader)
+    if line == b"":
+        raise HttpError(400, "expected a request line", close=True)
+    if line is None:
+        return None
+    try:
+        method, target, version = line.decode("latin-1").split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line", close=True) from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(505, f"unsupported version {version!r}", close=True)
+
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if line is None:
+            return None  # client vanished mid-headers
+        if line == b"":
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(431, "too many header fields", close=True)
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "malformed header line", close=True)
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(
+            501, "Transfer-Encoding is not supported; send Content-Length",
+            close=True,
+        )
+    raw_length = headers.get("content-length", "0")
+    try:
+        content_length = int(raw_length)
+        if content_length < 0:
+            raise ValueError
+    except ValueError:
+        raise HttpError(
+            400, f"invalid Content-Length {raw_length!r}", close=True
+        ) from None
+    if content_length > max_body_bytes:
+        # Reject from the declared size, before buffering anything: the
+        # connection is closed un-drained, never read.
+        raise HttpError(
+            413,
+            f"body of {content_length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+            close=True,
+        )
+    body = b""
+    if content_length:
+        try:
+            body = await reader.readexactly(content_length)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+
+    path, _, query = target.partition("?")
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=query,
+        version=version,
+        headers=headers,
+        body=body,
+    )
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes | None:
+    """One CRLF-terminated line sans terminator; ``None`` at EOF."""
+    try:
+        line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError):
+        # The stream limit bounds line length; a line that long is
+        # hostile, not a framing hiccup.
+        raise HttpError(431, "request line or header too long", close=True)
+    except ConnectionError:
+        return None
+    if line == b"":
+        return None
+    if not line.endswith(b"\n"):
+        # readline returned a partial line: the peer closed mid-line.
+        return None
+    return line.rstrip(b"\r\n")

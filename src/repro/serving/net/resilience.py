@@ -1,0 +1,271 @@
+"""Resilience middleware state for the HTTP front door.
+
+Three mechanisms, all bounded-memory and all owned by the front door's
+single event-loop thread (no locks needed on their hot paths):
+
+* :class:`IdempotencyCache` — a TTL replay cache keyed by
+  ``(route, Idempotency-Key)``. A retry of a completed request replays
+  the stored response byte-identically; a retry that races an
+  *in-flight* original awaits the same execution instead of running
+  the work twice. This is what makes client-side retry-after-timeout
+  safe against non-idempotent effects (double scoring, double charge).
+* :class:`TokenBucketLimiter` — per-client token buckets. A client
+  that exceeds its refill rate gets ``429 Retry-After`` instead of a
+  queue slot, so one chatty client cannot starve the admission queue.
+* :class:`CircuitBreaker` — a closed → open → half-open state machine
+  over admission-queue overload. Consecutive overload rejections trip
+  the breaker; while open, requests are shed at the network layer with
+  ``503 Retry-After`` without ever touching the queue; after the
+  cooldown a single probe request decides between closing and
+  re-opening. State transitions emit ``net.circuit_*`` events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+
+from repro.observability import events
+
+
+class _IdemEntry:
+    __slots__ = ("future", "response", "expires_at")
+
+    def __init__(self, future):
+        self.future = future
+        self.response = None
+        self.expires_at = None  # pending entries never expire
+
+
+class IdempotencyCache:
+    """Bounded TTL replay cache for idempotent retries.
+
+    :meth:`begin` returns one of:
+
+    * ``("replay", response)`` — a completed entry; send it verbatim.
+    * ``("join", future)`` — the original request is still executing;
+      await the future for its response.
+    * ``("own", None)`` — the caller owns this key and must call
+      :meth:`finish` (cache + wake joiners) or :meth:`abandon`
+      (drop the key so a later retry re-executes).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl_seconds: float = 60.0,
+        clock=time.monotonic,
+    ):
+        self.capacity = max(1, capacity)
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: OrderedDict[tuple, _IdemEntry] = OrderedDict()
+        self.replays = 0
+        self.stores = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def begin(self, key: tuple):
+        entry = self._entries.get(key)
+        now = self._clock()
+        if entry is not None:
+            if entry.response is not None and entry.expires_at <= now:
+                del self._entries[key]
+                self.expirations += 1
+            elif entry.response is not None:
+                self._entries.move_to_end(key)
+                self.replays += 1
+                return "replay", entry.response
+            else:
+                return "join", entry.future
+        entry = _IdemEntry(asyncio.get_running_loop().create_future())
+        self._entries[key] = entry
+        return "own", None
+
+    def finish(self, key: tuple, response) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        entry.response = response
+        entry.expires_at = self._clock() + self.ttl_seconds
+        if not entry.future.done():
+            entry.future.set_result(response)
+        self.stores += 1
+        self._entries.move_to_end(key)
+        self._evict()
+
+    def abandon(self, key: tuple, response=None) -> None:
+        """Drop a pending key (the attempt did not produce a cacheable
+        response); joiners still receive ``response`` when given."""
+        entry = self._entries.pop(key, None)
+        if entry is not None and not entry.future.done():
+            entry.future.set_result(response)
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.capacity:
+            # Oldest completed entry first; pending entries are pinned
+            # (evicting one would orphan its joiners).
+            victim = next(
+                (
+                    key
+                    for key, entry in self._entries.items()
+                    if entry.response is not None
+                ),
+                None,
+            )
+            if victim is None:
+                return
+            del self._entries[victim]
+            self.evictions += 1
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "replays": self.replays,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+        }
+
+
+class TokenBucketLimiter:
+    """Per-client token buckets (classic rate + burst).
+
+    ``rate_per_second=None`` disables limiting (every acquire grants).
+    Client state is LRU-bounded: an idle client's bucket ages out once
+    ``max_clients`` distinct peers have been seen.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float | None,
+        burst: float | None = None,
+        max_clients: int = 1024,
+        clock=time.monotonic,
+    ):
+        self.rate = rate_per_second
+        self.burst = burst if burst is not None else (
+            max(1.0, 2.0 * rate_per_second) if rate_per_second else 1.0
+        )
+        self.max_clients = max(1, max_clients)
+        self._clock = clock
+        self._buckets: OrderedDict[str, list[float]] = OrderedDict()
+        self.denials = 0
+
+    def acquire(self, client: str) -> float:
+        """``0.0`` when a token was granted, else seconds until one."""
+        if not self.rate:
+            return 0.0
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = [self.burst, now]
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        tokens, last = bucket
+        tokens = min(self.burst, tokens + (now - last) * self.rate)
+        if tokens >= 1.0:
+            bucket[0] = tokens - 1.0
+            bucket[1] = now
+            return 0.0
+        bucket[0] = tokens
+        bucket[1] = now
+        self.denials += 1
+        return (1.0 - tokens) / self.rate
+
+    def stats(self) -> dict:
+        return {
+            "rate_per_second": self.rate,
+            "burst": self.burst,
+            "clients": len(self._buckets),
+            "denials": self.denials,
+        }
+
+
+class CircuitBreaker:
+    """Load shedding over admission-queue overload.
+
+    ``failure_threshold`` *consecutive* overloads open the circuit for
+    ``cooldown_seconds``; while open every request is shed without
+    touching the admission queue. After the cooldown the breaker goes
+    half-open and admits a single probe: success closes it, another
+    overload re-opens it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 1.0,
+        clock=time.monotonic,
+    ):
+        self.failure_threshold = max(1, failure_threshold)
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.opens = 0
+        self.shed = 0
+
+    def allow(self) -> tuple[bool, float]:
+        """``(admit?, retry_after_seconds)`` for one request."""
+        if self.state == self.CLOSED:
+            return True, 0.0
+        now = self._clock()
+        remaining = self._opened_at + self.cooldown_seconds - now
+        if self.state == self.OPEN:
+            if remaining > 0:
+                self.shed += 1
+                return False, remaining
+            self.state = self.HALF_OPEN
+            self._probe_in_flight = False
+            events.emit("net.circuit_half_open", opens=self.opens)
+        # Half-open: exactly one probe at a time; everyone else sheds.
+        if self._probe_in_flight:
+            self.shed += 1
+            return False, self.cooldown_seconds
+        self._probe_in_flight = True
+        return True, 0.0
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self.state = self.CLOSED
+            self._probe_in_flight = False
+            events.emit("net.circuit_closed", opens=self.opens)
+
+    def record_overload(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == self.HALF_OPEN or (
+            self.state == self.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self.state = self.OPEN
+            self._opened_at = self._clock()
+            self._probe_in_flight = False
+            self.opens += 1
+            events.emit(
+                "net.circuit_open",
+                failures=self._consecutive_failures,
+                cooldown_seconds=self.cooldown_seconds,
+            )
+
+    def stats(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "opens": self.opens,
+            "shed": self.shed,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_seconds": self.cooldown_seconds,
+        }

@@ -241,6 +241,21 @@ class RavenServer:
     def prepared(self, name: str) -> PreparedQuery:
         return self._spec(name).prepared
 
+    def resolve_prepared(self, ref: str) -> str:
+        """The registered name for ``ref`` — a name or a plan fingerprint.
+
+        The HTTP front door addresses prepared queries by either form
+        (``POST /prepared/{name-or-fingerprint}/execute``); fingerprints
+        are listed next to their names in ``stats()["prepared"]``.
+        """
+        with self._lock:
+            if ref in self._prepared:
+                return ref
+            for name, spec in self._prepared.items():
+                if spec.prepared.fingerprint == ref:
+                    return name
+        raise ServingError(f"unknown prepared query or fingerprint {ref!r}")
+
     def _spec(self, name: str) -> _PreparedSpec:
         try:
             return self._prepared[name]
@@ -287,16 +302,31 @@ class RavenServer:
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(name, params, data).result(timeout)
 
-    def submit_sql(self, sql: str, data: Mapping[str, Table] | None = None) -> Future:
-        """Ad-hoc (unprepared) execution through the session pipeline."""
+    def submit_sql(
+        self,
+        sql: str,
+        data: Mapping[str, Table] | None = None,
+        params: Sequence | Mapping | None = None,
+    ) -> Future:
+        """Ad-hoc execution through the session pipeline.
+
+        With ``params``, the SQL is compiled as a :class:`PreparedQuery`
+        on the worker thread — the session plan cache makes repeats of
+        the same statement hit the cached plan, so an ad-hoc
+        parameterized query over the wire pays the optimizer once.
+        """
         if self._closed:
             raise ServerClosedError("server has been shut down")
         self._stats.record_submitted()
         events.emit("serving.submitted", query="sql")
+        if params is not None:
+            fn = lambda: PreparedQuery(  # noqa: E731
+                self.session, sql, data=data
+            ).execute(params, data)
+        else:
+            fn = lambda: self.session.execute(sql, data).table  # noqa: E731
         try:
-            return self._enqueue(
-                lambda: self.session.execute(sql, data).table, label="sql"
-            )
+            return self._enqueue(fn, label="sql")
         except Exception:
             self._stats.record_rejected()
             events.emit("serving.rejected", query="sql")
@@ -606,6 +636,10 @@ class RavenServer:
         snapshot["events"] = events.BUS.stats()
         with self._lock:
             spans_dropped = self._spans_dropped
+            snapshot["prepared"] = {
+                name: spec.prepared.fingerprint
+                for name, spec in self._prepared.items()
+            }
         snapshot["traces"] = {
             "retained": len(self._traces),
             "capacity": self._traces.maxlen,

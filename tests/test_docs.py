@@ -1,0 +1,167 @@
+"""Docs stay true: the events reference is complete, snippets compile.
+
+``docs/events.md`` claims to be the *complete* event taxonomy. This
+test walks every ``emit(...)`` call site in ``src/repro`` with the AST
+and asserts the claim in both directions — every emitted event is
+documented with exactly its payload fields, and every documented event
+still exists in the code.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import pathlib
+import re
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+EVENTS_DOC = REPO / "docs" / "events.md"
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "docs" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def emit_sites() -> dict[str, dict]:
+    """``{event_name: {"kwargs": set, "dynamic": bool, "sites": [...]}}``
+    for every constant-name ``emit(...)`` call under ``src/repro``.
+
+    The one dynamic-name site — the module-level ``emit()`` forwarder
+    in ``events.py`` that re-emits its argument — is skipped: it names
+    no event of its own.
+    """
+    sites: dict[str, dict] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            is_emit = (
+                isinstance(fn, ast.Attribute) and fn.attr == "emit"
+            ) or (isinstance(fn, ast.Name) and fn.id == "emit")
+            if not is_emit or not node.args:
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                continue  # the dynamic forwarder in events.py
+            record = sites.setdefault(
+                first.value, {"kwargs": set(), "dynamic": False, "sites": []}
+            )
+            record["sites"].append(
+                f"{path.relative_to(REPO)}:{node.lineno}"
+            )
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    record["dynamic"] = True  # **kwargs at the call site
+                else:
+                    record["kwargs"].add(keyword.arg)
+    return sites
+
+
+def documented_events() -> dict[str, set]:
+    """``{event_name: payload_fields}`` parsed from docs/events.md."""
+    documented: dict[str, set] = {}
+    for line in EVENTS_DOC.read_text(encoding="utf-8").splitlines():
+        if not line.startswith("|"):
+            continue
+        cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+        if len(cells) != 3:
+            continue
+        name_match = re.fullmatch(r"`([a-z_.]+)`", cells[0])
+        if name_match is None:
+            continue  # header or separator row
+        fields = set(re.findall(r"`([a-z_]+)`", cells[2]))
+        documented[name_match.group(1)] = fields
+    return documented
+
+
+def test_every_emitted_event_is_documented():
+    emitted = emit_sites()
+    documented = documented_events()
+    missing = {
+        name: emitted[name]["sites"]
+        for name in emitted
+        if name not in documented
+    }
+    assert not missing, (
+        f"events emitted but missing from docs/events.md: {missing}"
+    )
+    stale = sorted(set(documented) - set(emitted))
+    assert not stale, (
+        f"events documented in docs/events.md but never emitted: {stale}"
+    )
+
+
+def test_documented_payload_fields_match_emit_sites():
+    emitted = emit_sites()
+    documented = documented_events()
+    problems = []
+    for name, record in sorted(emitted.items()):
+        if name not in documented:
+            continue  # covered by the completeness test
+        doc_fields = documented[name]
+        static = record["kwargs"]
+        if record["dynamic"]:
+            # A site spreads **kwargs: the doc must cover at least the
+            # static fields (and is trusted for the dynamic remainder).
+            missing = static - doc_fields
+            if missing:
+                problems.append(
+                    f"{name}: doc is missing fields {sorted(missing)} "
+                    f"(emitted at {record['sites']})"
+                )
+        elif doc_fields != static:
+            problems.append(
+                f"{name}: doc says {sorted(doc_fields)}, code emits "
+                f"{sorted(static)} (at {record['sites']})"
+            )
+    assert not problems, "\n".join(problems)
+
+
+def test_events_doc_covers_a_sane_minimum():
+    # Guard against the parser silently matching nothing.
+    documented = documented_events()
+    assert len(documented) >= 25
+    assert "net.request" in documented
+    assert "serving.completed" in documented
+
+
+def test_doc_snippets_compile_and_links_resolve():
+    check_docs = _load_check_docs()
+    files = check_docs.doc_files()
+    assert any(f.name == "README.md" for f in files)
+    assert sum(
+        1 for f in files if f.parent.name == "docs"
+    ) >= 4, "docs/ must hold the four documentation pages"
+    errors = check_docs.check_snippets(files) + check_docs.check_links(files)
+    assert not errors, "\n".join(errors)
+
+
+def test_check_docs_catches_broken_snippets_and_links(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "see [missing](nowhere.md)\n\n```python\ndef broken(:\n```\n",
+        encoding="utf-8",
+    )
+    check_docs = _load_check_docs()
+    assert check_docs.check_snippets([bad])
+    assert check_docs.check_links([bad])
+
+
+@pytest.mark.parametrize(
+    "page", ["architecture.md", "serving.md", "operations.md", "events.md"]
+)
+def test_docs_pages_exist(page):
+    assert (REPO / "docs" / page).is_file()
